@@ -1,0 +1,49 @@
+"""Benchmark fixtures: the dataset suite used by every table/figure bench.
+
+The suite scale is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable (default 0.35).  Set it to ``1.0`` to regenerate the paper's
+experiments at full Table 1 measurement counts (the numbers recorded in
+EXPERIMENTS.md); built datasets are cached on disk either way, so only the
+first run pays the collection cost.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import BuildConfig
+from repro.experiments import get_datasets
+
+#: Default benchmark scale (fraction of each dataset's full duration).
+DEFAULT_BENCH_SCALE = 0.35
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE))
+
+
+def bench_min_samples() -> int:
+    """The paper's 30-measurement floor, scaled with the collection."""
+    return max(4, int(round(30 * bench_scale())))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The eight Table 1 datasets at the benchmark scale (disk-cached)."""
+    return get_datasets(BuildConfig(seed=1999, scale=bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def min_samples():
+    return bench_min_samples()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive analysis exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

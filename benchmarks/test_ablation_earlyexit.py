@@ -1,0 +1,56 @@
+"""Ablation: early-exit (hot potato) vs destination-aware egress.
+
+The paper (section 3) names early-exit routing as a common source of path
+inefficiency.  Here the same topology is routed under both egress
+policies and compared against the policy-free optimum.
+"""
+
+import itertools
+
+import numpy as np
+from conftest import run_once
+
+from repro.routing import EgressPolicy, OptimalResolver, PathResolver
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+def _stretches(topo, resolver, optimal, pairs):
+    return np.array(
+        [
+            resolver.resolve(a, b).prop_delay_ms / optimal.resolve(a, b).prop_delay_ms
+            for a, b in pairs
+        ]
+    )
+
+
+def test_early_exit_inflates_paths(benchmark):
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=11))
+    place_hosts(topo, 16, seed=12, north_america_only=True)
+    names = topo.host_names()
+    pairs = list(itertools.permutations(names, 2))
+    optimal = OptimalResolver(topo)
+
+    def run():
+        early = PathResolver(topo)
+        best = PathResolver(
+            topo,
+            egress_policy=EgressPolicy.BEST_EXIT,
+            respect_as_early_exit=False,
+        )
+        return (
+            _stretches(topo, early, optimal, pairs),
+            _stretches(topo, best, optimal, pairs),
+        )
+
+    early_stretch, best_stretch = run_once(benchmark, run)
+    print(
+        f"\nearly-exit mean stretch {early_stretch.mean():.3f}  "
+        f"best-exit mean stretch {best_stretch.mean():.3f}"
+    )
+    # Destination-aware egress shortens paths on average, and every path
+    # is at least as good as optimal predicts.
+    assert best_stretch.mean() <= early_stretch.mean()
+    assert np.all(early_stretch >= 1.0 - 1e-9)
+    # Early exit leaves real headroom: a meaningful share of paths are
+    # >10% longer than optimal.
+    assert np.mean(early_stretch > 1.1) > 0.2

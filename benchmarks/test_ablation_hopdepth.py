@@ -1,0 +1,32 @@
+"""Ablation: marginal value of deeper alternate paths.
+
+The paper restricts several analyses to one-hop alternates for
+tractability; this bench quantifies what that costs by sweeping the hop
+bound on the UW3 RTT graph.
+"""
+
+from conftest import run_once
+
+from repro.core import Metric, build_graph
+from repro.core.hopdepth import depth_sweep
+
+
+def test_depth_sweep(benchmark, suite, min_samples):
+    graph = build_graph(suite["UW3"], Metric.RTT, min_samples=min_samples)
+
+    def run():
+        return depth_sweep(graph, depths=(2, 3, 4, 6))
+
+    rows = run_once(benchmark, run)
+    print("\nmax hops | pairs | improved | mean improvement (ms)")
+    for r in rows:
+        print(
+            f"{r.max_hops:8d} | {r.n_pairs:5d} | {r.fraction_improved:8.2%} | "
+            f"{r.mean_improvement:+.1f}"
+        )
+    fractions = {r.max_hops: r.fraction_improved for r in rows}
+    # One intermediate host captures most of the effect; depth adds
+    # diminishing returns (the paper's tractability restriction is cheap).
+    assert fractions[2] > 0.2
+    assert fractions[6] >= fractions[2]
+    assert fractions[6] - fractions[2] < 0.25

@@ -1,0 +1,35 @@
+"""Ablation: loss-composition rules for synthetic bandwidth.
+
+The paper brackets the truth between 'optimistic' (max) and 'pessimistic'
+(independence) compositions; the SUM rule is an off-paper upper bound on
+composed loss, included as a sanity check.
+"""
+
+from conftest import run_once
+
+from repro.core import LossComposition, analyze_bandwidth
+
+
+def test_loss_composition_ordering(benchmark, suite):
+    n2 = suite["N2"]
+
+    def run():
+        return {
+            comp: analyze_bandwidth(n2, comp)
+            for comp in LossComposition
+        }
+
+    results = run_once(benchmark, run)
+    fractions = {
+        comp.value: results[comp].fraction_improved() for comp in LossComposition
+    }
+    print(f"\nfraction improved by composition: {fractions}")
+    # More pessimistic loss composition -> lower composed bandwidth ->
+    # fewer improved pairs.
+    assert (
+        fractions["optimistic"]
+        >= fractions["pessimistic"]
+        >= fractions["sum"]
+    )
+    # The paper's two curves bracket tightly.
+    assert fractions["optimistic"] - fractions["pessimistic"] < 0.3

@@ -1,0 +1,65 @@
+"""Ablation: policy routing vs globally optimal routing.
+
+'Theoretically, if the Internet used "shortest" path routing ... there
+would be no room to find alternate paths with better performance' (paper
+section 3).  Using the resolver's true propagation delays (no measurement
+noise), one-hop relayed paths must essentially never beat optimal routes
+(triangle inequality of a shortest-path metric), while under policy
+routing a large fraction of pairs are improvable.
+"""
+
+import itertools
+
+import numpy as np
+from conftest import run_once
+
+from repro.routing import OptimalResolver, PathResolver
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+def _one_hop_violation_rate(resolver, names) -> float:
+    """Fraction of ordered pairs with a shorter one-hop relayed path,
+    measured on true (noise-free) propagation delays."""
+    n = len(names)
+    delay = np.full((n, n), np.inf)
+    for i, a in enumerate(names):
+        for j, b in enumerate(names):
+            if i != j:
+                delay[i, j] = resolver.resolve_round_trip(a, b).rtt_prop_ms
+    violations = 0
+    total = 0
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            total += 1
+            best_relay = min(
+                delay[i, k] + delay[k, j]
+                for k in range(n)
+                if k not in (i, j)
+            )
+            if best_relay < delay[i, j] - 1e-6:
+                violations += 1
+    return violations / total
+
+
+def test_optimal_routing_shrinks_the_effect(benchmark):
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=21))
+    place_hosts(topo, 14, seed=22, north_america_only=True, rate_limit_fraction=0.0)
+    names = topo.host_names()
+
+    def run():
+        policy = _one_hop_violation_rate(PathResolver(topo), names)
+        optimal = _one_hop_violation_rate(OptimalResolver(topo), names)
+        return policy, optimal
+
+    policy, optimal = run_once(benchmark, run)
+    print(
+        f"\npropagation triangle violations: policy={policy:.2f} optimal={optimal:.2f}"
+    )
+    # Under policy routing, a large fraction of pairs have shorter
+    # relayed paths; under optimal routing the metric's triangle
+    # inequality leaves (essentially) none.
+    assert policy > 0.15
+    assert optimal < 0.02
+    assert optimal < policy / 5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 (RTT improvement CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure1, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: 30-55% of paths have a smaller-RTT alternate.
+    for name in ("UW1", "UW3", "D2-NA", "D2"):
+        frac = fig.data[f"{name}_fraction_improved"]
+        assert 0.2 <= frac <= 0.7, f"{name}: {frac:.2f}"
+    # Some pairs improve by 20ms or more.
+    for series in fig.series:
+        assert series.fraction_above(20.0) > 0.05

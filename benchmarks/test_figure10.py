@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 (loss improvement by time of day)."""
+
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, suite):
+    fig = run_once(benchmark, figure10, suite, min_samples=3)
+    print("\n" + fig.text)
+    assert fig.series
+    for series in fig.series:
+        # Loss improvements stay within physical bounds in every bin.
+        assert series.x.min() >= -1.0 and series.x.max() <= 1.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 11 (long-term average vs simultaneous)."""
+
+from conftest import run_once
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure11, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    by_label = {s.label: s for s in fig.series}
+    unavg = by_label["unaveraged UW4-A"]
+    pair_avg = by_label["pair-averaged UW4-A"]
+    # Paper: the unaveraged curve has 'a much broader tail in both
+    # directions' than the pair-averaged one.
+    spread_raw = unavg.value_at_fraction(0.95) - unavg.value_at_fraction(0.05)
+    spread_avg = pair_avg.value_at_fraction(0.95) - pair_avg.value_at_fraction(0.05)
+    assert spread_raw > spread_avg
+    # And simultaneous measurement finds good alternates about as often
+    # as (or more often than) the long-term average does.
+    assert pair_avg.fraction_above(0.0) >= by_label["UW4-B"].fraction_above(0.0) - 0.15

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 12 (greedy top-ten host removal)."""
+
+from conftest import run_once
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure12, suite, min_samples=min_samples, k=10)
+    print("\n" + fig.text)
+    baseline = fig.data["baseline_fraction"]
+    pruned = fig.data["pruned_fraction"]
+    # Paper: 'the top ten hosts are not the source of a disproportionate
+    # number of the superior alternate paths' - removing them must not
+    # collapse the effect.
+    assert pruned is not None
+    assert pruned > baseline * 0.3

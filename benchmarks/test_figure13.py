@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 13 (normalized improvement contribution)."""
+
+from conftest import run_once
+
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure13, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: 'the distribution lacks the heavy tail that would indicate
+    # the existence of a few hosts with abnormally large contributions'.
+    assert fig.data["tail_heaviness"] < 0.6

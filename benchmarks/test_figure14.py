@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 14 (AS popularity scatter)."""
+
+from conftest import run_once
+
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure14, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: no significant set of ASes is substantially more represented
+    # in either population - the two counts correlate strongly.
+    assert fig.data["correlation"] > 0.4
+    assert len(fig.data["points"]) > 10

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 15 (propagation vs mean-RTT CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import figure15
+
+
+def test_figure15(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure15, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    prop_frac = fig.data["prop_fraction_improved"]
+    # Paper: 'superior alternate paths still exist for 50% of the paths'
+    # under propagation delay alone.
+    assert 0.3 <= prop_frac <= 0.7
+    # And the magnitudes are cut substantially vs mean RTT.
+    by_label = {s.label: s for s in fig.series}
+    spread_prop = (
+        by_label["propagation delay"].value_at_fraction(0.9)
+        - by_label["propagation delay"].value_at_fraction(0.1)
+    )
+    spread_rtt = (
+        by_label["mean round-trip"].value_at_fraction(0.9)
+        - by_label["mean round-trip"].value_at_fraction(0.1)
+    )
+    assert spread_prop < spread_rtt

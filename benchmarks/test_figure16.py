@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 16 (six-group delay decomposition)."""
+
+from conftest import run_once
+
+from repro.core import DelayGroup
+from repro.experiments import figure16
+
+
+def test_figure16(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure16, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    counts = fig.data["group_counts"]
+    # Paper: 'there are very few paths in group 3 ... while group 6 is
+    # much more populated'; groups 1 and 4 are the 'typical' points.
+    assert counts[DelayGroup.G6] >= counts[DelayGroup.G3]
+    assert counts[DelayGroup.G4] > 0
+    assert counts[DelayGroup.G1] > 0

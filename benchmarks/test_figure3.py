@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (loss-rate improvement CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure3, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: 75-85% of paths have lower-loss alternates (wide tolerance
+    # at reduced scale); a smaller fraction improves by >= 5% loss.
+    for series in fig.series:
+        frac = series.fraction_above(0.0)
+        assert 0.35 <= frac <= 0.98, f"{series.label}: {frac:.2f}"
+        assert series.fraction_above(0.05) < frac

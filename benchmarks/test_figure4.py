@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 4 (bandwidth improvement CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, suite):
+    fig = run_once(benchmark, figure4, suite)
+    print("\n" + fig.text)
+    # Paper: 70-80% of paths have alternates with improved bandwidth;
+    # optimistic and pessimistic bound each other tightly.
+    for ds in ("N2", "N2-NA"):
+        pes = fig.data[f"{ds} pessimistic_fraction_improved"]
+        opt = fig.data[f"{ds} optimistic_fraction_improved"]
+        assert 0.4 <= pes <= 0.95, f"{ds} pessimistic: {pes:.2f}"
+        assert pes <= opt <= pes + 0.3

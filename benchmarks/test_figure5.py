@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (relative bandwidth CDFs)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, suite):
+    fig = run_once(benchmark, figure5, suite)
+    print("\n" + fig.text)
+    # Paper: for at least 10-20% of paths the potential improvement is at
+    # least a factor of three.
+    for series in fig.series:
+        assert np.mean(series.x > 3.0) >= 0.05, series.label
+    # The N2 vs N2-NA difference largely disappears in ratio space.
+    by_label = {s.label: s for s in fig.series}
+    gap = abs(
+        by_label["N2 pessimistic"].fraction_above(1.0)
+        - by_label["N2-NA pessimistic"].fraction_above(1.0)
+    )
+    assert gap < 0.3

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (mean vs median, convolution)."""
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure6, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: 'the difference is negligible'.
+    assert fig.data["max_discrepancy"] < 0.3

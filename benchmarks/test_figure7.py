@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (RTT CDF with 95% CIs, UW3)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure7, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: 'most paths have relatively tight error bounds' - the median
+    # CI half-width is small relative to the improvement spread.
+    halfwidths = (fig.data["ci_high"] - fig.data["ci_low"]) / 2.0
+    series = fig.series[0]
+    spread = series.value_at_fraction(0.9) - series.value_at_fraction(0.1)
+    assert np.median(halfwidths) < spread

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (loss CDF with 95% CIs, UW3)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, suite, min_samples):
+    fig = run_once(benchmark, figure8, suite, min_samples=min_samples)
+    print("\n" + fig.text)
+    # Paper: loss CIs are wider (binary samples -> large deviation); the
+    # relative uncertainty exceeds that of the RTT figure.
+    halfwidths = (fig.data["ci_high"] - fig.data["ci_low"]) / 2.0
+    assert np.median(halfwidths) > 0.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (RTT improvement by time of day)."""
+
+from conftest import bench_scale, run_once
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, suite):
+    fig = run_once(benchmark, figure9, suite, min_samples=3)
+    print("\n" + fig.text)
+    fractions = {
+        label.removesuffix("_fraction_improved"): value
+        for label, value in fig.data.items()
+        if label.endswith("_fraction_improved")
+    }
+    populated = {k: v for k, v in fractions.items() if v > 0}
+    # Paper: 'the overall effect occurs regardless of the time of day'.
+    assert populated
+    if bench_scale() >= 0.99:
+        # Full scale covers the whole week: peak working hours must show
+        # at least as much benefit as the weekend.
+        assert fractions["0600-1200"] >= fractions["weekend"] - 0.05

@@ -1,0 +1,39 @@
+"""Benchmark: the Detour-style overlay extension.
+
+Measures how much of the paper's oracle alternate-path gain an online
+overlay (periodic probing, EWMA estimates, hysteresis) captures.
+"""
+
+from conftest import run_once
+
+from repro.netsim import NetworkConditions, SECONDS_PER_DAY
+from repro.overlay import OverlayNetwork
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+def test_overlay_gain_capture(benchmark):
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=51))
+    place_hosts(topo, 15, seed=52, north_america_only=True, rate_limit_fraction=0.0)
+    conditions = NetworkConditions(topo, seed=53)
+
+    def run():
+        overlay = OverlayNetwork(
+            topo, conditions, topo.host_names(),
+            probe_interval_s=120.0, hysteresis=0.1, seed=54,
+        )
+        return overlay.evaluate(
+            t0=SECONDS_PER_DAY, duration_s=SECONDS_PER_DAY, n_flows=500
+        )
+
+    evaluation = run_once(benchmark, run)
+    print(
+        f"\ndirect {evaluation.mean_direct_rtt():.1f}ms  "
+        f"overlay {evaluation.mean_overlay_rtt():.1f}ms  "
+        f"oracle {evaluation.mean_oracle_rtt():.1f}ms  "
+        f"deflect {evaluation.deflection_rate():.0%}  "
+        f"wins {evaluation.win_rate():.0%}  "
+        f"capture {evaluation.gain_capture():.0%}"
+    )
+    assert evaluation.mean_overlay_rtt() < evaluation.mean_direct_rtt()
+    assert evaluation.gain_capture() > 0.3
+    assert evaluation.win_rate() > 0.5

@@ -1,0 +1,94 @@
+"""Performance benchmarks for the core primitives.
+
+Unlike the table/figure benches (one-shot reproductions), these measure
+steady-state throughput of the library's hot paths with multiple rounds.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import AlternatePathFinder, Metric, build_graph
+from repro.measurement import Campaign, poisson_pairs
+from repro.netsim import NetworkConditions, PathSampler, SECONDS_PER_DAY
+from repro.routing import BGPTable, PathResolver
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=41))
+    place_hosts(topo, 20, seed=42, north_america_only=True, rate_limit_fraction=0.0)
+    conditions = NetworkConditions(topo, seed=43)
+    return topo, conditions
+
+
+def test_perf_bgp_convergence(benchmark, env):
+    topo, _ = env
+
+    def converge():
+        table = BGPTable(topo)
+        dests = sorted(topo.ases)[:20]
+        return sum(table.route(1, d) is not None for d in dests if d != 1)
+
+    count = benchmark(converge)
+    assert count > 0
+
+
+def test_perf_path_resolution(benchmark, env):
+    topo, _ = env
+    names = topo.host_names()[:10]
+    pairs = list(itertools.permutations(names, 2))
+
+    def resolve_all():
+        resolver = PathResolver(topo)
+        return [resolver.resolve_round_trip(a, b) for a, b in pairs]
+
+    paths = benchmark(resolve_all)
+    assert len(paths) == len(pairs)
+
+
+def test_perf_probe_throughput(benchmark, env):
+    topo, conditions = env
+    resolver = PathResolver(topo)
+    names = topo.host_names()
+    pairs = list(itertools.permutations(names, 2))
+    sampler = PathSampler(
+        conditions, [resolver.resolve_round_trip(a, b) for a, b in pairs]
+    )
+    rng = np.random.default_rng(7)
+
+    def probe_thousand():
+        total = 0
+        for i in range(1000):
+            batch = sampler.probe(SECONDS_PER_DAY + i * 17.0, rng)
+            total += int(batch.lost.sum())
+        return total
+
+    benchmark(probe_thousand)
+
+
+def test_perf_alternate_search(benchmark, env):
+    topo, conditions = env
+    hosts = topo.host_names()
+    campaign = Campaign(topo, conditions, hosts, seed=44)
+    requests = poisson_pairs(hosts, SECONDS_PER_DAY, 60.0, seed=45)
+    records, _ = campaign.run_traceroutes(requests)
+    from repro.datasets import Dataset, DatasetMeta
+
+    dataset = Dataset(
+        meta=DatasetMeta(
+            name="perf", method="traceroute", year=1999,
+            duration_days=1, location="North America",
+        ),
+        hosts=hosts,
+        traceroutes=records,
+    )
+    graph = build_graph(dataset, Metric.RTT, min_samples=3)
+
+    def search():
+        return AlternatePathFinder(graph).best_all()
+
+    alternates = benchmark(search)
+    assert alternates

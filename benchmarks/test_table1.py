@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 1 (dataset characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, suite):
+    result = run_once(benchmark, table1, suite)
+    print("\n" + result.text)
+    names = [row[0] for row in result.rows]
+    assert names == ["D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"]
+    by_name = {row[0]: row for row in result.rows}
+    # Host counts are structural and must match the paper exactly.
+    paper_hosts = {
+        "D2": 33, "N2": 31, "UW1": 36, "UW3": 39, "UW4-A": 15, "UW4-B": 15,
+    }
+    for name, hosts in paper_hosts.items():
+        assert by_name[name][5] == hosts
+    # UW4 covers 100% of paths; the others sit in the 80s-90s like Table 1.
+    assert by_name["UW4-A"][7] == 100
+    assert 80 <= by_name["UW3"][7] <= 95

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (RTT t-test classification)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, suite, min_samples):
+    result = run_once(benchmark, table2, suite, min_samples=min_samples)
+    print("\n" + result.text)
+    rows = {row[0]: row[1:] for row in result.rows}
+    better = [int(v.rstrip("%")) for v in rows["Better"]]
+    indet = [int(v.rstrip("%")) for v in rows["Indeterminate"]]
+    worse = [int(v.rstrip("%")) for v in rows["Worse"]]
+    # Paper shape: every class populated in every dataset; no class
+    # explains everything.
+    assert all(b > 0 for b in better)
+    assert all(i > 5 for i in indet)
+    assert all(w < 80 for w in worse)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 (loss t-test classification)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, suite, min_samples):
+    result = run_once(benchmark, table3, suite, min_samples=min_samples)
+    print("\n" + result.text)
+    rows = {row[0]: row[1:] for row in result.rows}
+    better = [int(v.rstrip("%")) for v in rows["Better"]]
+    worse = [int(v.rstrip("%")) for v in rows["Worse"]]
+    # Paper shape: alternates selected for loss are rarely *significantly*
+    # worse, and a solid fraction is significantly better.
+    assert all(w <= 15 for w in worse)
+    assert any(b >= 10 for b in better)
+    assert "Zero" in rows

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Run a Detour-style overlay and measure what it captures of the oracle.
+
+The paper's alternate-path analysis is an oracle: it looks at long-term
+averages in retrospect.  The natural system it motivated — built by the
+same authors as *Detour*, and later by MIT as *RON* — probes continuously
+and relays flows through overlay peers when an alternate looks better.
+
+This example runs that system over the simulated Internet and reports,
+over a day of traffic:
+
+* mean latency: direct vs overlay vs oracle;
+* how often the overlay deflects, and how often deflections win;
+* the share of the oracle's gain the online system captures;
+* sensitivity to the probing interval (staleness) and hysteresis.
+
+Run:
+    python examples/detour_overlay.py [--hosts 14] [--flows 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.netsim import NetworkConditions, SECONDS_PER_DAY
+from repro.overlay import OverlayNetwork
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+def evaluate(topo, conditions, hosts, *, probe_interval_s, hysteresis, flows, seed):
+    overlay = OverlayNetwork(
+        topo,
+        conditions,
+        hosts,
+        probe_interval_s=probe_interval_s,
+        hysteresis=hysteresis,
+        seed=seed,
+    )
+    return overlay.evaluate(
+        t0=1.0 * SECONDS_PER_DAY,
+        duration_s=SECONDS_PER_DAY,
+        n_flows=flows,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=14, help="overlay size")
+    parser.add_argument("--flows", type=int, default=600, help="evaluation flows")
+    parser.add_argument("--seed", type=int, default=3, help="simulation seed")
+    args = parser.parse_args()
+
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=args.seed))
+    place_hosts(
+        topo, args.hosts, seed=args.seed + 1,
+        north_america_only=True, rate_limit_fraction=0.0,
+    )
+    conditions = NetworkConditions(topo, seed=args.seed + 2)
+    hosts = topo.host_names()
+
+    print(f"Overlay of {len(hosts)} hosts; {args.flows} flows over one day.\n")
+    base = evaluate(
+        topo, conditions, hosts,
+        probe_interval_s=120.0, hysteresis=0.1, flows=args.flows, seed=args.seed,
+    )
+    print("Baseline overlay (probe every 120 s, 10% hysteresis):")
+    print(f"  mean RTT  direct : {base.mean_direct_rtt():7.1f} ms")
+    print(f"  mean RTT  overlay: {base.mean_overlay_rtt():7.1f} ms")
+    print(f"  mean RTT  oracle : {base.mean_oracle_rtt():7.1f} ms")
+    print(f"  deflection rate  : {base.deflection_rate():7.1%}")
+    print(f"  deflection wins  : {base.win_rate():7.1%}")
+    print(f"  oracle-gain capture: {base.gain_capture():5.1%}")
+
+    print("\nSensitivity to probing staleness (hysteresis 10%):")
+    print(f"  {'probe interval':>16} {'overlay RTT':>12} {'capture':>9}")
+    for interval in (30.0, 120.0, 600.0, 1800.0):
+        ev = evaluate(
+            topo, conditions, hosts,
+            probe_interval_s=interval, hysteresis=0.1,
+            flows=args.flows, seed=args.seed,
+        )
+        print(
+            f"  {interval:>14.0f}s {ev.mean_overlay_rtt():>10.1f}ms "
+            f"{ev.gain_capture():>8.1%}"
+        )
+
+    print("\nSensitivity to hysteresis (probe every 120 s):")
+    print(f"  {'hysteresis':>12} {'deflect':>9} {'wins':>7} {'capture':>9}")
+    for hysteresis in (0.0, 0.1, 0.3, 0.5):
+        ev = evaluate(
+            topo, conditions, hosts,
+            probe_interval_s=120.0, hysteresis=hysteresis,
+            flows=args.flows, seed=args.seed,
+        )
+        print(
+            f"  {hysteresis:>12.1f} {ev.deflection_rate():>8.1%} "
+            f"{ev.win_rate():>6.1%} {ev.gain_capture():>8.1%}"
+        )
+
+    print(
+        "\nReading: fresher probes and moderate hysteresis capture most of "
+        "the oracle gain;\nvery stale probes deflect on noise and give the "
+        "gain back — the engineering\ntrade-off Detour and RON had to solve."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Why do superior alternate paths exist?  Interrogate the routing policy.
+
+Section 3 of the paper blames policy routing: BGP's valley-free export,
+AS-path-length decisions, and early-exit (hot-potato) egress selection
+all diverge from latency-optimal routing.  Because this reproduction
+*simulates* the Internet, we can re-route the very same topology under
+different policies and measure the stretch directly — something the
+paper could only argue for.
+
+Three routing regimes over identical hosts and links:
+
+1. policy + early exit   (the modeled Internet default)
+2. policy + best exit    (destination-aware egress selection)
+3. optimal               (global shortest-delay paths, no policy)
+
+Run:
+    python examples/routing_ablation.py [--hosts 18] [--seed 42]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+
+import numpy as np
+
+from repro.routing import EgressPolicy, OptimalResolver, PathResolver
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+def stretch_stats(delays: np.ndarray, optimal: np.ndarray) -> str:
+    stretch = delays / optimal
+    return (
+        f"mean stretch {stretch.mean():.2f}, p90 {np.percentile(stretch, 90):.2f}, "
+        f"paths >1.5x optimal: {(stretch > 1.5).mean():.0%}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hosts", type=int, default=18, help="number of hosts")
+    parser.add_argument("--seed", type=int, default=42, help="topology seed")
+    parser.add_argument("--era", choices=["1995", "1999"], default="1999")
+    args = parser.parse_args()
+
+    topo = generate_topology(TopologyConfig.for_era(args.era, seed=args.seed))
+    place_hosts(topo, args.hosts, seed=args.seed + 1, north_america_only=True)
+    names = topo.host_names()
+    pairs = list(itertools.permutations(names, 2))
+    print(
+        f"Topology: {len(topo.ases)} ASes, {len(topo.routers)} routers, "
+        f"{len(topo.links)} links; {len(pairs)} directed host pairs"
+    )
+
+    regimes = {
+        "policy + early exit": PathResolver(topo),
+        "policy + best exit": PathResolver(
+            topo,
+            egress_policy=EgressPolicy.BEST_EXIT,
+            respect_as_early_exit=False,
+        ),
+    }
+    optimal = OptimalResolver(topo)
+    opt_delay = np.array([optimal.resolve(a, b).prop_delay_ms for a, b in pairs])
+
+    print(f"\n{'regime':<24} propagation-delay inefficiency vs optimal")
+    results = {}
+    for label, resolver in regimes.items():
+        delays = np.array([resolver.resolve(a, b).prop_delay_ms for a, b in pairs])
+        results[label] = delays
+        print(f"{label:<24} {stretch_stats(delays, opt_delay)}")
+    print(f"{'optimal':<24} mean stretch 1.00 (by construction)")
+
+    early = results["policy + early exit"]
+    best = results["policy + best exit"]
+    healed = (early - best) > 0.5
+    print(
+        f"\nSwitching every AS from early-exit to best-exit egress shortens "
+        f"{healed.mean():.0%} of paths (mean {np.mean((early - best)[healed]) if healed.any() else 0:.1f} ms "
+        f"where it helps)."
+    )
+
+    worst = int(np.argmax(early / opt_delay))
+    a, b = pairs[worst]
+    path = regimes["policy + early exit"].resolve(a, b)
+    opt_path = optimal.resolve(a, b)
+    print(f"\nMost-inflated pair: {a} -> {b}")
+    print(
+        f"  policy route : {path.prop_delay_ms:.1f} ms via ASes "
+        f"{' -> '.join(f'AS{x}' for x in path.as_path)}"
+    )
+    print(
+        f"  optimal route: {opt_path.prop_delay_ms:.1f} ms via ASes "
+        f"{' -> '.join(f'AS{x}' for x in opt_path.as_path)}"
+    )
+    print(
+        "\nThis residual policy-vs-optimal gap is exactly the headroom the "
+        "paper's synthetic alternate paths exploit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy `pip install -e .` in offline environments
+that lack the `wheel` package (PEP 660 editable builds need it)."""
+
+from setuptools import setup
+
+setup()

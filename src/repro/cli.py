@@ -1,0 +1,242 @@
+"""The ``repro`` command-line interface.
+
+Subcommands::
+
+    repro traceroute --seed 7 --src 0 --dst 3     # demo traceroute
+    repro build --dataset UW3 --scale 0.1 -o uw3.jsonl
+    repro analyze uw3.jsonl --metric rtt          # alternate-path analysis
+    repro reproduce --scale 1.0 --markdown report.md
+
+``analyze`` works on any dataset written by ``build`` (or by
+:func:`repro.datasets.save_dataset`), prints the headline statistics, and
+draws the improvement CDF as an ASCII plot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+import numpy as np
+
+
+def _cmd_traceroute(args: argparse.Namespace) -> int:
+    from repro.measurement import TracerouteTool
+    from repro.netsim import NetworkConditions, SECONDS_PER_DAY
+    from repro.routing import PathResolver
+    from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+    topo = generate_topology(TopologyConfig.for_era(args.era, seed=args.seed))
+    place_hosts(
+        topo, max(args.src, args.dst) + 1, seed=args.seed + 1,
+        north_america_only=True, rate_limit_fraction=0.0,
+    )
+    names = topo.host_names()
+    src, dst = names[args.src], names[args.dst]
+    resolver = PathResolver(topo)
+    conditions = NetworkConditions(topo, seed=args.seed + 2)
+    from repro.topology import AddressPlan
+
+    tool = TracerouteTool(topo, conditions)
+    plan = AddressPlan(topo)
+    rng = np.random.default_rng(args.seed + 3)
+    result = tool.trace(
+        resolver.resolve_round_trip(src, dst),
+        t=args.day * SECONDS_PER_DAY + args.hour * 3600.0,
+        rng=rng,
+    )
+    print(f"traceroute from {src} to {dst}")
+    for hop in result.hops:
+        samples = "  ".join(
+            "      *" if math.isnan(r) else f"{r:7.1f}" for r in hop.rtt_ms
+        )
+        print(f"  {hop.ttl:2d}  {plan.format_hop(hop.router_id):<58} {samples}  ms")
+    as_path = " -> ".join(f"AS{a}" for a in result.as_path(topo))
+    print(f"AS path: {as_path}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        BuildConfig,
+        build_d2,
+        build_n2,
+        build_uw1,
+        build_uw3,
+        build_uw4,
+        save_dataset,
+    )
+
+    cfg = BuildConfig(seed=args.seed, scale=args.scale)
+    # Only run the builder that produces the requested dataset.
+    builders = {
+        "D2": lambda: build_d2(cfg)[0],
+        "D2-NA": lambda: build_d2(cfg)[1],
+        "N2": lambda: build_n2(cfg)[0],
+        "N2-NA": lambda: build_n2(cfg)[1],
+        "UW1": lambda: build_uw1(cfg),
+        "UW3": lambda: build_uw3(cfg)[0],
+        "UW4-A": lambda: build_uw4(cfg)[0],
+        "UW4-B": lambda: build_uw4(cfg)[1],
+    }
+    if args.dataset not in builders:
+        print(
+            f"unknown dataset {args.dataset!r}; choose from {sorted(builders)}",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = builders[args.dataset]()
+    save_dataset(dataset, args.output)
+    row = dataset.table1_row()
+    print(
+        f"wrote {args.output}: {row['hosts']} hosts, "
+        f"{row['measurements']} measurements, "
+        f"{row['paths_covered_pct']}% of paths covered"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import LossComposition, Metric, analyze, analyze_bandwidth
+    from repro.datasets import load_dataset
+    from repro.viz import ascii_cdf
+
+    dataset = load_dataset(args.dataset_file)
+    metric = Metric(args.metric)
+    if metric is Metric.BANDWIDTH:
+        result = analyze_bandwidth(
+            dataset, LossComposition(args.loss_composition)
+        )
+    else:
+        result = analyze(dataset, metric, min_samples=args.min_samples)
+    if not result.comparisons:
+        print("no analyzable pairs (try a lower --min-samples)", file=sys.stderr)
+        return 1
+    print(
+        f"{dataset.meta.name}: {len(result)} pairs analyzed under {metric.value}"
+    )
+    print(f"  alternate superior        : {result.fraction_improved():.1%}")
+    improvements = result.improvements()
+    print(f"  median improvement        : {np.median(improvements):+.2f}")
+    print(f"  90th pct improvement      : {np.percentile(improvements, 90):+.2f}")
+    best = max(result.comparisons, key=lambda c: c.improvement)
+    print(
+        f"  biggest win               : {best.src} -> {best.dst} "
+        f"via {' -> '.join(best.via)} ({best.improvement:+.2f})"
+    )
+    print()
+    print(ascii_cdf([result.improvement_cdf()], title="improvement CDF"))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.topology import TopologyConfig, generate_topology, place_hosts
+    from repro.viz import save_topology_map
+
+    topo = generate_topology(TopologyConfig.for_era(args.era, seed=args.seed))
+    if args.hosts:
+        place_hosts(
+            topo, args.hosts, seed=args.seed + 1,
+            north_america_only=args.era == "1999",
+        )
+    out = save_topology_map(
+        topo, args.output,
+        title=f"{args.era}-era topology (seed {args.seed})",
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.datasets import load_dataset, summarize
+
+    dataset = load_dataset(args.dataset_file)
+    print(summarize(dataset).render())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import main as reproduce_main
+
+    forwarded = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.markdown:
+        forwarded += ["--markdown", args.markdown]
+    if args.svg_dir:
+        forwarded += ["--svg-dir", args.svg_dir]
+    if args.only:
+        forwarded += ["--only", args.only]
+    return reproduce_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The End-to-End Effects of Internet "
+        "Path Selection' (SIGCOMM 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("traceroute", help="run a demo traceroute")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--era", choices=["1995", "1999"], default="1999")
+    p.add_argument("--src", type=int, default=0, help="source host index")
+    p.add_argument("--dst", type=int, default=1, help="destination host index")
+    p.add_argument("--day", type=int, default=2, help="simulation day")
+    p.add_argument("--hour", type=float, default=18.0, help="UTC hour")
+    p.set_defaults(func=_cmd_traceroute)
+
+    p = sub.add_parser("build", help="build one paper dataset and save it")
+    p.add_argument("--dataset", default="UW3")
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("analyze", help="alternate-path analysis of a dataset file")
+    p.add_argument("dataset_file")
+    p.add_argument(
+        "--metric",
+        choices=["rtt", "loss", "prop-delay", "bandwidth"],
+        default="rtt",
+    )
+    p.add_argument("--min-samples", type=int, default=5)
+    p.add_argument(
+        "--loss-composition",
+        choices=["optimistic", "pessimistic"],
+        default="pessimistic",
+        help="loss combination for the bandwidth metric",
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("map", help="render a topology to an SVG map")
+    p.add_argument("--era", choices=["1995", "1999"], default="1999")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--hosts", type=int, default=15)
+    p.add_argument("-o", "--output", default="topology.svg")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("summarize", help="diagnostic summary of a dataset file")
+    p.add_argument("dataset_file")
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("reproduce", help="regenerate the paper's tables/figures")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--markdown", default=None)
+    p.add_argument("--svg-dir", default=None)
+    p.add_argument("--only", default=None)
+    p.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,232 @@
+"""Best-alternate-path search over measurement graphs.
+
+"For each pair of hosts, A and B, we remove the edge connecting them and
+perform a shortest-path computation between A and B using the remaining
+edges.  The result is the best alternate path between A and B using other
+Internet paths as constituent hops" (§4.1).
+
+Loss rates compose multiplicatively (``1 - ∏(1 - p_i)``); taking
+``-log(1 - p)`` as the additive edge weight makes shortest-path search
+valid for loss, after which the composed loss is recomputed exactly.
+
+The batch search runs one Dijkstra per source on the full graph; the
+direct edge can only appear as the *entire* shortest path (a simple path
+from A to B cannot use edge (A,B) mid-path), so the exclusion only forces
+a re-run for destinations whose shortest path IS the direct edge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as _dijkstra
+
+from repro.core.graph import GraphError, Metric, MetricGraph, Pair
+
+#: Guard so zero-weight loss edges survive sparse-matrix storage (scipy
+#: treats exact zeros as missing entries).
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class AlternatePath:
+    """The best alternate path found for one ordered pair.
+
+    Attributes:
+        src: Source host.
+        dst: Destination host.
+        hops: Directed edges (ordered pairs) composing the path.
+        value: Composed metric value (sum for RTT/propagation; the
+            independence combination for loss).
+    """
+
+    src: str
+    dst: str
+    hops: tuple[Pair, ...]
+    value: float
+
+    @property
+    def via(self) -> tuple[str, ...]:
+        """Intermediate hosts, in traversal order."""
+        return tuple(h for h, _ in self.hops[1:])
+
+    @property
+    def n_hops(self) -> int:
+        """Number of constituent host-to-host edges."""
+        return len(self.hops)
+
+
+def loss_weight(p: float) -> float:
+    """Additive shortest-path weight for a loss rate."""
+    if p >= 1.0:
+        return math.inf
+    return -math.log1p(-p) + _EPSILON
+
+
+def _edge_weight_transform(metric: Metric):
+    if metric is Metric.LOSS:
+        return loss_weight
+    if metric is Metric.BANDWIDTH:
+        raise GraphError(
+            "bandwidth alternates are one-hop Mathis compositions; "
+            "use repro.core.bandwidth"
+        )
+    return None
+
+
+def _composed_value(graph: MetricGraph, hops: tuple[Pair, ...]) -> float:
+    values = [graph.edge(h).value for h in hops]
+    if graph.metric is Metric.LOSS:
+        survive = 1.0
+        for p in values:
+            survive *= 1.0 - p
+        return 1.0 - survive
+    return float(sum(values))
+
+
+def _reconstruct(
+    hosts: list[str], predecessors: np.ndarray, src_idx: int, dst_idx: int
+) -> tuple[Pair, ...]:
+    """Walk a scipy predecessor row from dst back to src."""
+    chain = [dst_idx]
+    node = dst_idx
+    while node != src_idx:
+        node = int(predecessors[node])
+        if node < 0:
+            raise GraphError("broken predecessor chain")
+        chain.append(node)
+    chain.reverse()
+    return tuple(
+        (hosts[a], hosts[b]) for a, b in zip(chain, chain[1:])
+    )
+
+
+class AlternatePathFinder:
+    """Computes best alternate paths for every measured pair of a graph."""
+
+    def __init__(self, graph: MetricGraph) -> None:
+        self.graph = graph
+        self._weights = graph.weight_matrix(_edge_weight_transform(graph.metric))
+        # scipy sparse graphs drop explicit zeros; shift by epsilon instead.
+        self._weights = np.where(
+            np.isfinite(self._weights), self._weights + _EPSILON, np.inf
+        )
+
+    def _csr(self, exclude: tuple[int, int] | None = None) -> csr_matrix:
+        mat = self._weights
+        if exclude is not None:
+            mat = mat.copy()
+            mat[exclude] = np.inf
+        finite = np.isfinite(mat)
+        rows, cols = np.nonzero(finite)
+        return csr_matrix(
+            (mat[rows, cols], (rows, cols)), shape=mat.shape
+        )
+
+    def best(self, pair: Pair) -> AlternatePath | None:
+        """Best alternate path for one ordered pair, or None if none exists."""
+        return self.best_all(pairs=[pair]).get(pair)
+
+    def best_all(
+        self, pairs: list[Pair] | None = None
+    ) -> dict[Pair, AlternatePath]:
+        """Best alternate paths for ``pairs`` (default: every measured pair).
+
+        Pairs with no alternate route (disconnected after removing the
+        direct edge) are omitted from the result.
+        """
+        graph = self.graph
+        hosts = graph.hosts
+        wanted = pairs if pairs is not None else sorted(graph.edges)
+        by_src: dict[int, list[int]] = {}
+        for src, dst in wanted:
+            by_src.setdefault(graph.host_index(src), []).append(
+                graph.host_index(dst)
+            )
+        out: dict[Pair, AlternatePath] = {}
+        base = self._csr()
+        for src_idx, dst_idxs in sorted(by_src.items()):
+            dist, pred = _dijkstra(
+                base,
+                directed=True,
+                indices=src_idx,
+                return_predecessors=True,
+            )
+            for dst_idx in dst_idxs:
+                pair = (hosts[src_idx], hosts[dst_idx])
+                if not np.isfinite(dist[dst_idx]):
+                    continue
+                if pred[dst_idx] == src_idx:
+                    # The unconstrained shortest path is the direct edge;
+                    # re-run with that single edge excluded.
+                    alt = self._rerun(src_idx, dst_idx)
+                    if alt is not None:
+                        out[pair] = alt
+                    continue
+                hops = _reconstruct(hosts, pred, src_idx, dst_idx)
+                out[pair] = AlternatePath(
+                    src=pair[0],
+                    dst=pair[1],
+                    hops=hops,
+                    value=_composed_value(graph, hops),
+                )
+        return out
+
+    def _rerun(self, src_idx: int, dst_idx: int) -> AlternatePath | None:
+        graph = self.graph
+        hosts = graph.hosts
+        mat = self._csr(exclude=(src_idx, dst_idx))
+        dist, pred = _dijkstra(
+            mat, directed=True, indices=src_idx, return_predecessors=True
+        )
+        if not np.isfinite(dist[dst_idx]):
+            return None
+        hops = _reconstruct(hosts, pred, src_idx, dst_idx)
+        return AlternatePath(
+            src=hosts[src_idx],
+            dst=hosts[dst_idx],
+            hops=hops,
+            value=_composed_value(graph, hops),
+        )
+
+
+def best_one_hop_alternates(
+    graph: MetricGraph, pairs: list[Pair] | None = None
+) -> dict[Pair, AlternatePath]:
+    """Best single-intermediate alternate for each pair.
+
+    Used where the paper restricts itself to one-hop alternates "to keep
+    the computational costs reasonable" (Figure 6) or "to be
+    computationally tractable" (bandwidth, §5 — though bandwidth
+    composition itself lives in :mod:`repro.core.bandwidth`).
+    """
+    transform = _edge_weight_transform(graph.metric)
+    weights = graph.weight_matrix(transform)
+    hosts = graph.hosts
+    n = len(hosts)
+    wanted = pairs if pairs is not None else sorted(graph.edges)
+    best_val = np.full((n, n), np.inf)
+    best_mid = np.full((n, n), -1, dtype=int)
+    for k in range(n):
+        # Candidate: src -> k -> dst for all (src, dst) at once.
+        cand = weights[:, k][:, None] + weights[k, :][None, :]
+        improved = cand < best_val
+        best_val[improved] = cand[improved]
+        best_mid[improved] = k
+    out: dict[Pair, AlternatePath] = {}
+    for src, dst in wanted:
+        i, j = graph.host_index(src), graph.host_index(dst)
+        k = int(best_mid[i, j])
+        if k < 0 or not np.isfinite(best_val[i, j]):
+            continue
+        hops = ((src, hosts[k]), (hosts[k], dst))
+        out[(src, dst)] = AlternatePath(
+            src=src,
+            dst=dst,
+            hops=hops,
+            value=_composed_value(graph, hops),
+        )
+    return out

@@ -1,0 +1,112 @@
+"""AS-popularity analysis (§7.1, Figure 14).
+
+"For each AS that appeared in any trace in the dataset, we compute the
+number of default paths in which that AS appears and the number of best
+alternate paths in which it appears."  A best alternate path's AS set is
+the union of its constituent default paths' AS paths.  If no AS is far
+off the diagonal of the (direct count, alternate count) scatter, the
+availability of alternate paths "is not being unduly inflated by a small
+number of either good or poor ASes".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import AnalysisResult
+from repro.datasets.dataset import Dataset
+
+
+class ASAnalysisError(RuntimeError):
+    """Raised when AS paths are unavailable for a dataset."""
+
+
+@dataclass(frozen=True, slots=True)
+class ASPoint:
+    """One autonomous system's point on the Figure 14 scatter.
+
+    Attributes:
+        asn: The autonomous system number.
+        direct: Number of default paths whose AS path contains it.
+        alternate: Number of best alternate paths containing it.
+    """
+
+    asn: int
+    direct: int
+    alternate: int
+
+
+def as_popularity(
+    dataset: Dataset, result: AnalysisResult
+) -> list[ASPoint]:
+    """Count each AS's appearances in default vs. best-alternate paths.
+
+    Args:
+        dataset: The dataset (its ``path_info`` supplies AS paths).
+        result: An alternate-path analysis over the same dataset.
+
+    Raises:
+        ASAnalysisError: when the dataset carries no AS path information.
+    """
+    if not dataset.path_info:
+        raise ASAnalysisError(
+            f"{dataset.meta.name} has no recorded AS paths (path_info empty)"
+        )
+    direct: Counter[int] = Counter()
+    alternate: Counter[int] = Counter()
+    analyzed_pairs = {(c.src, c.dst) for c in result.comparisons}
+    for pair in analyzed_pairs:
+        info = dataset.path_info.get(pair)
+        if info is not None:
+            for asn in set(info.as_path):
+                direct[asn] += 1
+    for comp in result.comparisons:
+        hop_hosts = [comp.src, *comp.via, comp.dst]
+        seen: set[int] = set()
+        for leg in zip(hop_hosts, hop_hosts[1:]):
+            info = dataset.path_info.get(leg)
+            if info is not None:
+                seen.update(info.as_path)
+        for asn in seen:
+            alternate[asn] += 1
+    asns = sorted(set(direct) | set(alternate))
+    return [
+        ASPoint(asn=a, direct=direct.get(a, 0), alternate=alternate.get(a, 0))
+        for a in asns
+    ]
+
+
+def popularity_correlation(points: list[ASPoint]) -> float:
+    """Pearson correlation between log(1+direct) and log(1+alternate).
+
+    A high correlation is the quantitative form of Figure 14's visual
+    argument that no AS class dominates either path population.
+    """
+    if len(points) < 3:
+        raise ASAnalysisError("need at least three ASes to correlate")
+    x = np.log1p([p.direct for p in points])
+    y = np.log1p([p.alternate for p in points])
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def outlier_ases(
+    points: list[ASPoint], *, factor: float = 4.0, min_count: int = 10
+) -> list[ASPoint]:
+    """ASes much more common in one population than the other.
+
+    An AS is an outlier when max(direct, alternate) exceeds ``min_count``
+    and the two counts differ by more than ``factor`` multiplicatively.
+    The paper's conclusion corresponds to this list being short.
+    """
+    out = []
+    for p in points:
+        hi = max(p.direct, p.alternate)
+        lo = min(p.direct, p.alternate)
+        if hi >= min_count and hi > factor * max(lo, 1):
+            out.append(p)
+    return out

@@ -1,0 +1,140 @@
+"""Synthetic alternate-path bandwidth (Figures 4 and 5).
+
+"We construct alternate path bandwidth measurements by combining the
+round-trip times and loss rates observed along each default path [...] We
+compute the resulting TCP bandwidth according to the TCP model of Mathis
+et al.  We combine round-trip times via addition.  However it is less
+clear how to compose loss rates [...] Therefore, we present the results
+using two different methods" (§5):
+
+* **optimistic** — the maximum of the constituent loss rates (the sending
+  TCP causes the loss, so the lossiest hop is the bottleneck);
+* **pessimistic** — the independence combination ``1 - ∏(1 - p_i)`` (all
+  losses are background).
+
+"To be computationally tractable, we only consider alternate paths of
+length one hop."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import GraphError, Metric, MetricGraph, Pair
+from repro.measurement.tcp import mathis_bandwidth_kbps
+
+#: Loss floor applied before the Mathis formula: a measured loss rate of
+#: exactly zero would imply infinite bandwidth.
+LOSS_FLOOR = 1e-4
+
+
+class LossComposition(enum.Enum):
+    """How constituent loss rates combine on a synthetic path."""
+
+    OPTIMISTIC = "optimistic"     # max of the components
+    PESSIMISTIC = "pessimistic"   # independence: 1 - prod(1 - p)
+    #: Sum of the components — not in the paper; used by the loss-composition
+    #: ablation benchmark as an upper-bound sanity check.
+    SUM = "sum"
+
+    def combine(self, p1: float, p2: float) -> float:
+        """Compose two loss rates."""
+        if self is LossComposition.OPTIMISTIC:
+            return max(p1, p2)
+        if self is LossComposition.PESSIMISTIC:
+            return 1.0 - (1.0 - p1) * (1.0 - p2)
+        return min(p1 + p2, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthAlternate:
+    """Best one-hop synthetic bandwidth for one ordered pair.
+
+    Attributes:
+        src: Source host.
+        dst: Destination host.
+        via: The single intermediate host.
+        bandwidth_kbps: Composed Mathis bandwidth of the synthetic path.
+        rtt_ms: Composed RTT (sum of the two hops).
+        loss_rate: Composed loss under the chosen composition.
+    """
+
+    src: str
+    dst: str
+    via: str
+    bandwidth_kbps: float
+    rtt_ms: float
+    loss_rate: float
+
+
+def compose_bandwidth(
+    rtt1_ms: float,
+    loss1: float,
+    rtt2_ms: float,
+    loss2: float,
+    composition: LossComposition,
+) -> tuple[float, float, float]:
+    """Mathis bandwidth of a two-hop synthetic path.
+
+    Returns:
+        (bandwidth_kbps, composed_rtt_ms, composed_loss).
+    """
+    rtt = rtt1_ms + rtt2_ms
+    loss = max(composition.combine(loss1, loss2), LOSS_FLOOR)
+    return mathis_bandwidth_kbps(rtt, loss), rtt, loss
+
+
+def best_bandwidth_alternates(
+    graph: MetricGraph,
+    composition: LossComposition,
+    pairs: list[Pair] | None = None,
+) -> dict[Pair, BandwidthAlternate]:
+    """Best one-hop bandwidth alternates for every measured pair.
+
+    Args:
+        graph: A :data:`Metric.BANDWIDTH` graph whose edges carry
+            ``rtt_mean`` and ``loss_mean`` aux values.
+        composition: Loss-combination mode.
+        pairs: Restrict to these pairs (default: all measured pairs).
+
+    Raises:
+        GraphError: if ``graph`` is not a bandwidth graph.
+    """
+    if graph.metric is not Metric.BANDWIDTH:
+        raise GraphError("best_bandwidth_alternates requires a bandwidth graph")
+    hosts = graph.hosts
+    n = len(hosts)
+    rtt = np.full((n, n), np.inf)
+    loss = np.full((n, n), np.inf)
+    for (src, dst), data in graph.edges.items():
+        i, j = graph.host_index(src), graph.host_index(dst)
+        rtt[i, j] = data.aux["rtt_mean"]
+        loss[i, j] = data.aux["loss_mean"]
+    wanted = pairs if pairs is not None else sorted(graph.edges)
+    out: dict[Pair, BandwidthAlternate] = {}
+    for src, dst in wanted:
+        i, j = graph.host_index(src), graph.host_index(dst)
+        best: BandwidthAlternate | None = None
+        for k in range(n):
+            if k == i or k == j:
+                continue
+            if not (np.isfinite(rtt[i, k]) and np.isfinite(rtt[k, j])):
+                continue
+            bw, crtt, closs = compose_bandwidth(
+                rtt[i, k], loss[i, k], rtt[k, j], loss[k, j], composition
+            )
+            if best is None or bw > best.bandwidth_kbps:
+                best = BandwidthAlternate(
+                    src=src,
+                    dst=dst,
+                    via=hosts[k],
+                    bandwidth_kbps=bw,
+                    rtt_ms=crtt,
+                    loss_rate=closs,
+                )
+        if best is not None:
+            out[(src, dst)] = best
+    return out

@@ -1,0 +1,135 @@
+"""Simultaneous-episode analysis of UW4-A (§6.4, Figure 11).
+
+UW4-A measures every ordered pair within a several-minute "episode"; the
+analysis then finds the best alternate *within each episode*, so no
+long-term averaging is involved.  Figure 11 plots three curves:
+
+* **UW4-B** — the companion dataset analyzed the ordinary (long-term
+  time average) way;
+* **pair-averaged UW4-A** — per (pair, episode) improvement, averaged
+  over episodes for each pair;
+* **unaveraged UW4-A** — every (pair, episode) improvement as its own
+  CDF point, exposing the huge short-timescale variability the paper
+  describes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import analyze_graph
+from repro.core.graph import EdgeData, Metric, MetricGraph, Pair
+from repro.core.stats import CDFSeries, SampleStats, make_cdf
+from repro.datasets.dataset import Dataset
+
+
+class EpisodeError(RuntimeError):
+    """Raised when episode analysis preconditions fail."""
+
+
+@dataclass
+class EpisodeAnalysis:
+    """Per-episode improvements for a simultaneous dataset.
+
+    Attributes:
+        diffs: Per ordered pair, the list of (episode, improvement)
+            observations.
+        episodes_analyzed: Number of episodes with at least one usable
+            comparison.
+    """
+
+    diffs: dict[Pair, list[tuple[int, float]]]
+    episodes_analyzed: int
+
+    def pair_averaged(self) -> dict[Pair, float]:
+        """Mean improvement per pair across episodes."""
+        return {
+            pair: float(np.mean([d for _, d in obs]))
+            for pair, obs in self.diffs.items()
+            if obs
+        }
+
+    def pair_averaged_cdf(self, label: str = "pair-averaged") -> CDFSeries:
+        """Figure 11's "pair-averaged" curve."""
+        values = list(self.pair_averaged().values())
+        return make_cdf(values, label)
+
+    def unaveraged_cdf(self, label: str = "unaveraged") -> CDFSeries:
+        """Figure 11's "unaveraged" curve: one point per (pair, episode)."""
+        values = [d for obs in self.diffs.values() for _, d in obs]
+        return make_cdf(values, label)
+
+    def best_alternate_variability(self) -> dict[Pair, float]:
+        """Per-pair standard deviation of the episode improvements.
+
+        Quantifies the paper's "huge amount of variability in the
+        performance of the best alternate paths in UW4-A".
+        """
+        return {
+            pair: float(np.std([d for _, d in obs]))
+            for pair, obs in self.diffs.items()
+            if len(obs) >= 2
+        }
+
+
+def _episode_graph(
+    dataset: Dataset, episode: int, hosts: list[str]
+) -> MetricGraph | None:
+    """Build a one-episode RTT graph (each edge from one traceroute)."""
+    graph = MetricGraph(Metric.RTT, hosts)
+    n_edges = 0
+    for rec in dataset.records_in_episode(episode):
+        rtts = rec.successful_rtts
+        if not rtts:
+            continue
+        pair = (rec.src, rec.dst)
+        if graph.has_edge(pair):
+            continue  # keep the first measurement if duplicated
+        mean = float(np.mean(rtts))
+        var = float(np.var(rtts, ddof=1)) if len(rtts) > 1 else 0.0
+        graph.add_edge(
+            pair,
+            EdgeData(value=mean, stats=SampleStats(n=len(rtts), mean=mean, var=var)),
+        )
+        n_edges += 1
+    return graph if n_edges else None
+
+
+def analyze_episodes(dataset: Dataset, *, max_episodes: int | None = None) -> EpisodeAnalysis:
+    """Compute within-episode best-alternate improvements for UW4-A.
+
+    "In analyzing UW4-A, we compute the best alternate path using only
+    measurements taken from the same episode; we then calculate the
+    difference between the measurement of the default path and the best
+    alternate path within the episode."
+
+    Args:
+        dataset: A dataset collected with episode scheduling.
+        max_episodes: Optional cap for quick runs.
+
+    Raises:
+        EpisodeError: if the dataset has no episodes.
+    """
+    episode_ids = dataset.episodes()
+    if not episode_ids:
+        raise EpisodeError(f"{dataset.meta.name} has no episode-scheduled records")
+    if max_episodes is not None:
+        episode_ids = episode_ids[:max_episodes]
+    diffs: dict[Pair, list[tuple[int, float]]] = defaultdict(list)
+    analyzed = 0
+    for ep in episode_ids:
+        graph = _episode_graph(dataset, ep, dataset.hosts)
+        if graph is None:
+            continue
+        result = analyze_graph(graph, dataset_name=f"{dataset.meta.name} ep{ep}")
+        if not result.comparisons:
+            continue
+        analyzed += 1
+        for comp in result.comparisons:
+            if math.isfinite(comp.improvement):
+                diffs[(comp.src, comp.dst)].append((ep, comp.improvement))
+    return EpisodeAnalysis(diffs=dict(diffs), episodes_analyzed=analyzed)

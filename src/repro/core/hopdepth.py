@@ -1,0 +1,113 @@
+"""Hop-depth ablation: how much do deeper alternate paths add?
+
+The paper restricts itself to one-hop alternates where computation is
+expensive (bandwidth, medians) and uses the full shortest-path search
+elsewhere.  This module computes, for each k, the best alternate using at
+most k constituent host-to-host edges, so the marginal value of depth can
+be measured directly.
+
+The k-hop search is exact: for each source the suffix distances are
+computed by min-plus dynamic programming over the weight matrix with the
+source's column blocked (an optimal alternate never revisits its source),
+and the direct edge is excluded by minimizing over first hops distinct
+from the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.altpath import _edge_weight_transform
+from repro.core.graph import Metric, MetricGraph, Pair
+
+
+class HopDepthError(RuntimeError):
+    """Raised on invalid hop-depth queries."""
+
+
+def k_hop_alternate_values(
+    graph: MetricGraph, max_hops: int
+) -> dict[Pair, float]:
+    """Best alternate value per measured pair using ≤ ``max_hops`` edges.
+
+    Values are in composed metric units (ms for RTT; loss probability for
+    LOSS).  Pairs with no ≤k-hop alternate are omitted.
+
+    Raises:
+        HopDepthError: if ``max_hops`` < 1.
+    """
+    if max_hops < 1:
+        raise HopDepthError(f"max_hops must be >= 1, got {max_hops}")
+    transform = _edge_weight_transform(graph.metric)
+    weights = graph.weight_matrix(transform)
+    hosts = graph.hosts
+    n = len(hosts)
+    out: dict[Pair, float] = {}
+    for i in range(n):
+        # Suffix DP over the matrix with column i blocked: S[m, j] is the
+        # best <= (max_hops - 1)-edge path m -> j that never enters i.
+        blocked = weights.copy()
+        blocked[:, i] = np.inf
+        suffix = np.full((n, n), np.inf)
+        np.fill_diagonal(suffix, 0.0)
+        for _ in range(max_hops - 1):
+            # suffix' = min(suffix, min-plus(blocked, suffix))
+            candidate = (blocked[:, :, None] + suffix[None, :, :]).min(axis=1)
+            suffix = np.minimum(suffix, candidate)
+        # alternate(i, j) = min over first hop m != j of W[i,m] + S[m,j].
+        first = weights[i][:, None] + suffix  # shape (m, j)
+        for j in range(n):
+            if j == i or not graph.has_edge((hosts[i], hosts[j])):
+                continue
+            column = first[:, j].copy()
+            column[j] = np.inf  # first hop must not be the destination
+            column[i] = np.inf
+            best = float(column.min())
+            if not np.isfinite(best):
+                continue
+            if graph.metric is Metric.LOSS:
+                out[(hosts[i], hosts[j])] = 1.0 - float(np.exp(-best))
+            else:
+                out[(hosts[i], hosts[j])] = best
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class DepthSweepRow:
+    """Improvement statistics for one hop bound."""
+
+    max_hops: int
+    n_pairs: int
+    fraction_improved: float
+    mean_improvement: float
+
+
+def depth_sweep(
+    graph: MetricGraph, depths: tuple[int, ...] = (1, 2, 3)
+) -> list[DepthSweepRow]:
+    """Fraction-improved as a function of the alternate hop bound.
+
+    Raises:
+        HopDepthError: on an empty depth list.
+    """
+    if not depths:
+        raise HopDepthError("need at least one depth")
+    rows: list[DepthSweepRow] = []
+    for k in sorted(set(depths)):
+        alternates = k_hop_alternate_values(graph, k)
+        improvements = []
+        for pair, alt in alternates.items():
+            default = graph.edge(pair).value
+            improvements.append(default - alt)
+        arr = np.array(improvements)
+        rows.append(
+            DepthSweepRow(
+                max_hops=k,
+                n_pairs=int(arr.size),
+                fraction_improved=float(np.mean(arr > 0)) if arr.size else 0.0,
+                mean_improvement=float(arr.mean()) if arr.size else 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,168 @@
+"""Host-popularity evaluation (§7.1, Figures 12 and 13).
+
+Two experiments test whether a handful of well-connected hosts explain
+the prevalence of superior alternates:
+
+* **greedy top-k removal** (Figure 12) — repeatedly remove the host whose
+  removal shifts the improvement CDF farthest left; if ten removals barely
+  move the curve, no small host set is responsible;
+* **normalized improvement contribution** (Figure 13) — credit every host
+  for each superior alternate path it appears in (not necessarily the
+  very best), weighted by how much better that path is; a heavy tail
+  would betray a few dominant hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import AnalysisResult, analyze_graph
+from repro.core.graph import Metric, MetricGraph
+from repro.core.stats import CDFSeries, make_cdf
+
+
+@dataclass(frozen=True, slots=True)
+class RemovalStep:
+    """One step of the greedy host-removal experiment.
+
+    Attributes:
+        removed: The host removed at this step.
+        mean_improvement: Mean improvement of the remaining dataset
+            *after* the removal (the quantity greedily minimized).
+        result: The post-removal analysis.
+    """
+
+    removed: str
+    mean_improvement: float
+    result: AnalysisResult
+
+
+def _mean_improvement(result: AnalysisResult) -> float:
+    imp = result.improvements()
+    return float(imp.mean()) if imp.size else 0.0
+
+
+def greedy_host_removal(
+    graph: MetricGraph,
+    k: int = 10,
+    *,
+    dataset_name: str = "",
+) -> list[RemovalStep]:
+    """Greedily remove the ``k`` hosts with the greatest CDF impact.
+
+    "We use a simple greedy algorithm to select the hosts; at each step we
+    remove the host whose removal shifts the CDF the farthest to the
+    left."  The left-shift is measured by the post-removal mean
+    improvement.
+
+    Returns:
+        One :class:`RemovalStep` per removal, in removal order.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    steps: list[RemovalStep] = []
+    current = graph
+    for _ in range(min(k, max(len(current.hosts) - 3, 0))):
+        best_host: str | None = None
+        best_mean = np.inf
+        best_result: AnalysisResult | None = None
+        for host in current.hosts:
+            candidate = current.without_hosts({host})
+            result = analyze_graph(candidate, dataset_name=dataset_name)
+            if not result.comparisons:
+                continue
+            mean = _mean_improvement(result)
+            if mean < best_mean:
+                best_host, best_mean, best_result = host, mean, result
+        if best_host is None or best_result is None:
+            break
+        steps.append(
+            RemovalStep(
+                removed=best_host,
+                mean_improvement=best_mean,
+                result=best_result,
+            )
+        )
+        current = current.without_hosts({best_host})
+    return steps
+
+
+def removal_cdfs(
+    baseline: AnalysisResult, steps: list[RemovalStep]
+) -> tuple[CDFSeries, CDFSeries]:
+    """Figure 12's two curves: all hosts vs. after the top-k removal."""
+    full = baseline.improvement_cdf(label="all hosts")
+    if steps:
+        pruned = steps[-1].result.improvement_cdf(label=f"without top {len(steps)}")
+    else:
+        pruned = full
+    return full, pruned
+
+
+def improvement_contributions(
+    graph: MetricGraph, *, normalize_to: float = 100.0
+) -> dict[str, float]:
+    """Per-host normalized improvement contribution (Figure 13).
+
+    For every ordered pair and every intermediate host whose one-hop
+    alternate is superior to the default path, the host is credited with
+    that improvement; each pair's best multi-hop alternate additionally
+    credits its intermediate hosts.  Contributions are normalized so the
+    mean over hosts equals ``normalize_to`` (the paper's x-axis reaches
+    ~250 under mean-100 normalization).
+    """
+    hosts = graph.hosts
+    contributions = {h: 0.0 for h in hosts}
+    weights = graph.weight_matrix()
+    index = {h: i for i, h in enumerate(hosts)}
+    # Credit every superior one-hop alternate (not only the single best).
+    for (src, dst), data in graph.edges.items():
+        i, j = index[src], index[dst]
+        default = data.value
+        for k, mid in enumerate(hosts):
+            if k in (i, j):
+                continue
+            w1, w2 = weights[i, k], weights[k, j]
+            if not (np.isfinite(w1) and np.isfinite(w2)):
+                continue
+            if graph.metric is Metric.LOSS:
+                composed = 1.0 - (1.0 - w1) * (1.0 - w2)
+            else:
+                composed = w1 + w2
+            improvement = default - composed
+            if improvement > 0:
+                contributions[mid] += improvement
+    # Credit the best (possibly multi-hop) alternate's intermediates too.
+    result = analyze_graph(graph)
+    for comp in result.comparisons:
+        if comp.improvement > 0 and len(comp.via) > 1:
+            for mid in comp.via:
+                contributions[mid] += comp.improvement / len(comp.via)
+    mean = np.mean(list(contributions.values()))
+    if mean > 0:
+        scale = normalize_to / mean
+        contributions = {h: v * scale for h, v in contributions.items()}
+    return contributions
+
+
+def contribution_cdf(
+    contributions: dict[str, float], label: str = "contribution"
+) -> CDFSeries:
+    """CDF over hosts of their normalized contributions (Figure 13)."""
+    return make_cdf(list(contributions.values()), label)
+
+
+def tail_heaviness(contributions: dict[str, float]) -> float:
+    """Share of total contribution held by the top 10 % of hosts.
+
+    A diagnostic for Figure 13's claim: the distribution "lacks the heavy
+    tail that would indicate the existence of a few hosts with abnormally
+    large contributions".
+    """
+    values = np.sort(np.array(list(contributions.values())))[::-1]
+    if values.size == 0 or values.sum() == 0:
+        return 0.0
+    top = max(1, int(round(values.size * 0.1)))
+    return float(values[:top].sum() / values.sum())

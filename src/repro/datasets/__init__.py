@@ -1,0 +1,57 @@
+"""Dataset containers, record types, builders, and serialization."""
+
+from repro.datasets.builders import (
+    BuildConfig,
+    DEFAULT_SEED,
+    Environment,
+    build_all,
+    build_d2,
+    build_n2,
+    build_uw1,
+    build_uw3,
+    build_uw4,
+    table1_order,
+)
+from repro.datasets.dataset import Dataset, DatasetError, DatasetMeta
+from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+from repro.datasets.summary import (
+    DatasetSummary,
+    DistributionSummary,
+    HostParticipation,
+    summarize,
+)
+from repro.datasets.records import (
+    CollectionStats,
+    PROBES_PER_TRACEROUTE,
+    PathInfo,
+    TracerouteRecord,
+    TransferRecord,
+)
+
+__all__ = [
+    "BuildConfig",
+    "CollectionStats",
+    "DEFAULT_SEED",
+    "Dataset",
+    "DatasetError",
+    "DatasetIOError",
+    "DatasetMeta",
+    "DatasetSummary",
+    "DistributionSummary",
+    "Environment",
+    "HostParticipation",
+    "PROBES_PER_TRACEROUTE",
+    "PathInfo",
+    "TracerouteRecord",
+    "TransferRecord",
+    "build_all",
+    "build_d2",
+    "build_n2",
+    "build_uw1",
+    "build_uw3",
+    "build_uw4",
+    "load_dataset",
+    "save_dataset",
+    "summarize",
+    "table1_order",
+]

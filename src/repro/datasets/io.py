@@ -1,0 +1,174 @@
+"""Dataset serialization: JSON-lines save/load.
+
+Format: the first line is a header object (metadata, hosts, path info,
+collection stats); each subsequent line is one measurement record.  The
+format is self-describing via the header's ``method`` field and is stable
+across library versions — datasets are expensive to regenerate, so
+benchmark runs cache them on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.datasets.dataset import Dataset, DatasetMeta
+from repro.datasets.records import (
+    CollectionStats,
+    PathInfo,
+    TracerouteRecord,
+    TransferRecord,
+)
+
+FORMAT_VERSION = 1
+
+
+class DatasetIOError(RuntimeError):
+    """Raised on malformed dataset files."""
+
+
+def _nan_to_none(values: tuple[float, ...]) -> list[float | None]:
+    return [None if math.isnan(v) else v for v in values]
+
+
+def _none_to_nan(values: list[float | None]) -> tuple[float, ...]:
+    return tuple(float("nan") if v is None else float(v) for v in values)
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in JSONL format."""
+    path = Path(path)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "meta": {
+            "name": dataset.meta.name,
+            "method": dataset.meta.method,
+            "year": dataset.meta.year,
+            "duration_days": dataset.meta.duration_days,
+            "location": dataset.meta.location,
+            "era": dataset.meta.era,
+            "description": dataset.meta.description,
+        },
+        "hosts": dataset.hosts,
+        "loss_first_probe_only": dataset.loss_first_probe_only,
+        "stats": {
+            "requested": dataset.stats.requested,
+            "completed": dataset.stats.completed,
+            "control_failures": dataset.stats.control_failures,
+            "rate_limited_probes": dataset.stats.rate_limited_probes,
+        },
+        "path_info": [
+            {
+                "src": info.src,
+                "dst": info.dst,
+                "as_path": list(info.as_path),
+                "hop_count": info.hop_count,
+                "prop_delay_ms": info.prop_delay_ms,
+            }
+            for info in dataset.path_info.values()
+        ],
+    }
+    with path.open("w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for rec in dataset.traceroutes:
+            fh.write(
+                json.dumps(
+                    {
+                        "t": rec.t,
+                        "src": rec.src,
+                        "dst": rec.dst,
+                        "rtt": _nan_to_none(rec.rtt_samples),
+                        "ep": rec.episode,
+                    }
+                )
+                + "\n"
+            )
+        for rec in dataset.transfers:
+            fh.write(
+                json.dumps(
+                    {
+                        "t": rec.t,
+                        "src": rec.src,
+                        "dst": rec.dst,
+                        "rtt_ms": rec.rtt_ms,
+                        "loss": rec.loss_rate,
+                        "bw": rec.bandwidth_kbps,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        DatasetIOError: on missing/garbled headers or unknown versions.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetIOError(f"{path}: empty file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise DatasetIOError(f"{path}: bad header: {exc}") from exc
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise DatasetIOError(
+                f"{path}: unsupported format version {version!r}"
+            )
+        meta = DatasetMeta(**header["meta"])
+        stats = CollectionStats(**header.get("stats", {}))
+        path_info = {}
+        for entry in header.get("path_info", []):
+            info = PathInfo(
+                src=entry["src"],
+                dst=entry["dst"],
+                as_path=tuple(entry["as_path"]),
+                hop_count=entry["hop_count"],
+                prop_delay_ms=entry["prop_delay_ms"],
+            )
+            path_info[(info.src, info.dst)] = info
+        traceroutes: list[TracerouteRecord] = []
+        transfers: list[TransferRecord] = []
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetIOError(f"{path}:{line_no}: bad record: {exc}") from exc
+            if "rtt" in obj:
+                traceroutes.append(
+                    TracerouteRecord(
+                        t=obj["t"],
+                        src=obj["src"],
+                        dst=obj["dst"],
+                        rtt_samples=_none_to_nan(obj["rtt"]),
+                        episode=obj.get("ep", -1),
+                    )
+                )
+            else:
+                transfers.append(
+                    TransferRecord(
+                        t=obj["t"],
+                        src=obj["src"],
+                        dst=obj["dst"],
+                        rtt_ms=obj["rtt_ms"],
+                        loss_rate=obj["loss"],
+                        bandwidth_kbps=obj["bw"],
+                    )
+                )
+    return Dataset(
+        meta=meta,
+        hosts=list(header["hosts"]),
+        traceroutes=traceroutes,
+        transfers=transfers,
+        path_info=path_info,
+        stats=stats,
+        loss_first_probe_only=bool(header.get("loss_first_probe_only", False)),
+    )

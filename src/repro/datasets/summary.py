@@ -1,0 +1,216 @@
+"""Dataset diagnostics: distribution summaries and collection QA.
+
+Trace-driven studies live or die by data quality; this module provides
+the checks the paper's authors would have run on their raw traces:
+
+* RTT / loss / bandwidth distribution summaries per dataset;
+* per-host participation (as source and as target) and inbound loss,
+  the raw material of the rate-limiter hunt;
+* scheduling-law verification — inter-request gaps of a Poisson trace
+  must have coefficient of variation ≈ 1 (the paper leans on the PASTA
+  property of exponential scheduling, §4.2);
+* diurnal profile of measured RTTs, which should reflect the load model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.netsim.clock import pst_hour
+
+_QUANTILES = (0.10, 0.50, 0.90)
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """Five-number-ish summary of one quantity."""
+
+    n: int
+    mean: float
+    p10: float
+    p50: float
+    p90: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "DistributionSummary":
+        """Summarize an array; empty arrays yield an all-NaN summary."""
+        if values.size == 0:
+            nan = float("nan")
+            return cls(n=0, mean=nan, p10=nan, p50=nan, p90=nan)
+        q10, q50, q90 = np.quantile(values, _QUANTILES)
+        return cls(
+            n=int(values.size),
+            mean=float(values.mean()),
+            p10=float(q10),
+            p50=float(q50),
+            p90=float(q90),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HostParticipation:
+    """One host's role in the collection.
+
+    Attributes:
+        host: Host name.
+        as_source: Measurements originated by the host.
+        as_target: Measurements aimed at the host.
+        inbound_loss: Mean per-probe loss of measurements toward it.
+    """
+
+    host: str
+    as_source: int
+    as_target: int
+    inbound_loss: float
+
+
+@dataclass(slots=True)
+class DatasetSummary:
+    """Full diagnostic bundle for one dataset."""
+
+    name: str
+    n_measurements: int
+    n_pairs: int
+    coverage: float
+    rtt_ms: DistributionSummary
+    loss_rate: DistributionSummary
+    bandwidth_kbps: DistributionSummary | None
+    hosts: list[HostParticipation] = field(default_factory=list)
+    interarrival_cv: float = float("nan")
+    rtt_by_pst_hour: dict[int, float] = field(default_factory=dict)
+    hop_count: DistributionSummary | None = None
+    as_path_length: DistributionSummary | None = None
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"{self.name}: {self.n_measurements} measurements over "
+            f"{self.n_pairs} pairs ({self.coverage:.0%} coverage)"
+        ]
+        lines.append(
+            f"  RTT ms   : mean {self.rtt_ms.mean:7.1f}  "
+            f"p10 {self.rtt_ms.p10:7.1f}  p50 {self.rtt_ms.p50:7.1f}  "
+            f"p90 {self.rtt_ms.p90:7.1f}"
+        )
+        lines.append(
+            f"  loss     : mean {self.loss_rate.mean:7.3f}  "
+            f"p90 {self.loss_rate.p90:7.3f}"
+        )
+        if self.bandwidth_kbps is not None:
+            lines.append(
+                f"  bw kB/s  : mean {self.bandwidth_kbps.mean:7.1f}  "
+                f"p50 {self.bandwidth_kbps.p50:7.1f}"
+            )
+        if self.hop_count is not None and self.hop_count.n:
+            lines.append(
+                f"  hops     : p10 {self.hop_count.p10:4.0f}  "
+                f"p50 {self.hop_count.p50:4.0f}  p90 {self.hop_count.p90:4.0f}"
+                + (
+                    f"   AS-path p50 {self.as_path_length.p50:.0f}"
+                    if self.as_path_length is not None
+                    else ""
+                )
+            )
+        if not math.isnan(self.interarrival_cv):
+            lines.append(f"  request-gap CV: {self.interarrival_cv:.2f} (Poisson ≈ 1)")
+        if self.rtt_by_pst_hour:
+            peak_hour = max(self.rtt_by_pst_hour, key=self.rtt_by_pst_hour.get)
+            low_hour = min(self.rtt_by_pst_hour, key=self.rtt_by_pst_hour.get)
+            lines.append(
+                f"  diurnal RTT: max {self.rtt_by_pst_hour[peak_hour]:.0f}ms "
+                f"@ {peak_hour:02d}h PST, min "
+                f"{self.rtt_by_pst_hour[low_hour]:.0f}ms @ {low_hour:02d}h PST"
+            )
+        worst = sorted(self.hosts, key=lambda h: -h.inbound_loss)[:3]
+        for h in worst:
+            lines.append(
+                f"  lossiest target: {h.host} inbound loss {h.inbound_loss:.1%} "
+                f"({h.as_target} measurements)"
+            )
+        return "\n".join(lines)
+
+
+def summarize(dataset: Dataset) -> DatasetSummary:
+    """Compute the diagnostic bundle for a dataset."""
+    pairs = dataset.pairs()
+    all_rtts: list[np.ndarray] = []
+    all_losses: list[float] = []
+    source_counts: dict[str, int] = {h: 0 for h in dataset.hosts}
+    target_counts: dict[str, int] = {h: 0 for h in dataset.hosts}
+    inbound_loss: dict[str, list[float]] = {h: [] for h in dataset.hosts}
+    for pair in pairs:
+        rtts = dataset.rtt_samples(pair)
+        losses = dataset.loss_samples(pair)
+        if rtts.size:
+            all_rtts.append(rtts)
+        if losses.size:
+            rate = float(losses.mean())
+            all_losses.append(rate)
+            if pair[1] in inbound_loss:
+                inbound_loss[pair[1]].append(rate)
+        n = dataset.n_measurements_for(pair)
+        if pair[0] in source_counts:
+            source_counts[pair[0]] += n
+        if pair[1] in target_counts:
+            target_counts[pair[1]] += n
+    bandwidth = None
+    if dataset.is_bandwidth:
+        bw = np.concatenate(
+            [dataset.bandwidth_samples(p) for p in pairs]
+        ) if pairs else np.array([])
+        bandwidth = DistributionSummary.from_values(bw)
+    times = np.sort(np.array([rec.t for rec in dataset.records]))
+    cv = float("nan")
+    if times.size > 10:
+        gaps = np.diff(times)
+        gaps = gaps[gaps > 0]
+        if gaps.size > 5 and gaps.mean() > 0:
+            cv = float(gaps.std() / gaps.mean())
+    by_hour: dict[int, list[float]] = {}
+    for rec in dataset.traceroutes:
+        finite = [r for r in rec.rtt_samples if not math.isnan(r)]
+        if finite:
+            by_hour.setdefault(int(pst_hour(rec.t)), []).extend(finite)
+    hop_counts = np.array(
+        [info.hop_count for info in dataset.path_info.values()], dtype=float
+    )
+    as_lengths = np.array(
+        [len(info.as_path) for info in dataset.path_info.values()], dtype=float
+    )
+    hosts = [
+        HostParticipation(
+            host=h,
+            as_source=source_counts[h],
+            as_target=target_counts[h],
+            inbound_loss=(
+                float(np.mean(inbound_loss[h])) if inbound_loss[h] else 0.0
+            ),
+        )
+        for h in dataset.hosts
+    ]
+    return DatasetSummary(
+        name=dataset.meta.name,
+        n_measurements=dataset.n_measurements,
+        n_pairs=len(pairs),
+        coverage=dataset.coverage(),
+        rtt_ms=DistributionSummary.from_values(
+            np.concatenate(all_rtts) if all_rtts else np.array([])
+        ),
+        loss_rate=DistributionSummary.from_values(np.array(all_losses)),
+        bandwidth_kbps=bandwidth,
+        hosts=hosts,
+        interarrival_cv=cv,
+        rtt_by_pst_hour={
+            hour: float(np.mean(vals)) for hour, vals in sorted(by_hour.items())
+        },
+        hop_count=(
+            DistributionSummary.from_values(hop_counts) if hop_counts.size else None
+        ),
+        as_path_length=(
+            DistributionSummary.from_values(as_lengths) if as_lengths.size else None
+        ),
+    )

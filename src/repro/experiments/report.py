@@ -1,0 +1,69 @@
+"""Plain-text rendering of tables and CDF series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stats import CDFSeries
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def cdf_summary_row(series: CDFSeries, *, unit: str = "") -> list[object]:
+    """Summary statistics of one CDF curve: key quantiles and the
+    fraction of mass above zero (the paper's 'alternate superior' share)."""
+    x = series.x
+    fmt = lambda v: f"{v:.1f}{unit}"
+    return [
+        series.label,
+        len(x),
+        f"{100.0 * series.fraction_above(0.0):.0f}%",
+        fmt(float(np.quantile(x, 0.10))),
+        fmt(float(np.quantile(x, 0.50))),
+        fmt(float(np.quantile(x, 0.90))),
+    ]
+
+
+def render_cdf_summaries(
+    series_list: Sequence[CDFSeries], title: str, unit: str = ""
+) -> str:
+    """Table of per-curve CDF summaries."""
+    headers = ["series", "n", ">0", "p10", "p50", "p90"]
+    rows = [cdf_summary_row(s, unit=unit) for s in series_list]
+    return render_table(headers, rows, title=title)
+
+
+def render_cdf_points(
+    series: CDFSeries, fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9)
+) -> str:
+    """One curve as (fraction, value) sample points."""
+    parts = [
+        f"F={f:.2f}: {series.value_at_fraction(f):.2f}" for f in fractions
+    ]
+    return f"{series.label}: " + "  ".join(parts)
+
+
+def format_percent(value: float, digits: int = 0) -> str:
+    """Render a fraction as a percent string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,85 @@
+"""Dataset provisioning for experiments and benchmarks.
+
+Building the full Table 1 suite takes tens of seconds, so built datasets
+are cached on disk (JSONL) keyed by (seed, scale).  Benchmarks and the
+figure/table reproductions all obtain their data through
+:func:`get_datasets`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.datasets.builders import BuildConfig, build_all, table1_order
+from repro.datasets.dataset import Dataset
+from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+
+#: Default on-disk cache root; override with the REPRO_CACHE_DIR env var.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Scale used by default for experiment regeneration.  Full scale (1.0)
+#: reproduces Table 1's measurement counts; benchmarks may use less.
+DEFAULT_SCALE = 1.0
+
+
+def cache_dir() -> Path:
+    """The dataset cache root (created on demand)."""
+    root = Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _suite_dir(config: BuildConfig) -> Path:
+    return cache_dir() / f"seed{config.seed}-scale{config.scale:g}"
+
+
+def get_datasets(
+    config: BuildConfig | None = None,
+    *,
+    use_cache: bool = True,
+) -> dict[str, Dataset]:
+    """All Table 1 datasets for the given build config, cached on disk.
+
+    Args:
+        config: Build parameters (seed, scale); defaults to the canonical
+            full-scale build.
+        use_cache: Read/write the on-disk cache (set False to force a
+            rebuild without touching the cache).
+    """
+    cfg = config or BuildConfig(scale=DEFAULT_SCALE)
+    suite = _suite_dir(cfg)
+    names = table1_order()
+    if use_cache:
+        loaded: dict[str, Dataset] = {}
+        try:
+            for name in names:
+                path = suite / f"{name}.jsonl"
+                if not path.exists():
+                    break
+                loaded[name] = load_dataset(path)
+            else:
+                return loaded
+        except DatasetIOError:
+            pass  # stale/corrupt cache: rebuild below
+    datasets = build_all(cfg)
+    if use_cache:
+        suite.mkdir(parents=True, exist_ok=True)
+        for name, ds in datasets.items():
+            save_dataset(ds, suite / f"{name}.jsonl")
+    return datasets
+
+
+def get_dataset(
+    name: str,
+    config: BuildConfig | None = None,
+    *,
+    use_cache: bool = True,
+) -> Dataset:
+    """One named dataset from the suite.
+
+    Raises:
+        KeyError: for names outside Table 1.
+    """
+    datasets = get_datasets(config, use_cache=use_cache)
+    return datasets[name]

@@ -1,0 +1,214 @@
+"""Automatic grading of a reproduction run against the paper's bands.
+
+Encodes each table/figure's qualitative claim as a numeric check over the
+structured artifact, so a reproduction can grade itself:
+
+    python -m repro.experiments.reproduce --scale 1.0 --scorecard
+
+Checks are deliberately the same ones the benchmark suite asserts; the
+scorecard just runs them over an existing artifact dictionary and renders
+a pass/warn report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import TableResult
+
+Artifact = TableResult | FigureResult
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResult:
+    """Outcome of one scorecard check."""
+
+    artifact: str
+    passed: bool
+    detail: str
+
+
+def _series_by_label(fig: FigureResult) -> dict[str, object]:
+    return {s.label: s for s in fig.series}
+
+
+# -- individual checks ---------------------------------------------------------
+
+def _check_table1(t: TableResult) -> CheckResult:
+    by_name = {row[0]: row for row in t.rows}
+    expected_hosts = {"D2": 33, "N2": 31, "UW1": 36, "UW3": 39, "UW4-A": 15}
+    bad = [
+        name for name, hosts in expected_hosts.items()
+        if name in by_name and by_name[name][5] != hosts
+    ]
+    ok = not bad and len(t.rows) == 8
+    return CheckResult(
+        "table1", ok,
+        "host counts match Table 1" if ok else f"host mismatch: {bad}",
+    )
+
+
+def _check_table2(t: TableResult) -> CheckResult:
+    rows = {row[0]: [int(v.rstrip('%')) for v in row[1:]] for row in t.rows}
+    ok = (
+        all(v > 0 for v in rows["Better"])
+        and all(v > 5 for v in rows["Indeterminate"])
+        and all(v < 80 for v in rows["Worse"])
+    )
+    return CheckResult(
+        "table2", ok,
+        f"better {rows['Better']}, indet {rows['Indeterminate']}, "
+        f"worse {rows['Worse']}",
+    )
+
+
+def _check_table3(t: TableResult) -> CheckResult:
+    rows = {row[0]: [int(v.rstrip('%')) for v in row[1:]] for row in t.rows}
+    ok = all(v <= 15 for v in rows["Worse"]) and any(
+        v >= 10 for v in rows["Better"]
+    )
+    return CheckResult(
+        "table3", ok, f"better {rows['Better']}, worse {rows['Worse']}"
+    )
+
+
+def _fraction_band(fig: FigureResult, lo: float, hi: float) -> CheckResult:
+    fractions = {
+        k.removesuffix("_fraction_improved"): v
+        for k, v in fig.data.items()
+        if k.endswith("_fraction_improved")
+    }
+    ok = bool(fractions) and all(lo <= v <= hi for v in fractions.values())
+    detail = ", ".join(f"{k} {v:.0%}" for k, v in fractions.items())
+    return CheckResult(fig.name, ok, detail)
+
+
+def _check_figure2(fig: FigureResult) -> CheckResult:
+    shares = {
+        s.label: float(np.mean(s.x > 1.5)) for s in fig.series
+    }
+    ok = bool(shares) and all(v >= 0.02 for v in shares.values())
+    return CheckResult(
+        "figure2", ok,
+        "ratio>1.5 share: " + ", ".join(f"{k} {v:.0%}" for k, v in shares.items()),
+    )
+
+
+def _check_figure5(fig: FigureResult) -> CheckResult:
+    shares = {s.label: float(np.mean(s.x > 3.0)) for s in fig.series}
+    ok = bool(shares) and all(v >= 0.05 for v in shares.values())
+    return CheckResult(
+        "figure5", ok,
+        "ratio>3x share: " + ", ".join(f"{k} {v:.0%}" for k, v in shares.items()),
+    )
+
+
+def _check_figure6(fig: FigureResult) -> CheckResult:
+    gap = fig.data["max_discrepancy"]
+    return CheckResult("figure6", gap < 0.3, f"mean/median KS distance {gap:.3f}")
+
+
+def _check_figure11(fig: FigureResult) -> CheckResult:
+    by_label = _series_by_label(fig)
+    unavg = by_label.get("unaveraged UW4-A")
+    pair_avg = by_label.get("pair-averaged UW4-A")
+    if unavg is None or pair_avg is None:
+        return CheckResult("figure11", False, "missing curves")
+    spread_raw = unavg.value_at_fraction(0.95) - unavg.value_at_fraction(0.05)
+    spread_avg = pair_avg.value_at_fraction(0.95) - pair_avg.value_at_fraction(0.05)
+    ok = spread_raw > spread_avg
+    return CheckResult(
+        "figure11", ok,
+        f"unaveraged spread {spread_raw:.0f}ms vs pair-averaged {spread_avg:.0f}ms",
+    )
+
+
+def _check_figure12(fig: FigureResult) -> CheckResult:
+    baseline = fig.data["baseline_fraction"]
+    pruned = fig.data["pruned_fraction"]
+    ok = pruned is not None and pruned > baseline * 0.3
+    return CheckResult(
+        "figure12", ok,
+        f"improved fraction {baseline:.0%} -> {pruned:.0%} after removals",
+    )
+
+
+def _check_figure13(fig: FigureResult) -> CheckResult:
+    heaviness = fig.data["tail_heaviness"]
+    return CheckResult(
+        "figure13", heaviness < 0.6, f"top-10% hosts hold {heaviness:.0%}"
+    )
+
+
+def _check_figure14(fig: FigureResult) -> CheckResult:
+    corr = fig.data["correlation"]
+    return CheckResult("figure14", corr > 0.4, f"log-log correlation {corr:.2f}")
+
+
+def _check_figure15(fig: FigureResult) -> CheckResult:
+    frac = fig.data["prop_fraction_improved"]
+    return CheckResult(
+        "figure15", 0.3 <= frac <= 0.7, f"propagation-improvable {frac:.0%}"
+    )
+
+
+def _check_figure16(fig: FigureResult) -> CheckResult:
+    from repro.core import DelayGroup
+
+    counts = fig.data["group_counts"]
+    ok = counts[DelayGroup.G6] >= counts[DelayGroup.G3] and counts[DelayGroup.G4] > 0
+    return CheckResult(
+        "figure16", ok,
+        f"G3={counts[DelayGroup.G3]} G6={counts[DelayGroup.G6]}",
+    )
+
+
+#: Check registry: artifact name -> callable.
+CHECKS: dict[str, Callable[[Artifact], CheckResult]] = {
+    "table1": _check_table1,
+    "table2": _check_table2,
+    "table3": _check_table3,
+    "figure1": lambda f: _fraction_band(f, 0.20, 0.70),
+    "figure2": _check_figure2,
+    "figure3": lambda f: _fraction_band(f, 0.45, 0.98),
+    "figure4": lambda f: _fraction_band(f, 0.30, 0.95),
+    "figure5": _check_figure5,
+    "figure6": _check_figure6,
+    "figure9": lambda f: _fraction_band(f, 0.10, 0.90),
+    "figure10": lambda f: _fraction_band(f, 0.02, 0.98),
+    "figure11": _check_figure11,
+    "figure12": _check_figure12,
+    "figure13": _check_figure13,
+    "figure14": _check_figure14,
+    "figure15": _check_figure15,
+    "figure16": _check_figure16,
+}
+
+
+def grade(artifacts: dict[str, Artifact]) -> list[CheckResult]:
+    """Run every applicable check over a reproduction's artifacts."""
+    results: list[CheckResult] = []
+    for name, check in CHECKS.items():
+        artifact = artifacts.get(name)
+        if artifact is None:
+            continue
+        try:
+            results.append(check(artifact))
+        except Exception as exc:  # a malformed artifact is a failure, not a crash
+            results.append(CheckResult(name, False, f"check error: {exc}"))
+    return results
+
+
+def render_scorecard(results: list[CheckResult]) -> str:
+    """Pass/warn table for terminal output."""
+    lines = ["Scorecard (paper-shape checks):"]
+    for r in results:
+        mark = "PASS" if r.passed else "WARN"
+        lines.append(f"  [{mark}] {r.artifact:<9} {r.detail}")
+    passed = sum(r.passed for r in results)
+    lines.append(f"  {passed}/{len(results)} checks passed")
+    return "\n".join(lines)

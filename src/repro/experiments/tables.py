@@ -1,0 +1,141 @@
+"""Reproduction of the paper's Tables 1, 2, and 3.
+
+Each function takes the dataset suite (from
+:func:`repro.experiments.runner.get_datasets`) and returns structured rows
+plus a rendered text block matching the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import analyze
+from repro.core.graph import Metric
+from repro.core.stats import Comparison
+from repro.datasets.builders import table1_order
+from repro.datasets.dataset import Dataset
+from repro.experiments.report import render_table
+
+#: Datasets whose RTT/loss figures the paper's Tables 2/3 cover, in the
+#: paper's column order.
+TTEST_DATASETS = ["UW1", "UW3", "D2-NA", "D2"]
+
+
+@dataclass(frozen=True, slots=True)
+class TableResult:
+    """A reproduced table: structured rows plus rendered text."""
+
+    name: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def table1(datasets: dict[str, Dataset]) -> TableResult:
+    """Table 1: dataset characteristics."""
+    headers = (
+        "Dataset",
+        "Measurement method",
+        "Year collected",
+        "Duration",
+        "Location",
+        "Number of hosts",
+        "Number of measurements",
+        "Percent of paths covered",
+    )
+    rows = []
+    for name in table1_order():
+        if name not in datasets:
+            continue
+        row = datasets[name].table1_row()
+        rows.append(
+            (
+                row["dataset"],
+                row["method"],
+                row["year"],
+                row["duration"],
+                row["location"],
+                row["hosts"],
+                row["measurements"],
+                row["paths_covered_pct"],
+            )
+        )
+    text = render_table(headers, rows, title="Table 1: dataset characteristics")
+    return TableResult(name="table1", headers=headers, rows=tuple(rows), text=text)
+
+
+def _ttest_table(
+    datasets: dict[str, Dataset],
+    metric: Metric,
+    *,
+    name: str,
+    title: str,
+    min_samples: int = 30,
+    confidence: float = 0.95,
+    include_zero: bool,
+) -> TableResult:
+    columns = [d for d in TTEST_DATASETS if d in datasets]
+    percentages = {}
+    for ds_name in columns:
+        result = analyze(datasets[ds_name], metric, min_samples=min_samples)
+        percentages[ds_name] = result.classification_percentages(confidence)
+    categories = [
+        ("Better", Comparison.BETTER),
+        ("Indeterminate", Comparison.INDETERMINATE),
+    ]
+    if include_zero:
+        categories.append(("Zero", Comparison.ZERO))
+    categories.append(("Worse", Comparison.WORSE))
+    headers = ("Alternate is", *columns)
+    rows = tuple(
+        (label, *(f"{percentages[c][cat]:.0f}%" for c in columns))
+        for label, cat in categories
+    )
+    text = render_table(headers, rows, title=title)
+    return TableResult(name=name, headers=headers, rows=rows, text=text)
+
+
+def table2(
+    datasets: dict[str, Dataset],
+    *,
+    min_samples: int = 30,
+    confidence: float = 0.95,
+) -> TableResult:
+    """Table 2: round-trip-time t-test classification percentages."""
+    return _ttest_table(
+        datasets,
+        Metric.RTT,
+        name="table2",
+        title=(
+            "Table 2: percent of paths whose mean-RTT difference "
+            f"(best alternate vs default) is signed at the {confidence:.0%} level"
+        ),
+        min_samples=min_samples,
+        confidence=confidence,
+        include_zero=False,
+    )
+
+
+def table3(
+    datasets: dict[str, Dataset],
+    *,
+    min_samples: int = 30,
+    confidence: float = 0.95,
+) -> TableResult:
+    """Table 3: loss-rate t-test classification percentages (with the
+    'zero' row for pairs without any measured loss)."""
+    return _ttest_table(
+        datasets,
+        Metric.LOSS,
+        name="table3",
+        title=(
+            "Table 3: percent of paths whose mean-loss difference "
+            f"(best alternate vs default) is signed at the {confidence:.0%} level"
+        ),
+        min_samples=min_samples,
+        confidence=confidence,
+        include_zero=True,
+    )

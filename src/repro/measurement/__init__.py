@@ -1,0 +1,60 @@
+"""Measurement tools: schedulers, traceroute, TCP transfers, collection."""
+
+from repro.measurement.collector import Campaign, CampaignError
+from repro.measurement.ping import DEFAULT_INTERVAL_S, PingResult, PingTool
+from repro.measurement.ratelimit import (
+    RateLimitVerdict,
+    TokenBucket,
+    detect_rate_limiters,
+    flagged_hosts,
+)
+from repro.measurement.schedulers import (
+    Request,
+    SchedulerError,
+    poisson_episodes,
+    poisson_pairs,
+    round_robin_pairs,
+    uniform_per_server,
+)
+from repro.measurement.tcp import (
+    DEFAULT_MSS_BYTES,
+    MATHIS_C,
+    TCPTransferSimulator,
+    TransferResult,
+    bottleneck_capacity_kbps,
+    mathis_bandwidth_kbps,
+    mathis_bandwidth_kbps_array,
+)
+from repro.measurement.traceroute import (
+    TracerouteHop,
+    TracerouteResult,
+    TracerouteTool,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "DEFAULT_INTERVAL_S",
+    "DEFAULT_MSS_BYTES",
+    "MATHIS_C",
+    "PingResult",
+    "PingTool",
+    "RateLimitVerdict",
+    "Request",
+    "SchedulerError",
+    "TCPTransferSimulator",
+    "TokenBucket",
+    "TracerouteHop",
+    "TracerouteResult",
+    "TracerouteTool",
+    "TransferResult",
+    "bottleneck_capacity_kbps",
+    "detect_rate_limiters",
+    "flagged_hosts",
+    "mathis_bandwidth_kbps",
+    "mathis_bandwidth_kbps_array",
+    "poisson_episodes",
+    "poisson_pairs",
+    "round_robin_pairs",
+    "uniform_per_server",
+]

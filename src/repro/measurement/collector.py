@@ -1,0 +1,229 @@
+"""Campaign collector: executes measurement requests against the simulator.
+
+The collector plays the role of the paper's centralized control host: it
+takes a stream of scheduled :class:`~repro.measurement.schedulers.Request`
+objects, drives probes through the network simulation, applies the
+destination hosts' ICMP rate limiting, and occasionally fails to contact a
+server (paper §4.2: "the control host was occasionally unable to contact
+the server it selected").  Its outputs are raw records ready to be wrapped
+into a :class:`~repro.datasets.dataset.Dataset`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.datasets.records import (
+    CollectionStats,
+    PROBES_PER_TRACEROUTE,
+    PathInfo,
+    TracerouteRecord,
+    TransferRecord,
+)
+from repro.measurement.ratelimit import TokenBucket
+from repro.measurement.schedulers import Request
+from repro.measurement.tcp import TCPTransferSimulator
+from repro.measurement.traceroute import INTER_PROBE_GAP_S
+from repro.netsim.conditions import BUCKET_SECONDS, NetworkConditions, PathSampler
+from repro.routing.dynamics import DynamicPathSampler, RouteFlapModel
+from repro.routing.forwarding import PathResolver
+from repro.topology.network import Topology
+
+
+class CampaignError(RuntimeError):
+    """Raised on collector misconfiguration."""
+
+
+class Campaign:
+    """Executes measurement campaigns between a fixed pool of hosts.
+
+    Paths are resolved once up front (Internet paths are "generally
+    dominated by a single route", Paxson 1996) and congestion state is
+    taken per time bucket, so execution cost is a few scalar draws per
+    probe.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        conditions: NetworkConditions,
+        host_names: list[str],
+        *,
+        resolver: PathResolver | None = None,
+        seed: int = 0,
+        control_failure_prob: float = 0.01,
+        pair_blackout_prob: float = 0.0,
+        flap_model: "RouteFlapModel | None" = None,
+    ) -> None:
+        """
+        Args:
+            topo: Topology with the campaign hosts already placed.
+            conditions: Dynamic network state shared by all probes.
+            host_names: The measurement host pool.
+            resolver: Path resolver; a default policy resolver if None.
+            seed: Seed for all collection randomness.
+            control_failure_prob: Per-request probability that the control
+                host fails to contact the server (transient failures).
+            pair_blackout_prob: Per-ordered-pair probability that the pair
+                is never successfully measured (persistently unreachable
+                servers; this is what keeps Table 1's "percent of paths
+                covered" below 100 for most datasets).
+            flap_model: Optional route-flap process; when given, probes
+                follow whichever of each pair's primary/secondary route
+                is active at probe time.
+        """
+        if len(host_names) < 2:
+            raise CampaignError("a campaign needs at least two hosts")
+        if not 0.0 <= control_failure_prob < 1.0:
+            raise CampaignError("control_failure_prob must be in [0, 1)")
+        if not 0.0 <= pair_blackout_prob < 1.0:
+            raise CampaignError("pair_blackout_prob must be in [0, 1)")
+        self._topo = topo
+        self._resolver = resolver or PathResolver(topo)
+        self._hosts = list(host_names)
+        self._rng = np.random.default_rng((seed, 0xC0117EC7))
+        self._control_failure_prob = control_failure_prob
+        pairs = [
+            (a, b) for a in self._hosts for b in self._hosts if a != b
+        ]
+        self._pair_index = {pair: i for i, pair in enumerate(pairs)}
+        blackout_rng = np.random.default_rng((seed, 0xB1ACC))
+        self._blocked = {
+            i for i in range(len(pairs))
+            if blackout_rng.random() < pair_blackout_prob
+        }
+        self._round_trips = [
+            self._resolver.resolve_round_trip(a, b) for a, b in pairs
+        ]
+        if flap_model is None:
+            self._sampler = PathSampler(conditions, self._round_trips)
+        else:
+            secondaries = [
+                self._resolver.resolve_round_trip_secondary(a, b)
+                for a, b in pairs
+            ]
+            self._sampler = DynamicPathSampler(
+                conditions, self._round_trips, secondaries, flap_model
+            )
+        self._tcp = TCPTransferSimulator(topo, self._round_trips)
+
+    @property
+    def hosts(self) -> list[str]:
+        """The campaign's host pool."""
+        return list(self._hosts)
+
+    def path_info(self) -> dict[tuple[str, str], PathInfo]:
+        """Static routing facts for every ordered pair in the pool."""
+        out: dict[tuple[str, str], PathInfo] = {}
+        for pair, idx in self._pair_index.items():
+            rt = self._round_trips[idx]
+            out[pair] = PathInfo(
+                src=pair[0],
+                dst=pair[1],
+                as_path=rt.forward.as_path,
+                hop_count=rt.forward.hop_count,
+                prop_delay_ms=rt.rtt_prop_ms,
+            )
+        return out
+
+    # -- execution -----------------------------------------------------------
+
+    def _iter_with_views(self, requests: Iterable[Request]):
+        """Yield (request, view) with per-bucket congestion state reuse."""
+        ordered = sorted(requests, key=lambda r: r.t)
+        current_bucket = None
+        view = None
+        for req in ordered:
+            bucket = int(req.t // BUCKET_SECONDS)
+            if bucket != current_bucket:
+                current_bucket = bucket
+                view = self._sampler.view((bucket + 0.5) * BUCKET_SECONDS)
+            yield req, view
+
+    def run_traceroutes(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[TracerouteRecord], CollectionStats]:
+        """Execute traceroute requests; returns records and statistics.
+
+        Each request sends :data:`PROBES_PER_TRACEROUTE` probes one second
+        apart.  Destination ICMP rate limiting is applied with per-host
+        token buckets; a suppressed response is recorded as NaN exactly
+        like a genuine loss — downstream tooling cannot tell them apart.
+        """
+        stats = CollectionStats()
+        buckets = {
+            h.name: TokenBucket(rate_per_min=h.icmp_rate_limit_per_min)
+            for h in self._topo.hosts
+            if h.name in self._pair_index_hosts()
+        }
+        records: list[TracerouteRecord] = []
+        rng = self._rng
+        for req, view in self._iter_with_views(requests):
+            stats.requested += 1
+            if rng.random() < self._control_failure_prob:
+                stats.control_failures += 1
+                continue
+            idx = self._pair_index.get((req.src, req.dst))
+            if idx is None:
+                raise CampaignError(f"request for unknown pair {req.src}->{req.dst}")
+            if idx in self._blocked:
+                stats.control_failures += 1
+                continue
+            limiter = buckets.get(req.dst)
+            samples: list[float] = []
+            for k in range(PROBES_PER_TRACEROUTE):
+                probe_t = req.t + k * INTER_PROBE_GAP_S
+                rtt = view.probe_pair(idx, rng)
+                if not np.isnan(rtt) and limiter is not None:
+                    if not limiter.allow(probe_t):
+                        stats.rate_limited_probes += 1
+                        rtt = float("nan")
+                samples.append(rtt)
+            records.append(
+                TracerouteRecord(
+                    t=req.t,
+                    src=req.src,
+                    dst=req.dst,
+                    rtt_samples=tuple(samples),
+                    episode=req.episode,
+                )
+            )
+            stats.completed += 1
+        return records, stats
+
+    def run_transfers(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[TransferRecord], CollectionStats]:
+        """Execute npd-style TCP transfer requests."""
+        stats = CollectionStats()
+        records: list[TransferRecord] = []
+        rng = self._rng
+        for req, view in self._iter_with_views(requests):
+            stats.requested += 1
+            if rng.random() < self._control_failure_prob:
+                stats.control_failures += 1
+                continue
+            idx = self._pair_index.get((req.src, req.dst))
+            if idx is None:
+                raise CampaignError(f"request for unknown pair {req.src}->{req.dst}")
+            if idx in self._blocked:
+                stats.control_failures += 1
+                continue
+            result = self._tcp.measure(view, idx, rng)
+            records.append(
+                TransferRecord(
+                    t=req.t,
+                    src=req.src,
+                    dst=req.dst,
+                    rtt_ms=result.rtt_ms,
+                    loss_rate=result.loss_rate,
+                    bandwidth_kbps=result.bandwidth_kbps,
+                )
+            )
+            stats.completed += 1
+        return records, stats
+
+    def _pair_index_hosts(self) -> set[str]:
+        return set(self._hosts)

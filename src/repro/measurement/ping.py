@@ -1,0 +1,124 @@
+"""A ping (ICMP echo) simulator.
+
+Ping differs from the traceroute probes used for bulk collection in two
+ways that matter to consumers: it sends a configurable count of
+echo requests at a fixed interval, and it reports the classic summary
+statistics (min/avg/max/mdev, packet loss).  The overlay's probing and
+the examples use it as the lightweight measurement primitive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.conditions import NetworkConditions, PathSampler
+from repro.routing.forwarding import RoundTripPath
+
+#: Default seconds between echo requests.
+DEFAULT_INTERVAL_S = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class PingResult:
+    """Outcome of one ping run.
+
+    Attributes:
+        src: Source host name.
+        dst: Destination host name.
+        sent: Echo requests sent.
+        received: Echo replies received.
+        rtts_ms: RTT of each reply, in send order (losses omitted).
+    """
+
+    src: str
+    dst: str
+    sent: int
+    received: int
+    rtts_ms: tuple[float, ...]
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of requests that went unanswered."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.received / self.sent
+
+    @property
+    def min_ms(self) -> float:
+        """Minimum RTT (NaN when nothing was received)."""
+        return min(self.rtts_ms) if self.rtts_ms else math.nan
+
+    @property
+    def avg_ms(self) -> float:
+        """Mean RTT (NaN when nothing was received)."""
+        return float(np.mean(self.rtts_ms)) if self.rtts_ms else math.nan
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum RTT (NaN when nothing was received)."""
+        return max(self.rtts_ms) if self.rtts_ms else math.nan
+
+    @property
+    def mdev_ms(self) -> float:
+        """Mean absolute deviation of the RTTs, ping-style."""
+        if not self.rtts_ms:
+            return math.nan
+        arr = np.asarray(self.rtts_ms)
+        return float(np.mean(np.abs(arr - arr.mean())))
+
+    def render(self) -> str:
+        """Classic ping summary block."""
+        lines = [
+            f"--- {self.dst} ping statistics ---",
+            f"{self.sent} packets transmitted, {self.received} received, "
+            f"{self.loss_rate:.0%} packet loss",
+        ]
+        if self.rtts_ms:
+            lines.append(
+                f"rtt min/avg/max/mdev = {self.min_ms:.1f}/{self.avg_ms:.1f}/"
+                f"{self.max_ms:.1f}/{self.mdev_ms:.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+class PingTool:
+    """Simulates ping runs over resolved round-trip paths."""
+
+    def __init__(self, conditions: NetworkConditions) -> None:
+        self._conditions = conditions
+
+    def ping(
+        self,
+        round_trip: RoundTripPath,
+        t: float,
+        rng: np.random.Generator,
+        *,
+        count: int = 10,
+        interval_s: float = DEFAULT_INTERVAL_S,
+    ) -> PingResult:
+        """Send ``count`` echo requests starting at time ``t``.
+
+        Raises:
+            ValueError: on a non-positive count or interval.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        sampler = PathSampler(self._conditions, [round_trip])
+        rtts: list[float] = []
+        for k in range(count):
+            view = sampler.view(t + k * interval_s)
+            rtt = view.probe_pair(0, rng)
+            if not math.isnan(rtt):
+                rtts.append(rtt)
+        return PingResult(
+            src=round_trip.forward.src,
+            dst=round_trip.forward.dst,
+            sent=count,
+            received=len(rtts),
+            rtts_ms=tuple(rtts),
+        )

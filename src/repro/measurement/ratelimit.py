@@ -1,0 +1,127 @@
+"""ICMP rate limiting: the behaviour and its empirical detection.
+
+Some hosts limit the rate at which they answer ICMP (traceroute) probes.
+To a measurement tool, a suppressed reply is indistinguishable from a
+genuine packet loss, so "traceroute requests to rate limiting hosts would
+observe a higher loss rate than warranted" (paper §4.2).  The paper
+*empirically determined* which hosts rate-limit and corrected each dataset
+differently; this module provides both the token-bucket behaviour used
+during collection and the detector used afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+
+@dataclass(slots=True)
+class TokenBucket:
+    """Classic token bucket limiting ICMP responses at a host.
+
+    Attributes:
+        rate_per_min: Sustained response rate (tokens per minute).
+        burst: Bucket capacity (maximum back-to-back responses).  The
+            default of one token reproduces the paper's footnote: the
+            first probe of a traceroute is answered, while "the second
+            and third samples are more likely to be dropped because they
+            follow the first sample".
+    """
+
+    rate_per_min: float
+    burst: float = 1.0
+    _tokens: float = field(default=-1.0, init=False)
+    _last_t: float = field(default=0.0, init=False)
+
+    def allow(self, t: float) -> bool:
+        """Whether a probe arriving at time ``t`` gets a response.
+
+        Calls must be made in nondecreasing time order.
+        """
+        if self.rate_per_min <= 0:
+            return True
+        if self._tokens < 0:
+            self._tokens = self.burst
+            self._last_t = t
+        elapsed = max(0.0, t - self._last_t)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_min / 60.0)
+        self._last_t = t
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class RateLimitVerdict:
+    """Detector output for one host.
+
+    Attributes:
+        host: Host name.
+        loss_toward: Median per-path loss rate of probes sent *to* the host.
+        loss_from: Median per-path loss rate of probes sent *by* the host.
+        flagged: Whether the host is judged an ICMP rate limiter.
+    """
+
+    host: str
+    loss_toward: float
+    loss_from: float
+    flagged: bool
+
+
+def detect_rate_limiters(
+    dataset: Dataset,
+    *,
+    excess_threshold: float = 0.08,
+    ratio_threshold: float = 3.0,
+) -> list[RateLimitVerdict]:
+    """Empirically flag ICMP rate-limiting hosts in a traceroute dataset.
+
+    Rate limiting inflates loss on every path *toward* the limiter but not
+    on paths it originates (its own probes elicit replies from the far
+    end).  A host is flagged when its inbound loss exceeds its outbound
+    loss by ``excess_threshold`` absolutely *and* ``ratio_threshold``
+    multiplicatively — a genuine congested access link inflates both
+    directions roughly equally (every probe crosses it twice), so the
+    asymmetry isolates the ICMP artefact.
+
+    Args:
+        dataset: A traceroute dataset (pre-correction).
+        excess_threshold: Minimum absolute inbound-over-outbound excess.
+        ratio_threshold: Minimum inbound/outbound ratio.
+
+    Returns:
+        One verdict per host, sorted by host name.
+    """
+    inbound: dict[str, list[float]] = {h: [] for h in dataset.hosts}
+    outbound: dict[str, list[float]] = {h: [] for h in dataset.hosts}
+    for pair in dataset.pairs():
+        losses = dataset.loss_samples(pair)
+        if len(losses) == 0:
+            continue
+        rate = float(np.mean(losses))
+        src, dst = pair
+        if dst in inbound:
+            inbound[dst].append(rate)
+        if src in outbound:
+            outbound[src].append(rate)
+    verdicts = []
+    for host in sorted(dataset.hosts):
+        lin = float(np.median(inbound[host])) if inbound[host] else 0.0
+        lout = float(np.median(outbound[host])) if outbound[host] else 0.0
+        flagged = (
+            lin - lout >= excess_threshold
+            and lin >= ratio_threshold * max(lout, 1e-9)
+        )
+        verdicts.append(
+            RateLimitVerdict(host=host, loss_toward=lin, loss_from=lout, flagged=flagged)
+        )
+    return verdicts
+
+
+def flagged_hosts(verdicts: list[RateLimitVerdict]) -> list[str]:
+    """Names of hosts flagged as rate limiters."""
+    return [v.host for v in verdicts if v.flagged]

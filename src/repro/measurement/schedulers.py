@@ -1,0 +1,194 @@
+"""Measurement request scheduling.
+
+The paper's control host issued requests at random intervals, with the
+law differing per dataset (§4.2):
+
+* **UW1** — each traceroute server was polled on its own *uniform*
+  schedule with a mean of 15 minutes, with a random target per request.
+* **UW3 / UW4-B** — a random pair was selected on an *exponential*
+  (Poisson) schedule, mean 9 s and 150 s respectively.  The exponential
+  law gives PASTA-style protection against "anticipation" that the paper
+  notes UW1 lacks.
+* **UW4-A** — "episodes" on an exponential schedule (mean 1000 s); within
+  an episode every ordered pair is measured simultaneously.
+* **D2/N2 (npd)** — Poisson pair selection, like UW3.
+
+Schedulers generate :class:`Request` streams; the collector executes them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One measurement request issued by the control host.
+
+    Attributes:
+        t: Simulation time at which the request fires.
+        src: Measuring host (traceroute origin / npd sender).
+        dst: Target host.
+        episode: Episode index for simultaneous scheduling; -1 otherwise.
+    """
+
+    t: float
+    src: str
+    dst: str
+    episode: int = -1
+
+
+class SchedulerError(ValueError):
+    """Raised for invalid scheduler parameters."""
+
+
+def _check(hosts: list[str], duration_s: float, mean_interval_s: float) -> None:
+    if len(hosts) < 2:
+        raise SchedulerError("need at least two hosts")
+    if len(set(hosts)) != len(hosts):
+        raise SchedulerError("host names must be unique")
+    if duration_s <= 0:
+        raise SchedulerError(f"duration must be positive, got {duration_s}")
+    if mean_interval_s <= 0:
+        raise SchedulerError(f"mean interval must be positive, got {mean_interval_s}")
+
+
+def uniform_per_server(
+    hosts: list[str],
+    duration_s: float,
+    mean_interval_s: float,
+    *,
+    seed: int = 0,
+    targets: list[str] | None = None,
+) -> Iterator[Request]:
+    """UW1-style scheduling: per-server uniform intervals, random targets.
+
+    Each host runs an independent clock whose inter-request gaps are drawn
+    uniformly from (0, 2 * mean), so the mean matches ``mean_interval_s``.
+    Requests from all servers are emitted merged in time order.
+
+    Args:
+        targets: Restrict traceroute destinations to this subset (UW1
+            removed ICMP rate limiters "from the pool of potential
+            targets" while keeping them as measurement sources).  All
+            hosts are eligible targets when None.
+
+    Yields:
+        :class:`Request` objects in nondecreasing time order.
+    """
+    _check(hosts, duration_s, mean_interval_s)
+    eligible = list(hosts) if targets is None else list(targets)
+    unknown = set(eligible) - set(hosts)
+    if unknown:
+        raise SchedulerError(f"targets not in host pool: {sorted(unknown)}")
+    rng = random.Random(seed)
+    pending: list[tuple[float, str]] = []
+    for host in hosts:
+        # Random initial phase avoids synchronized start-of-trace bursts.
+        pending.append((rng.uniform(0, 2 * mean_interval_s), host))
+    heapq.heapify(pending)
+    while pending:
+        t, src = heapq.heappop(pending)
+        if t >= duration_s:
+            continue
+        others = [h for h in eligible if h != src]
+        if others:
+            yield Request(t=t, src=src, dst=rng.choice(others))
+        heapq.heappush(pending, (t + rng.uniform(0, 2 * mean_interval_s), src))
+
+
+def round_robin_pairs(
+    hosts: list[str],
+    repetitions: int,
+    duration_s: float,
+    *,
+    seed: int = 0,
+) -> Iterator[Request]:
+    """Pre-scan scheduling: every ordered pair measured a fixed number of
+    times, spread evenly (with jitter) over the duration.
+
+    Used to empirically detect ICMP rate limiters before the main
+    campaign, mirroring the paper's calibration pass.
+
+    Yields:
+        :class:`Request` objects in time order.
+    """
+    if repetitions <= 0:
+        raise SchedulerError(f"repetitions must be positive, got {repetitions}")
+    _check(hosts, duration_s, duration_s / max(repetitions, 1))
+    rng = random.Random(seed)
+    pairs = [(a, b) for a in hosts for b in hosts if a != b]
+    requests = []
+    slot = duration_s / repetitions
+    for rep in range(repetitions):
+        for src, dst in pairs:
+            requests.append(
+                Request(t=rep * slot + rng.uniform(0, slot), src=src, dst=dst)
+            )
+    requests.sort(key=lambda r: r.t)
+    yield from requests
+
+
+def poisson_pairs(
+    hosts: list[str],
+    duration_s: float,
+    mean_interval_s: float,
+    *,
+    seed: int = 0,
+) -> Iterator[Request]:
+    """UW3/UW4-B-style scheduling: Poisson arrivals, random ordered pair.
+
+    Yields:
+        :class:`Request` objects in increasing time order.
+    """
+    _check(hosts, duration_s, mean_interval_s)
+    rng = random.Random(seed)
+    t = rng.expovariate(1.0 / mean_interval_s)
+    while t < duration_s:
+        src = rng.choice(hosts)
+        dst = rng.choice([h for h in hosts if h != src])
+        yield Request(t=t, src=src, dst=dst)
+        t += rng.expovariate(1.0 / mean_interval_s)
+
+
+def poisson_episodes(
+    hosts: list[str],
+    duration_s: float,
+    mean_interval_s: float,
+    *,
+    seed: int = 0,
+    spread_s: float = 120.0,
+) -> Iterator[Request]:
+    """UW4-A-style scheduling: Poisson episodes measuring all pairs at once.
+
+    Within an episode every ordered pair is requested; the paper notes the
+    measurements are "simultaneous only within a several minute window",
+    modeled by jittering each request uniformly over ``spread_s`` seconds.
+
+    Yields:
+        :class:`Request` objects grouped by episode, time-ordered within
+        each episode.
+    """
+    _check(hosts, duration_s, mean_interval_s)
+    rng = random.Random(seed)
+    t = rng.expovariate(1.0 / mean_interval_s)
+    episode = 0
+    while t < duration_s:
+        batch = [
+            Request(
+                t=t + rng.uniform(0, spread_s),
+                src=src,
+                dst=dst,
+                episode=episode,
+            )
+            for src in hosts
+            for dst in hosts
+            if src != dst
+        ]
+        batch.sort(key=lambda r: r.t)
+        yield from batch
+        episode += 1
+        t += rng.expovariate(1.0 / mean_interval_s)

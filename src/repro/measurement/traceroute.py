@@ -1,0 +1,130 @@
+"""A traceroute simulator.
+
+``traceroute`` sends TTL-limited probes that elicit ICMP responses from
+each router on the default path, then from the end host; each invocation
+takes three RTT samples per hop.  The paper's datasets use the *final hop*
+samples as path RTT/loss measurements and the hop lists for AS-level
+analysis (Figure 14).
+
+The full per-hop simulation here serves the example programs and tests;
+bulk dataset collection uses the collector's end-to-end fast path, which
+produces identical final-hop statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.records import PROBES_PER_TRACEROUTE
+from repro.netsim.conditions import NetworkConditions
+from repro.routing.forwarding import RoundTripPath
+from repro.topology.network import Topology
+
+#: Seconds between consecutive probes of one invocation.
+INTER_PROBE_GAP_S = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One line of traceroute output.
+
+    Attributes:
+        ttl: Hop number, starting at 1.
+        router_id: Responding router (or the end host's NIC router).
+        label: Display label of the responder.
+        rtt_ms: RTT samples; NaN for an unanswered probe.
+    """
+
+    ttl: int
+    router_id: int
+    label: str
+    rtt_ms: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteResult:
+    """Full output of one traceroute invocation."""
+
+    src: str
+    dst: str
+    t: float
+    hops: tuple[TracerouteHop, ...]
+
+    @property
+    def final_hop(self) -> TracerouteHop:
+        """The end-host hop, whose samples are the path measurement."""
+        return self.hops[-1]
+
+    def as_path(self, topo: Topology) -> tuple[int, ...]:
+        """AS-level path inferred from responding routers, deduplicated."""
+        seq: list[int] = []
+        for hop in self.hops:
+            asn = topo.routers[hop.router_id].asn
+            if not seq or seq[-1] != asn:
+                seq.append(asn)
+        return tuple(seq)
+
+
+class TracerouteTool:
+    """Simulates traceroute invocations over resolved round-trip paths."""
+
+    def __init__(self, topo: Topology, conditions: NetworkConditions) -> None:
+        self._topo = topo
+        self._cond = conditions
+
+    def trace(
+        self,
+        round_trip: RoundTripPath,
+        t: float,
+        rng: np.random.Generator,
+        *,
+        probes_per_hop: int = PROBES_PER_TRACEROUTE,
+    ) -> TracerouteResult:
+        """Run one traceroute along ``round_trip`` starting at time ``t``.
+
+        Each hop's RTT approximates the forward prefix delay doubled —
+        ICMP TIME_EXCEEDED responses retrace similar distance — plus
+        queuing and jitter.  Loss applies per probe using the prefix's
+        cumulative loss probability.
+
+        Args:
+            round_trip: Resolved forward/reverse paths.
+            t: Invocation start time.
+            rng: Per-probe randomness.
+            probes_per_hop: Samples per hop (the classic tool sends 3).
+        """
+        topo = self._topo
+        forward = round_trip.forward
+        hops: list[TracerouteHop] = []
+        probe_t = t
+        queue = self._cond.queue_delay_ms(t)
+        ploss = self._cond.loss_probability(t)
+        prefix_prop = 0.0
+        prefix_queue = 0.0
+        prefix_log_survive = 0.0
+        for idx, link_id in enumerate(forward.links):
+            link = topo.links[link_id]
+            prefix_prop += link.prop_delay_ms
+            prefix_queue += queue[link_id]
+            prefix_log_survive += np.log1p(-ploss[link_id])
+            responder = forward.routers[idx + 1]
+            loss_p = 1.0 - np.exp(2.0 * prefix_log_survive)
+            samples = []
+            for _ in range(probes_per_hop):
+                if rng.random() < loss_p:
+                    samples.append(float("nan"))
+                else:
+                    jitter = rng.exponential() * (0.35 * prefix_queue + 0.4)
+                    samples.append(2.0 * (prefix_prop + prefix_queue) + jitter + 0.4)
+                probe_t += INTER_PROBE_GAP_S
+            hops.append(
+                TracerouteHop(
+                    ttl=idx + 1,
+                    router_id=responder,
+                    label=topo.routers[responder].label,
+                    rtt_ms=tuple(samples),
+                )
+            )
+        return TracerouteResult(src=forward.src, dst=forward.dst, t=t, hops=tuple(hops))

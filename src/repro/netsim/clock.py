@@ -1,0 +1,64 @@
+"""Simulation calendar and time utilities.
+
+The simulator measures time in seconds from a fixed origin defined to be a
+**Monday 00:00 UTC**.  The paper bins data by Pacific Standard Time (its
+hosts were coordinated from Seattle), so conversion helpers for arbitrary
+fixed offsets are provided, plus local solar time by longitude, which
+drives each link's diurnal load phase.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Offset of Pacific Standard Time from UTC, in hours.
+PST_UTC_OFFSET_HOURS = -8.0
+
+
+def day_of_week(t: float) -> int:
+    """Day index for simulation time ``t`` (0=Monday ... 6=Sunday)."""
+    return int(t // SECONDS_PER_DAY) % 7
+
+
+def is_weekend(t: float, utc_offset_hours: float = 0.0) -> bool:
+    """Whether ``t`` falls on Saturday/Sunday in the given fixed offset."""
+    local = t + utc_offset_hours * SECONDS_PER_HOUR
+    return day_of_week(local) >= 5
+
+
+def hour_of_day(t: float, utc_offset_hours: float = 0.0) -> float:
+    """Local hour in [0, 24) at simulation time ``t``."""
+    local = t + utc_offset_hours * SECONDS_PER_HOUR
+    return (local % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+
+def solar_offset_hours(longitude_deg: float) -> float:
+    """Approximate local-time offset from UTC implied by longitude.
+
+    Each 15 degrees of longitude is one hour; this is how the simulator
+    decides when a given link's region is in its working day.
+    """
+    return longitude_deg / 15.0
+
+
+def pst_hour(t: float) -> float:
+    """Hour of day in PST — the paper's Figures 9/10 binning."""
+    return hour_of_day(t, PST_UTC_OFFSET_HOURS)
+
+
+def pst_is_weekend(t: float) -> bool:
+    """Weekend test in PST."""
+    return is_weekend(t, PST_UTC_OFFSET_HOURS)
+
+
+def format_sim_time(t: float) -> str:
+    """Human-readable rendering, e.g. ``"day 3 (Thu) 14:05 UTC"``."""
+    names = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+    day = int(t // SECONDS_PER_DAY)
+    rem = t % SECONDS_PER_DAY
+    hh = int(rem // SECONDS_PER_HOUR)
+    mm = int((rem % SECONDS_PER_HOUR) // SECONDS_PER_MINUTE)
+    return f"day {day} ({names[day % 7]}) {hh:02d}:{mm:02d} UTC"

@@ -1,0 +1,306 @@
+"""Time-varying network conditions and vectorized path sampling.
+
+:class:`NetworkConditions` owns per-link state as flat numpy arrays and
+answers "what is every link's utilization / queuing delay / loss
+probability at time *t*?".  Conditions are **deterministic in (seed, t)**:
+stochastic variation is generated from counter-based draws keyed on the
+time bucket, so any query order yields identical results — essential for
+reproducible datasets and for the UW4-A requirement that simultaneous
+probes of different paths see the *same* congestion state on shared links.
+
+:class:`PathSampler` layers per-path aggregation on top: given round-trip
+paths (sequences of link ids), it samples probe RTTs and losses for many
+paths at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.netsim.congestion import (
+    loss_probability_array,
+    mean_queue_delay_ms_array,
+    queuing_scale_ms,
+)
+from repro.netsim.diurnal import load_multiplier_array
+from repro.netsim.clock import solar_offset_hours
+from repro.topology.network import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.forwarding import RoundTripPath
+
+#: Congestion state is redrawn every bucket; within a bucket it is frozen.
+#: Five minutes matches the timescale over which Internet congestion is
+#: strongly autocorrelated.
+BUCKET_SECONDS = 300.0
+
+#: Utilization bounds after modulation.
+MIN_UTILIZATION = 0.02
+MAX_UTILIZATION = 0.96
+
+#: Fixed per-probe endhost overhead (kernel, ICMP generation), ms.
+HOST_OVERHEAD_MS = 0.4
+
+#: Fraction of the path's queuing delay used as the scale of per-probe
+#: exponential jitter.
+JITTER_FRACTION = 0.35
+
+#: Probability that a probe hits a heavy-tail event — a transient route
+#: flap, router CPU stall, or deep-buffer episode.  The paper's §6.2
+#: names exactly these ("upgrades to the network infrastructure, path
+#: changes, ... congestion") as the variance sources behind its wide
+#: confidence intervals.
+TAIL_PROB = 0.04
+
+#: Range of the extra delay from a tail event, as a multiple of the
+#: probe's nominal RTT.
+TAIL_EXTRA_RANGE = (0.5, 4.0)
+
+#: Fraction of links with chronic, load-independent loss (dirty fiber,
+#: duplex mismatches, failing line cards — endemic in the 1990s).  Chronic
+#: loss keeps a loss signal alive off-peak, which is why the paper sees
+#: loss-superior alternates "regardless of the time of day" (section 6.3).
+CHRONIC_LOSS_FRACTION = 0.05
+
+#: Chronic loss probability range for affected links.
+CHRONIC_LOSS_RANGE = (0.005, 0.03)
+
+
+def _apply_tail(rtt: float, rng: np.random.Generator) -> float:
+    """Occasionally inflate a probe RTT with a heavy-tail event."""
+    if rng.random() < TAIL_PROB:
+        lo, hi = TAIL_EXTRA_RANGE
+        return rtt * (1.0 + rng.uniform(lo, hi))
+    return rtt
+
+
+class NetworkConditions:
+    """Per-link dynamic state for one topology."""
+
+    def __init__(self, topo: Topology, *, seed: int = 0) -> None:
+        self._topo = topo
+        self.seed = seed
+        n = len(topo.links)
+        self.prop_delay_ms = np.array([l.prop_delay_ms for l in topo.links])
+        self.base_utilization = np.array([l.base_utilization for l in topo.links])
+        self.queue_scale_ms = np.array([queuing_scale_ms(l) for l in topo.links])
+        # A link's diurnal phase follows the mean longitude of its endpoints.
+        offsets = np.empty(n)
+        for link in topo.links:
+            lon_u = topo.routers[link.u].city.lon
+            lon_v = topo.routers[link.v].city.lon
+            offsets[link.link_id] = solar_offset_hours((lon_u + lon_v) / 2.0)
+        self.utc_offsets = offsets
+        chronic_rng = np.random.default_rng((seed, 0xC4801C))
+        chronic = chronic_rng.random(n) < CHRONIC_LOSS_FRACTION
+        lo, hi = CHRONIC_LOSS_RANGE
+        self.chronic_loss = np.where(
+            chronic, chronic_rng.uniform(lo, hi, size=n), 0.0
+        )
+        self._bucket_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def n_links(self) -> int:
+        """Number of links under simulation."""
+        return len(self.prop_delay_ms)
+
+    # -- per-bucket stochastic state ----------------------------------------
+
+    def _bucket_noise(self, bucket: int) -> tuple[np.ndarray, np.ndarray]:
+        """(utilization noise, queue burstiness factor) for one time bucket.
+
+        Both arrays have mean approximately 1 and are drawn from a
+        generator seeded by (seed, bucket), making them reproducible and
+        order-independent.
+        """
+        cached = self._bucket_cache.get(bucket)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng((self.seed, 0xB0C4E7, bucket))
+        util_noise = rng.lognormal(mean=-0.02, sigma=0.20, size=self.n_links)
+        queue_factor = rng.gamma(shape=2.0, scale=0.5, size=self.n_links)
+        if len(self._bucket_cache) > 64:
+            self._bucket_cache.clear()
+        self._bucket_cache[bucket] = (util_noise, queue_factor)
+        return util_noise, queue_factor
+
+    # -- public queries ------------------------------------------------------
+
+    def utilization(self, t: float) -> np.ndarray:
+        """Per-link utilization at time ``t`` (array of length n_links)."""
+        bucket = int(t // BUCKET_SECONDS)
+        util_noise, _ = self._bucket_noise(bucket)
+        mult = load_multiplier_array(t, self.utc_offsets)
+        return np.clip(
+            self.base_utilization * mult * util_noise,
+            MIN_UTILIZATION,
+            MAX_UTILIZATION,
+        )
+
+    def queue_delay_ms(self, t: float) -> np.ndarray:
+        """Per-link instantaneous queuing delay at time ``t``, in ms."""
+        bucket = int(t // BUCKET_SECONDS)
+        _, queue_factor = self._bucket_noise(bucket)
+        mean_q = mean_queue_delay_ms_array(self.utilization(t), self.queue_scale_ms)
+        return mean_q * queue_factor
+
+    def loss_probability(self, t: float) -> np.ndarray:
+        """Per-link loss probability at time ``t``.
+
+        Combines congestion loss (utilization-driven) with each link's
+        chronic loss floor, assuming independence.
+        """
+        congestion = loss_probability_array(self.utilization(t))
+        return 1.0 - (1.0 - congestion) * (1.0 - self.chronic_loss)
+
+    def link_state(self, link_id: int, t: float) -> dict[str, float]:
+        """Convenience single-link snapshot (utilization, queue, loss)."""
+        return {
+            "utilization": float(self.utilization(t)[link_id]),
+            "queue_delay_ms": float(self.queue_delay_ms(t)[link_id]),
+            "loss_probability": float(self.loss_probability(t)[link_id]),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class SamplerView:
+    """Frozen per-bucket congestion state for a :class:`PathSampler`.
+
+    Collection campaigns probe hundreds of thousands of times; computing
+    per-link state per probe would dominate runtime.  A view captures the
+    per-path queuing sums and loss probabilities of one time bucket so
+    individual probes reduce to a couple of scalar random draws.
+
+    Attributes:
+        t: Time the view was taken.
+        prop: Per-path round-trip propagation delay (ms).
+        qsum: Per-path total queuing delay (ms) in this bucket.
+        ploss: Per-path round-trip loss probability in this bucket.
+    """
+
+    t: float
+    prop: np.ndarray
+    qsum: np.ndarray
+    ploss: np.ndarray
+
+    def probe_pair(self, index: int, rng: np.random.Generator) -> float:
+        """One probe along path ``index``; returns RTT in ms or NaN if lost."""
+        if rng.random() < self.ploss[index]:
+            return float("nan")
+        q = self.qsum[index]
+        jitter = rng.exponential() * (JITTER_FRACTION * q + HOST_OVERHEAD_MS)
+        rtt = float(self.prop[index] + q + jitter + HOST_OVERHEAD_MS)
+        return _apply_tail(rtt, rng)
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeBatch:
+    """Result of probing a set of paths once each.
+
+    Attributes:
+        rtt_ms: Round-trip times; NaN where the probe was lost.
+        lost: Boolean mask of lost probes.
+    """
+
+    rtt_ms: np.ndarray
+    lost: np.ndarray
+
+
+class PathSampler:
+    """Samples probe RTTs and losses over a fixed set of round-trip paths.
+
+    The constructor flattens each path's link ids into a CSR-style layout
+    so that per-probe sampling is a handful of vectorized operations
+    regardless of how many paths are probed together.
+    """
+
+    def __init__(
+        self, conditions: NetworkConditions, paths: "list[RoundTripPath]"
+    ) -> None:
+        self._cond = conditions
+        self.paths = list(paths)
+        flat: list[int] = []
+        offsets: list[int] = [0]
+        for rt in self.paths:
+            flat.extend(rt.link_ids)
+            offsets.append(len(flat))
+        self._flat = np.array(flat, dtype=np.int64)
+        self._offsets = np.array(offsets, dtype=np.int64)
+        self._prop = np.array(
+            [rt.rtt_prop_ms for rt in self.paths]
+        )
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def _path_sums(self, per_link: np.ndarray) -> np.ndarray:
+        """Sum a per-link quantity over each path's links."""
+        if len(self._flat) == 0:
+            return np.zeros(len(self.paths))
+        gathered = per_link[self._flat]
+        return np.add.reduceat(gathered, self._offsets[:-1])
+
+    def queue_delay_sums(self, t: float) -> np.ndarray:
+        """Per-path total queuing delay (both directions) at time ``t``."""
+        return self._path_sums(self._cond.queue_delay_ms(t))
+
+    def loss_probabilities(self, t: float) -> np.ndarray:
+        """Per-path round-trip loss probability at time ``t``.
+
+        Per-link losses are independent; a probe survives only if it
+        survives every link in both directions.
+        """
+        per_link = self._cond.loss_probability(t)
+        log_survive = self._path_sums(np.log1p(-per_link))
+        return 1.0 - np.exp(log_survive)
+
+    def prop_delays(self) -> np.ndarray:
+        """Per-path round-trip propagation delay (static)."""
+        return self._prop.copy()
+
+    def view(self, t: float) -> SamplerView:
+        """Capture this bucket's congestion state for fast scalar probing."""
+        return SamplerView(
+            t=t,
+            prop=self._prop,
+            qsum=self.queue_delay_sums(t),
+            ploss=self.loss_probabilities(t),
+        )
+
+    def probe(
+        self,
+        t: float,
+        rng: np.random.Generator,
+        indices: np.ndarray | None = None,
+    ) -> ProbeBatch:
+        """Send one probe along each selected path at time ``t``.
+
+        Args:
+            t: Simulation time of the probes.
+            rng: Generator for per-probe randomness (jitter, loss draws).
+            indices: Path indices to probe; all paths when None.
+
+        Returns:
+            A :class:`ProbeBatch` aligned with ``indices``.
+        """
+        qsum = self.queue_delay_sums(t)
+        ploss = self.loss_probabilities(t)
+        if indices is not None:
+            qsum = qsum[indices]
+            ploss = ploss[indices]
+            prop = self._prop[indices]
+        else:
+            prop = self._prop
+        jitter = rng.exponential(scale=1.0, size=len(prop)) * (
+            JITTER_FRACTION * qsum + HOST_OVERHEAD_MS
+        )
+        rtt = prop + qsum + jitter + HOST_OVERHEAD_MS
+        tail = rng.random(len(prop)) < TAIL_PROB
+        lo, hi = TAIL_EXTRA_RANGE
+        rtt = np.where(tail, rtt * (1.0 + rng.uniform(lo, hi, size=len(prop))), rtt)
+        lost = rng.random(len(prop)) < ploss
+        rtt = np.where(lost, np.nan, rtt)
+        return ProbeBatch(rtt_ms=rtt, lost=lost)

@@ -1,0 +1,77 @@
+"""Queuing-delay and loss models driven by link utilization.
+
+The mapping from utilization to delay follows the M/M/1 mean-queue shape
+``u / (1 - u)`` scaled by a per-link service-time constant, capped to
+reflect finite router buffers (beyond the cap, packets are dropped rather
+than queued).  Loss turns on above a utilization knee and grows
+quadratically, which is a reasonable stand-in for drop-tail behaviour
+under bursty TCP cross-traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.links import Link, LinkKind
+
+#: Burstiness factor by link kind: multiplies packet serialization time to
+#: obtain the queuing-delay scale.  Public exchange fabrics queued deeply
+#: in this era; access links had shallow buffers.
+BURST_FACTOR: dict[LinkKind, float] = {
+    LinkKind.BACKBONE: 6.0,
+    LinkKind.METRO: 4.0,
+    LinkKind.EXCHANGE: 20.0,
+    LinkKind.ACCESS: 3.0,
+}
+
+#: Cap on the ``u/(1-u)`` occupancy term (finite buffers).
+MAX_OCCUPANCY = 12.0
+
+#: Utilization above which loss begins.
+LOSS_KNEE = 0.78
+
+#: Loss probability as utilization approaches 1.
+LOSS_AT_SATURATION = 0.06
+
+#: Hard ceiling on any single link's loss probability.
+MAX_LINK_LOSS = 0.12
+
+
+def queuing_scale_ms(link: Link) -> float:
+    """Per-link queuing-delay scale (ms per unit of occupancy)."""
+    return link.transmission_delay_ms * BURST_FACTOR[link.kind]
+
+
+def mean_queue_delay_ms(utilization: float, scale_ms: float) -> float:
+    """Mean queuing delay at the given utilization.
+
+    Args:
+        utilization: Link utilization in [0, 1).
+        scale_ms: Output of :func:`queuing_scale_ms`.
+    """
+    u = min(max(utilization, 0.0), 0.999)
+    occupancy = min(u / (1.0 - u), MAX_OCCUPANCY)
+    return scale_ms * occupancy
+
+
+def loss_probability(utilization: float) -> float:
+    """Loss probability of a single link at the given utilization."""
+    u = min(max(utilization, 0.0), 1.0)
+    if u <= LOSS_KNEE:
+        return 0.0
+    frac = (u - LOSS_KNEE) / (1.0 - LOSS_KNEE)
+    return min(LOSS_AT_SATURATION * frac * frac, MAX_LINK_LOSS)
+
+
+def mean_queue_delay_ms_array(utilization: np.ndarray, scale_ms: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mean_queue_delay_ms`."""
+    u = np.clip(utilization, 0.0, 0.999)
+    occupancy = np.minimum(u / (1.0 - u), MAX_OCCUPANCY)
+    return scale_ms * occupancy
+
+
+def loss_probability_array(utilization: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`loss_probability`."""
+    u = np.clip(utilization, 0.0, 1.0)
+    frac = np.clip((u - LOSS_KNEE) / (1.0 - LOSS_KNEE), 0.0, None)
+    return np.minimum(LOSS_AT_SATURATION * frac * frac, MAX_LINK_LOSS)

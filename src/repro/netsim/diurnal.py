@@ -1,0 +1,91 @@
+"""Diurnal and weekly load modulation.
+
+"Many different parts of the Internet see higher load during weekday
+working hours and lower load during other times" (paper §4.1, citing
+Thompson et al.).  Every link's baseline utilization is modulated by a
+profile of its local (solar) time of day and day of week.  The profile is
+piecewise-linear through anchor points and normalized so its weekday mean
+is 1.0, keeping each link's configured ``base_utilization`` interpretable
+as a long-term weekday average.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.netsim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR, day_of_week
+
+#: (local hour, multiplier) anchor points for weekdays.  Linearly
+#: interpolated and periodic in 24 h.  Shape: quiet overnight, steep
+#: morning ramp, sustained working-hours plateau, evening decay.
+WEEKDAY_ANCHORS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.55),
+    (5.0, 0.45),
+    (8.0, 0.95),
+    (10.0, 1.30),
+    (13.0, 1.35),
+    (16.0, 1.25),
+    (19.0, 1.05),
+    (22.0, 0.75),
+    (24.0, 0.55),
+)
+
+#: Flat weekend multiplier relative to the weekday mean.
+WEEKEND_LEVEL = 0.65
+
+
+def _interp_anchors(hour: float, anchors: tuple[tuple[float, float], ...]) -> float:
+    hours = [a[0] for a in anchors]
+    idx = bisect.bisect_right(hours, hour) - 1
+    idx = max(0, min(idx, len(anchors) - 2))
+    h0, v0 = anchors[idx]
+    h1, v1 = anchors[idx + 1]
+    if h1 == h0:
+        return v0
+    frac = (hour - h0) / (h1 - h0)
+    return v0 + frac * (v1 - v0)
+
+
+def _weekday_mean(anchors: tuple[tuple[float, float], ...]) -> float:
+    # Trapezoidal mean over 24 h.
+    total = 0.0
+    for (h0, v0), (h1, v1) in zip(anchors, anchors[1:]):
+        total += (h1 - h0) * (v0 + v1) / 2.0
+    return total / 24.0
+
+
+_WEEKDAY_NORM = _weekday_mean(WEEKDAY_ANCHORS)
+
+
+def load_multiplier(t: float, utc_offset_hours: float) -> float:
+    """Load multiplier at simulation time ``t`` for a given local offset.
+
+    Normalized so the weekday 24-hour mean is 1.0.
+    """
+    local = t + utc_offset_hours * SECONDS_PER_HOUR
+    if day_of_week(local) >= 5:
+        return WEEKEND_LEVEL / _WEEKDAY_NORM
+    hour = (local % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+    return _interp_anchors(hour, WEEKDAY_ANCHORS) / _WEEKDAY_NORM
+
+
+def load_multiplier_array(t: float, utc_offsets: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`load_multiplier` over an array of local offsets.
+
+    Args:
+        t: Simulation time in seconds.
+        utc_offsets: Per-link local-time offsets in hours.
+
+    Returns:
+        Array of multipliers, same shape as ``utc_offsets``.
+    """
+    local = t + utc_offsets * SECONDS_PER_HOUR
+    dow = (local // SECONDS_PER_DAY).astype(np.int64) % 7
+    hours = (local % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+    xs = np.array([a[0] for a in WEEKDAY_ANCHORS])
+    ys = np.array([a[1] for a in WEEKDAY_ANCHORS])
+    weekday_vals = np.interp(hours, xs, ys) / _WEEKDAY_NORM
+    weekend_val = WEEKEND_LEVEL / _WEEKDAY_NORM
+    return np.where(dow >= 5, weekend_val, weekday_vals)

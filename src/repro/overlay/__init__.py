@@ -1,0 +1,27 @@
+"""Detour-style overlay routing: the system the paper's findings motivated.
+
+The paper's analysis is an *oracle*: it asks whether better alternates
+existed in retrospect.  This subpackage implements the online system that
+question implies — an overlay whose nodes probe each other, maintain EWMA
+path-quality estimates, and relay flows through peers when the estimated
+alternate clears a hysteresis bar — and evaluates how much of the oracle
+gain such a system actually captures under estimation lag.
+"""
+
+from repro.overlay.network import (
+    FlowOutcome,
+    OverlayEvaluation,
+    OverlayNetwork,
+)
+from repro.overlay.router import OverlayRoute, OverlayRouter
+from repro.overlay.state import LinkEstimate, OverlayState
+
+__all__ = [
+    "FlowOutcome",
+    "LinkEstimate",
+    "OverlayEvaluation",
+    "OverlayNetwork",
+    "OverlayRoute",
+    "OverlayRouter",
+    "OverlayState",
+]

@@ -1,0 +1,242 @@
+"""The overlay network driver and its evaluation harness.
+
+:class:`OverlayNetwork` runs a Detour-style overlay over the simulated
+Internet: all pairs are probed on a fixed cadence to refresh the EWMA
+estimates, and application flows are routed by :class:`OverlayRouter`.
+The evaluation compares, per flow, the *actual* (simulated) latency of
+
+* the direct Internet path,
+* the overlay's chosen route (built from possibly stale estimates), and
+* the oracle — the best achievable route at that instant,
+
+quantifying how much of the paper's offline alternate-path gain an online
+system realizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.conditions import NetworkConditions, PathSampler
+from repro.overlay.router import OverlayRoute, OverlayRouter
+from repro.overlay.state import OverlayState, Pair
+from repro.routing.forwarding import PathResolver
+from repro.topology.network import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class FlowOutcome:
+    """One evaluated flow.
+
+    Attributes:
+        t: Flow start time.
+        src: Source host.
+        dst: Destination host.
+        route: The overlay's chosen route.
+        direct_rtt_ms: Actual direct-path RTT at ``t`` (NaN if the probe
+            would have been lost).
+        overlay_rtt_ms: Actual RTT along the chosen route at ``t``.
+        oracle_rtt_ms: Best actual RTT over direct and all single-relay
+            routes at ``t``.
+    """
+
+    t: float
+    src: str
+    dst: str
+    route: OverlayRoute
+    direct_rtt_ms: float
+    overlay_rtt_ms: float
+    oracle_rtt_ms: float
+
+    @property
+    def overlay_gain_ms(self) -> float:
+        """Actual improvement of the overlay's choice over direct."""
+        return self.direct_rtt_ms - self.overlay_rtt_ms
+
+    @property
+    def oracle_gain_ms(self) -> float:
+        """Improvement an omniscient router would have achieved."""
+        return self.direct_rtt_ms - self.oracle_rtt_ms
+
+
+@dataclass
+class OverlayEvaluation:
+    """Aggregate results of an overlay run."""
+
+    outcomes: list[FlowOutcome] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def _finite(self, values: list[float]) -> np.ndarray:
+        arr = np.array(values)
+        return arr[np.isfinite(arr)]
+
+    def mean_direct_rtt(self) -> float:
+        """Mean actual RTT of the direct paths."""
+        return float(self._finite([o.direct_rtt_ms for o in self.outcomes]).mean())
+
+    def mean_overlay_rtt(self) -> float:
+        """Mean actual RTT of the overlay's choices."""
+        return float(self._finite([o.overlay_rtt_ms for o in self.outcomes]).mean())
+
+    def mean_oracle_rtt(self) -> float:
+        """Mean actual RTT of the oracle's choices."""
+        return float(self._finite([o.oracle_rtt_ms for o in self.outcomes]).mean())
+
+    def deflection_rate(self) -> float:
+        """Fraction of flows the overlay relayed (vs sent direct)."""
+        if not self.outcomes:
+            return 0.0
+        return float(np.mean([not o.route.is_direct for o in self.outcomes]))
+
+    def win_rate(self) -> float:
+        """Fraction of relayed flows that actually beat the direct path."""
+        relayed = [o for o in self.outcomes if not o.route.is_direct]
+        if not relayed:
+            return 0.0
+        gains = self._finite([o.overlay_gain_ms for o in relayed])
+        return float(np.mean(gains > 0)) if gains.size else 0.0
+
+    def gain_capture(self) -> float:
+        """Fraction of the oracle's aggregate gain the overlay realized.
+
+        1.0 means the online overlay matched the paper's offline oracle;
+        0.0 means it captured nothing.
+        """
+        oracle = self._finite([max(o.oracle_gain_ms, 0.0) for o in self.outcomes])
+        overlay = self._finite([o.overlay_gain_ms for o in self.outcomes])
+        total_oracle = float(oracle.sum())
+        if total_oracle <= 0:
+            return 0.0
+        return float(overlay.sum()) / total_oracle
+
+
+class OverlayNetwork:
+    """A Detour-style measurement-and-relay overlay."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        conditions: NetworkConditions,
+        hosts: list[str],
+        *,
+        resolver: PathResolver | None = None,
+        probe_interval_s: float = 120.0,
+        ewma_alpha: float = 0.3,
+        hysteresis: float = 0.1,
+        max_relays: int = 1,
+        clip_factor: float | None = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if probe_interval_s <= 0:
+            raise ValueError("probe_interval_s must be positive")
+        self._topo = topo
+        self._resolver = resolver or PathResolver(topo)
+        self.hosts = list(hosts)
+        self.state = OverlayState(
+            self.hosts, alpha=ewma_alpha, clip_factor=clip_factor
+        )
+        self.router = OverlayRouter(
+            self.state, hysteresis=hysteresis, max_relays=max_relays
+        )
+        self.probe_interval_s = probe_interval_s
+        self._rng = np.random.default_rng((seed, 0x0E41A7))
+        pairs = [
+            (a, b) for a, b in itertools.permutations(self.hosts, 2)
+        ]
+        self._pair_index = {pair: i for i, pair in enumerate(pairs)}
+        self._sampler = PathSampler(
+            conditions,
+            [self._resolver.resolve_round_trip(a, b) for a, b in pairs],
+        )
+        self._last_probe_t: float | None = None
+
+    # -- measurement ----------------------------------------------------------
+
+    def probe_all(self, t: float) -> None:
+        """One probe round: measure every ordered pair once at time ``t``."""
+        batch = self._sampler.probe(t, self._rng)
+        for pair, idx in self._pair_index.items():
+            self.state.record_probe(pair, float(batch.rtt_ms[idx]))
+        self._last_probe_t = t
+
+    def warm_up(self, t0: float, rounds: int = 5) -> float:
+        """Run ``rounds`` probe rounds before ``t0``; returns ``t0``."""
+        for k in range(rounds, 0, -1):
+            self.probe_all(t0 - k * self.probe_interval_s)
+        return t0
+
+    def advance_to(self, t: float) -> None:
+        """Run any probe rounds scheduled before ``t``."""
+        if self._last_probe_t is None:
+            self.warm_up(t)
+            return
+        while self._last_probe_t + self.probe_interval_s <= t:
+            self.probe_all(self._last_probe_t + self.probe_interval_s)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _actual_rtt(self, pair: Pair, t: float) -> float:
+        """Expected actual RTT of one leg at time ``t`` (no probe noise)."""
+        idx = self._pair_index[pair]
+        view = self._sampler.view(t)
+        return float(view.prop[idx] + view.qsum[idx])
+
+    def send_flow(self, src: str, dst: str, t: float) -> FlowOutcome:
+        """Route one flow at time ``t`` and evaluate the choice.
+
+        Raises:
+            KeyError: if either host is not an overlay member.
+        """
+        self.advance_to(t)
+        route = self.router.select(src, dst)
+        direct = self._actual_rtt((src, dst), t)
+        overlay = sum(self._actual_rtt(leg, t) for leg in route.legs) if not route.is_direct else direct
+        oracle = direct
+        for mid in self.hosts:
+            if mid in (src, dst):
+                continue
+            candidate = self._actual_rtt((src, mid), t) + self._actual_rtt((mid, dst), t)
+            oracle = min(oracle, candidate)
+        return FlowOutcome(
+            t=t,
+            src=src,
+            dst=dst,
+            route=route,
+            direct_rtt_ms=direct,
+            overlay_rtt_ms=overlay,
+            oracle_rtt_ms=oracle,
+        )
+
+    def evaluate(
+        self,
+        t0: float,
+        duration_s: float,
+        n_flows: int,
+        *,
+        warm_up_rounds: int = 5,
+    ) -> OverlayEvaluation:
+        """Run the overlay for a period, sending random evaluation flows.
+
+        Args:
+            t0: Start time.
+            duration_s: Evaluation window length.
+            n_flows: Number of random (src, dst, t) flows to route.
+            warm_up_rounds: Probe rounds executed before ``t0``.
+        """
+        if n_flows <= 0:
+            raise ValueError("n_flows must be positive")
+        self.warm_up(t0, rounds=warm_up_rounds)
+        times = np.sort(self._rng.uniform(t0, t0 + duration_s, size=n_flows))
+        evaluation = OverlayEvaluation()
+        for t in times:
+            src, dst = self._rng.choice(len(self.hosts), size=2, replace=False)
+            evaluation.outcomes.append(
+                self.send_flow(self.hosts[src], self.hosts[dst], float(t))
+            )
+        return evaluation

@@ -1,0 +1,129 @@
+"""Overlay route selection with hysteresis.
+
+Given the overlay's current EWMA estimates, choose how to deliver a flow:
+directly, or relayed through up to ``max_relays`` overlay hosts.  The
+direct path is sticky — the overlay only deviates when the estimated
+alternate beats the direct estimate by the hysteresis margin, damping the
+route oscillations the original ARPANET delay-based routing suffered from
+(paper §3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.overlay.state import OverlayState, Pair
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayRoute:
+    """A selected overlay route.
+
+    Attributes:
+        src: Source host.
+        dst: Destination host.
+        relays: Intermediate overlay hosts (empty = direct).
+        estimated_rtt_ms: EWMA-estimated RTT of the chosen route.
+    """
+
+    src: str
+    dst: str
+    relays: tuple[str, ...]
+    estimated_rtt_ms: float
+
+    @property
+    def is_direct(self) -> bool:
+        """Whether the route uses no relay."""
+        return not self.relays
+
+    @property
+    def legs(self) -> tuple[Pair, ...]:
+        """The ordered overlay links the route traverses."""
+        nodes = (self.src, *self.relays, self.dst)
+        return tuple(zip(nodes, nodes[1:]))
+
+
+class OverlayRouter:
+    """Selects routes from an :class:`OverlayState`."""
+
+    def __init__(
+        self,
+        state: OverlayState,
+        *,
+        hysteresis: float = 0.1,
+        max_relays: int = 1,
+        loss_penalty_ms: float = 200.0,
+    ) -> None:
+        """
+        Args:
+            state: Shared estimate store.
+            hysteresis: Required fractional improvement of an alternate's
+                estimate over the direct estimate before deviating.
+            max_relays: Maximum relay hosts per route (1 = Detour-style
+                single deflection; 2 adds two-relay paths).
+            loss_penalty_ms: Weight converting estimated loss into an RTT
+                penalty when comparing routes (a crude composite of the
+                paper's two metrics).
+        """
+        if hysteresis < 0:
+            raise ValueError(f"hysteresis must be >= 0, got {hysteresis}")
+        if max_relays not in (1, 2):
+            raise ValueError("max_relays must be 1 or 2")
+        self.state = state
+        self.hysteresis = hysteresis
+        self.max_relays = max_relays
+        self.loss_penalty_ms = loss_penalty_ms
+
+    def _cost(self, pair: Pair) -> float:
+        est = self.state.estimate(pair)
+        if not est.usable:
+            return math.inf
+        return est.rtt_ms + self.loss_penalty_ms * est.loss
+
+    def select(self, src: str, dst: str) -> OverlayRoute:
+        """Choose the route for one flow under the current estimates.
+
+        Falls back to direct when estimates are missing or no alternate
+        clears the hysteresis bar.
+        """
+        direct_cost = self._cost((src, dst))
+        direct_est = self.state.estimate((src, dst))
+        best_relays: tuple[str, ...] = ()
+        best_cost = math.inf
+        hosts = self.state.hosts
+        for mid in hosts:
+            if mid in (src, dst):
+                continue
+            cost = self._cost((src, mid)) + self._cost((mid, dst))
+            if cost < best_cost:
+                best_cost, best_relays = cost, (mid,)
+            if self.max_relays >= 2:
+                for mid2 in hosts:
+                    if mid2 in (src, dst, mid):
+                        continue
+                    cost2 = (
+                        self._cost((src, mid))
+                        + self._cost((mid, mid2))
+                        + self._cost((mid2, dst))
+                    )
+                    if cost2 < best_cost:
+                        best_cost, best_relays = cost2, (mid, mid2)
+        use_alternate = (
+            math.isfinite(best_cost)
+            and best_cost < direct_cost * (1.0 - self.hysteresis)
+        )
+        if use_alternate:
+            rtt = sum(
+                self.state.estimate(leg).rtt_ms
+                for leg in zip((src, *best_relays), (*best_relays, dst))
+            )
+            return OverlayRoute(
+                src=src, dst=dst, relays=best_relays, estimated_rtt_ms=rtt
+            )
+        return OverlayRoute(
+            src=src,
+            dst=dst,
+            relays=(),
+            estimated_rtt_ms=direct_est.rtt_ms if direct_est.usable else math.nan,
+        )

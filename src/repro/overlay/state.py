@@ -1,0 +1,100 @@
+"""Overlay measurement state: EWMA path-quality estimates.
+
+An overlay node continuously probes its peers and keeps exponentially
+weighted moving averages of RTT and loss per ordered pair.  This is the
+online analog of the paper's long-term time averages — deliberately
+simple, because the point of the overlay evaluation is to ask how much of
+the paper's *oracle* gain survives estimation lag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+Pair = tuple[str, str]
+
+
+@dataclass(slots=True)
+class LinkEstimate:
+    """EWMA estimates for one ordered overlay link.
+
+    Attributes:
+        rtt_ms: Smoothed round-trip time; NaN until the first success.
+        loss: Smoothed loss indicator in [0, 1].
+        samples: Number of probe results folded in.
+    """
+
+    rtt_ms: float = math.nan
+    loss: float = 0.0
+    samples: int = 0
+
+    @property
+    def usable(self) -> bool:
+        """Whether the link has at least one successful RTT sample."""
+        return not math.isnan(self.rtt_ms)
+
+
+class OverlayState:
+    """Per-pair EWMA estimates for a full overlay mesh."""
+
+    def __init__(
+        self,
+        hosts: list[str],
+        *,
+        alpha: float = 0.3,
+        clip_factor: float | None = 3.0,
+    ) -> None:
+        """
+        Args:
+            hosts: Overlay membership.
+            alpha: EWMA weight of the newest sample, in (0, 1].
+            clip_factor: Robustness clip — an RTT sample larger than
+                ``clip_factor`` times the current estimate is clipped to
+                that bound before the update, so single heavy-tail probes
+                (route flaps, router stalls) cannot whipsaw route
+                selection.  None disables clipping.
+        """
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if clip_factor is not None and clip_factor <= 1.0:
+            raise ValueError(f"clip_factor must exceed 1, got {clip_factor}")
+        if len(hosts) < 2:
+            raise ValueError("an overlay needs at least two hosts")
+        self.hosts = list(hosts)
+        self.alpha = alpha
+        self.clip_factor = clip_factor
+        self._links: dict[Pair, LinkEstimate] = {
+            (a, b): LinkEstimate()
+            for a in hosts
+            for b in hosts
+            if a != b
+        }
+
+    def record_probe(self, pair: Pair, rtt_ms: float) -> None:
+        """Fold one probe result in; ``rtt_ms`` is NaN for a lost probe."""
+        est = self._links[pair]
+        lost = math.isnan(rtt_ms)
+        a = self.alpha
+        est.loss = (1 - a) * est.loss + a * (1.0 if lost else 0.0)
+        if not lost:
+            if est.usable:
+                sample = rtt_ms
+                if self.clip_factor is not None:
+                    sample = min(sample, self.clip_factor * est.rtt_ms)
+                est.rtt_ms = (1 - a) * est.rtt_ms + a * sample
+            else:
+                est.rtt_ms = rtt_ms
+        est.samples += 1
+
+    def estimate(self, pair: Pair) -> LinkEstimate:
+        """Current estimate for an ordered pair.
+
+        Raises:
+            KeyError: if the pair is not in the overlay.
+        """
+        return self._links[pair]
+
+    def usable_pairs(self) -> list[Pair]:
+        """Ordered pairs with at least one successful RTT sample."""
+        return sorted(p for p, e in self._links.items() if e.usable)

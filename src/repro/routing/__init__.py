@@ -1,0 +1,39 @@
+"""Routing protocols: intra-AS IGP, inter-AS BGP, and path resolution."""
+
+from repro.routing.bgp import BGPError, BGPRoute, BGPTable
+from repro.routing.dynamics import (
+    DynamicPathSampler,
+    FLAP_WINDOW_S,
+    RouteFlapModel,
+    resolve_secondary,
+)
+from repro.routing.forwarding import (
+    EgressPolicy,
+    ForwardPath,
+    ForwardingError,
+    OptimalResolver,
+    PathResolver,
+    RoundTripPath,
+)
+from repro.routing.igp import IGPError, IGPPath, IGPSuite, IGPTable, link_metric
+
+__all__ = [
+    "BGPError",
+    "BGPRoute",
+    "BGPTable",
+    "DynamicPathSampler",
+    "EgressPolicy",
+    "FLAP_WINDOW_S",
+    "ForwardPath",
+    "ForwardingError",
+    "IGPError",
+    "IGPPath",
+    "IGPSuite",
+    "IGPTable",
+    "OptimalResolver",
+    "PathResolver",
+    "RoundTripPath",
+    "RouteFlapModel",
+    "link_metric",
+    "resolve_secondary",
+]

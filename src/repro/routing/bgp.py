@@ -1,0 +1,176 @@
+"""Inter-AS policy routing in the style of BGP.
+
+The paper (§3) stresses that BGP "does not necessarily select routes by
+minimizing some global metric"; instead each AS applies a local policy.
+We model the canonical policy structure of the commercial Internet
+(Gao–Rexford):
+
+* **Preference** — routes learned from customers are preferred over routes
+  learned from peers, which are preferred over routes learned from
+  providers (local-pref classes from
+  :data:`repro.topology.asys.LOCAL_PREF`); ties are broken by shortest
+  AS-path length, then by lowest next-hop ASN (a stand-in for the real
+  protocol's arbitrary tie-breaks).
+* **Export (valley-free rule)** — an AS advertises customer-learned routes
+  (and its own prefixes) to everyone, but advertises peer- and
+  provider-learned routes only to its customers.  This is exactly what
+  makes "good" paths inexpressible: two stubs of different providers can
+  never transit a third stub, and peer-peer-peer paths do not exist.
+
+Routes are computed per destination AS by fixed-point relaxation of the
+decision process, which converges for any relationship graph without
+customer-provider cycles (the generator only produces such graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.asys import LOCAL_PREF, Relationship
+from repro.topology.network import Topology
+
+
+class BGPError(RuntimeError):
+    """Raised on BGP computation failures (e.g. non-convergence)."""
+
+
+@dataclass(frozen=True, slots=True)
+class BGPRoute:
+    """A route installed at some AS toward a destination AS.
+
+    Attributes:
+        dest: Destination ASN.
+        as_path: ASNs from the route's holder to ``dest``, inclusive of
+            both endpoints.  For the destination itself the path is
+            ``(dest,)``.
+        learned_from: Relationship class of the neighbor the route was
+            learned from; ``None`` for the origin.
+    """
+
+    dest: int
+    as_path: tuple[int, ...]
+    learned_from: Relationship | None
+
+    @property
+    def next_hop(self) -> int:
+        """The neighbor ASN traffic is handed to (== self for the origin)."""
+        return self.as_path[1] if len(self.as_path) > 1 else self.as_path[0]
+
+    @property
+    def local_pref(self) -> int:
+        """Local-preference value of this route."""
+        if self.learned_from is None:
+            return max(LOCAL_PREF.values()) + 100  # own prefix beats all
+        return LOCAL_PREF[self.learned_from]
+
+    def preference_key(self) -> tuple[int, int, int]:
+        """Sort key: smaller is more preferred.
+
+        Orders by descending local-pref, ascending AS-path length,
+        ascending next-hop ASN.
+        """
+        return (-self.local_pref, len(self.as_path), self.next_hop)
+
+
+def _exportable(route: BGPRoute, to_relationship: Relationship) -> bool:
+    """Valley-free export check.
+
+    ``to_relationship`` is the relationship of the *receiving* neighbor
+    from the advertising AS's viewpoint.
+    """
+    if to_relationship in (Relationship.CUSTOMER, Relationship.SIBLING):
+        return True  # everything goes to customers/siblings
+    # To peers and providers: only own and customer/sibling-learned routes.
+    return route.learned_from in (None, Relationship.CUSTOMER, Relationship.SIBLING)
+
+
+class BGPTable:
+    """Converged BGP routing state for every (AS, destination AS) pair."""
+
+    #: Relaxation rounds before declaring non-convergence.  Any
+    #: Gao–Rexford-compliant graph converges in O(diameter) rounds.
+    MAX_ROUNDS = 64
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+        # routes[dest][asn] -> best BGPRoute at `asn` toward `dest`.
+        self._routes: dict[int, dict[int, BGPRoute]] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def route(self, src_asn: int, dst_asn: int) -> BGPRoute | None:
+        """Best route installed at ``src_asn`` toward ``dst_asn``.
+
+        Returns None when policy leaves the destination unreachable.
+        """
+        if dst_asn not in self._routes:
+            self._routes[dst_asn] = self._converge(dst_asn)
+        return self._routes[dst_asn].get(src_asn)
+
+    def as_path(self, src_asn: int, dst_asn: int) -> tuple[int, ...] | None:
+        """AS-level path from ``src_asn`` to ``dst_asn`` (inclusive), or None."""
+        route = self.route(src_asn, dst_asn)
+        return route.as_path if route else None
+
+    def reachable_fraction(self) -> float:
+        """Fraction of ordered AS pairs with a policy-compliant route.
+
+        A diagnostic: a well-formed hierarchy should be fully connected.
+        """
+        asns = list(self._topo.ases)
+        total = 0
+        ok = 0
+        for d in asns:
+            for s in asns:
+                if s == d:
+                    continue
+                total += 1
+                if self.route(s, d) is not None:
+                    ok += 1
+        return ok / total if total else 1.0
+
+    # -- convergence -------------------------------------------------------
+
+    def _converge(self, dest: int) -> dict[int, BGPRoute]:
+        """Run the decision/export fixpoint for one destination."""
+        topo = self._topo
+        if dest not in topo.ases:
+            raise BGPError(f"unknown destination ASN {dest}")
+        origin = BGPRoute(dest=dest, as_path=(dest,), learned_from=None)
+        best: dict[int, BGPRoute] = {dest: origin}
+        # Synchronous rounds recomputed from the previous round's state: at
+        # the fixpoint every stored as_path is, by construction, consistent
+        # with the next hop's own choice, so AS-level forwarding can follow
+        # either the stored path or the next-hop chain interchangeably.
+        for _ in range(self.MAX_ROUNDS):
+            new_best: dict[int, BGPRoute] = {dest: origin}
+            for asn in sorted(topo.ases):
+                if asn == dest:
+                    continue
+                candidates: list[BGPRoute] = []
+                for as_link in topo.as_neighbors(asn):
+                    neighbor = as_link.other(asn)
+                    neighbor_route = best.get(neighbor)
+                    if neighbor_route is None:
+                        continue
+                    if asn in neighbor_route.as_path:
+                        continue  # loop prevention
+                    # How the neighbor sees *us* governs whether it exports.
+                    rel_neighbor_to_us = as_link.relationship_from(neighbor)
+                    if not _exportable(neighbor_route, rel_neighbor_to_us):
+                        continue
+                    # How *we* see the neighbor governs our preference.
+                    rel_us_to_neighbor = as_link.relationship_from(asn)
+                    candidates.append(
+                        BGPRoute(
+                            dest=dest,
+                            as_path=(asn, *neighbor_route.as_path),
+                            learned_from=rel_us_to_neighbor,
+                        )
+                    )
+                if candidates:
+                    new_best[asn] = min(candidates, key=BGPRoute.preference_key)
+            if new_best == best:
+                return best
+            best = new_best
+        raise BGPError(f"BGP did not converge for destination AS{dest}")

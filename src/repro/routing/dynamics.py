@@ -1,0 +1,161 @@
+"""Route dynamics: flaps between primary and secondary paths.
+
+Paxson (cited in §2) found Internet paths "generally dominated by a
+single route", with a minority of pairs experiencing route fluctuation;
+Labovitz et al. tie instability periods to load.  This module adds that
+behaviour to the substrate:
+
+* a **secondary path** per ordered pair, resolved by forcing the first
+  multi-exchange AS hop onto its second-choice egress (what a BGP-level
+  flap at the primary exchange would produce);
+* a :class:`RouteFlapModel` that deterministically decides, per pair and
+  time, whether the primary or secondary route is in effect — flap
+  episodes arrive per-pair as a renewal process derived from counter-based
+  hashing, so any query order gives identical answers;
+* a :class:`DynamicPathSampler` with the same probing interface as
+  :class:`~repro.netsim.conditions.PathSampler` that draws each probe
+  from whichever route is active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.conditions import (
+    NetworkConditions,
+    PathSampler,
+    ProbeBatch,
+    SamplerView,
+)
+from repro.routing.forwarding import PathResolver, RoundTripPath
+
+#: Length of a flap-evaluation window.  Within one window a pair's active
+#: route is fixed; flap episodes are multiples of this granularity.
+FLAP_WINDOW_S = 900.0
+
+
+@dataclass(frozen=True, slots=True)
+class RouteFlapModel:
+    """Deterministic per-pair route-flap process.
+
+    Attributes:
+        flappy_fraction: Fraction of pairs that experience flaps at all
+            (Paxson: most paths are stable; a minority fluctuate).
+        flap_probability: Per-window probability that a flappy pair sits
+            on its secondary route.
+        seed: Hash seed (reproducibility).
+    """
+
+    flappy_fraction: float = 0.2
+    flap_probability: float = 0.08
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flappy_fraction <= 1.0:
+            raise ValueError("flappy_fraction must be in [0, 1]")
+        if not 0.0 <= self.flap_probability <= 1.0:
+            raise ValueError("flap_probability must be in [0, 1]")
+
+    def _hash01(self, *parts: int) -> float:
+        rng = np.random.default_rng((self.seed, 0xF1A9, *parts))
+        return float(rng.random())
+
+    def is_flappy(self, pair_index: int) -> bool:
+        """Whether this pair ever leaves its primary route."""
+        return self._hash01(pair_index) < self.flappy_fraction
+
+    def on_secondary(self, pair_index: int, t: float) -> bool:
+        """Whether the pair uses its secondary route at time ``t``."""
+        if not self.is_flappy(pair_index):
+            return False
+        window = int(t // FLAP_WINDOW_S)
+        return self._hash01(pair_index, window) < self.flap_probability
+
+    def prevalence(self, pair_index: int, horizon_s: float) -> float:
+        """Fraction of windows spent on the primary route over a horizon.
+
+        This is Paxson's "route prevalence" statistic for the pair.
+        """
+        windows = max(int(horizon_s // FLAP_WINDOW_S), 1)
+        on_primary = sum(
+            0 if self.on_secondary(pair_index, w * FLAP_WINDOW_S) else 1
+            for w in range(windows)
+        )
+        return on_primary / windows
+
+
+def resolve_secondary(
+    resolver: PathResolver, src: str, dst: str
+) -> RoundTripPath:
+    """The pair's secondary round trip: first flexible hop demoted.
+
+    Falls back to the primary when no AS hop has an alternative exchange
+    (single-homed chains have nothing to flap to).
+    """
+    return resolver.resolve_round_trip_secondary(src, dst)
+
+
+class DynamicPathSampler:
+    """Samples probes over flapping routes.
+
+    Drop-in replacement for :class:`PathSampler` in the collector: it owns
+    two underlying samplers (primary and secondary paths, index-aligned)
+    and consults the flap model per (pair, time).
+    """
+
+    def __init__(
+        self,
+        conditions: NetworkConditions,
+        primaries: list[RoundTripPath],
+        secondaries: list[RoundTripPath],
+        flap_model: RouteFlapModel,
+    ) -> None:
+        if len(primaries) != len(secondaries):
+            raise ValueError("primary/secondary path lists must align")
+        self._primary = PathSampler(conditions, primaries)
+        self._secondary = PathSampler(conditions, secondaries)
+        self.flap_model = flap_model
+
+    def __len__(self) -> int:
+        return len(self._primary)
+
+    def _active_mask(self, t: float) -> np.ndarray:
+        return np.array(
+            [
+                self.flap_model.on_secondary(i, t)
+                for i in range(len(self))
+            ]
+        )
+
+    def prop_delays(self) -> np.ndarray:
+        """Primary-route propagation delays (static reference)."""
+        return self._primary.prop_delays()
+
+    def view(self, t: float) -> SamplerView:
+        """Blended congestion view: per pair, the active route's state."""
+        pv = self._primary.view(t)
+        sv = self._secondary.view(t)
+        mask = self._active_mask(t)
+        return SamplerView(
+            t=t,
+            prop=np.where(mask, sv.prop, pv.prop),
+            qsum=np.where(mask, sv.qsum, pv.qsum),
+            ploss=np.where(mask, sv.ploss, pv.ploss),
+        )
+
+    def probe(
+        self,
+        t: float,
+        rng: np.random.Generator,
+        indices: np.ndarray | None = None,
+    ) -> ProbeBatch:
+        """Probe each selected pair along its currently active route."""
+        view = self.view(t)
+        idx = np.arange(len(self)) if indices is None else np.asarray(indices)
+        rtts = np.empty(len(idx))
+        for out_pos, pair_idx in enumerate(idx):
+            rtts[out_pos] = view.probe_pair(int(pair_idx), rng)
+        lost = np.isnan(rtts)
+        return ProbeBatch(rtt_ms=rtts, lost=lost)

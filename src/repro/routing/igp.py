@@ -1,0 +1,151 @@
+"""Interior gateway protocol: intra-AS shortest-path routing.
+
+Each AS routes internally with its own metric (paper §3): small ASes use
+raw hop counts, larger ones use statically configured metrics that track
+propagation delay.  This module computes, per AS, all-pairs shortest paths
+over the AS's induced router subgraph and exposes cost/path lookups used
+by the forwarding layer to pick egress points and expand AS-level routes
+into router-level hops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.topology.asys import IGPStyle
+from repro.topology.links import Link
+from repro.topology.network import Topology
+
+
+class IGPError(RuntimeError):
+    """Raised when an IGP lookup cannot be satisfied."""
+
+
+def link_metric(link: Link, style: IGPStyle) -> float:
+    """IGP metric of a link under the given style.
+
+    Hop-count ASes weigh every link equally; delay-metric ASes use the
+    propagation delay (what an operator tuning static metrics to avoid
+    high-latency trunks effectively achieves).
+    """
+    if style is IGPStyle.HOP_COUNT:
+        return 1.0
+    return link.prop_delay_ms
+
+
+@dataclass(frozen=True, slots=True)
+class IGPPath:
+    """A resolved intra-AS path.
+
+    Attributes:
+        routers: Router ids from source to destination inclusive.
+        links: Link ids between consecutive routers (one fewer than
+            ``routers``).
+        cost: Total metric cost.
+        prop_delay_ms: Total one-way propagation delay along the path.
+    """
+
+    routers: tuple[int, ...]
+    links: tuple[int, ...]
+    cost: float
+    prop_delay_ms: float
+
+
+class IGPTable:
+    """All-pairs intra-AS routing state for one AS."""
+
+    def __init__(self, topo: Topology, asn: int) -> None:
+        self._topo = topo
+        self.asn = asn
+        self.style = topo.ases[asn].igp_style
+        self._routers = list(topo.routers_of(asn))
+        router_set = set(self._routers)
+        # Induced subgraph: links whose both endpoints belong to this AS.
+        self._adj: dict[int, list[Link]] = {r: [] for r in self._routers}
+        for r in self._routers:
+            for link in topo.links_of(r):
+                if link.other(r) in router_set:
+                    self._adj[r].append(link)
+        # Lazily computed per-source shortest-path trees.
+        self._dist: dict[int, dict[int, float]] = {}
+        self._pred: dict[int, dict[int, tuple[int, int]]] = {}
+
+    def _ensure_source(self, src: int) -> None:
+        if src in self._dist:
+            return
+        if src not in self._adj:
+            raise IGPError(f"router {src} is not in AS{self.asn}")
+        dist: dict[int, float] = {src: 0.0}
+        pred: dict[int, tuple[int, int]] = {}
+        heap: list[tuple[float, int]] = [(0.0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            for link in self._adj[u]:
+                v = link.other(u)
+                nd = d + link_metric(link, self.style)
+                if nd < dist.get(v, float("inf")) - 1e-12:
+                    dist[v] = nd
+                    pred[v] = (u, link.link_id)
+                    heapq.heappush(heap, (nd, v))
+        self._dist[src] = dist
+        self._pred[src] = pred
+
+    def cost(self, src: int, dst: int) -> float:
+        """Metric cost from ``src`` to ``dst``; ``inf`` if unreachable."""
+        self._ensure_source(src)
+        return self._dist[src].get(dst, float("inf"))
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether ``dst`` is reachable from ``src`` inside this AS."""
+        return self.cost(src, dst) != float("inf")
+
+    def path(self, src: int, dst: int) -> IGPPath:
+        """Shortest intra-AS path from ``src`` to ``dst``.
+
+        Raises:
+            IGPError: if ``dst`` is unreachable from ``src``.
+        """
+        self._ensure_source(src)
+        if dst not in self._dist[src]:
+            raise IGPError(f"router {dst} unreachable from {src} within AS{self.asn}")
+        routers = [dst]
+        links: list[int] = []
+        node = dst
+        pred = self._pred[src]
+        while node != src:
+            prev, link_id = pred[node]
+            links.append(link_id)
+            routers.append(prev)
+            node = prev
+        routers.reverse()
+        links.reverse()
+        prop = sum(self._topo.links[i].prop_delay_ms for i in links)
+        return IGPPath(
+            routers=tuple(routers),
+            links=tuple(links),
+            cost=self._dist[src][dst],
+            prop_delay_ms=prop,
+        )
+
+
+class IGPSuite:
+    """Lazy per-AS collection of :class:`IGPTable` objects."""
+
+    def __init__(self, topo: Topology) -> None:
+        self._topo = topo
+        self._tables: dict[int, IGPTable] = {}
+
+    def table(self, asn: int) -> IGPTable:
+        """The IGP table for ``asn``, building it on first use.
+
+        Raises:
+            IGPError: if the ASN is unknown.
+        """
+        if asn not in self._tables:
+            if asn not in self._topo.ases:
+                raise IGPError(f"unknown ASN {asn}")
+            self._tables[asn] = IGPTable(self._topo, asn)
+        return self._tables[asn]

@@ -1,0 +1,71 @@
+"""Static Internet topology: geography, ASes, routers, links, hosts.
+
+Public entry points:
+
+* :func:`repro.topology.generate_topology` — build a seeded internetwork.
+* :func:`repro.topology.place_hosts` — attach measurement hosts.
+* :class:`repro.topology.TopologyConfig` — generation parameters / presets.
+"""
+
+from repro.topology.addressing import AddressPlan, AddressingError, RouterAddress
+from repro.topology.asys import (
+    ASLink,
+    ASTier,
+    AutonomousSystem,
+    IGPStyle,
+    LOCAL_PREF,
+    Relationship,
+)
+from repro.topology.export import TopologyStats, as_graph, router_graph, topology_stats
+from repro.topology.generator import TopologyConfig, generate_topology, place_hosts
+from repro.topology.geography import (
+    CITIES,
+    City,
+    UnknownCityError,
+    cities_in_region,
+    get_city,
+    great_circle_km,
+    mean_pairwise_distance_km,
+    north_american_cities,
+    propagation_delay_ms,
+    world_cities,
+)
+from repro.topology.links import Link, LinkKind
+from repro.topology.network import Topology, TopologyError
+from repro.topology.router import Host, Router, RouterRole
+
+__all__ = [
+    "ASLink",
+    "ASTier",
+    "AddressPlan",
+    "AddressingError",
+    "AutonomousSystem",
+    "CITIES",
+    "City",
+    "Host",
+    "IGPStyle",
+    "LOCAL_PREF",
+    "Link",
+    "LinkKind",
+    "Relationship",
+    "Router",
+    "RouterAddress",
+    "RouterRole",
+    "Topology",
+    "TopologyConfig",
+    "TopologyError",
+    "TopologyStats",
+    "UnknownCityError",
+    "as_graph",
+    "cities_in_region",
+    "generate_topology",
+    "get_city",
+    "great_circle_km",
+    "mean_pairwise_distance_km",
+    "north_american_cities",
+    "place_hosts",
+    "propagation_delay_ms",
+    "router_graph",
+    "topology_stats",
+    "world_cities",
+]

@@ -1,0 +1,130 @@
+"""IPv4 addressing for generated topologies.
+
+Assigns each AS a /16 from experimental space, each (AS, city) POP a /24
+within it, and each router an address in its POP's /24 — so traceroute
+output, logs, and exports carry realistic-looking addresses and reverse
+lookups work.  Purely cosmetic to the simulation, but essential to tools
+that present router-level paths.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.topology.network import Topology
+
+
+class AddressingError(RuntimeError):
+    """Raised when an address plan cannot be built or queried."""
+
+
+#: Base of the allocation: RFC 2544 / benchmarking space keeps generated
+#: addresses from colliding with anything meaningful.
+_BASE = int(ipaddress.IPv4Address("100.64.0.0"))
+
+#: /16 blocks available under the base (10-bit shared-address space is
+#: only /10; continue into the following experimental ranges as needed).
+_MAX_AS_BLOCKS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class RouterAddress:
+    """One router's assigned address and reverse name."""
+
+    router_id: int
+    address: ipaddress.IPv4Address
+    hostname: str
+
+
+class AddressPlan:
+    """Deterministic address assignment for one topology."""
+
+    def __init__(self, topo: Topology) -> None:
+        if len(topo.ases) > _MAX_AS_BLOCKS:
+            raise AddressingError("too many ASes for the address plan")
+        self._topo = topo
+        self._by_router: dict[int, RouterAddress] = {}
+        self._by_address: dict[ipaddress.IPv4Address, RouterAddress] = {}
+        as_block: dict[int, int] = {}
+        for i, asn in enumerate(sorted(topo.ases)):
+            as_block[asn] = _BASE + (i << 16)
+        # Per (asn, city) subnet index, then per-router host index.
+        subnet_index: dict[tuple[int, str], int] = {}
+        host_index: dict[tuple[int, str], int] = {}
+        for router in topo.routers:
+            key = (router.asn, router.city.name)
+            if key not in subnet_index:
+                subnet_index[key] = len(
+                    [k for k in subnet_index if k[0] == router.asn]
+                )
+                host_index[key] = 0
+            host_index[key] += 1
+            if host_index[key] > 253:
+                raise AddressingError(f"POP {key} exceeds a /24")
+            value = (
+                as_block[router.asn]
+                + (subnet_index[key] << 8)
+                + host_index[key]
+            )
+            address = ipaddress.IPv4Address(value)
+            entry = RouterAddress(
+                router_id=router.router_id,
+                address=address,
+                hostname=f"{router.role.value}{router.router_id}"
+                f".{router.city.name}.as{router.asn}.net",
+            )
+            self._by_router[router.router_id] = entry
+            self._by_address[address] = entry
+
+    def address_of(self, router_id: int) -> ipaddress.IPv4Address:
+        """The router's assigned IPv4 address.
+
+        Raises:
+            AddressingError: for unknown router ids.
+        """
+        try:
+            return self._by_router[router_id].address
+        except KeyError:
+            raise AddressingError(f"unknown router {router_id}") from None
+
+    def reverse(self, address: ipaddress.IPv4Address | str) -> str:
+        """Reverse lookup: address to hostname.
+
+        Raises:
+            AddressingError: for unassigned addresses.
+        """
+        addr = ipaddress.IPv4Address(address)
+        try:
+            return self._by_address[addr].hostname
+        except KeyError:
+            raise AddressingError(f"no router at {addr}") from None
+
+    def resolve(self, hostname: str) -> ipaddress.IPv4Address:
+        """Forward lookup: hostname to address.
+
+        Raises:
+            AddressingError: for unknown hostnames.
+        """
+        for entry in self._by_router.values():
+            if entry.hostname == hostname:
+                return entry.address
+        raise AddressingError(f"unknown hostname {hostname!r}")
+
+    def as_prefix(self, asn: int) -> ipaddress.IPv4Network:
+        """The /16 allocated to an AS.
+
+        Raises:
+            AddressingError: for unknown ASNs.
+        """
+        asns = sorted(self._topo.ases)
+        try:
+            index = asns.index(asn)
+        except ValueError:
+            raise AddressingError(f"unknown ASN {asn}") from None
+        return ipaddress.IPv4Network((_BASE + (index << 16), 16))
+
+    def format_hop(self, router_id: int) -> str:
+        """Traceroute-style display: ``hostname (a.b.c.d)``."""
+        entry = self._by_router[router_id]
+        return f"{entry.hostname} ({entry.address})"

@@ -1,0 +1,165 @@
+"""Autonomous-system model: AS records and business relationships.
+
+Section 3 of the paper describes the two-level Internet routing hierarchy:
+autonomous systems (ASes) running an IGP internally and BGP between each
+other, with per-AS routing *policies* driven by commercial relationships.
+This module provides the static AS-level objects: the AS itself, its tier in
+the provider hierarchy, and the typed relationships (customer/provider,
+peer/peer, sibling) that drive valley-free route export in
+:mod:`repro.routing.bgp`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.topology.geography import City
+
+
+class ASTier(enum.Enum):
+    """Position of an AS in the provider hierarchy.
+
+    ``TIER1`` ASes form the default-free core (the paper's era: Sprint, MCI,
+    UUNET, ...).  ``TRANSIT`` ASes are regional providers that buy transit
+    from tier-1s and sell it to stubs.  ``STUB`` ASes (universities,
+    enterprises) originate hosts and buy transit.
+    """
+
+    TIER1 = "tier1"
+    TRANSIT = "transit"
+    STUB = "stub"
+
+
+class Relationship(enum.Enum):
+    """Business relationship of a neighbor, from the local AS's viewpoint.
+
+    The relationship determines both route *preference* (customer routes are
+    revenue, so they are preferred over peer routes, which are preferred over
+    provider routes) and route *export* (the valley-free rule).
+    """
+
+    CUSTOMER = "customer"   # neighbor pays us
+    PROVIDER = "provider"   # we pay neighbor
+    PEER = "peer"           # settlement-free exchange
+    SIBLING = "sibling"     # same organization; exchange everything
+
+    def inverse(self) -> "Relationship":
+        """The relationship as seen from the other side of the link."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return self
+
+
+#: Local-preference classes used by the BGP decision process, higher is
+#: preferred.  Routes learned from customers beat peers beat providers.
+LOCAL_PREF: dict[Relationship, int] = {
+    Relationship.CUSTOMER: 300,
+    Relationship.SIBLING: 250,
+    Relationship.PEER: 200,
+    Relationship.PROVIDER: 100,
+}
+
+
+class IGPStyle(enum.Enum):
+    """How an AS assigns metrics to its internal links (paper §3).
+
+    Small ASes often use raw hop counts; large ones set static metrics that
+    track propagation delay to avoid long detours.
+    """
+
+    HOP_COUNT = "hop-count"
+    DELAY_METRIC = "delay-metric"
+
+
+@dataclass(slots=True)
+class AutonomousSystem:
+    """An autonomous system in the simulated Internet.
+
+    Attributes:
+        asn: Autonomous system number, unique within a topology.
+        name: Human-readable name, e.g. ``"backbone-3"``.
+        tier: Place in the provider hierarchy.
+        cities: Cities where this AS operates a POP.
+        igp_style: Internal routing metric style.
+        early_exit: Whether this AS practices early-exit (hot-potato)
+            routing when handing traffic to a neighbor reachable at several
+            exchange points.  The paper (§3) describes this as "a very
+            common policy for large network service providers".
+    """
+
+    asn: int
+    name: str
+    tier: ASTier
+    cities: list[City] = field(default_factory=list)
+    igp_style: IGPStyle = IGPStyle.HOP_COUNT
+    early_exit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.asn < 0:
+            raise ValueError(f"asn must be non-negative, got {self.asn}")
+        if not self.cities:
+            # Will be populated by the generator; an AS with no POP is only
+            # legal transiently during construction.
+            pass
+
+    def has_pop_in(self, city: City) -> bool:
+        """Whether this AS operates a POP in ``city``."""
+        return any(c.name == city.name for c in self.cities)
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"AS{self.asn}({self.name}, {self.tier.value}, {len(self.cities)} POPs)"
+
+
+@dataclass(frozen=True, slots=True)
+class ASLink:
+    """A BGP adjacency between two ASes.
+
+    Attributes:
+        a: Lower-numbered AS of the adjacency.
+        b: Higher-numbered AS of the adjacency.
+        rel_ab: Relationship of ``b`` from ``a``'s point of view; e.g.
+            ``Relationship.CUSTOMER`` means *b is a's customer*.
+        exchange_cities: Cities where the two ASes interconnect.  Multiple
+            exchange points make early-exit routing meaningful.
+    """
+
+    a: int
+    b: int
+    rel_ab: Relationship
+    exchange_cities: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("an AS cannot link to itself")
+        if not self.exchange_cities:
+            raise ValueError("an AS link needs at least one exchange city")
+
+    def relationship_from(self, asn: int) -> Relationship:
+        """The relationship of the *other* AS as seen from ``asn``.
+
+        Raises:
+            ValueError: if ``asn`` is not an endpoint of this link.
+        """
+        if asn == self.a:
+            return self.rel_ab
+        if asn == self.b:
+            return self.rel_ab.inverse()
+        raise ValueError(f"AS{asn} is not on link AS{self.a}-AS{self.b}")
+
+    def other(self, asn: int) -> int:
+        """The ASN at the other end of the adjacency.
+
+        Raises:
+            ValueError: if ``asn`` is not an endpoint of this link.
+        """
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise ValueError(f"AS{asn} is not on link AS{self.a}-AS{self.b}")

@@ -1,0 +1,645 @@
+"""Seeded generation of hierarchical Internet topologies.
+
+The generator builds an internetwork in the image of the late-1990s
+Internet that the paper measured:
+
+* a small clique of **tier-1 backbones** with POPs in major cities,
+  peering with each other at a handful of exchange points;
+* **regional transit providers** that buy transit from one or two tier-1s
+  and occasionally peer with each other regionally;
+* **stub ASes** (universities, enterprises) that buy transit from one or
+  two providers; a fraction are multihomed.
+
+Two era presets are provided.  ``era="1995"`` models the just-post-NSFNET
+Internet of the D2/N2 datasets (fewer, smaller backbones; hotter public
+exchange points; lower capacities).  ``era="1999"`` models the UW datasets'
+Internet (more backbones, private peering, faster trunks).
+
+All randomness flows through a single :class:`random.Random` seeded from
+:attr:`TopologyConfig.seed`, so topologies are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.topology.asys import (
+    ASLink,
+    ASTier,
+    AutonomousSystem,
+    IGPStyle,
+    Relationship,
+)
+from repro.topology.geography import (
+    City,
+    great_circle_km,
+    north_american_cities,
+    propagation_delay_ms,
+    world_cities,
+)
+from repro.topology.links import BASELINE_UTILIZATION, DEFAULT_CAPACITY_MBPS, LinkKind
+from repro.topology.network import Topology, TopologyError
+from repro.topology.router import Host, RouterRole
+
+
+@dataclass(slots=True)
+class TopologyConfig:
+    """Parameters controlling topology generation.
+
+    The defaults correspond to the 1999-era preset; use
+    :meth:`for_era` to obtain a preset wholesale.
+    """
+
+    seed: int = 0
+    era: str = "1999"
+    n_tier1: int = 8
+    n_transit: int = 26
+    n_stub: int = 110
+    #: Cities covered per tier-1 AS (min, max).
+    tier1_cities: tuple[int, int] = (9, 14)
+    #: Cities covered per transit AS (min, max).
+    transit_cities: tuple[int, int] = (3, 6)
+    #: Cities covered per stub AS (min, max).
+    stub_cities: tuple[int, int] = (1, 2)
+    #: Exchange cities per tier-1 peering (min, max).
+    tier1_peering_points: tuple[int, int] = (2, 4)
+    #: Probability that a stub is multihomed to a second provider.
+    stub_multihome_prob: float = 0.3
+    #: Probability that a transit AS peers with another same-region transit.
+    transit_peering_prob: float = 0.45
+    #: Probability that a stub buys transit directly from a tier-1.
+    stub_direct_tier1_prob: float = 0.15
+    #: Fraction of non-stub ASes using delay-derived IGP metrics.
+    delay_metric_prob: float = 0.75
+    #: Fraction of large ASes applying early-exit routing.
+    early_exit_prob: float = 0.9
+    #: Whether to restrict all ASes to North American cities.
+    north_america_only: bool = False
+    #: Global capacity multiplier (1995 era is slower).
+    capacity_scale: float = 1.0
+    #: Additive shift applied to exchange-link baseline utilization.
+    exchange_heat: float = 0.0
+    #: Override range for exchange-link baseline utilization.  None uses
+    #: the LinkKind default.  The 1995 era sets a very wide range: public
+    #: NAPs of that period varied from comfortable to collapsing.
+    exchange_util_range: tuple[float, float] | None = None
+    #: Per-link circuity noise (lo, hi): each physical link's propagation
+    #: delay is scaled by a uniform draw from this range, modeling
+    #: heterogeneous fiber routing (rail rights-of-way, indirect circuits).
+    #: The spread is what creates propagation-level triangle violations.
+    link_circuity_noise: tuple[float, float] = (1.0, 1.2)
+
+    @classmethod
+    def for_era(cls, era: str, seed: int = 0, **overrides: object) -> "TopologyConfig":
+        """Build a preset config for ``era`` ("1995" or "1999").
+
+        Extra keyword arguments override individual preset fields.
+
+        Raises:
+            ValueError: for an unknown era.
+        """
+        if era == "1999":
+            cfg = cls(seed=seed, era=era)
+        elif era == "1995":
+            cfg = cls(
+                seed=seed,
+                era=era,
+                n_tier1=4,
+                n_transit=14,
+                n_stub=72,
+                tier1_cities=(7, 11),
+                tier1_peering_points=(1, 2),
+                stub_multihome_prob=0.35,
+                transit_peering_prob=0.25,
+                stub_direct_tier1_prob=0.1,
+                delay_metric_prob=0.55,
+                capacity_scale=0.7,
+                exchange_heat=0.0,
+                exchange_util_range=(0.22, 0.95),
+                link_circuity_noise=(1.1, 2.3),
+            )
+        else:
+            raise ValueError(f"unknown era {era!r}; expected '1995' or '1999'")
+        for key, value in overrides.items():
+            if not hasattr(cfg, key):
+                raise ValueError(f"unknown TopologyConfig field {key!r}")
+            setattr(cfg, key, value)
+        return cfg
+
+
+@dataclass(slots=True)
+class _GenState:
+    """Mutable bookkeeping threaded through the generation phases."""
+
+    rng: random.Random
+    cfg: TopologyConfig
+    topo: Topology
+    next_asn: int = 1
+    tier1_asns: list[int] = field(default_factory=list)
+    transit_asns: list[int] = field(default_factory=list)
+    stub_asns: list[int] = field(default_factory=list)
+
+
+def generate_topology(config: TopologyConfig | None = None) -> Topology:
+    """Generate a complete topology from ``config`` (defaults to 1999 era).
+
+    The returned topology has ASes, AS links, routers, and router-level
+    links, and has passed :meth:`Topology.validate`.  Hosts are *not*
+    placed; use :func:`place_hosts`.
+    """
+    cfg = config or TopologyConfig()
+    state = _GenState(rng=random.Random(cfg.seed), cfg=cfg, topo=Topology())
+    _make_tier1s(state)
+    _make_transits(state)
+    _make_stubs(state)
+    _build_intra_as(state)
+    _connect_tier1_clique(state)
+    _connect_transits(state)
+    _connect_stubs(state)
+    state.topo.validate()
+    return state.topo
+
+
+# ---------------------------------------------------------------------------
+# AS creation.
+# ---------------------------------------------------------------------------
+
+def _city_pool(cfg: TopologyConfig) -> list[City]:
+    if cfg.north_america_only:
+        return north_american_cities()
+    return world_cities()
+
+
+def _weighted_sample(rng: random.Random, cities: list[City], k: int) -> list[City]:
+    """Sample ``k`` distinct cities weighted by population weight."""
+    k = min(k, len(cities))
+    chosen: list[City] = []
+    pool = list(cities)
+    weights = [c.population_weight for c in pool]
+    for _ in range(k):
+        total = sum(weights)
+        r = rng.random() * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if acc >= r:
+                chosen.append(pool.pop(i))
+                weights.pop(i)
+                break
+    return chosen
+
+
+def _new_as(
+    state: _GenState,
+    name: str,
+    tier: ASTier,
+    cities: list[City],
+) -> AutonomousSystem:
+    cfg = state.cfg
+    rng = state.rng
+    if tier is ASTier.STUB:
+        igp = IGPStyle.HOP_COUNT
+        early_exit = True
+    elif tier is ASTier.TIER1:
+        # Backbones set metrics manually "to avoid using links with
+        # excessive propagation delay" (paper section 3).
+        igp = IGPStyle.DELAY_METRIC
+        early_exit = rng.random() < cfg.early_exit_prob
+    else:
+        igp = (
+            IGPStyle.DELAY_METRIC
+            if rng.random() < cfg.delay_metric_prob
+            else IGPStyle.HOP_COUNT
+        )
+        early_exit = rng.random() < cfg.early_exit_prob
+    asys = AutonomousSystem(
+        asn=state.next_asn,
+        name=name,
+        tier=tier,
+        cities=cities,
+        igp_style=igp,
+        early_exit=early_exit,
+    )
+    state.next_asn += 1
+    state.topo.add_as(asys)
+    return asys
+
+
+def _make_tier1s(state: _GenState) -> None:
+    cfg = state.cfg
+    rng = state.rng
+    na = north_american_cities()
+    pool = _city_pool(cfg)
+    for i in range(cfg.n_tier1):
+        n_cities = rng.randint(*cfg.tier1_cities)
+        # Tier-1s are NA-centric but the world-era ones also cover some
+        # international cities.
+        n_na = n_cities if cfg.north_america_only else max(2, int(n_cities * 0.75))
+        cities = _weighted_sample(rng, na, n_na)
+        if not cfg.north_america_only:
+            intl = [c for c in pool if not c.is_north_america]
+            cities += _weighted_sample(rng, intl, n_cities - len(cities))
+        asys = _new_as(state, f"backbone-{i}", ASTier.TIER1, cities)
+        state.tier1_asns.append(asys.asn)
+
+
+def _make_transits(state: _GenState) -> None:
+    """Regional transit providers.
+
+    Regions are drawn weighted by how many catalog cities they contain,
+    so tiny regions (one city) rarely anchor a transit AS; when a region
+    is too small for the drawn POP count, the AS expands into the
+    *nearest* outside cities rather than random ones — a transit provider
+    is geographically coherent.
+    """
+    cfg = state.cfg
+    rng = state.rng
+    pool = _city_pool(cfg)
+    regions = sorted({c.region for c in pool})
+    region_sizes = {r: sum(1 for c in pool if c.region == r) for r in regions}
+    for i in range(cfg.n_transit):
+        # Weighted region choice.
+        total = sum(region_sizes.values())
+        pick = rng.random() * total
+        acc = 0.0
+        region = regions[-1]
+        for r in regions:
+            acc += region_sizes[r]
+            if acc >= pick:
+                region = r
+                break
+        regional = [c for c in pool if c.region == region]
+        n_cities = rng.randint(*cfg.transit_cities)
+        cities = _weighted_sample(rng, regional, min(n_cities, len(regional)))
+        if len(cities) < max(2, n_cities):
+            anchor = cities[0] if cities else rng.choice(regional)
+            outside = sorted(
+                (c for c in pool if c not in cities),
+                key=lambda c: great_circle_km(anchor, c),
+            )
+            cities += outside[: max(2, n_cities) - len(cities)]
+        # Hub-and-spoke fabric roots at the best-connected (heaviest) city.
+        cities.sort(key=lambda c: -c.population_weight)
+        asys = _new_as(state, f"transit-{i}-{region}", ASTier.TRANSIT, cities)
+        state.transit_asns.append(asys.asn)
+
+
+def _make_stubs(state: _GenState) -> None:
+    cfg = state.cfg
+    rng = state.rng
+    pool = _city_pool(cfg)
+    for i in range(cfg.n_stub):
+        n_cities = rng.randint(*cfg.stub_cities)
+        cities = _weighted_sample(rng, pool, n_cities)
+        asys = _new_as(state, f"stub-{i}", ASTier.STUB, cities)
+        state.stub_asns.append(asys.asn)
+
+
+# ---------------------------------------------------------------------------
+# Intra-AS router fabric.
+# ---------------------------------------------------------------------------
+
+def _noisy_prop_delay(state: _GenState, u: int, v: int) -> float:
+    """City-to-city propagation delay with per-link circuity noise."""
+    topo = state.topo
+    base = propagation_delay_ms(topo.routers[u].city, topo.routers[v].city)
+    lo, hi = state.cfg.link_circuity_noise
+    return base * state.rng.uniform(lo, hi)
+
+
+def _draw_utilization(state: _GenState, kind: LinkKind) -> float:
+    lo, hi = BASELINE_UTILIZATION[kind]
+    if kind is LinkKind.EXCHANGE:
+        if state.cfg.exchange_util_range is not None:
+            lo, hi = state.cfg.exchange_util_range
+        return min(0.97, state.rng.uniform(lo, hi) + state.cfg.exchange_heat)
+    return state.rng.uniform(lo, hi)
+
+
+def _capacity(state: _GenState, kind: LinkKind) -> float:
+    base = DEFAULT_CAPACITY_MBPS[kind] * state.cfg.capacity_scale
+    # +/- 40% spread across individual links.
+    return base * state.rng.uniform(0.6, 1.4)
+
+
+def _build_intra_as(state: _GenState) -> None:
+    """Create core routers per (AS, city) and the intra-AS trunk fabric.
+
+    Tier-1s get a resilient fabric (ring plus nearest-neighbor chords);
+    transit ASes get a hub-and-spoke star rooted at their first city, a
+    structure that creates the real-world detours the paper attributes to
+    provider backbones; stubs with two cities get a single trunk.
+    """
+    topo = state.topo
+    for asys in topo.ases.values():
+        core_ids = [
+            topo.add_router(asys.asn, city, RouterRole.CORE).router_id
+            for city in asys.cities
+        ]
+        if len(core_ids) == 1:
+            continue
+        kind = LinkKind.BACKBONE
+        if asys.tier is ASTier.TIER1:
+            _link_ring_with_chords(state, asys, core_ids)
+        elif asys.tier is ASTier.TRANSIT:
+            hub = core_ids[0]
+            for rid in core_ids[1:]:
+                topo.add_link(
+                    hub,
+                    rid,
+                    kind,
+                    capacity_mbps=_capacity(state, kind),
+                    base_utilization=_draw_utilization(state, kind),
+                    prop_delay_ms=_noisy_prop_delay(state, hub, rid),
+                )
+        else:
+            topo.add_link(
+                core_ids[0],
+                core_ids[1],
+                kind,
+                capacity_mbps=_capacity(state, kind),
+                base_utilization=_draw_utilization(state, kind),
+                prop_delay_ms=_noisy_prop_delay(state, core_ids[0], core_ids[1]),
+            )
+
+
+def _link_ring_with_chords(
+    state: _GenState, asys: AutonomousSystem, core_ids: list[int]
+) -> None:
+    """Tier-1 fabric: geographic ring plus a chord per non-adjacent near pair."""
+    topo = state.topo
+    kind = LinkKind.BACKBONE
+    # Order cities west-to-east for a sane ring.
+    order = sorted(range(len(core_ids)), key=lambda i: asys.cities[i].lon)
+    ring = [core_ids[i] for i in order]
+    seen: set[frozenset[int]] = set()
+
+    def connect(a: int, b: int) -> None:
+        key = frozenset((a, b))
+        if key in seen or a == b:
+            return
+        seen.add(key)
+        topo.add_link(
+            a,
+            b,
+            kind,
+            capacity_mbps=_capacity(state, kind),
+            base_utilization=_draw_utilization(state, kind),
+            prop_delay_ms=_noisy_prop_delay(state, a, b),
+        )
+
+    for i, rid in enumerate(ring):
+        connect(rid, ring[(i + 1) % len(ring)])
+    # Chords: each city to its geographically nearest non-ring-adjacent city.
+    for i in order:
+        city = asys.cities[i]
+        best_j, best_km = None, float("inf")
+        for j in order:
+            if j == i:
+                continue
+            km = great_circle_km(city, asys.cities[j])
+            if km < best_km:
+                best_j, best_km = j, km
+        if best_j is not None:
+            connect(core_ids[i], core_ids[best_j])
+
+
+# ---------------------------------------------------------------------------
+# Inter-AS adjacencies.
+# ---------------------------------------------------------------------------
+
+def _common_cities(topo: Topology, a: int, b: int) -> list[str]:
+    names_a = {c.name for c in topo.ases[a].cities}
+    return [c.name for c in topo.ases[b].cities if c.name in names_a]
+
+
+def _ensure_pop(state: _GenState, asn: int, city: City) -> None:
+    """Extend ``asn`` into ``city`` (new core router + trunk to nearest POP)."""
+    topo = state.topo
+    asys = topo.ases[asn]
+    if topo.has_core_router(asn, city.name):
+        return
+    new_router = topo.add_router(asn, city, RouterRole.CORE)
+    if asys.cities:
+        nearest = min(asys.cities, key=lambda c: great_circle_km(c, city))
+        kind = LinkKind.BACKBONE
+        far = topo.core_router(asn, nearest.name)
+        topo.add_link(
+            new_router.router_id,
+            far,
+            kind,
+            capacity_mbps=_capacity(state, kind),
+            base_utilization=_draw_utilization(state, kind),
+            prop_delay_ms=_noisy_prop_delay(state, new_router.router_id, far),
+        )
+    asys.cities.append(city)
+
+
+def _interconnect(
+    state: _GenState,
+    a: int,
+    b: int,
+    rel_ab: Relationship,
+    n_points: int,
+) -> None:
+    """Create an AS adjacency with ``n_points`` router-level exchange links.
+
+    Exchange cities are drawn from the cities common to both ASes; if there
+    are none, the lower-tier AS is extended into one of the other's cities
+    (modeling a circuit bought to reach the provider's POP).
+    """
+    topo = state.topo
+    rng = state.rng
+    common = _common_cities(topo, a, b)
+    if not common:
+        cities_b = topo.ases[b].cities
+        target = rng.choice(cities_b)
+        _ensure_pop(state, a, target)
+        common = [target.name]
+    rng.shuffle(common)
+    chosen = common[: max(1, min(n_points, len(common)))]
+    topo.add_as_link(ASLink(a=min(a, b), b=max(a, b),
+                            rel_ab=rel_ab if a < b else rel_ab.inverse(),
+                            exchange_cities=tuple(chosen)))
+    for city_name in chosen:
+        border_a = topo.add_router(a, _find_city(topo, a, city_name), RouterRole.BORDER)
+        border_b = topo.add_router(b, _find_city(topo, b, city_name), RouterRole.BORDER)
+        metro = LinkKind.METRO
+        topo.add_link(
+            border_a.router_id,
+            topo.core_router(a, city_name),
+            metro,
+            capacity_mbps=_capacity(state, metro),
+            base_utilization=_draw_utilization(state, metro),
+        )
+        topo.add_link(
+            border_b.router_id,
+            topo.core_router(b, city_name),
+            metro,
+            capacity_mbps=_capacity(state, metro),
+            base_utilization=_draw_utilization(state, metro),
+        )
+        # Metro links are short; circuity noise is irrelevant at that scale.
+        xkind = LinkKind.EXCHANGE
+        xlink = topo.add_link(
+            border_a.router_id,
+            border_b.router_id,
+            xkind,
+            capacity_mbps=_capacity(state, xkind),
+            base_utilization=_draw_utilization(state, xkind),
+        )
+        topo.add_exchange_link(xlink)
+
+
+def _find_city(topo: Topology, asn: int, city_name: str) -> City:
+    for city in topo.ases[asn].cities:
+        if city.name == city_name:
+            return city
+    raise TopologyError(f"AS{asn} has no POP in {city_name}")
+
+
+def _connect_tier1_clique(state: _GenState) -> None:
+    cfg = state.cfg
+    rng = state.rng
+    for i, a in enumerate(state.tier1_asns):
+        for b in state.tier1_asns[i + 1:]:
+            n = rng.randint(*cfg.tier1_peering_points)
+            _interconnect(state, a, b, Relationship.PEER, n)
+
+
+def _connect_transits(state: _GenState) -> None:
+    cfg = state.cfg
+    rng = state.rng
+    topo = state.topo
+    for t in state.transit_asns:
+        n_upstreams = 1 + (1 if rng.random() < 0.5 else 0)
+        upstreams = rng.sample(state.tier1_asns, min(n_upstreams, len(state.tier1_asns)))
+        for up in upstreams:
+            # transit t is the customer of tier-1 `up`.
+            _interconnect(state, up, t, Relationship.CUSTOMER, rng.randint(1, 2))
+    # Regional peering between transits sharing a region.
+    for i, t1 in enumerate(state.transit_asns):
+        for t2 in state.transit_asns[i + 1:]:
+            region1 = topo.ases[t1].name.rsplit("-", 1)[-1]
+            region2 = topo.ases[t2].name.rsplit("-", 1)[-1]
+            if region1 == region2 and rng.random() < cfg.transit_peering_prob:
+                if _common_cities(topo, t1, t2):
+                    _interconnect(state, t1, t2, Relationship.PEER, 1)
+
+
+def _connect_stubs(state: _GenState) -> None:
+    cfg = state.cfg
+    rng = state.rng
+    topo = state.topo
+
+    def nearest_providers(stub_asn: int, pool: list[int], k: int) -> list[int]:
+        """Providers ranked by POP distance to the stub's home city."""
+        home = topo.ases[stub_asn].cities[0]
+
+        def dist(p: int) -> float:
+            return min(great_circle_km(home, c) for c in topo.ases[p].cities)
+
+        ranked = sorted(pool, key=dist)
+        # Randomize lightly among the closest few so stubs in one city do
+        # not all pick the identical provider.
+        front = ranked[: max(k * 3, 4)]
+        rng.shuffle(front)
+        return front[:k]
+
+    for s in state.stub_asns:
+        if rng.random() < cfg.stub_direct_tier1_prob:
+            primary_pool = state.tier1_asns
+        else:
+            primary_pool = state.transit_asns or state.tier1_asns
+        n_providers = 1 + (1 if rng.random() < cfg.stub_multihome_prob else 0)
+        providers = nearest_providers(s, primary_pool, n_providers)
+        if len(providers) < n_providers:
+            extra = [p for p in state.tier1_asns if p not in providers]
+            providers += extra[: n_providers - len(providers)]
+        for p in providers:
+            # stub s is the customer of provider p.
+            _interconnect(state, p, s, Relationship.CUSTOMER, 1)
+
+
+# ---------------------------------------------------------------------------
+# Host placement.
+# ---------------------------------------------------------------------------
+
+def place_hosts(
+    topo: Topology,
+    n_hosts: int,
+    *,
+    seed: int = 0,
+    north_america_only: bool = False,
+    rate_limit_fraction: float = 0.15,
+    name_prefix: str = "host",
+    capacity_scale: float = 1.0,
+) -> list[Host]:
+    """Attach ``n_hosts`` measurement hosts to distinct stub ASes.
+
+    Each host gets an access router in one of its stub AS's cities, joined
+    to the local core router by a metro link, plus an access link.  A
+    ``rate_limit_fraction`` of hosts are made ICMP rate limiters, which the
+    measurement layer must detect and filter (paper §4.2).
+
+    Returns the newly created hosts.
+
+    Raises:
+        TopologyError: if there are not enough eligible stub ASes.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    stubs = [
+        a for a in topo.ases.values()
+        if a.tier is ASTier.STUB
+        and (not north_america_only or all(c.is_north_america for c in a.cities))
+    ]
+    used_asns = {h.asn for h in topo.hosts}
+    eligible = [a for a in stubs if a.asn not in used_asns]
+    if len(eligible) < n_hosts:
+        raise TopologyError(
+            f"need {n_hosts} unused stub ASes, only {len(eligible)} available"
+        )
+    chosen = rng.sample(eligible, n_hosts)
+    created: list[Host] = []
+    for i, asys in enumerate(chosen):
+        city = rng.choice(asys.cities)
+        access = topo.add_router(asys.asn, city, RouterRole.ACCESS)
+        core = topo.core_router(asys.asn, city.name)
+        metro = LinkKind.METRO
+        lo, hi = BASELINE_UTILIZATION[metro]
+        topo.add_link(
+            access.router_id,
+            core,
+            metro,
+            capacity_mbps=DEFAULT_CAPACITY_MBPS[metro] * capacity_scale,
+            base_utilization=rng.uniform(lo, hi),
+        )
+        # The host is not itself a router; to keep link endpoints as
+        # routers, model the host NIC as a dedicated stub router hanging
+        # off the access router.
+        akind = LinkKind.ACCESS
+        lo, hi = BASELINE_UTILIZATION[akind]
+        nic = topo.add_router(asys.asn, city, RouterRole.ACCESS)
+        access_link = topo.add_link(
+            nic.router_id,
+            access.router_id,
+            akind,
+            capacity_mbps=DEFAULT_CAPACITY_MBPS[akind] * capacity_scale,
+            base_utilization=rng.uniform(lo, hi),
+        )
+        rate_limit = 0.0
+        if rng.random() < rate_limit_fraction:
+            rate_limit = rng.choice([6.0, 12.0, 30.0])
+        host = Host(
+            host_id=len(topo.hosts),
+            name=f"{name_prefix}-{city.name}-{i}",
+            city=city,
+            asn=asys.asn,
+            access_router=nic.router_id,
+            access_link=access_link.link_id,
+            icmp_rate_limit_per_min=rate_limit,
+        )
+        topo.add_host(host)
+        created.append(host)
+    return created

@@ -1,0 +1,223 @@
+"""Geographic embedding for the simulated Internet.
+
+The paper's datasets span hosts in North America (D2-NA, N2-NA, UW1, UW3,
+UW4) and worldwide (D2, N2).  Propagation delay along a physical link is
+dominated by the speed of light in fiber, so the simulator embeds every
+point of presence in a real city and derives per-link propagation delays
+from great-circle distances.
+
+The catalog below lists the metropolitan areas where 1990s backbones had
+major POPs and where public traceroute servers were commonly hosted
+(universities, NAPs, large providers).  It intentionally over-represents
+North America, matching the paper's host populations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Mean Earth radius in kilometres.
+EARTH_RADIUS_KM = 6371.0
+
+#: Propagation speed of light in optical fiber, km per millisecond.
+#: Roughly 2/3 of c in vacuum.
+FIBER_KM_PER_MS = 200.0
+
+#: Physical fiber rarely follows the geodesic; long-haul routes detour along
+#: rights-of-way (railroads, highways, undersea-cable landing points).  The
+#: multiplier converts great-circle distance into an effective fiber length.
+FIBER_CIRCUITY = 1.35
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A metropolitan area that can host POPs, exchange points, and hosts.
+
+    Attributes:
+        name: Unique short name (used as an identifier throughout).
+        lat: Latitude in decimal degrees (north positive).
+        lon: Longitude in decimal degrees (east positive).
+        region: Coarse geographic region, e.g. ``"na-west"`` or ``"europe"``.
+        population_weight: Relative likelihood of host/POP placement.
+    """
+
+    name: str
+    lat: float
+    lon: float
+    region: str
+    population_weight: float = 1.0
+
+    @property
+    def is_north_america(self) -> bool:
+        """Whether the city lies in North America (paper's *-NA host pools)."""
+        return self.region.startswith("na-")
+
+
+# ---------------------------------------------------------------------------
+# City catalog.
+# ---------------------------------------------------------------------------
+
+_NORTH_AMERICA: tuple[City, ...] = (
+    City("seattle", 47.61, -122.33, "na-west", 2.2),
+    City("portland", 45.52, -122.68, "na-west", 1.0),
+    City("san-francisco", 37.77, -122.42, "na-west", 2.8),
+    City("palo-alto", 37.44, -122.14, "na-west", 1.6),
+    City("san-jose", 37.34, -121.89, "na-west", 1.8),
+    City("los-angeles", 34.05, -118.24, "na-west", 2.6),
+    City("san-diego", 32.72, -117.16, "na-west", 1.3),
+    City("salt-lake-city", 40.76, -111.89, "na-west", 0.8),
+    City("denver", 39.74, -104.99, "na-central", 1.3),
+    City("phoenix", 33.45, -112.07, "na-west", 0.9),
+    City("albuquerque", 35.08, -106.65, "na-central", 0.5),
+    City("dallas", 32.78, -96.80, "na-central", 1.8),
+    City("houston", 29.76, -95.37, "na-central", 1.4),
+    City("austin", 30.27, -97.74, "na-central", 1.0),
+    City("kansas-city", 39.10, -94.58, "na-central", 0.7),
+    City("st-louis", 38.63, -90.20, "na-central", 0.8),
+    City("minneapolis", 44.98, -93.27, "na-central", 1.0),
+    City("chicago", 41.88, -87.63, "na-central", 2.6),
+    City("urbana", 40.11, -88.21, "na-central", 0.6),
+    City("ann-arbor", 42.28, -83.74, "na-east", 0.9),
+    City("cleveland", 41.50, -81.69, "na-east", 0.7),
+    City("pittsburgh", 40.44, -79.99, "na-east", 1.1),
+    City("toronto", 43.65, -79.38, "na-east", 1.5),
+    City("montreal", 45.50, -73.57, "na-east", 1.0),
+    City("ithaca", 42.44, -76.50, "na-east", 0.6),
+    City("boston", 42.36, -71.06, "na-east", 2.0),
+    City("new-york", 40.71, -74.01, "na-east", 3.0),
+    City("princeton", 40.35, -74.66, "na-east", 0.8),
+    City("philadelphia", 39.95, -75.17, "na-east", 1.2),
+    City("baltimore", 39.29, -76.61, "na-east", 0.8),
+    City("washington-dc", 38.91, -77.04, "na-east", 2.4),
+    City("vienna-va", 38.90, -77.26, "na-east", 1.2),
+    City("raleigh", 35.78, -78.64, "na-east", 0.8),
+    City("atlanta", 33.75, -84.39, "na-east", 1.6),
+    City("gainesville", 29.65, -82.32, "na-east", 0.5),
+    City("miami", 25.76, -80.19, "na-east", 1.0),
+    City("boulder", 40.01, -105.27, "na-central", 0.7),
+    City("tucson", 32.22, -110.97, "na-west", 0.5),
+    City("vancouver", 49.28, -123.12, "na-west", 1.0),
+    City("madison", 43.07, -89.40, "na-central", 0.6),
+)
+
+_WORLD: tuple[City, ...] = (
+    City("london", 51.51, -0.13, "europe", 2.6),
+    City("cambridge-uk", 52.21, 0.12, "europe", 0.8),
+    City("amsterdam", 52.37, 4.90, "europe", 1.8),
+    City("paris", 48.86, 2.35, "europe", 1.8),
+    City("geneva", 46.20, 6.14, "europe", 1.0),
+    City("frankfurt", 50.11, 8.68, "europe", 1.6),
+    City("munich", 48.14, 11.58, "europe", 0.9),
+    City("stockholm", 59.33, 18.07, "europe", 0.9),
+    City("oslo", 59.91, 10.75, "europe", 0.6),
+    City("helsinki", 60.17, 24.94, "europe", 0.7),
+    City("vienna", 48.21, 16.37, "europe", 0.7),
+    City("bologna", 44.49, 11.34, "europe", 0.5),
+    City("trondheim", 63.43, 10.40, "europe", 0.4),
+    City("canberra", -35.28, 149.13, "oceania", 0.6),
+    City("melbourne", -37.81, 144.96, "oceania", 0.9),
+    City("sydney", -33.87, 151.21, "oceania", 1.1),
+    City("tokyo", 35.68, 139.69, "asia", 1.8),
+    City("seoul", 37.57, 126.98, "asia", 1.0),
+    City("daejeon", 36.35, 127.38, "asia", 0.4),
+    City("singapore", 1.35, 103.82, "asia", 0.8),
+    City("haifa", 32.79, 34.99, "middle-east", 0.5),
+    City("johannesburg", -26.20, 28.05, "africa", 0.4),
+    City("sao-paulo", -23.55, -46.63, "south-america", 0.6),
+)
+
+#: All cities known to the simulator, keyed by name.
+CITIES: dict[str, City] = {c.name: c for c in (*_NORTH_AMERICA, *_WORLD)}
+
+
+class UnknownCityError(KeyError):
+    """Raised when a city name is not in the catalog."""
+
+
+def get_city(name: str) -> City:
+    """Look up a city by name.
+
+    Raises:
+        UnknownCityError: if ``name`` is not in :data:`CITIES`.
+    """
+    try:
+        return CITIES[name]
+    except KeyError:
+        raise UnknownCityError(name) from None
+
+
+def north_american_cities() -> list[City]:
+    """Cities in North America, in catalog order."""
+    return [c for c in CITIES.values() if c.is_north_america]
+
+
+def world_cities() -> list[City]:
+    """All cities, in catalog order."""
+    return list(CITIES.values())
+
+
+def cities_in_region(region: str) -> list[City]:
+    """Cities whose region matches ``region`` exactly."""
+    return [c for c in CITIES.values() if c.region == region]
+
+
+def great_circle_km(a: City, b: City) -> float:
+    """Great-circle distance between two cities in kilometres.
+
+    Uses the haversine formula, which is numerically stable for the
+    city-to-city distances that occur here.
+    """
+    if a.name == b.name:
+        return 0.0
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_delay_ms(a: City, b: City, *, circuity: float = FIBER_CIRCUITY) -> float:
+    """One-way propagation delay between two cities, in milliseconds.
+
+    Derived from the great-circle distance, inflated by ``circuity`` to
+    account for physical fiber routing, divided by the speed of light in
+    fiber.  Intra-city links get a small positive floor (metro fiber plus
+    equipment latency) rather than zero.
+
+    Args:
+        a: Source city.
+        b: Destination city.
+        circuity: Fiber-length multiplier over the geodesic (>= 1).
+
+    Raises:
+        ValueError: if ``circuity`` is below 1.
+    """
+    if circuity < 1.0:
+        raise ValueError(f"circuity must be >= 1, got {circuity}")
+    km = great_circle_km(a, b) * circuity
+    delay = km / FIBER_KM_PER_MS
+    return max(delay, 0.05)
+
+
+def mean_pairwise_distance_km(cities: Iterable[City]) -> float:
+    """Mean great-circle distance over all unordered pairs of ``cities``.
+
+    Useful for sanity-checking host pools: the paper's world datasets see
+    systematically longer latencies than the North-America-only ones.
+
+    Raises:
+        ValueError: if fewer than two cities are supplied.
+    """
+    pool = list(cities)
+    if len(pool) < 2:
+        raise ValueError("need at least two cities")
+    total = 0.0
+    count = 0
+    for i, a in enumerate(pool):
+        for b in pool[i + 1:]:
+            total += great_circle_km(a, b)
+            count += 1
+    return total / count

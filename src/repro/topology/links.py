@@ -1,0 +1,102 @@
+"""Physical link model: delay, capacity, and link kinds.
+
+Links are the unit at which the dynamic simulator (:mod:`repro.netsim`)
+applies utilization, queuing delay, and loss.  A link here is a
+*unidirectional-symmetric* physical adjacency: the same object is used for
+both directions, but the netsim layer draws independent utilization per
+direction, since real congestion is direction-dependent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LinkKind(enum.Enum):
+    """What role a link plays in the topology.
+
+    The kind determines default capacity and how the congestion model
+    treats it: exchange points in the late-1990s Internet were famously
+    congested (the paper's §7.1 mentions "congested exchange points"), while
+    backbone trunks were typically better provisioned.
+    """
+
+    BACKBONE = "backbone"       # intra-AS long-haul trunk
+    METRO = "metro"             # intra-AS same-city interconnect
+    EXCHANGE = "exchange"       # inter-AS interconnect (NAP / private peering)
+    ACCESS = "access"           # host attachment (campus / enterprise)
+
+
+#: Default capacity in Mbit/s by link kind, late-1990s technology: DS3/OC-3
+#: backbones, FDDI/100M exchange fabrics, Ethernet-class access.
+DEFAULT_CAPACITY_MBPS: dict[LinkKind, float] = {
+    LinkKind.BACKBONE: 155.0,
+    LinkKind.METRO: 100.0,
+    LinkKind.EXCHANGE: 45.0,
+    LinkKind.ACCESS: 10.0,
+}
+
+#: Baseline utilization ranges (lo, hi) by link kind.  Exchange points run
+#: hot; access links are mostly idle.  The topology generator draws each
+#: link's baseline uniformly from its kind's range.
+BASELINE_UTILIZATION: dict[LinkKind, tuple[float, float]] = {
+    LinkKind.BACKBONE: (0.10, 0.45),
+    LinkKind.METRO: (0.10, 0.40),
+    LinkKind.EXCHANGE: (0.30, 0.78),
+    LinkKind.ACCESS: (0.05, 0.30),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A physical adjacency between two routers.
+
+    Attributes:
+        link_id: Dense integer id, index into netsim state arrays.
+        u: Router id of one endpoint (lower id by convention).
+        v: Router id of the other endpoint.
+        kind: Role of the link.
+        prop_delay_ms: One-way propagation delay in milliseconds.
+        capacity_mbps: Nominal capacity in Mbit/s.
+        base_utilization: Long-term average utilization in [0, 1), before
+            diurnal modulation.
+    """
+
+    link_id: int
+    u: int
+    v: int
+    kind: LinkKind
+    prop_delay_ms: float
+    capacity_mbps: float
+    base_utilization: float
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError("a link cannot connect a router to itself")
+        if self.prop_delay_ms <= 0:
+            raise ValueError(f"prop_delay_ms must be positive, got {self.prop_delay_ms}")
+        if self.capacity_mbps <= 0:
+            raise ValueError(f"capacity_mbps must be positive, got {self.capacity_mbps}")
+        if not 0.0 <= self.base_utilization < 1.0:
+            raise ValueError(
+                f"base_utilization must be in [0, 1), got {self.base_utilization}"
+            )
+
+    def other(self, router_id: int) -> int:
+        """The router at the other end of the link.
+
+        Raises:
+            ValueError: if ``router_id`` is not an endpoint.
+        """
+        if router_id == self.u:
+            return self.v
+        if router_id == self.v:
+            return self.u
+        raise ValueError(f"router {router_id} is not on link {self.link_id}")
+
+    @property
+    def transmission_delay_ms(self) -> float:
+        """Serialization delay for a 1500-byte packet on this link, in ms."""
+        bits = 1500 * 8
+        return bits / (self.capacity_mbps * 1000.0)

@@ -1,0 +1,75 @@
+"""Router and host objects.
+
+Routers are the hop-level entities that a simulated ``traceroute`` reveals.
+Each router belongs to exactly one AS and sits in one city (a POP).  Hosts
+are end systems attached to an access router of a stub or transit AS; they
+are the endpoints between which the paper's measurements are taken.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.topology.geography import City
+
+
+class RouterRole(enum.Enum):
+    """Function of a router inside its AS."""
+
+    CORE = "core"         # intra-AS backbone router at a POP
+    BORDER = "border"     # speaks BGP with a neighboring AS
+    ACCESS = "access"     # aggregates host attachments
+
+
+@dataclass(frozen=True, slots=True)
+class Router:
+    """A router: one hop in a traceroute.
+
+    Attributes:
+        router_id: Dense integer id, unique within a topology.
+        asn: Owning autonomous system.
+        city: POP location.
+        role: Core, border, or access.
+    """
+
+    router_id: int
+    asn: int
+    city: City
+    role: RouterRole
+
+    @property
+    def label(self) -> str:
+        """Traceroute-style display name, e.g. ``"core3.seattle.as7"``."""
+        return f"{self.role.value}{self.router_id}.{self.city.name}.as{self.asn}"
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """A measurement endpoint (the paper's traceroute servers / npd hosts).
+
+    Attributes:
+        host_id: Dense integer id, unique within a topology.
+        name: Stable human-readable name, e.g. ``"host-seattle-3"``.
+        city: Location.
+        asn: Stub AS the host lives in.
+        access_router: Router id of the attachment point.
+        access_link: Link id of the host's access link.
+        icmp_rate_limit_per_min: If positive, the host rate-limits ICMP
+            (traceroute) responses to this many per minute; probes beyond
+            the budget go unanswered.  The paper had to detect and filter
+            such hosts.  Zero means no limiting.
+    """
+
+    host_id: int
+    name: str
+    city: City
+    asn: int
+    access_router: int
+    access_link: int
+    icmp_rate_limit_per_min: float = 0.0
+
+    @property
+    def rate_limits_icmp(self) -> bool:
+        """Whether this host applies ICMP rate limiting."""
+        return self.icmp_rate_limit_per_min > 0.0

@@ -1,0 +1,125 @@
+"""ASCII chart rendering for terminals.
+
+The benchmark harness prints its series; these helpers turn a set of CDF
+curves into a compact character plot so the figure's shape is visible
+directly in test output, with one glyph per curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import CDFSeries
+from repro.viz.scale import LinearScale, data_range
+
+#: Glyphs assigned to successive curves.
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_cdf(
+    series: list[CDFSeries],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_range: tuple[float, float] | None = None,
+    title: str = "",
+) -> str:
+    """Render CDF curves as an ASCII plot.
+
+    Args:
+        series: Curves to draw (first curve gets ``*``, second ``o`` ...).
+        width: Plot width in characters (excluding the y-axis gutter).
+        height: Plot height in rows.
+        x_range: Data range of the x axis; derived from the data if None.
+        title: Optional heading line.
+
+    Raises:
+        ValueError: when no series are supplied.
+    """
+    if not series:
+        raise ValueError("ascii_cdf needs at least one series")
+    if width < 20 or height < 5:
+        raise ValueError("plot must be at least 20x5 characters")
+    if x_range is None:
+        lo, hi = data_range([tuple(s.x) for s in series])
+    else:
+        lo, hi = x_range
+    x_scale = LinearScale(lo, hi, 0, width - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        xs = np.clip(s.x, lo, hi)
+        for x, y in zip(xs, s.y):
+            col = int(round(x_scale(float(x))))
+            row = height - 1 - int(round(y * (height - 1)))
+            grid[row][col] = glyph
+    # Zero marker column.
+    if lo < 0.0 < hi:
+        zero_col = int(round(x_scale(0.0)))
+        for row in range(height):
+            if grid[row][zero_col] == " ":
+                grid[row][zero_col] = "|"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        label = f"{frac:4.2f} |" if i % max(height // 5, 1) == 0 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g}"
+    pad = max(width - len(left) - len(right), 1)
+    lines.append("      " + left + " " * pad + right)
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {s.label or f'series {i}'}"
+        for i, s in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    xs,
+    ys,
+    *,
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render a scatter plot (Figures 14/16 style) as ASCII.
+
+    Raises:
+        ValueError: on empty input.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0 or xs.size != ys.size:
+        raise ValueError("scatter needs matching non-empty x/y arrays")
+    x_lo, x_hi = data_range([tuple(xs)])
+    y_lo, y_hi = data_range([tuple(ys)])
+    x_scale = LinearScale(x_lo, x_hi, 0, width - 1)
+    y_scale = LinearScale(y_lo, y_hi, height - 1, 0)
+    grid = [[" "] * width for _ in range(height)]
+    # Axes through zero where visible.
+    if x_lo < 0.0 < x_hi:
+        col = int(round(x_scale(0.0)))
+        for row in range(height):
+            grid[row][col] = "|"
+    if y_lo < 0.0 < y_hi:
+        row = int(round(y_scale(0.0)))
+        for col in range(width):
+            grid[row][col] = "-" if grid[row][col] == " " else "+"
+    for x, y in zip(xs, ys):
+        col = int(round(x_scale(float(x))))
+        row = int(round(y_scale(float(y))))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("  " + "".join(row) for row in grid)
+    footer = f"  x: [{x_lo:.3g}, {x_hi:.3g}] {x_label}   y: [{y_lo:.3g}, {y_hi:.3g}] {y_label}"
+    lines.append(footer)
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Geographic topology maps as SVG.
+
+Draws a generated internetwork on an equirectangular projection: cities
+sized by how many routers they host, links colored by kind, measurement
+hosts highlighted.  Useful for eyeballing that a seeded topology is
+geographically sane (the Boulder-via-Johannesburg pathology of an early
+calibration was caught exactly this way).
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.topology.links import LinkKind
+from repro.topology.network import Topology
+from repro.viz.scale import LinearScale
+
+#: Stroke colors per link kind.
+LINK_COLORS: dict[LinkKind, str] = {
+    LinkKind.BACKBONE: "#7c9dbf",
+    LinkKind.METRO: "#cccccc",
+    LinkKind.EXCHANGE: "#d98c21",
+    LinkKind.ACCESS: "#dddddd",
+}
+
+#: Draw order: quieter kinds first so exchanges stay visible.
+_KIND_ORDER = (LinkKind.ACCESS, LinkKind.METRO, LinkKind.BACKBONE, LinkKind.EXCHANGE)
+
+
+@dataclass(slots=True)
+class MapStyle:
+    """Canvas geometry for topology maps."""
+
+    width: int = 900
+    height: int = 540
+    margin: int = 30
+    city_color: str = "#444444"
+    host_color: str = "#c23b22"
+
+
+def topology_map(
+    topo: Topology,
+    *,
+    style: MapStyle | None = None,
+    title: str = "",
+) -> str:
+    """Render the topology to an SVG document string."""
+    style = style or MapStyle()
+    cities: dict[str, tuple[float, float, int]] = {}
+    for router in topo.routers:
+        lon, lat = router.city.lon, router.city.lat
+        name = router.city.name
+        if name in cities:
+            cities[name] = (lon, lat, cities[name][2] + 1)
+        else:
+            cities[name] = (lon, lat, 1)
+    if not cities:
+        raise ValueError("topology has no routers to draw")
+    lons = [c[0] for c in cities.values()]
+    lats = [c[1] for c in cities.values()]
+    x_scale = LinearScale(
+        min(lons) - 3, max(lons) + 3, style.margin, style.width - style.margin
+    )
+    y_scale = LinearScale(
+        min(lats) - 3, max(lats) + 3, style.height - style.margin, style.margin
+    )
+
+    def at(city_name: str) -> tuple[float, float]:
+        lon, lat, _ = cities[city_name]
+        return x_scale(lon), y_scale(lat)
+
+    parts: list[str] = []
+    # Inter-city links, grouped by kind for draw order and legibility.
+    seen: set[tuple[str, str, str]] = set()
+    for kind in _KIND_ORDER:
+        for link in topo.links:
+            if link.kind is not kind:
+                continue
+            a = topo.routers[link.u].city.name
+            b = topo.routers[link.v].city.name
+            if a == b:
+                continue
+            key = (min(a, b), max(a, b), kind.value)
+            if key in seen:
+                continue
+            seen.add(key)
+            x1, y1 = at(a)
+            x2, y2 = at(b)
+            width = 1.4 if kind is LinkKind.EXCHANGE else 0.7
+            parts.append(
+                f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+                f'stroke="{LINK_COLORS[kind]}" stroke-width="{width}" '
+                f'stroke-opacity="0.6"/>'
+            )
+    # Cities sized by router count.
+    host_cities = {h.city.name for h in topo.hosts}
+    for name, (lon, lat, count) in sorted(cities.items()):
+        x, y = x_scale(lon), y_scale(lat)
+        radius = min(2.0 + count ** 0.5, 9.0)
+        color = style.host_color if name in host_cities else style.city_color
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" '
+            f'fill="{color}" fill-opacity="0.85"/>'
+        )
+        if count >= 8 or name in host_cities:
+            parts.append(
+                f'<text x="{x + radius + 2:.1f}" y="{y + 3:.1f}" '
+                f'font-size="9">{html.escape(name)}</text>'
+            )
+    if title:
+        parts.append(
+            f'<text x="{style.width / 2:.0f}" y="18" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{html.escape(title)}</text>'
+        )
+    legend_y = style.height - 12
+    legend_x = style.margin
+    for kind in (LinkKind.BACKBONE, LinkKind.EXCHANGE):
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y - 4}" x2="{legend_x + 20}" '
+            f'y2="{legend_y - 4}" stroke="{LINK_COLORS[kind]}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 24}" y="{legend_y}" font-size="10">'
+            f"{kind.value}</text>"
+        )
+        legend_x += 110
+    parts.append(
+        f'<circle cx="{legend_x}" cy="{legend_y - 4}" r="4" '
+        f'fill="{style.host_color}"/>'
+    )
+    parts.append(
+        f'<text x="{legend_x + 8}" y="{legend_y}" font-size="10">host city</text>'
+    )
+    body = "\n".join(parts)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{style.width}" '
+        f'height="{style.height}" viewBox="0 0 {style.width} {style.height}" '
+        f'font-family="Helvetica, Arial, sans-serif">\n'
+        f'<rect width="{style.width}" height="{style.height}" fill="white"/>\n'
+        f"{body}\n</svg>\n"
+    )
+
+
+def save_topology_map(
+    topo: Topology, path: str | Path, *, title: str = ""
+) -> Path:
+    """Render and write the map; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(topology_map(topo, title=title))
+    return path

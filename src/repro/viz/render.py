@@ -1,0 +1,154 @@
+"""Render reproduced figures (:class:`FigureResult`) to SVG files.
+
+:func:`render_figure` dispatches on the figure name: CDF figures become
+step-curve charts with the paper's axis ranges, Figures 7/8 add error
+bars, Figure 14 becomes a log-log scatter, and Figure 16 a scatter with
+the y = x guide line.  :func:`render_all` writes one ``.svg`` per figure.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult
+from repro.viz.svg import SVGChart, cdf_chart
+
+#: Paper-style x ranges per figure (data units); None = auto.
+FIGURE_X_RANGES: dict[str, tuple[float, float] | None] = {
+    "figure1": (-100.0, 150.0),
+    "figure2": (0.0, 3.0),
+    "figure3": (-0.05, 0.15),
+    "figure4": (-100.0, 200.0),
+    "figure5": (0.0, 6.0),
+    "figure6": (-100.0, 150.0),
+    "figure7": (-100.0, 150.0),
+    "figure8": (-0.05, 0.15),
+    "figure9": (-100.0, 150.0),
+    "figure10": (-0.05, 0.15),
+    "figure11": (-100.0, 150.0),
+    "figure12": (-100.0, 150.0),
+    "figure13": (0.0, 250.0),
+    "figure15": (-100.0, 150.0),
+}
+
+#: X-axis captions per figure.
+FIGURE_X_LABELS: dict[str, str] = {
+    "figure1": "Round-trip latency (ms)",
+    "figure2": "Relative round-trip latency",
+    "figure3": "Drop rate",
+    "figure4": "Bandwidth (kB/s)",
+    "figure5": "Relative bandwidth",
+    "figure6": "Round-trip latency (ms)",
+    "figure7": "Round-trip latency (ms)",
+    "figure8": "Loss rate",
+    "figure9": "Round-trip latency (ms)",
+    "figure10": "Drop rate",
+    "figure11": "Round-trip latency (ms)",
+    "figure12": "Round-trip latency (ms)",
+    "figure13": "Normalized improvement contribution",
+    "figure15": "Round-trip latency (ms)",
+}
+
+
+class RenderError(RuntimeError):
+    """Raised when a figure cannot be rendered."""
+
+
+def _cdf_figure(fig: FigureResult) -> SVGChart:
+    if not fig.series:
+        raise RenderError(f"{fig.name} has no series to render")
+    return cdf_chart(
+        fig.series,
+        title=fig.title,
+        x_label=FIGURE_X_LABELS.get(fig.name, "value"),
+        x_range=FIGURE_X_RANGES.get(fig.name),
+    )
+
+
+def _ci_figure(fig: FigureResult) -> SVGChart:
+    chart = _cdf_figure(fig)
+    series = fig.series[0]
+    lows = np.asarray(fig.data["ci_low"])
+    highs = np.asarray(fig.data["ci_high"])
+    # Every eighth point gets an error bar, as in the paper.
+    idx = np.arange(0, series.x.size, 8)
+    chart.add_error_bars(
+        series.x[idx], series.y[idx], lows[idx], highs[idx]
+    )
+    return chart
+
+
+def _figure14(fig: FigureResult) -> SVGChart:
+    points = fig.data["points"]
+    if not points:
+        raise RenderError("figure14 has no AS points")
+    chart = SVGChart(
+        title=fig.title,
+        x_label="Default paths containing AS (log10(1+n))",
+        y_label="Alternate paths containing AS (log10(1+n))",
+    )
+    xs = [math.log10(1 + p.direct) for p in points]
+    ys = [math.log10(1 + p.alternate) for p in points]
+    hi = max(*xs, *ys, 1.0) * 1.05
+    chart.set_x_range(0.0, hi)
+    chart.set_y_range(0.0, hi)
+    chart.add_diagonal()
+    chart.add_scatter(xs, ys, "autonomous systems")
+    return chart
+
+
+def _figure16(fig: FigureResult) -> SVGChart:
+    points = fig.data["points"]
+    if not points:
+        raise RenderError("figure16 has no decomposition points")
+    chart = SVGChart(
+        title=fig.title,
+        x_label="Total round-trip latency improvement (ms)",
+        y_label="Propagation delay improvement (ms)",
+    )
+    xs = [p.total_improvement for p in points]
+    ys = [p.prop_improvement for p in points]
+    span = max(abs(min(xs)), abs(max(xs)), abs(min(ys)), abs(max(ys)), 1.0)
+    span = min(span, 300.0)
+    chart.set_x_range(-span, span)
+    chart.set_y_range(-span, span)
+    chart.add_vertical_rule(0.0)
+    chart.add_diagonal()
+    chart.add_scatter(xs, ys, "host pairs")
+    return chart
+
+
+def render_figure(fig: FigureResult) -> SVGChart:
+    """Build the SVG chart for one reproduced figure.
+
+    Raises:
+        RenderError: when the figure carries nothing renderable.
+    """
+    if fig.name in ("figure7", "figure8"):
+        return _ci_figure(fig)
+    if fig.name == "figure14":
+        return _figure14(fig)
+    if fig.name == "figure16":
+        return _figure16(fig)
+    return _cdf_figure(fig)
+
+
+def render_all(
+    figures: dict[str, FigureResult], out_dir: str | Path
+) -> list[Path]:
+    """Render every figure to ``out_dir``; returns the written paths.
+
+    Figures that cannot be rendered (no data at this scale) are skipped.
+    """
+    out_dir = Path(out_dir)
+    written: list[Path] = []
+    for name, fig in sorted(figures.items()):
+        try:
+            chart = render_figure(fig)
+        except RenderError:
+            continue
+        written.append(chart.save(out_dir / f"{name}.svg"))
+    return written

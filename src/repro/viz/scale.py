@@ -1,0 +1,132 @@
+"""Axis scales and tick generation for the chart renderer.
+
+Self-contained (no matplotlib): the repository renders every figure it
+reproduces to SVG and ASCII with this module, so the reproduction is
+inspectable anywhere Python runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class ScaleError(ValueError):
+    """Raised on invalid scale configuration."""
+
+
+@dataclass(frozen=True, slots=True)
+class Ticks:
+    """Tick positions and labels for one axis."""
+
+    positions: tuple[float, ...]
+    labels: tuple[str, ...]
+
+
+def nice_number(value: float, *, round_down: bool = False) -> float:
+    """The closest 'nice' number (1, 2, or 5 times a power of ten).
+
+    Args:
+        value: A positive quantity (e.g. a raw tick step).
+        round_down: Choose the nice number below ``value`` instead of the
+            nearest.
+
+    Raises:
+        ScaleError: for non-positive input.
+    """
+    if value <= 0 or not math.isfinite(value):
+        raise ScaleError(f"nice_number needs a positive finite value, got {value}")
+    exponent = math.floor(math.log10(value))
+    fraction = value / (10 ** exponent)
+    if round_down:
+        if fraction < 2:
+            nice = 1.0
+        elif fraction < 5:
+            nice = 2.0
+        else:
+            nice = 5.0
+    else:
+        if fraction < 1.5:
+            nice = 1.0
+        elif fraction < 3.5:
+            nice = 2.0
+        elif fraction < 7.5:
+            nice = 5.0
+        else:
+            nice = 10.0
+    return nice * (10 ** exponent)
+
+
+def _format_tick(value: float, step: float) -> str:
+    if step >= 1:
+        if abs(value) >= 10000:
+            return f"{value:g}"
+        return f"{value:.0f}"
+    decimals = max(0, -int(math.floor(math.log10(step))))
+    return f"{value:.{decimals}f}"
+
+
+class LinearScale:
+    """Maps a data interval onto a pixel (or column) interval."""
+
+    def __init__(self, lo: float, hi: float, out_lo: float, out_hi: float) -> None:
+        """
+        Raises:
+            ScaleError: if the data interval is empty or not finite.
+        """
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ScaleError(f"scale domain must be finite, got [{lo}, {hi}]")
+        if hi <= lo:
+            # Degenerate domain: widen symmetrically so rendering works.
+            pad = max(abs(lo) * 0.1, 1.0)
+            lo, hi = lo - pad, hi + pad
+        self.lo = lo
+        self.hi = hi
+        self.out_lo = out_lo
+        self.out_hi = out_hi
+
+    def __call__(self, value: float) -> float:
+        """Map a data value to output coordinates (clamped)."""
+        frac = (value - self.lo) / (self.hi - self.lo)
+        frac = min(max(frac, 0.0), 1.0)
+        return self.out_lo + frac * (self.out_hi - self.out_lo)
+
+    def ticks(self, target_count: int = 6) -> Ticks:
+        """Generate 'nice' ticks covering the domain.
+
+        Raises:
+            ScaleError: if ``target_count`` < 2.
+        """
+        if target_count < 2:
+            raise ScaleError("need at least two ticks")
+        raw_step = (self.hi - self.lo) / (target_count - 1)
+        step = nice_number(raw_step)
+        start = math.ceil(self.lo / step) * step
+        positions = []
+        value = start
+        while value <= self.hi + step * 1e-9:
+            positions.append(0.0 if abs(value) < step * 1e-9 else value)
+            value += step
+        if not positions:
+            positions = [self.lo, self.hi]
+            step = self.hi - self.lo
+        labels = tuple(_format_tick(p, step) for p in positions)
+        return Ticks(positions=tuple(positions), labels=labels)
+
+
+def data_range(
+    series: list[tuple[float, ...]] | list[list[float]],
+    *,
+    pad_fraction: float = 0.02,
+) -> tuple[float, float]:
+    """Common (lo, hi) range over several value sequences, lightly padded.
+
+    Raises:
+        ScaleError: when every sequence is empty.
+    """
+    values = [v for seq in series for v in seq if math.isfinite(v)]
+    if not values:
+        raise ScaleError("no finite values to scale")
+    lo, hi = min(values), max(values)
+    pad = (hi - lo) * pad_fraction
+    return lo - pad, hi + pad

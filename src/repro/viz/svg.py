@@ -1,0 +1,293 @@
+"""A minimal SVG chart renderer for CDF curves and scatter plots.
+
+Produces standalone ``.svg`` files with axes, ticks, grid lines, legends,
+step-function CDF curves, error bars, and scatter markers — everything
+the paper's sixteen figures need, with zero third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.stats import CDFSeries
+from repro.viz.scale import LinearScale, data_range
+
+#: Default curve colors (colorblind-safe-ish rotation).
+PALETTE = (
+    "#1b6ca8",  # blue
+    "#c23b22",  # red
+    "#2e8540",  # green
+    "#8a4fbe",  # purple
+    "#d98c21",  # orange
+    "#3c8ea7",  # teal
+    "#a23b72",  # magenta
+    "#6b6b6b",  # gray
+)
+
+#: Dash patterns cycled alongside the palette (paper-style line styles).
+DASHES = ("", "6,3", "2,2", "8,3,2,3", "4,4", "1,3")
+
+
+@dataclass(slots=True)
+class ChartStyle:
+    """Geometry and typography of a chart."""
+
+    width: int = 640
+    height: int = 420
+    margin_left: int = 64
+    margin_right: int = 18
+    margin_top: int = 36
+    margin_bottom: int = 52
+    font_family: str = "Helvetica, Arial, sans-serif"
+    font_size: int = 12
+    title_size: int = 14
+    grid_color: str = "#dddddd"
+    axis_color: str = "#333333"
+
+    @property
+    def plot_left(self) -> int:
+        return self.margin_left
+
+    @property
+    def plot_right(self) -> int:
+        return self.width - self.margin_right
+
+    @property
+    def plot_top(self) -> int:
+        return self.margin_top
+
+    @property
+    def plot_bottom(self) -> int:
+        return self.height - self.margin_bottom
+
+
+@dataclass
+class SVGChart:
+    """Accumulates SVG elements for one chart."""
+
+    title: str
+    x_label: str
+    y_label: str
+    style: ChartStyle = field(default_factory=ChartStyle)
+    _elements: list[str] = field(default_factory=list)
+    _legend: list[tuple[str, str, str]] = field(default_factory=list)
+    _x_scale: LinearScale | None = None
+    _y_scale: LinearScale | None = None
+
+    # -- scales -----------------------------------------------------------
+
+    def set_x_range(self, lo: float, hi: float) -> None:
+        """Fix the x domain (data units)."""
+        self._x_scale = LinearScale(
+            lo, hi, self.style.plot_left, self.style.plot_right
+        )
+
+    def set_y_range(self, lo: float, hi: float) -> None:
+        """Fix the y domain; output is inverted (SVG y grows downward)."""
+        self._y_scale = LinearScale(
+            lo, hi, self.style.plot_bottom, self.style.plot_top
+        )
+
+    def _scales(self) -> tuple[LinearScale, LinearScale]:
+        if self._x_scale is None or self._y_scale is None:
+            raise RuntimeError("set_x_range/set_y_range before drawing")
+        return self._x_scale, self._y_scale
+
+    # -- drawing ----------------------------------------------------------
+
+    def add_step_curve(
+        self, xs, ys, label: str, *, color: str | None = None, dash: str | None = None
+    ) -> None:
+        """A CDF-style step curve through (xs, ys), sorted by x."""
+        sx, sy = self._scales()
+        index = len(self._legend)
+        color = color or PALETTE[index % len(PALETTE)]
+        dash = DASHES[index % len(DASHES)] if dash is None else dash
+        points: list[str] = []
+        prev_y: float | None = None
+        for x, y in zip(xs, ys):
+            px, py = sx(x), sy(y)
+            if prev_y is not None:
+                points.append(f"{px:.1f},{prev_y:.1f}")
+            points.append(f"{px:.1f},{py:.1f}")
+            prev_y = py
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.6"'
+            f'{dash_attr} points="{" ".join(points)}"/>'
+        )
+        self._legend.append((label, color, dash))
+
+    def add_scatter(
+        self, xs, ys, label: str, *, color: str | None = None, radius: float = 2.5
+    ) -> None:
+        """Scatter markers at (xs, ys)."""
+        sx, sy = self._scales()
+        color = color or PALETTE[len(self._legend) % len(PALETTE)]
+        for x, y in zip(xs, ys):
+            self._elements.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="{radius}" '
+                f'fill="{color}" fill-opacity="0.65"/>'
+            )
+        self._legend.append((label, color, ""))
+
+    def add_error_bars(self, xs, ys, lows, highs, *, color: str = "#666666") -> None:
+        """Horizontal error bars (the paper's Figures 7/8 style)."""
+        sx, sy = self._scales()
+        for x, y, lo, hi in zip(xs, ys, lows, highs):
+            py = sy(y)
+            self._elements.append(
+                f'<line x1="{sx(lo):.1f}" y1="{py:.1f}" x2="{sx(hi):.1f}" '
+                f'y2="{py:.1f}" stroke="{color}" stroke-width="1"/>'
+            )
+            for end in (lo, hi):
+                px = sx(end)
+                self._elements.append(
+                    f'<line x1="{px:.1f}" y1="{py - 3:.1f}" x2="{px:.1f}" '
+                    f'y2="{py + 3:.1f}" stroke="{color}" stroke-width="1"/>'
+                )
+
+    def add_vertical_rule(self, x: float, *, color: str = "#999999") -> None:
+        """A vertical reference line (e.g. x=0 in improvement CDFs)."""
+        sx, _ = self._scales()
+        st = self.style
+        px = sx(x)
+        self._elements.append(
+            f'<line x1="{px:.1f}" y1="{st.plot_top}" x2="{px:.1f}" '
+            f'y2="{st.plot_bottom}" stroke="{color}" stroke-width="1" '
+            f'stroke-dasharray="3,3"/>'
+        )
+
+    def add_diagonal(self, *, color: str = "#999999") -> None:
+        """The y = x guide line of Figure 16."""
+        sx, sy = self._scales()
+        lo = max(sx.lo, sy.lo)
+        hi = min(sx.hi, sy.hi)
+        if hi <= lo:
+            return
+        self._elements.append(
+            f'<line x1="{sx(lo):.1f}" y1="{sy(lo):.1f}" x2="{sx(hi):.1f}" '
+            f'y2="{sy(hi):.1f}" stroke="{color}" stroke-width="1" '
+            f'stroke-dasharray="5,4"/>'
+        )
+
+    # -- output ------------------------------------------------------------
+
+    def _axes(self) -> list[str]:
+        st = self.style
+        sx, sy = self._scales()
+        parts = [
+            f'<rect x="{st.plot_left}" y="{st.plot_top}" '
+            f'width="{st.plot_right - st.plot_left}" '
+            f'height="{st.plot_bottom - st.plot_top}" fill="none" '
+            f'stroke="{st.axis_color}" stroke-width="1"/>'
+        ]
+        x_ticks = sx.ticks()
+        for pos, lab in zip(x_ticks.positions, x_ticks.labels):
+            px = sx(pos)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{st.plot_top}" x2="{px:.1f}" '
+                f'y2="{st.plot_bottom}" stroke="{st.grid_color}" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{st.plot_bottom + 16}" '
+                f'text-anchor="middle" font-size="{st.font_size}">{lab}</text>'
+            )
+        y_ticks = sy.ticks()
+        for pos, lab in zip(y_ticks.positions, y_ticks.labels):
+            py = sy(pos)
+            parts.append(
+                f'<line x1="{st.plot_left}" y1="{py:.1f}" x2="{st.plot_right}" '
+                f'y2="{py:.1f}" stroke="{st.grid_color}" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<text x="{st.plot_left - 6}" y="{py + 4:.1f}" '
+                f'text-anchor="end" font-size="{st.font_size}">{lab}</text>'
+            )
+        parts.append(
+            f'<text x="{(st.plot_left + st.plot_right) / 2:.0f}" '
+            f'y="{st.height - 12}" text-anchor="middle" '
+            f'font-size="{st.font_size}">{html.escape(self.x_label)}</text>'
+        )
+        parts.append(
+            f'<text x="16" y="{(st.plot_top + st.plot_bottom) / 2:.0f}" '
+            f'text-anchor="middle" font-size="{st.font_size}" '
+            f'transform="rotate(-90 16 {(st.plot_top + st.plot_bottom) / 2:.0f})">'
+            f"{html.escape(self.y_label)}</text>"
+        )
+        parts.append(
+            f'<text x="{(st.plot_left + st.plot_right) / 2:.0f}" y="20" '
+            f'text-anchor="middle" font-size="{st.title_size}" '
+            f'font-weight="bold">{html.escape(self.title)}</text>'
+        )
+        return parts
+
+    def _legend_elements(self) -> list[str]:
+        st = self.style
+        parts = []
+        x0 = st.plot_left + 12
+        y0 = st.plot_top + 14
+        for i, (label, color, dash) in enumerate(self._legend):
+            y = y0 + i * 16
+            dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+            parts.append(
+                f'<line x1="{x0}" y1="{y - 4}" x2="{x0 + 24}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="2"{dash_attr}/>'
+            )
+            parts.append(
+                f'<text x="{x0 + 30}" y="{y}" font-size="{st.font_size}">'
+                f"{html.escape(label)}</text>"
+            )
+        return parts
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        st = self.style
+        body = "\n".join([*self._axes(), *self._elements, *self._legend_elements()])
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{st.width}" '
+            f'height="{st.height}" viewBox="0 0 {st.width} {st.height}" '
+            f'font-family="{st.font_family}">\n'
+            f'<rect width="{st.width}" height="{st.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the SVG to disk; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+def cdf_chart(
+    series: list[CDFSeries],
+    *,
+    title: str,
+    x_label: str,
+    x_range: tuple[float, float] | None = None,
+    mark_zero: bool = True,
+) -> SVGChart:
+    """Build a paper-style CDF chart from :class:`CDFSeries` curves.
+
+    Raises:
+        ValueError: if no series are given.
+    """
+    if not series:
+        raise ValueError("cdf_chart needs at least one series")
+    chart = SVGChart(title=title, x_label=x_label, y_label="Fraction of paths")
+    if x_range is None:
+        lo, hi = data_range([tuple(s.x) for s in series])
+    else:
+        lo, hi = x_range
+    chart.set_x_range(lo, hi)
+    chart.set_y_range(0.0, 1.0)
+    if mark_zero and lo < 0.0 < hi:
+        chart.add_vertical_rule(0.0)
+    for s in series:
+        trimmed = s.trimmed(lo, hi)
+        if trimmed.x.size:
+            chart.add_step_curve(trimmed.x, trimmed.y, s.label or "series")
+    return chart

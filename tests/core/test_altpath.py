@@ -1,0 +1,200 @@
+"""Tests for the best-alternate-path search."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.altpath import (
+    AlternatePathFinder,
+    best_one_hop_alternates,
+    loss_weight,
+)
+from repro.core.graph import EdgeData, GraphError, Metric, MetricGraph
+from repro.core.stats import SampleStats
+
+
+def _graph(metric, hosts, weights):
+    g = MetricGraph(metric, hosts)
+    for (src, dst), value in weights.items():
+        g.add_edge(
+            (src, dst),
+            EdgeData(value=value, stats=SampleStats(n=5, mean=value, var=0.1)),
+        )
+    return g
+
+
+def _triangle(direct=100.0, leg1=30.0, leg2=40.0):
+    return _graph(
+        Metric.RTT,
+        ["a", "b", "c"],
+        {
+            ("a", "b"): direct,
+            ("a", "c"): leg1,
+            ("c", "b"): leg2,
+            ("b", "a"): direct,
+            ("c", "a"): leg1,
+            ("b", "c"): leg2,
+        },
+    )
+
+
+def test_loss_weight_properties():
+    assert loss_weight(0.0) >= 0.0
+    assert loss_weight(0.5) > loss_weight(0.1)
+    assert math.isinf(loss_weight(1.0))
+
+
+def test_triangle_detour_found():
+    finder = AlternatePathFinder(_triangle())
+    alt = finder.best(("a", "b"))
+    assert alt is not None
+    assert alt.via == ("c",)
+    assert alt.value == pytest.approx(70.0)
+    assert alt.hops == (("a", "c"), ("c", "b"))
+
+
+def test_direct_edge_never_used():
+    """Even when the direct edge is by far the best, the alternate must
+    route around it."""
+    finder = AlternatePathFinder(_triangle(direct=1.0))
+    alt = finder.best(("a", "b"))
+    assert alt is not None
+    assert alt.value == pytest.approx(70.0)
+    assert ("a", "b") not in alt.hops
+
+
+def test_no_alternate_when_disconnected():
+    g = _graph(Metric.RTT, ["a", "b", "c"], {("a", "b"): 10.0})
+    finder = AlternatePathFinder(g)
+    assert finder.best(("a", "b")) is None
+
+
+def test_multi_hop_alternate():
+    g = _graph(
+        Metric.RTT,
+        ["a", "b", "c", "d"],
+        {
+            ("a", "b"): 100.0,
+            ("a", "c"): 10.0,
+            ("c", "d"): 10.0,
+            ("d", "b"): 10.0,
+            ("c", "b"): 90.0,
+        },
+    )
+    alt = AlternatePathFinder(g).best(("a", "b"))
+    assert alt is not None
+    assert alt.via == ("c", "d")
+    assert alt.value == pytest.approx(30.0)
+
+
+def test_best_all_matches_individual(mini_dataset):
+    from repro.core.graph import build_graph
+
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    finder = AlternatePathFinder(g)
+    batch = finder.best_all()
+    for pair in sorted(g.edges)[:15]:
+        single = finder.best(pair)
+        if single is None:
+            assert pair not in batch
+        else:
+            assert batch[pair].value == pytest.approx(single.value)
+
+
+def test_alternate_invariants_on_real_graph(mini_dataset):
+    from repro.core.graph import build_graph
+
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    alternates = AlternatePathFinder(g).best_all()
+    assert alternates
+    for pair, alt in alternates.items():
+        # Path endpoints and continuity.
+        assert alt.hops[0][0] == pair[0]
+        assert alt.hops[-1][1] == pair[1]
+        for (a, b), (c, d) in zip(alt.hops, alt.hops[1:]):
+            assert b == c
+        # The direct edge is not a constituent hop.
+        assert pair not in alt.hops
+        # Simple path: no repeated intermediate.
+        assert len(set(alt.via)) == len(alt.via)
+        # Value equals the hop-sum.
+        assert alt.value == pytest.approx(sum(g.edge(h).value for h in alt.hops))
+
+
+def test_one_hop_never_beats_full_search(mini_dataset):
+    from repro.core.graph import build_graph
+
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    full = AlternatePathFinder(g).best_all()
+    one_hop = best_one_hop_alternates(g)
+    for pair, alt1 in one_hop.items():
+        assert len(alt1.via) == 1
+        if pair in full:
+            assert full[pair].value <= alt1.value + 1e-9
+
+
+def test_loss_alternates_compose_multiplicatively():
+    g = _graph(
+        Metric.LOSS,
+        ["a", "b", "c"],
+        {
+            ("a", "b"): 0.2,
+            ("a", "c"): 0.05,
+            ("c", "b"): 0.05,
+        },
+    )
+    alt = AlternatePathFinder(g).best(("a", "b"))
+    assert alt is not None
+    assert alt.value == pytest.approx(1 - 0.95 * 0.95)
+
+
+def test_loss_zero_edges_usable():
+    """Zero loss edges must survive the sparse representation."""
+    g = _graph(
+        Metric.LOSS,
+        ["a", "b", "c"],
+        {
+            ("a", "b"): 0.3,
+            ("a", "c"): 0.0,
+            ("c", "b"): 0.0,
+        },
+    )
+    alt = AlternatePathFinder(g).best(("a", "b"))
+    assert alt is not None
+    assert alt.value == pytest.approx(0.0)
+
+
+def test_bandwidth_graph_rejected():
+    g = MetricGraph(Metric.BANDWIDTH, ["a", "b"])
+    with pytest.raises(GraphError):
+        AlternatePathFinder(g)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_random_graph_invariants(seed):
+    """On random complete digraphs, the batch result equals a brute-force
+    search over all simple paths (n=5 keeps enumeration cheap)."""
+    rng = np.random.default_rng(seed)
+    hosts = ["a", "b", "c", "d", "e"]
+    weights = {
+        (x, y): float(rng.uniform(1, 100))
+        for x in hosts
+        for y in hosts
+        if x != y
+    }
+    g = _graph(Metric.RTT, hosts, weights)
+    alternates = AlternatePathFinder(g).best_all()
+    for pair in [("a", "b"), ("c", "e")]:
+        best = math.inf
+        src, dst = pair
+        others = [h for h in hosts if h not in pair]
+        for r in range(1, len(others) + 1):
+            for mids in itertools.permutations(others, r):
+                nodes = [src, *mids, dst]
+                cost = sum(weights[(x, y)] for x, y in zip(nodes, nodes[1:]))
+                best = min(best, cost)
+        assert alternates[pair].value == pytest.approx(best)

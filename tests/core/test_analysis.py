@@ -1,0 +1,156 @@
+"""Tests for the central analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    AnalysisError,
+    PairComparison,
+    analyze,
+    analyze_bandwidth,
+    analyze_graph,
+)
+from repro.core.bandwidth import LossComposition
+from repro.core.graph import Metric, build_graph
+from repro.core.stats import Comparison, DiffEstimate
+
+
+def test_pair_comparison_orientation_rtt():
+    comp = PairComparison(
+        src="a", dst="b", metric=Metric.RTT, default_value=100.0,
+        alt_value=80.0, via=("c",),
+    )
+    assert comp.improvement == pytest.approx(20.0)
+    assert comp.ratio == pytest.approx(1.25)
+
+
+def test_pair_comparison_orientation_bandwidth():
+    comp = PairComparison(
+        src="a", dst="b", metric=Metric.BANDWIDTH, default_value=50.0,
+        alt_value=150.0, via=("c",),
+    )
+    assert comp.improvement == pytest.approx(100.0)
+    assert comp.ratio == pytest.approx(3.0)
+
+
+def test_pair_comparison_classify_requires_estimate():
+    comp = PairComparison(
+        src="a", dst="b", metric=Metric.PROP_DELAY, default_value=1.0,
+        alt_value=2.0, via=(),
+    )
+    with pytest.raises(AnalysisError):
+        comp.classify()
+
+
+def test_loss_zero_classification():
+    comp = PairComparison(
+        src="a", dst="b", metric=Metric.LOSS, default_value=0.0,
+        alt_value=0.0, via=("c",),
+        estimate=DiffEstimate(diff=0.0, se=0.0, dof=1.0),
+    )
+    assert comp.classify() is Comparison.ZERO
+
+
+def test_analyze_rtt_structure(mini_dataset):
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    assert result.metric is Metric.RTT
+    assert len(result) > 0
+    for comp in result.comparisons:
+        assert comp.estimate is not None
+        assert comp.default_value == pytest.approx(
+            result.graph.edge((comp.src, comp.dst)).value
+        )
+        assert np.isfinite(comp.improvement)
+    # Comparisons are sorted by pair.
+    pairs = [(c.src, c.dst) for c in result.comparisons]
+    assert pairs == sorted(pairs)
+
+
+def test_analyze_rejects_bandwidth(mini_dataset):
+    with pytest.raises(AnalysisError):
+        analyze(mini_dataset, Metric.BANDWIDTH)
+
+
+def test_fraction_helpers(mini_dataset):
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    frac = result.fraction_improved()
+    assert 0.0 <= frac <= 1.0
+    assert result.fraction_improved_by(10.0) <= frac
+    assert result.fraction_improved_by(-10**9) == 1.0
+
+
+def test_improvement_and_estimate_agree(mini_dataset):
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    for comp in result.comparisons:
+        assert comp.estimate.diff == pytest.approx(comp.improvement)
+
+
+def test_classification_percentages_sum_to_100(mini_dataset):
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    pct = result.classification_percentages()
+    assert sum(pct.values()) == pytest.approx(100.0)
+
+
+def test_loss_analysis(mini_dataset):
+    result = analyze(mini_dataset, Metric.LOSS, min_samples=5)
+    for comp in result.comparisons:
+        assert 0.0 <= comp.default_value <= 1.0
+        assert 0.0 <= comp.alt_value <= 1.0
+    counts = result.classification_counts()
+    assert sum(counts.values()) == len(result)
+
+
+def test_prop_delay_analysis_has_no_estimates(mini_dataset):
+    result = analyze(mini_dataset, Metric.PROP_DELAY, min_samples=5)
+    assert all(c.estimate is None for c in result.comparisons)
+
+
+def test_one_hop_restriction(mini_dataset):
+    full = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    one = analyze(mini_dataset, Metric.RTT, min_samples=5, one_hop_only=True)
+    assert all(len(c.via) == 1 for c in one.comparisons)
+    by_pair = {(c.src, c.dst): c for c in full.comparisons}
+    for comp in one.comparisons:
+        pair = (comp.src, comp.dst)
+        if pair in by_pair:
+            assert by_pair[pair].alt_value <= comp.alt_value + 1e-9
+
+
+def test_pairs_restriction(mini_dataset):
+    graph = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    some_pairs = sorted(graph.edges)[:4]
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5, pairs=some_pairs)
+    assert {(c.src, c.dst) for c in result.comparisons} <= set(some_pairs)
+
+
+def test_analyze_graph_direct(mini_dataset):
+    graph = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    result = analyze_graph(graph, dataset_name="X")
+    assert result.dataset_name == "X"
+    assert len(result) > 0
+
+
+def test_analyze_bandwidth(mini_transfers):
+    result = analyze_bandwidth(mini_transfers, LossComposition.PESSIMISTIC)
+    assert result.metric is Metric.BANDWIDTH
+    assert len(result) > 0
+    for comp in result.comparisons:
+        assert len(comp.via) == 1
+        assert comp.estimate is None
+    assert "pessimistic" in result.dataset_name
+
+
+def test_cdf_outputs(mini_dataset):
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    cdf = result.improvement_cdf()
+    assert cdf.label == mini_dataset.meta.name
+    assert cdf.x.size == len(result)
+    rcdf = result.ratio_cdf("lbl")
+    assert rcdf.label == "lbl"
+    assert np.all(rcdf.x > 0)
+
+
+def test_headline_band_on_mini_dataset(mini_dataset):
+    """Even the small fixture should show the paper's qualitative effect."""
+    result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    assert 0.10 <= result.fraction_improved() <= 0.90

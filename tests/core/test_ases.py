@@ -1,0 +1,80 @@
+"""Tests for AS-popularity analysis (Figure 14)."""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.ases import (
+    ASAnalysisError,
+    ASPoint,
+    as_popularity,
+    outlier_ases,
+    popularity_correlation,
+)
+from repro.core.graph import Metric
+
+
+@pytest.fixture(scope="module")
+def result(mini_dataset):
+    return analyze(mini_dataset, Metric.RTT, min_samples=5)
+
+
+def test_as_popularity_structure(mini_dataset, result):
+    points = as_popularity(mini_dataset, result)
+    assert points
+    asns = [p.asn for p in points]
+    assert asns == sorted(asns)
+    analyzed = len(result.comparisons)
+    for p in points:
+        assert 0 <= p.direct <= analyzed
+        assert 0 <= p.alternate <= analyzed
+
+
+def test_every_analyzed_pair_counts_somewhere(mini_dataset, result):
+    points = as_popularity(mini_dataset, result)
+    # Stub ASes of measured hosts must appear in at least one path.
+    total_direct = sum(p.direct for p in points)
+    assert total_direct >= len(result.comparisons)  # each path has >= 1 AS
+
+
+def test_alternate_paths_use_more_ases(mini_dataset, result):
+    """Alternate paths union several default paths, so total alternate
+    appearances exceed direct appearances."""
+    points = as_popularity(mini_dataset, result)
+    assert sum(p.alternate for p in points) > sum(p.direct for p in points)
+
+
+def test_requires_path_info(mini_dataset, result):
+    stripped = mini_dataset.without_hosts([])
+    stripped.path_info = {}
+    with pytest.raises(ASAnalysisError):
+        as_popularity(stripped, result)
+
+
+def test_popularity_correlation(mini_dataset, result):
+    points = as_popularity(mini_dataset, result)
+    corr = popularity_correlation(points)
+    # Popular transit ASes are popular in both populations.
+    assert 0.3 < corr <= 1.0
+
+
+def test_popularity_correlation_needs_points():
+    with pytest.raises(ASAnalysisError):
+        popularity_correlation([ASPoint(asn=1, direct=1, alternate=1)])
+
+
+def test_outlier_detection():
+    points = [
+        ASPoint(asn=1, direct=100, alternate=90),
+        ASPoint(asn=2, direct=100, alternate=5),   # outlier
+        ASPoint(asn=3, direct=2, alternate=3),     # too small to count
+    ]
+    outliers = outlier_ases(points)
+    assert [p.asn for p in outliers] == [2]
+
+
+def test_no_dominant_ases_in_simulation(mini_dataset, result):
+    """The paper's conclusion: no small set of ASes unduly inflates the
+    alternates.  Outliers should be rare."""
+    points = as_popularity(mini_dataset, result)
+    outliers = outlier_ases(points, factor=6.0, min_count=20)
+    assert len(outliers) <= max(1, len(points) // 10)

@@ -1,0 +1,95 @@
+"""Tests for synthetic bandwidth composition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bandwidth import (
+    LOSS_FLOOR,
+    LossComposition,
+    best_bandwidth_alternates,
+    compose_bandwidth,
+)
+from repro.core.graph import GraphError, Metric, MetricGraph, build_graph
+from repro.measurement.tcp import mathis_bandwidth_kbps
+
+losses = st.floats(min_value=0.0, max_value=0.5)
+
+
+def test_composition_modes():
+    assert LossComposition.OPTIMISTIC.combine(0.1, 0.02) == pytest.approx(0.1)
+    assert LossComposition.PESSIMISTIC.combine(0.1, 0.02) == pytest.approx(
+        1 - 0.9 * 0.98
+    )
+    assert LossComposition.SUM.combine(0.1, 0.02) == pytest.approx(0.12)
+    assert LossComposition.SUM.combine(0.9, 0.9) == 1.0
+
+
+@given(p1=losses, p2=losses)
+def test_composition_ordering(p1, p2):
+    opt = LossComposition.OPTIMISTIC.combine(p1, p2)
+    pes = LossComposition.PESSIMISTIC.combine(p1, p2)
+    add = LossComposition.SUM.combine(p1, p2)
+    assert opt <= pes + 1e-12 <= add + 1e-9
+
+
+def test_compose_bandwidth_adds_rtts():
+    bw, rtt, loss = compose_bandwidth(50.0, 0.01, 70.0, 0.02, LossComposition.OPTIMISTIC)
+    assert rtt == pytest.approx(120.0)
+    assert loss == pytest.approx(0.02)
+    assert bw == pytest.approx(mathis_bandwidth_kbps(120.0, 0.02))
+
+
+def test_compose_bandwidth_loss_floor():
+    bw, _, loss = compose_bandwidth(50.0, 0.0, 50.0, 0.0, LossComposition.OPTIMISTIC)
+    assert loss == LOSS_FLOOR
+    assert bw == pytest.approx(mathis_bandwidth_kbps(100.0, LOSS_FLOOR))
+
+
+def test_optimistic_alternates_dominate_pessimistic(mini_transfers):
+    graph = build_graph(mini_transfers, Metric.BANDWIDTH, min_samples=1)
+    opt = best_bandwidth_alternates(graph, LossComposition.OPTIMISTIC)
+    pes = best_bandwidth_alternates(graph, LossComposition.PESSIMISTIC)
+    assert opt.keys() == pes.keys()
+    for pair in opt:
+        assert opt[pair].bandwidth_kbps >= pes[pair].bandwidth_kbps - 1e-9
+
+
+def test_alternates_structure(mini_transfers):
+    graph = build_graph(mini_transfers, Metric.BANDWIDTH, min_samples=1)
+    alternates = best_bandwidth_alternates(graph, LossComposition.PESSIMISTIC)
+    assert alternates
+    for (src, dst), alt in alternates.items():
+        assert alt.src == src and alt.dst == dst
+        assert alt.via not in (src, dst)
+        assert alt.bandwidth_kbps > 0
+        # Composed RTT equals the two legs' means.
+        leg1 = graph.edge((src, alt.via)).aux["rtt_mean"]
+        leg2 = graph.edge((alt.via, dst)).aux["rtt_mean"]
+        assert alt.rtt_ms == pytest.approx(leg1 + leg2)
+
+
+def test_best_is_actually_best(mini_transfers):
+    graph = build_graph(mini_transfers, Metric.BANDWIDTH, min_samples=1)
+    alternates = best_bandwidth_alternates(graph, LossComposition.PESSIMISTIC)
+    pair = next(iter(alternates))
+    best = alternates[pair]
+    src, dst = pair
+    for via in graph.hosts:
+        if via in (src, dst):
+            continue
+        if not (graph.has_edge((src, via)) and graph.has_edge((via, dst))):
+            continue
+        bw, _, _ = compose_bandwidth(
+            graph.edge((src, via)).aux["rtt_mean"],
+            graph.edge((src, via)).aux["loss_mean"],
+            graph.edge((via, dst)).aux["rtt_mean"],
+            graph.edge((via, dst)).aux["loss_mean"],
+            LossComposition.PESSIMISTIC,
+        )
+        assert bw <= best.bandwidth_kbps + 1e-9
+
+
+def test_non_bandwidth_graph_rejected(mini_dataset):
+    graph = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    with pytest.raises(GraphError):
+        best_bandwidth_alternates(graph, LossComposition.OPTIMISTIC)

@@ -1,0 +1,90 @@
+"""Tests for bootstrap validation of the analytic confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.bootstrap import (
+    BootstrapError,
+    BootstrapInterval,
+    bootstrap_improvements,
+    compare_with_analytic,
+)
+from repro.core.graph import Metric
+
+
+@pytest.fixture(scope="module")
+def rtt_result(mini_dataset):
+    return analyze(mini_dataset, Metric.RTT, min_samples=5)
+
+
+@pytest.fixture(scope="module")
+def intervals(mini_dataset, rtt_result):
+    return bootstrap_improvements(
+        mini_dataset, rtt_result, n_resamples=200, seed=3, max_pairs=40
+    )
+
+
+def test_validation():
+    interval = BootstrapInterval(src="a", dst="b", point=1.0, lo=0.5, hi=2.0)
+    assert interval.contains(1.0)
+    assert not interval.contains(3.0)
+
+
+def test_parameter_validation(mini_dataset, rtt_result):
+    with pytest.raises(BootstrapError):
+        bootstrap_improvements(mini_dataset, rtt_result, n_resamples=5)
+    with pytest.raises(BootstrapError):
+        bootstrap_improvements(mini_dataset, rtt_result, confidence=1.5)
+    prop = analyze(mini_dataset, Metric.PROP_DELAY, min_samples=5)
+    with pytest.raises(BootstrapError):
+        bootstrap_improvements(mini_dataset, prop)
+
+
+def test_interval_structure(intervals):
+    assert intervals
+    for interval in intervals:
+        assert interval.lo <= interval.hi
+        assert np.isfinite(interval.point)
+
+
+def test_intervals_mostly_cover_point_estimate(intervals):
+    coverage = np.mean([i.contains(i.point) for i in intervals])
+    assert coverage > 0.9
+
+
+def test_deterministic(mini_dataset, rtt_result):
+    a = bootstrap_improvements(
+        mini_dataset, rtt_result, n_resamples=50, seed=9, max_pairs=10
+    )
+    b = bootstrap_improvements(
+        mini_dataset, rtt_result, n_resamples=50, seed=9, max_pairs=10
+    )
+    assert a == b
+
+
+def test_agreement_with_analytic(mini_dataset, rtt_result, intervals):
+    """The paper's analytic CIs and the bootstrap must broadly agree —
+    this is the empirical justification for using the cheap form."""
+    report = compare_with_analytic(rtt_result, intervals)
+    assert report.n > 20
+    assert report.sign_agreement > 0.7
+    assert report.point_coverage > 0.9
+    # Widths agree within a factor of ~2 either way.
+    assert 0.4 < report.median_width_ratio < 2.5
+
+
+def test_loss_bootstrap(mini_dataset):
+    result = analyze(mini_dataset, Metric.LOSS, min_samples=5)
+    intervals = bootstrap_improvements(
+        mini_dataset, result, n_resamples=100, seed=5, max_pairs=20
+    )
+    assert intervals
+    for interval in intervals:
+        # Composed loss differences live in [-1, 1].
+        assert -1.0 <= interval.lo <= interval.hi <= 1.0
+
+
+def test_compare_requires_pairs(rtt_result):
+    with pytest.raises(BootstrapError):
+        compare_with_analytic(rtt_result, [])

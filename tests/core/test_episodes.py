@@ -1,0 +1,60 @@
+"""Tests for the simultaneous-episode (UW4-A) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.episodes import EpisodeError, analyze_episodes
+
+
+def test_requires_episode_dataset(mini_dataset):
+    with pytest.raises(EpisodeError):
+        analyze_episodes(mini_dataset)
+
+
+def test_episode_analysis_structure(episode_dataset):
+    analysis = analyze_episodes(episode_dataset)
+    assert analysis.episodes_analyzed > 0
+    assert analysis.diffs
+    n_hosts = len(episode_dataset.hosts)
+    for pair, obs in analysis.diffs.items():
+        assert pair[0] != pair[1]
+        assert pair[0] in episode_dataset.hosts
+        for episode, diff in obs:
+            assert episode >= 0
+            assert np.isfinite(diff)
+        # No pair observed more often than there are episodes.
+        assert len(obs) <= len(episode_dataset.episodes())
+
+
+def test_max_episodes_cap(episode_dataset):
+    capped = analyze_episodes(episode_dataset, max_episodes=3)
+    assert capped.episodes_analyzed <= 3
+
+
+def test_pair_averaged_matches_manual_mean(episode_dataset):
+    analysis = analyze_episodes(episode_dataset)
+    averaged = analysis.pair_averaged()
+    pair = next(iter(averaged))
+    manual = float(np.mean([d for _, d in analysis.diffs[pair]]))
+    assert averaged[pair] == pytest.approx(manual)
+
+
+def test_unaveraged_has_wider_spread(episode_dataset):
+    """Figure 11's key visual: the unaveraged CDF has broader tails than
+    the pair-averaged one."""
+    analysis = analyze_episodes(episode_dataset)
+    pair_cdf = analysis.pair_averaged_cdf()
+    raw_cdf = analysis.unaveraged_cdf()
+    assert raw_cdf.x.size >= pair_cdf.x.size
+    spread_raw = raw_cdf.value_at_fraction(0.95) - raw_cdf.value_at_fraction(0.05)
+    spread_avg = pair_cdf.value_at_fraction(0.95) - pair_cdf.value_at_fraction(0.05)
+    assert spread_raw >= spread_avg
+
+
+def test_variability_is_substantial(episode_dataset):
+    """'Not only are different alternate paths being selected as best in
+    each episode, the difference ... is highly variable.'"""
+    analysis = analyze_episodes(episode_dataset)
+    stds = analysis.best_alternate_variability()
+    assert stds
+    assert np.median(list(stds.values())) > 1.0  # ms

@@ -1,0 +1,134 @@
+"""Tests for measurement-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import (
+    EdgeData,
+    GraphError,
+    Metric,
+    MetricGraph,
+    PROPAGATION_PERCENTILE,
+    build_graph,
+)
+from repro.core.stats import SampleStats
+
+
+def _edge(value=10.0, n=5):
+    return EdgeData(value=value, stats=SampleStats(n=n, mean=value, var=1.0))
+
+
+def test_metric_orientation():
+    assert Metric.BANDWIDTH.higher_is_better
+    assert not Metric.RTT.higher_is_better
+    assert not Metric.LOSS.higher_is_better
+
+
+def test_graph_construction_and_queries():
+    g = MetricGraph(Metric.RTT, ["a", "b", "c"])
+    g.add_edge(("a", "b"), _edge(10.0))
+    g.add_edge(("b", "a"), _edge(12.0))
+    assert len(g) == 2
+    assert g.has_edge(("a", "b"))
+    assert not g.has_edge(("a", "c"))
+    assert g.edge(("a", "b")).value == 10.0
+    with pytest.raises(GraphError):
+        g.edge(("a", "c"))
+
+
+def test_graph_rejects_invalid_edges():
+    g = MetricGraph(Metric.RTT, ["a", "b"])
+    with pytest.raises(GraphError):
+        g.add_edge(("a", "a"), _edge())
+    with pytest.raises(GraphError):
+        g.add_edge(("a", "zz"), _edge())
+    g.add_edge(("a", "b"), _edge())
+    with pytest.raises(GraphError):
+        g.add_edge(("a", "b"), _edge())
+
+
+def test_duplicate_hosts_rejected():
+    with pytest.raises(GraphError):
+        MetricGraph(Metric.RTT, ["a", "a"])
+
+
+def test_without_hosts():
+    g = MetricGraph(Metric.RTT, ["a", "b", "c"])
+    g.add_edge(("a", "b"), _edge())
+    g.add_edge(("a", "c"), _edge())
+    sub = g.without_hosts({"b"})
+    assert sub.hosts == ["a", "c"]
+    assert sub.has_edge(("a", "c"))
+    assert not sub.has_edge(("a", "b"))
+    assert g.has_edge(("a", "b"))  # original intact
+
+
+def test_weight_matrix():
+    g = MetricGraph(Metric.RTT, ["a", "b"])
+    g.add_edge(("a", "b"), _edge(42.0))
+    mat = g.weight_matrix()
+    assert mat[0, 1] == 42.0
+    assert np.isinf(mat[1, 0])
+    assert np.isinf(mat[0, 0])
+    doubled = g.weight_matrix(lambda v: v * 2)
+    assert doubled[0, 1] == 84.0
+
+
+def test_build_rtt_graph(mini_dataset):
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    assert g.metric is Metric.RTT
+    assert len(g) > 0
+    for pair, data in g.edges.items():
+        assert data.value == pytest.approx(float(mini_dataset.rtt_samples(pair).mean()))
+        assert data.stats.n == mini_dataset.rtt_samples(pair).size
+        assert data.samples is None
+
+
+def test_build_graph_keep_samples(mini_dataset):
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5, keep_samples=True)
+    data = next(iter(g.edges.values()))
+    assert data.samples is not None
+    assert data.samples.size == data.stats.n
+
+
+def test_build_loss_graph(mini_dataset):
+    g = build_graph(mini_dataset, Metric.LOSS, min_samples=5)
+    for pair, data in g.edges.items():
+        assert 0.0 <= data.value <= 1.0
+        assert data.value == pytest.approx(float(mini_dataset.loss_samples(pair).mean()))
+
+
+def test_build_prop_graph(mini_dataset):
+    rtt = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    prop = build_graph(mini_dataset, Metric.PROP_DELAY, min_samples=5)
+    for pair, data in prop.edges.items():
+        samples = mini_dataset.rtt_samples(pair)
+        assert data.value == pytest.approx(
+            float(np.percentile(samples, PROPAGATION_PERCENTILE))
+        )
+        # Propagation estimate never exceeds the mean RTT.
+        assert data.value <= rtt.edge(pair).value
+
+
+def test_min_samples_filter(mini_dataset):
+    loose = build_graph(mini_dataset, Metric.RTT, min_samples=1)
+    strict = build_graph(mini_dataset, Metric.RTT, min_samples=10**6)
+    assert len(strict) == 0
+    assert len(loose) >= len(strict)
+
+
+def test_bandwidth_graph_requires_transfers(mini_dataset, mini_transfers):
+    with pytest.raises(GraphError):
+        build_graph(mini_dataset, Metric.BANDWIDTH)
+    g = build_graph(mini_transfers, Metric.BANDWIDTH, min_samples=1)
+    for data in g.edges.values():
+        assert data.value > 0
+        assert "rtt_mean" in data.aux and "loss_mean" in data.aux
+
+
+def test_host_index(mini_dataset):
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=1)
+    for i, host in enumerate(g.hosts):
+        assert g.host_index(host) == i
+    with pytest.raises(GraphError):
+        g.host_index("missing")

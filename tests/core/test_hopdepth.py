@@ -1,0 +1,113 @@
+"""Tests for the hop-depth ablation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.altpath import AlternatePathFinder, best_one_hop_alternates
+from repro.core.graph import Metric, build_graph
+from repro.core.hopdepth import HopDepthError, depth_sweep, k_hop_alternate_values
+
+
+@pytest.fixture(scope="module")
+def rtt_graph(mini_dataset):
+    return build_graph(mini_dataset, Metric.RTT, min_samples=5)
+
+
+def test_validation(rtt_graph):
+    with pytest.raises(HopDepthError):
+        k_hop_alternate_values(rtt_graph, 0)
+    with pytest.raises(HopDepthError):
+        depth_sweep(rtt_graph, depths=())
+
+
+def test_k1_matches_one_hop_search(rtt_graph):
+    """k=1 means a single edge — but a single-edge alternate IS the
+    (excluded) direct edge, so k=1 yields nothing; k=2 matches the
+    dedicated one-hop (one intermediate) search."""
+    k2 = k_hop_alternate_values(rtt_graph, 2)
+    one_hop = best_one_hop_alternates(rtt_graph)
+    assert set(k2) >= set(one_hop)
+    for pair, alt in one_hop.items():
+        assert k2[pair] == pytest.approx(alt.value, rel=1e-9)
+
+
+def test_k1_only_finds_parallel_edges(rtt_graph):
+    """With the direct edge excluded and one edge allowed, no alternate
+    exists (the graph has no parallel edges)."""
+    k1 = k_hop_alternate_values(rtt_graph, 1)
+    assert k1 == {}
+
+
+def test_deep_search_converges_to_dijkstra(rtt_graph):
+    """For k >= V-1 the k-hop optimum equals the unrestricted search."""
+    n = len(rtt_graph.hosts)
+    deep = k_hop_alternate_values(rtt_graph, n)
+    full = AlternatePathFinder(rtt_graph).best_all()
+    for pair, alt in full.items():
+        assert deep[pair] == pytest.approx(alt.value, rel=1e-9)
+
+
+def test_monotone_in_depth(rtt_graph):
+    """More hops can only help."""
+    k2 = k_hop_alternate_values(rtt_graph, 2)
+    k3 = k_hop_alternate_values(rtt_graph, 3)
+    k4 = k_hop_alternate_values(rtt_graph, 4)
+    for pair in k2:
+        assert k3[pair] <= k2[pair] + 1e-9
+        assert k4[pair] <= k3[pair] + 1e-9
+
+
+def test_depth_sweep_rows(rtt_graph):
+    rows = depth_sweep(rtt_graph, depths=(2, 3, 4))
+    assert [r.max_hops for r in rows] == [2, 3, 4]
+    # Fraction improved is nondecreasing with depth.
+    fractions = [r.fraction_improved for r in rows]
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+    assert all(r.n_pairs > 0 for r in rows)
+
+
+def test_loss_metric_depth(mini_dataset):
+    g = build_graph(mini_dataset, Metric.LOSS, min_samples=5)
+    values = k_hop_alternate_values(g, 3)
+    assert values
+    for v in values.values():
+        assert 0.0 <= v <= 1.0
+
+
+def test_random_graphs_match_bruteforce():
+    """On random complete digraphs, the DP equals brute-force enumeration
+    of simple paths with bounded edge count."""
+    import itertools
+
+    import numpy as np
+
+    from repro.core.graph import EdgeData, MetricGraph
+    from repro.core.stats import SampleStats
+
+    rng = np.random.default_rng(17)
+    hosts = ["a", "b", "c", "d", "e"]
+    for _ in range(10):
+        g = MetricGraph(Metric.RTT, hosts)
+        weights = {}
+        for x in hosts:
+            for y in hosts:
+                if x != y:
+                    w = float(rng.uniform(1, 100))
+                    weights[(x, y)] = w
+                    g.add_edge(
+                        (x, y),
+                        EdgeData(value=w, stats=SampleStats(n=3, mean=w, var=0.1)),
+                    )
+        for k in (2, 3):
+            dp = k_hop_alternate_values(g, k)
+            for src, dst in [("a", "b"), ("c", "e"), ("d", "a")]:
+                best = np.inf
+                others = [h for h in hosts if h not in (src, dst)]
+                for r in range(1, k):  # r intermediates -> r+1 edges <= k
+                    for mids in itertools.permutations(others, r):
+                        nodes = [src, *mids, dst]
+                        cost = sum(
+                            weights[(x, y)] for x, y in zip(nodes, nodes[1:])
+                        )
+                        best = min(best, cost)
+                assert dp[(src, dst)] == pytest.approx(best)

@@ -1,0 +1,91 @@
+"""Tests for host-popularity evaluation (Figures 12/13)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze_graph
+from repro.core.graph import Metric, build_graph
+from repro.core.hosts import (
+    contribution_cdf,
+    greedy_host_removal,
+    improvement_contributions,
+    removal_cdfs,
+    tail_heaviness,
+)
+
+
+@pytest.fixture(scope="module")
+def rtt_graph(mini_dataset):
+    return build_graph(mini_dataset, Metric.RTT, min_samples=5)
+
+
+def test_greedy_removal_basics(rtt_graph):
+    steps = greedy_host_removal(rtt_graph, k=3)
+    assert 1 <= len(steps) <= 3
+    removed = [s.removed for s in steps]
+    assert len(set(removed)) == len(removed)
+    for step in steps:
+        assert step.removed in rtt_graph.hosts
+        assert step.result.comparisons
+
+
+def test_greedy_removal_is_greedy(rtt_graph):
+    """The first removal must be the single host whose removal minimizes
+    the mean improvement."""
+    steps = greedy_host_removal(rtt_graph, k=1)
+    assert len(steps) == 1
+    chosen_mean = steps[0].mean_improvement
+    for host in rtt_graph.hosts:
+        candidate = rtt_graph.without_hosts({host})
+        result = analyze_graph(candidate)
+        if result.comparisons:
+            mean = float(result.improvements().mean())
+            assert chosen_mean <= mean + 1e-9
+
+
+def test_greedy_removal_rejects_bad_k(rtt_graph):
+    with pytest.raises(ValueError):
+        greedy_host_removal(rtt_graph, k=0)
+
+
+def test_removal_cdfs(rtt_graph):
+    baseline = analyze_graph(rtt_graph, dataset_name="MINI")
+    steps = greedy_host_removal(rtt_graph, k=2)
+    full, pruned = removal_cdfs(baseline, steps)
+    assert full.label == "all hosts"
+    assert "without top" in pruned.label
+    assert full.x.size >= pruned.x.size
+
+
+def test_removal_does_not_collapse_the_effect(rtt_graph):
+    """The paper's finding: removing the top hosts leaves a substantial
+    fraction of improved pairs."""
+    baseline = analyze_graph(rtt_graph)
+    steps = greedy_host_removal(rtt_graph, k=2)
+    if steps:
+        after = steps[-1].result.fraction_improved()
+        assert after > baseline.fraction_improved() * 0.2
+
+
+def test_contributions_structure(rtt_graph):
+    contributions = improvement_contributions(rtt_graph)
+    assert set(contributions) == set(rtt_graph.hosts)
+    values = np.array(list(contributions.values()))
+    assert np.all(values >= 0)
+    assert values.mean() == pytest.approx(100.0)
+
+
+def test_contribution_cdf_and_tail(rtt_graph):
+    contributions = improvement_contributions(rtt_graph)
+    cdf = contribution_cdf(contributions)
+    assert cdf.x.size == len(rtt_graph.hosts)
+    heaviness = tail_heaviness(contributions)
+    assert 0.0 <= heaviness <= 1.0
+
+
+def test_tail_heaviness_extremes():
+    flat = {f"h{i}": 1.0 for i in range(10)}
+    assert tail_heaviness(flat) == pytest.approx(0.1)
+    spiked = {f"h{i}": (1000.0 if i == 0 else 0.0) for i in range(10)}
+    assert tail_heaviness(spiked) == pytest.approx(1.0)
+    assert tail_heaviness({}) == 0.0

@@ -1,0 +1,59 @@
+"""Tests for the mean-vs-median robustness analysis (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.medians import (
+    MedianAnalysisError,
+    compare_mean_vs_median,
+    max_cdf_discrepancy,
+    mean_median_cdfs,
+)
+
+
+@pytest.fixture(scope="module")
+def comparisons(mini_dataset):
+    return compare_mean_vs_median(mini_dataset, min_samples=5)
+
+
+def test_comparison_structure(comparisons):
+    assert comparisons
+    for comp in comparisons:
+        assert comp.src != comp.dst
+        assert np.isfinite(comp.mean_improvement)
+        assert np.isfinite(comp.median_improvement)
+
+
+def test_cdfs(comparisons):
+    means, medians = mean_median_cdfs(comparisons)
+    assert means.label == "means"
+    assert medians.label == "medians"
+    assert means.x.size == medians.x.size == len(comparisons)
+
+
+def test_mean_median_difference_is_negligible(comparisons):
+    """The paper's §6.1 conclusion: 'the difference is negligible'."""
+    gap = max_cdf_discrepancy(comparisons)
+    assert gap < 0.35
+    means, medians = mean_median_cdfs(comparisons)
+    # The improved-fraction is nearly the same under either statistic.
+    assert abs(
+        means.fraction_above(0.0) - medians.fraction_above(0.0)
+    ) < 0.25
+
+
+def test_empty_comparisons_rejected():
+    with pytest.raises(MedianAnalysisError):
+        mean_median_cdfs([])
+    with pytest.raises(MedianAnalysisError):
+        max_cdf_discrepancy([])
+
+
+def test_discrepancy_of_identical_lists():
+    from repro.core.medians import MeanMedianComparison
+
+    comps = [
+        MeanMedianComparison(src="a", dst="b", mean_improvement=v, median_improvement=v)
+        for v in (-5.0, 0.0, 5.0)
+    ]
+    assert max_cdf_discrepancy(comps) == 0.0

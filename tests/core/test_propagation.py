@@ -1,0 +1,98 @@
+"""Tests for the congestion-vs-propagation decomposition (Figures 15/16)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.graph import Metric
+from repro.core.propagation import (
+    DelayDecomposition,
+    DelayGroup,
+    analyze_propagation,
+    decompose_improvements,
+    group_counts,
+    prop_improvement_cdf,
+    propagation_cdfs,
+    propagation_share,
+)
+
+
+def _point(total, prop):
+    return DelayDecomposition(src="a", dst="b", total_improvement=total, prop_improvement=prop)
+
+
+def test_six_group_classification():
+    assert _point(-10.0, -5.0).group is DelayGroup.G1   # default wins both
+    assert _point(-10.0, -20.0).group is DelayGroup.G2  # prop worse than total
+    assert _point(-10.0, 5.0).group is DelayGroup.G3    # default wins on queue only
+    assert _point(10.0, 5.0).group is DelayGroup.G4     # alt wins both
+    assert _point(10.0, 20.0).group is DelayGroup.G5    # prop gain exceeds total
+    assert _point(10.0, -5.0).group is DelayGroup.G6    # out of its way
+
+
+def test_queueing_improvement_is_residual():
+    p = _point(10.0, 4.0)
+    assert p.queueing_improvement == pytest.approx(6.0)
+
+
+def test_propagation_analysis(mini_dataset):
+    result = analyze_propagation(mini_dataset, min_samples=5)
+    assert result.metric is Metric.PROP_DELAY
+    assert len(result) > 0
+
+
+def test_propagation_cdfs_labels(mini_dataset):
+    prop, rtt = propagation_cdfs(mini_dataset, min_samples=5)
+    assert prop.label == "propagation delay"
+    assert rtt.label == "mean round-trip"
+
+
+def test_propagation_magnitude_smaller_than_rtt(mini_dataset):
+    """'The magnitude of the differences is cut substantially when only
+    propagation delay is considered.'"""
+    prop, rtt = propagation_cdfs(mini_dataset, min_samples=5)
+    spread_prop = prop.value_at_fraction(0.9) - prop.value_at_fraction(0.1)
+    spread_rtt = rtt.value_at_fraction(0.9) - rtt.value_at_fraction(0.1)
+    assert spread_prop < spread_rtt
+
+
+def test_decomposition_points(mini_dataset):
+    points = decompose_improvements(mini_dataset, min_samples=5)
+    assert points
+    rtt_result = analyze(mini_dataset, Metric.RTT, min_samples=5)
+    by_pair = {(c.src, c.dst): c for c in rtt_result.comparisons}
+    for p in points:
+        comp = by_pair[(p.src, p.dst)]
+        assert p.total_improvement == pytest.approx(comp.improvement)
+        # Decomposition is exact: total = propagation + queuing.
+        assert p.total_improvement == pytest.approx(
+            p.prop_improvement + p.queueing_improvement
+        )
+
+
+def test_group_counts_complete(mini_dataset):
+    points = decompose_improvements(mini_dataset, min_samples=5)
+    counts = group_counts(points)
+    assert sum(counts.values()) == len(points)
+    assert set(counts) == set(DelayGroup)
+
+
+def test_group3_rare_group6_present(mini_dataset):
+    """The paper: 'there are very few paths in group 3 ... while group 6
+    is much more populated.'"""
+    points = decompose_improvements(mini_dataset, min_samples=5)
+    counts = group_counts(points)
+    assert counts[DelayGroup.G6] >= counts[DelayGroup.G3]
+
+
+def test_propagation_share_bounds(mini_dataset):
+    points = decompose_improvements(mini_dataset, min_samples=5)
+    share = propagation_share(points)
+    assert 0.0 <= share <= 1.0
+    assert propagation_share([]) == 0.0
+
+
+def test_prop_improvement_cdf(mini_dataset):
+    points = decompose_improvements(mini_dataset, min_samples=5)
+    cdf = prop_improvement_cdf(points)
+    assert cdf.x.size == len(points)

@@ -1,0 +1,68 @@
+"""Tests for the time-of-day robustness analysis."""
+
+import pytest
+
+from repro.core.graph import Metric
+from repro.core.timeofday import (
+    analyze_by_time_of_day,
+    paper_time_bins,
+    peak_vs_offpeak_gap,
+)
+from repro.netsim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+def test_paper_bins_cover_every_instant():
+    bins = paper_time_bins()
+    assert [b.label for b in bins] == [
+        "weekend", "0000-0600", "0600-1200", "1200-1800", "1800-2400",
+    ]
+    # Every timestamp belongs to exactly one bin.
+    for day in range(7):
+        for hour in range(0, 24, 3):
+            t = day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR + 1.0
+            matches = [b.label for b in bins if b.predicate(t)]
+            assert len(matches) == 1, f"t={t} in {matches}"
+
+
+def test_bins_are_pst():
+    bins = {b.label: b for b in paper_time_bins()}
+    # Monday 19:00 UTC = Monday 11:00 PST -> the 0600-1200 bin.
+    t = 19 * SECONDS_PER_HOUR
+    assert bins["0600-1200"].predicate(t)
+    # Saturday 10:00 UTC = Saturday 02:00 PST -> weekend.
+    t = 5 * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+    assert bins["weekend"].predicate(t)
+
+
+def test_analysis_per_bin(mini_dataset):
+    results = analyze_by_time_of_day(mini_dataset, Metric.RTT, min_samples=3)
+    assert set(results) == {b.label for b in paper_time_bins()}
+    total = sum(len(r) for r in results.values())
+    assert total > 0
+    for label, result in results.items():
+        assert f"[{label}]" in result.dataset_name
+
+
+def test_effect_occurs_in_every_populated_bin(mini_dataset):
+    """The paper: 'the overall effect occurs regardless of the time of
+    day' — every bin with data shows some improved pairs."""
+    results = analyze_by_time_of_day(mini_dataset, Metric.RTT, min_samples=3)
+    for label, result in results.items():
+        if len(result) >= 10:
+            assert result.fraction_improved() > 0.0, label
+
+
+def test_peak_vs_offpeak_gap(mini_dataset):
+    results = analyze_by_time_of_day(mini_dataset, Metric.RTT, min_samples=3)
+    gap = peak_vs_offpeak_gap(results)
+    assert -1.0 <= gap <= 1.0
+    with pytest.raises(KeyError):
+        peak_vs_offpeak_gap(results, peak="nonsense")
+
+
+def test_custom_bins(mini_dataset):
+    from repro.core.timeofday import TimeBin
+
+    bins = [TimeBin("all", lambda t: True)]
+    results = analyze_by_time_of_day(mini_dataset, Metric.RTT, min_samples=3, bins=bins)
+    assert set(results) == {"all"}

@@ -1,0 +1,112 @@
+"""Tests for host-distance triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import EdgeData, Metric, MetricGraph, build_graph
+from repro.core.stats import SampleStats
+from repro.core.triangulation import (
+    TriangulationError,
+    prediction_quality,
+    triangulate,
+    triangulate_dataset,
+    violation_rate,
+)
+
+
+def _prop_graph(weights: dict, hosts=None) -> MetricGraph:
+    hosts = hosts or ["a", "b", "c"]
+    g = MetricGraph(Metric.PROP_DELAY, hosts)
+    for pair, value in weights.items():
+        g.add_edge(
+            pair, EdgeData(value=value, stats=SampleStats(n=5, mean=value, var=0.1))
+        )
+    return g
+
+
+def test_requires_prop_graph(mini_dataset):
+    rtt = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    with pytest.raises(TriangulationError):
+        triangulate(rtt)
+
+
+def test_triangle_bounds_simple():
+    g = _prop_graph(
+        {
+            ("a", "b"): 50.0,
+            ("a", "c"): 20.0,
+            ("c", "b"): 25.0,
+        }
+    )
+    points = triangulate(g)
+    ab = next(p for p in points if (p.src, p.dst) == ("a", "b"))
+    assert ab.upper_ms == pytest.approx(45.0)
+    assert ab.lower_ms == pytest.approx(5.0)
+    assert ab.landmark == "c"
+    assert ab.violates_triangle_inequality  # 45 < 50
+
+
+def test_metric_space_has_no_violations():
+    """Euclidean-consistent distances cannot violate the inequality."""
+    coords = {"a": 0.0, "b": 10.0, "c": 4.0, "d": 7.0}
+    weights = {
+        (x, y): abs(coords[x] - coords[y])
+        for x in coords
+        for y in coords
+        if x != y
+    }
+    g = _prop_graph(weights, hosts=list(coords))
+    points = triangulate(g)
+    assert points
+    assert violation_rate(points) == 0.0
+    quality = prediction_quality(points)
+    assert quality.bracketing_rate == 1.0
+
+
+def test_pairs_without_landmarks_skipped():
+    g = _prop_graph({("a", "b"): 10.0})
+    assert triangulate(g) == []
+
+
+def test_violation_rate_requires_points():
+    with pytest.raises(TriangulationError):
+        violation_rate([])
+    with pytest.raises(TriangulationError):
+        prediction_quality([])
+
+
+def test_triangulation_on_simulated_dataset(mini_dataset):
+    points = triangulate_dataset(mini_dataset, min_samples=5)
+    assert len(points) > 20
+    rate = violation_rate(points)
+    # The paper's premise: the Internet is not a metric space — a healthy
+    # fraction of pairs violate the triangle inequality...
+    assert 0.1 < rate < 0.9
+    quality = prediction_quality(points)
+    # ...yet triangulation still predicts distance reasonably well
+    # (the Francis et al. result the paper says it can regenerate).
+    assert quality.median_relative_error < 1.0
+    assert quality.within_factor_two > 0.5
+
+
+def test_violation_rate_matches_one_hop_prop_analysis(mini_dataset):
+    """Cross-check: a triangle violation IS a superior one-hop
+    propagation alternate, so the rates must agree exactly."""
+    from repro.core.analysis import analyze
+
+    points = triangulate_dataset(mini_dataset, min_samples=5)
+    result = analyze(
+        mini_dataset, Metric.PROP_DELAY, min_samples=5, one_hop_only=True
+    )
+    by_pair = {(c.src, c.dst): c for c in result.comparisons}
+    agree = 0
+    total = 0
+    for p in points:
+        comp = by_pair.get((p.src, p.dst))
+        if comp is None:
+            continue
+        total += 1
+        if (comp.improvement > 0) == p.violates_triangle_inequality:
+            agree += 1
+    assert total > 0
+    assert agree == total

@@ -1,0 +1,117 @@
+"""Tests for the per-paper-dataset builders (at reduced scale)."""
+
+import pytest
+
+from repro.datasets.builders import (
+    BuildConfig,
+    build_d2,
+    build_n2,
+    build_uw3,
+    build_uw4,
+    table1_order,
+)
+
+SCALE = 0.05  # keep builder tests quick
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return BuildConfig(seed=77, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def uw3_and_env(cfg):
+    return build_uw3(cfg)
+
+
+@pytest.fixture(scope="module")
+def d2_pair(cfg):
+    return build_d2(cfg)
+
+
+def test_build_config_validation():
+    with pytest.raises(ValueError):
+        BuildConfig(scale=0.0)
+    with pytest.raises(ValueError):
+        BuildConfig(scale=1.5)
+    assert BuildConfig(scale=0.5).days(10) == pytest.approx(5 * 86400)
+
+
+def test_table1_order():
+    assert table1_order() == [
+        "D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B",
+    ]
+
+
+def test_uw3_shape(uw3_and_env):
+    uw3, env = uw3_and_env
+    assert uw3.meta.name == "UW3"
+    assert len(uw3.hosts) == 39
+    assert uw3.n_measurements > 1000
+    assert 0.7 < uw3.coverage() <= 0.95
+    # Rate limiters were filtered out of the final host pool.
+    assert all(not env.topo.host(h).rate_limits_icmp for h in uw3.hosts)
+
+
+def test_uw3_path_info_has_as_paths(uw3_and_env):
+    uw3, _ = uw3_and_env
+    assert uw3.path_info
+    any_info = next(iter(uw3.path_info.values()))
+    assert len(any_info.as_path) >= 1
+
+
+def test_uw4_shapes(cfg, uw3_and_env):
+    _, env = uw3_and_env
+    uw4a, uw4b = build_uw4(cfg, env)
+    assert uw4a.hosts == uw4b.hosts
+    assert len(uw4a.hosts) == 15
+    assert set(uw4a.hosts) <= set(env.hosts)
+    assert uw4a.episodes(), "UW4-A must be episode-scheduled"
+    assert not uw4b.episodes(), "UW4-B is independently scheduled"
+    # Episode datasets dwarf their long-term companions (Table 1).
+    assert uw4a.n_measurements > 5 * uw4b.n_measurements
+
+
+def test_d2_shape(d2_pair):
+    d2, d2_na = d2_pair
+    assert d2.meta.name == "D2" and d2.meta.location == "World"
+    assert d2_na.meta.name == "D2-NA" and d2_na.meta.location == "North America"
+    assert len(d2.hosts) == 33
+    assert 15 <= len(d2_na.hosts) < 33
+    assert set(d2_na.hosts) < set(d2.hosts)
+    # The D2 loss heuristic must be carried by both.
+    assert d2.loss_first_probe_only
+    assert d2_na.loss_first_probe_only
+
+
+def test_d2_na_is_a_subset(d2_pair):
+    d2, d2_na = d2_pair
+    na = set(d2_na.hosts)
+    for rec in d2_na.traceroutes:
+        assert rec.src in na and rec.dst in na
+    assert d2_na.n_measurements < d2.n_measurements
+
+
+def test_n2_shape(cfg):
+    n2, n2_na = build_n2(cfg)
+    assert n2.is_bandwidth and n2_na.is_bandwidth
+    assert n2.meta.method == "tcpanaly"
+    assert len(n2.hosts) == 31
+    assert set(n2_na.hosts) < set(n2.hosts)
+    pair = n2.pairs()[0]
+    assert n2.bandwidth_samples(pair).size > 0
+
+
+def test_builders_are_deterministic(cfg):
+    a, _ = build_uw3(cfg)
+    b, _ = build_uw3(BuildConfig(seed=77, scale=SCALE))
+    assert a.hosts == b.hosts
+    assert a.n_measurements == b.n_measurements
+    ra, rb = a.traceroutes[0], b.traceroutes[0]
+    assert (ra.t, ra.src, ra.dst) == (rb.t, rb.src, rb.dst)
+
+
+def test_different_seeds_produce_different_data(cfg):
+    a, _ = build_uw3(cfg)
+    b, _ = build_uw3(BuildConfig(seed=78, scale=SCALE))
+    assert a.hosts != b.hosts or a.n_measurements != b.n_measurements

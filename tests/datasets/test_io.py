@@ -1,0 +1,104 @@
+"""Tests for dataset serialization."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+
+
+def _assert_datasets_equal(a, b):
+    assert a.meta == b.meta
+    assert a.hosts == b.hosts
+    assert a.loss_first_probe_only == b.loss_first_probe_only
+    assert len(a.records) == len(b.records)
+    assert a.path_info.keys() == b.path_info.keys()
+    for pair in a.path_info:
+        assert a.path_info[pair] == b.path_info[pair]
+    for ra, rb in zip(a.traceroutes, b.traceroutes):
+        assert (ra.t, ra.src, ra.dst, ra.episode) == (rb.t, rb.src, rb.dst, rb.episode)
+        for sa, sb in zip(ra.rtt_samples, rb.rtt_samples):
+            assert (math.isnan(sa) and math.isnan(sb)) or sa == sb
+    for ra, rb in zip(a.transfers, b.transfers):
+        assert ra == rb
+
+
+def test_roundtrip_traceroute_dataset(mini_dataset, tmp_path):
+    path = tmp_path / "mini.jsonl"
+    save_dataset(mini_dataset, path)
+    loaded = load_dataset(path)
+    _assert_datasets_equal(mini_dataset, loaded)
+    # Derived statistics agree.
+    pair = mini_dataset.pairs()[0]
+    np.testing.assert_allclose(
+        mini_dataset.rtt_samples(pair), loaded.rtt_samples(pair)
+    )
+
+
+def test_roundtrip_transfer_dataset(mini_transfers, tmp_path):
+    path = tmp_path / "bw.jsonl"
+    save_dataset(mini_transfers, path)
+    loaded = load_dataset(path)
+    _assert_datasets_equal(mini_transfers, loaded)
+    assert loaded.is_bandwidth
+
+
+def test_roundtrip_preserves_corrections(mini_dataset, tmp_path):
+    corrected = mini_dataset.with_first_probe_loss_heuristic()
+    path = tmp_path / "c.jsonl"
+    save_dataset(corrected, path)
+    assert load_dataset(path).loss_first_probe_only
+
+
+def test_roundtrip_preserves_stats(mini_dataset, tmp_path):
+    path = tmp_path / "s.jsonl"
+    save_dataset(mini_dataset, path)
+    loaded = load_dataset(path)
+    assert loaded.stats.requested == mini_dataset.stats.requested
+    assert loaded.stats.completed == mini_dataset.stats.completed
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(DatasetIOError):
+        load_dataset(path)
+
+
+def test_garbled_header_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("this is not json\n")
+    with pytest.raises(DatasetIOError):
+        load_dataset(path)
+
+
+def test_unknown_version_rejected(mini_dataset, tmp_path):
+    path = tmp_path / "v.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["format_version"] = 99
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(DatasetIOError):
+        load_dataset(path)
+
+
+def test_garbled_record_rejected(mini_dataset, tmp_path):
+    path = tmp_path / "r.jsonl"
+    save_dataset(mini_dataset, path)
+    with path.open("a") as fh:
+        fh.write("{broken\n")
+    with pytest.raises(DatasetIOError):
+        load_dataset(path)
+
+
+def test_blank_lines_tolerated(mini_dataset, tmp_path):
+    path = tmp_path / "b.jsonl"
+    save_dataset(mini_dataset, path)
+    with path.open("a") as fh:
+        fh.write("\n\n")
+    loaded = load_dataset(path)
+    assert len(loaded.records) == len(mini_dataset.records)

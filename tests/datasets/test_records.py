@@ -1,0 +1,60 @@
+"""Tests for measurement record types."""
+
+import math
+
+import pytest
+
+from repro.datasets.records import (
+    CollectionStats,
+    PathInfo,
+    TracerouteRecord,
+    TransferRecord,
+)
+
+NAN = float("nan")
+
+
+def test_traceroute_record_loss_accounting():
+    rec = TracerouteRecord(t=0.0, src="a", dst="b", rtt_samples=(10.0, NAN, 12.0))
+    assert rec.n_probes == 3
+    assert rec.n_lost == 1
+    assert rec.successful_rtts == (10.0, 12.0)
+    assert not rec.first_sample_lost()
+
+
+def test_traceroute_record_first_sample_lost():
+    rec = TracerouteRecord(t=0.0, src="a", dst="b", rtt_samples=(NAN, 11.0, 12.0))
+    assert rec.first_sample_lost()
+    assert rec.n_lost == 1
+
+
+def test_traceroute_record_requires_samples():
+    with pytest.raises(ValueError):
+        TracerouteRecord(t=0.0, src="a", dst="b", rtt_samples=())
+
+
+def test_traceroute_record_all_lost():
+    rec = TracerouteRecord(t=0.0, src="a", dst="b", rtt_samples=(NAN, NAN, NAN))
+    assert rec.n_lost == 3
+    assert rec.successful_rtts == ()
+
+
+def test_transfer_record_validation():
+    TransferRecord(t=0.0, src="a", dst="b", rtt_ms=50.0, loss_rate=0.02, bandwidth_kbps=100.0)
+    with pytest.raises(ValueError):
+        TransferRecord(t=0.0, src="a", dst="b", rtt_ms=0.0, loss_rate=0.02, bandwidth_kbps=1.0)
+    with pytest.raises(ValueError):
+        TransferRecord(t=0.0, src="a", dst="b", rtt_ms=1.0, loss_rate=1.5, bandwidth_kbps=1.0)
+    with pytest.raises(ValueError):
+        TransferRecord(t=0.0, src="a", dst="b", rtt_ms=1.0, loss_rate=0.1, bandwidth_kbps=-1.0)
+
+
+def test_path_info_holds_routing_facts():
+    info = PathInfo(src="a", dst="b", as_path=(1, 2, 3), hop_count=12, prop_delay_ms=40.0)
+    assert info.as_path == (1, 2, 3)
+
+
+def test_collection_stats_defaults():
+    stats = CollectionStats()
+    assert stats.requested == 0
+    assert stats.notes == []

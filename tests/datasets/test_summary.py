@@ -1,0 +1,89 @@
+"""Tests for dataset diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.summary import DistributionSummary, summarize
+
+
+def test_distribution_summary_basics():
+    summary = DistributionSummary.from_values(np.arange(1.0, 101.0))
+    assert summary.n == 100
+    assert summary.mean == pytest.approx(50.5)
+    assert summary.p10 < summary.p50 < summary.p90
+
+
+def test_distribution_summary_empty():
+    summary = DistributionSummary.from_values(np.array([]))
+    assert summary.n == 0
+    assert math.isnan(summary.mean)
+
+
+@pytest.fixture(scope="module")
+def mini_summary(mini_dataset):
+    return summarize(mini_dataset)
+
+
+def test_summary_counts(mini_dataset, mini_summary):
+    assert mini_summary.name == mini_dataset.meta.name
+    assert mini_summary.n_measurements == mini_dataset.n_measurements
+    assert mini_summary.n_pairs == len(mini_dataset.pairs())
+    assert mini_summary.coverage == pytest.approx(mini_dataset.coverage())
+
+
+def test_summary_rtt_distribution_sane(mini_summary):
+    assert mini_summary.rtt_ms.n > 1000
+    assert 10.0 < mini_summary.rtt_ms.p50 < 1000.0
+    assert mini_summary.rtt_ms.p10 < mini_summary.rtt_ms.p90
+
+
+def test_summary_loss_bounds(mini_summary):
+    assert 0.0 <= mini_summary.loss_rate.mean <= 1.0
+
+
+def test_summary_host_participation(mini_dataset, mini_summary):
+    assert len(mini_summary.hosts) == len(mini_dataset.hosts)
+    total_source = sum(h.as_source for h in mini_summary.hosts)
+    assert total_source == mini_dataset.n_measurements
+    # Rate-limited hosts show the largest inbound loss.
+    from repro.measurement import detect_rate_limiters, flagged_hosts
+
+    flagged = set(flagged_hosts(detect_rate_limiters(mini_dataset)))
+    if flagged:
+        lossiest = max(mini_summary.hosts, key=lambda h: h.inbound_loss)
+        assert lossiest.host in flagged
+
+
+def test_summary_poisson_cv(mini_summary):
+    # The mini dataset uses Poisson scheduling: CV of gaps ≈ 1.
+    assert 0.8 < mini_summary.interarrival_cv < 1.2
+
+
+def test_summary_diurnal_profile(mini_summary):
+    profile = mini_summary.rtt_by_pst_hour
+    assert profile
+    assert max(profile.values()) > min(profile.values())
+
+
+def test_summary_bandwidth_dataset(mini_transfers):
+    summary = summarize(mini_transfers)
+    assert summary.bandwidth_kbps is not None
+    assert summary.bandwidth_kbps.n > 0
+    assert summary.bandwidth_kbps.mean > 0
+
+
+def test_render(mini_summary):
+    text = mini_summary.render()
+    assert mini_summary.name in text
+    assert "RTT ms" in text
+    assert "request-gap CV" in text
+
+
+def test_summary_hop_counts(mini_summary):
+    """The paper-era Internet saw ~10-30 router hops end to end."""
+    assert mini_summary.hop_count is not None
+    assert 5 <= mini_summary.hop_count.p10 <= mini_summary.hop_count.p90 <= 45
+    assert mini_summary.as_path_length is not None
+    assert 2 <= mini_summary.as_path_length.p50 <= 8

@@ -1,0 +1,1 @@
+"""Experiment fixtures now live in the top-level conftest."""

@@ -1,0 +1,31 @@
+"""Figure behaviour on partial or degenerate dataset suites."""
+
+import pytest
+
+from repro.experiments.figures import FigureError, figure1, figure3, figure4
+
+
+def test_figure1_with_subset(suite, min_samples):
+    subset = {k: suite[k] for k in ["UW3"]}
+    fig = figure1(subset, min_samples=min_samples)
+    assert [s.label for s in fig.series] == ["UW3"]
+    assert "UW3_fraction_improved" in fig.data
+
+
+def test_figure3_with_subset(suite, min_samples):
+    subset = {k: suite[k] for k in ["UW1", "D2"]}
+    fig = figure3(subset, min_samples=min_samples)
+    assert {s.label for s in fig.series} <= {"UW1", "D2"}
+
+
+def test_figure4_requires_bandwidth_datasets(suite):
+    with pytest.raises(FigureError):
+        figure4({"UW3": suite["UW3"]})
+
+
+def test_sparse_suite_produces_no_curves(suite):
+    """An absurd min_samples filter empties every analysis; figures must
+    degrade to empty series rather than crash."""
+    fig = figure1(suite, min_samples=10**9)
+    assert fig.series == []
+    assert fig.text  # header still rendered

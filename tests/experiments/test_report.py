@@ -1,0 +1,54 @@
+"""Tests for the plain-text rendering helpers."""
+
+from repro.core.stats import make_cdf
+from repro.experiments.report import (
+    cdf_summary_row,
+    format_percent,
+    render_cdf_points,
+    render_cdf_summaries,
+    render_table,
+)
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "n" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    # Columns align: every data row has the same separator positions.
+    assert lines[3].index("|") == lines[4].index("|")
+
+
+def test_render_table_without_title():
+    text = render_table(["a"], [["x"]])
+    assert not text.startswith("\n")
+    assert "x" in text
+
+
+def test_cdf_summary_row():
+    series = make_cdf([-10.0, 0.5, 10.0, 20.0], label="demo")
+    row = cdf_summary_row(series, unit="ms")
+    assert row[0] == "demo"
+    assert row[1] == 4
+    assert row[2] == "75%"  # three of four values above zero
+    assert all(isinstance(cell, str) for cell in row[2:])
+
+
+def test_render_cdf_summaries():
+    series = [make_cdf([1.0, 2.0], label="s1"), make_cdf([3.0], label="s2")]
+    text = render_cdf_summaries(series, "My Title", unit="x")
+    assert "My Title" in text
+    assert "s1" in text and "s2" in text
+
+
+def test_render_cdf_points():
+    series = make_cdf(list(range(100)), label="pts")
+    text = render_cdf_points(series)
+    assert text.startswith("pts:")
+    assert "F=0.50" in text
+
+
+def test_format_percent():
+    assert format_percent(0.5) == "50%"
+    assert format_percent(0.123, digits=1) == "12.3%"

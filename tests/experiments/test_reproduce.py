@@ -1,0 +1,44 @@
+"""Tests for the reproduction CLI driver."""
+
+import pytest
+
+from repro.experiments.reproduce import PAPER_CLAIMS, main, run_all, write_markdown
+
+
+def test_paper_claims_cover_all_artifacts():
+    expected = {"table1", "table2", "table3"} | {f"figure{i}" for i in range(1, 17)}
+    assert set(PAPER_CLAIMS) == expected
+
+
+def test_run_all_with_only_filter(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    artifacts = run_all(scale=0.02, seed=55, only={"table1", "figure1"})
+    assert set(artifacts) == {"table1", "figure1"}
+    out = capsys.readouterr().out
+    assert "=== table1" in out
+    assert "=== figure1" in out
+
+
+def test_write_markdown(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    artifacts = run_all(scale=0.02, seed=55, only={"table1"})
+    out = tmp_path / "report.md"
+    write_markdown(artifacts, str(out), scale=0.02, seed=55)
+    text = out.read_text()
+    assert "# Reproduction run" in text
+    assert "## table1" in text
+    assert "*Paper:*" in text
+
+
+def test_main_cli(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(
+        [
+            "--scale", "0.02",
+            "--seed", "55",
+            "--only", "table2",
+            "--markdown", str(tmp_path / "r.md"),
+        ]
+    )
+    assert rc == 0
+    assert (tmp_path / "r.md").exists()

@@ -1,0 +1,56 @@
+"""Tests for dataset provisioning and caching."""
+
+import pytest
+
+from repro.datasets import BuildConfig
+from repro.experiments.runner import cache_dir, get_dataset, get_datasets
+
+
+@pytest.fixture()
+def tiny_cfg():
+    return BuildConfig(seed=31, scale=0.02)
+
+
+def test_cache_roundtrip(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    first = get_datasets(tiny_cfg)
+    assert set(first) == {
+        "D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B",
+    }
+    # Cache files exist now.
+    files = list((tmp_path / "cache").rglob("*.jsonl"))
+    assert len(files) == 8
+    # Second call loads from cache and agrees.
+    second = get_datasets(tiny_cfg)
+    for name in first:
+        assert first[name].n_measurements == second[name].n_measurements
+        assert first[name].hosts == second[name].hosts
+
+
+def test_corrupt_cache_triggers_rebuild(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    first = get_datasets(tiny_cfg)
+    victim = next((tmp_path / "cache").rglob("UW3.jsonl"))
+    victim.write_text("garbage\n")
+    rebuilt = get_datasets(tiny_cfg)
+    assert rebuilt["UW3"].n_measurements == first["UW3"].n_measurements
+
+
+def test_no_cache_mode(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg, use_cache=False)
+    assert not list((tmp_path / "cache").rglob("*.jsonl"))
+
+
+def test_get_single_dataset(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    uw3 = get_dataset("UW3", tiny_cfg)
+    assert uw3.meta.name == "UW3"
+    with pytest.raises(KeyError):
+        get_dataset("NOPE", tiny_cfg)
+
+
+def test_cache_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert cache_dir() == tmp_path / "elsewhere"
+    assert cache_dir().exists()

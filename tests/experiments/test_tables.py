@@ -1,0 +1,63 @@
+"""Tests for the Table 1/2/3 reproductions."""
+
+import pytest
+
+from repro.experiments.tables import TTEST_DATASETS, table1, table2, table3
+
+
+def test_table1_rows(suite):
+    result = table1(suite)
+    assert result.name == "table1"
+    names = [row[0] for row in result.rows]
+    assert names == ["D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"]
+    by_name = {row[0]: row for row in result.rows}
+    # Host counts match the paper exactly (they are structural, not scaled).
+    assert by_name["UW1"][5] == 36
+    assert by_name["UW3"][5] == 39
+    assert by_name["UW4-A"][5] == 15
+    assert by_name["UW4-B"][5] == 15
+    assert by_name["D2"][5] == 33
+    assert by_name["N2"][5] == 31
+    # Methods and locations.
+    assert by_name["N2"][1] == "tcpanaly"
+    assert by_name["D2"][4] == "World"
+    assert by_name["D2-NA"][4] == "North America"
+    # UW4 measured every pair.
+    assert by_name["UW4-A"][7] == 100
+    assert "Table 1" in result.text
+
+
+def test_table1_partial_suite(suite):
+    subset = {k: suite[k] for k in ["UW3", "D2"]}
+    result = table1(subset)
+    assert [row[0] for row in result.rows] == ["D2", "UW3"]
+
+
+def test_table2_structure(suite, min_samples):
+    result = table2(suite, min_samples=min_samples)
+    assert result.headers == ("Alternate is", *TTEST_DATASETS)
+    labels = [row[0] for row in result.rows]
+    assert labels == ["Better", "Indeterminate", "Worse"]
+    # Percentages in each column sum to ~100.
+    for col in range(1, len(result.headers)):
+        total = sum(int(row[col].rstrip("%")) for row in result.rows)
+        assert 97 <= total <= 103
+
+
+def test_table3_has_zero_row(suite, min_samples):
+    result = table3(suite, min_samples=min_samples)
+    labels = [row[0] for row in result.rows]
+    assert labels == ["Better", "Indeterminate", "Zero", "Worse"]
+    for col in range(1, len(result.headers)):
+        total = sum(int(row[col].rstrip("%")) for row in result.rows)
+        assert 97 <= total <= 103
+
+
+def test_tables_render(suite, min_samples):
+    for result in (
+        table1(suite),
+        table2(suite, min_samples=min_samples),
+        table3(suite, min_samples=min_samples),
+    ):
+        assert str(result) == result.text
+        assert len(result.text.splitlines()) >= 4

@@ -1,0 +1,154 @@
+"""Tests for the campaign collector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measurement.collector import Campaign, CampaignError
+from repro.measurement.schedulers import Request, poisson_episodes, poisson_pairs
+from repro.netsim import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def campaign(topo1999, conditions, resolver):
+    return Campaign(
+        topo1999,
+        conditions,
+        topo1999.host_names()[:6],
+        resolver=resolver,
+        seed=31,
+        control_failure_prob=0.05,
+    )
+
+
+def test_campaign_needs_two_hosts(topo1999, conditions):
+    with pytest.raises(CampaignError):
+        Campaign(topo1999, conditions, topo1999.host_names()[:1])
+
+
+def test_campaign_validates_probabilities(topo1999, conditions):
+    hosts = topo1999.host_names()[:3]
+    with pytest.raises(CampaignError):
+        Campaign(topo1999, conditions, hosts, control_failure_prob=1.0)
+    with pytest.raises(CampaignError):
+        Campaign(topo1999, conditions, hosts, pair_blackout_prob=-0.1)
+
+
+def test_path_info_covers_all_pairs(campaign):
+    info = campaign.path_info()
+    hosts = campaign.hosts
+    assert len(info) == len(hosts) * (len(hosts) - 1)
+    for (src, dst), pi in info.items():
+        assert pi.src == src and pi.dst == dst
+        assert pi.prop_delay_ms > 0
+        assert pi.hop_count > 2
+        assert len(pi.as_path) >= 1
+
+
+def test_run_traceroutes_records(campaign):
+    hosts = campaign.hosts
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY / 4, 120.0, seed=33))
+    records, stats = campaign.run_traceroutes(requests)
+    assert stats.requested == len(requests)
+    assert stats.completed == len(records)
+    assert stats.completed + stats.control_failures == stats.requested
+    # ~5% control failures.
+    assert 0.0 < stats.control_failures / stats.requested < 0.15
+    for rec in records[:50]:
+        assert len(rec.rtt_samples) == 3
+        assert rec.episode == -1
+        finite = [r for r in rec.rtt_samples if not math.isnan(r)]
+        assert all(r > 0 for r in finite)
+
+
+def test_run_traceroutes_rejects_unknown_pair(campaign):
+    with pytest.raises(CampaignError):
+        campaign.run_traceroutes([Request(t=0.0, src="nope", dst="also-nope")])
+
+
+def test_blackout_pairs_never_complete(topo1999, conditions, resolver):
+    hosts = topo1999.host_names()[:6]
+    campaign = Campaign(
+        topo1999,
+        conditions,
+        hosts,
+        resolver=resolver,
+        seed=37,
+        control_failure_prob=0.0,
+        pair_blackout_prob=0.3,
+    )
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY, 60.0, seed=39))
+    records, stats = campaign.run_traceroutes(requests)
+    measured = {(r.src, r.dst) for r in records}
+    possible = len(hosts) * (len(hosts) - 1)
+    # Roughly 30% of pairs are blacked out.
+    assert len(measured) < possible
+    assert stats.control_failures > 0
+    # Blackout must be consistent: no blacked-out pair ever completes.
+    requested_pairs = {(r.src, r.dst) for r in requests}
+    blocked = requested_pairs - measured
+    assert blocked, "expected some blocked pairs"
+
+
+def test_rate_limited_destination_loses_followup_probes(
+    topo1999, conditions, resolver
+):
+    limited = [h for h in topo1999.host_names() if topo1999.host(h).rate_limits_icmp]
+    clean = [h for h in topo1999.host_names() if not topo1999.host(h).rate_limits_icmp]
+    hosts = [clean[0], limited[0]]
+    campaign = Campaign(
+        topo1999, conditions, hosts, resolver=resolver, seed=41,
+        control_failure_prob=0.0,
+    )
+    # Widely spaced requests toward the limiter.
+    requests = [
+        Request(t=i * 1200.0, src=hosts[0], dst=hosts[1]) for i in range(50)
+    ]
+    records, stats = campaign.run_traceroutes(requests)
+    assert stats.rate_limited_probes > 30
+    # First probes mostly answered; later probes mostly suppressed.
+    first_losses = np.mean([math.isnan(r.rtt_samples[0]) for r in records])
+    later_losses = np.mean(
+        [math.isnan(s) for r in records for s in r.rtt_samples[1:]]
+    )
+    assert later_losses > 0.5
+    assert first_losses < later_losses
+
+
+def test_run_transfers_records(campaign):
+    hosts = campaign.hosts
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY / 4, 300.0, seed=43))
+    records, stats = campaign.run_transfers(requests)
+    assert stats.completed == len(records)
+    for rec in records:
+        assert rec.rtt_ms > 0
+        assert 0.0 < rec.loss_rate < 1.0
+        assert rec.bandwidth_kbps > 0
+
+
+def test_episode_ids_preserved(campaign):
+    hosts = campaign.hosts
+    requests = list(poisson_episodes(hosts, SECONDS_PER_DAY / 2, 7200.0, seed=45))
+    records, _ = campaign.run_traceroutes(requests)
+    episodes = {r.episode for r in records}
+    assert episodes
+    assert all(e >= 0 for e in episodes)
+
+
+def test_collection_is_deterministic(topo1999, conditions, resolver):
+    hosts = topo1999.host_names()[:4]
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY / 8, 120.0, seed=47))
+
+    def run():
+        campaign = Campaign(
+            topo1999, conditions, hosts, resolver=resolver, seed=49
+        )
+        return campaign.run_traceroutes(list(requests))[0]
+
+    a, b = run(), run()
+    assert len(a) == len(b)
+    for ra, rb in zip(a, b):
+        assert ra.src == rb.src and ra.dst == rb.dst and ra.t == rb.t
+        for sa, sb in zip(ra.rtt_samples, rb.rtt_samples):
+            assert (math.isnan(sa) and math.isnan(sb)) or sa == sb

@@ -1,0 +1,62 @@
+"""Tests for the ping simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measurement.ping import PingResult, PingTool
+
+
+@pytest.fixture(scope="module")
+def round_trip(topo1999, resolver):
+    names = topo1999.host_names()
+    return resolver.resolve_round_trip(names[0], names[2])
+
+
+@pytest.fixture(scope="module")
+def tool(conditions):
+    return PingTool(conditions)
+
+
+def test_ping_counts(tool, round_trip, rng):
+    result = tool.ping(round_trip, t=86400.0, rng=rng, count=20)
+    assert result.sent == 20
+    assert 0 <= result.received <= 20
+    assert len(result.rtts_ms) == result.received
+    assert 0.0 <= result.loss_rate <= 1.0
+
+
+def test_ping_statistics_order(tool, round_trip, rng):
+    result = tool.ping(round_trip, t=86400.0, rng=rng, count=30)
+    if result.rtts_ms:
+        assert result.min_ms <= result.avg_ms <= result.max_ms
+        assert result.mdev_ms >= 0.0
+        assert result.min_ms >= round_trip.rtt_prop_ms
+
+
+def test_ping_validation(tool, round_trip, rng):
+    with pytest.raises(ValueError):
+        tool.ping(round_trip, t=0.0, rng=rng, count=0)
+    with pytest.raises(ValueError):
+        tool.ping(round_trip, t=0.0, rng=rng, interval_s=0.0)
+
+
+def test_ping_render(tool, round_trip, rng):
+    result = tool.ping(round_trip, t=86400.0, rng=rng, count=5)
+    text = result.render()
+    assert "ping statistics" in text
+    assert "packets transmitted" in text
+
+
+def test_all_lost_result():
+    result = PingResult(src="a", dst="b", sent=5, received=0, rtts_ms=())
+    assert result.loss_rate == 1.0
+    assert math.isnan(result.avg_ms)
+    assert "100% packet loss" in result.render()
+
+
+def test_ping_deterministic(tool, round_trip):
+    r1 = tool.ping(round_trip, t=86400.0, rng=np.random.default_rng(5), count=10)
+    r2 = tool.ping(round_trip, t=86400.0, rng=np.random.default_rng(5), count=10)
+    assert r1 == r2

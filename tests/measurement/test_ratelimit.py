@@ -1,0 +1,161 @@
+"""Tests for ICMP rate limiting and its detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.dataset import Dataset, DatasetMeta
+from repro.datasets.records import TracerouteRecord
+from repro.measurement.ratelimit import (
+    TokenBucket,
+    detect_rate_limiters,
+    flagged_hosts,
+)
+
+
+def test_unlimited_bucket_always_allows():
+    bucket = TokenBucket(rate_per_min=0.0)
+    assert all(bucket.allow(t) for t in range(100))
+
+
+def test_bucket_burst_then_refill():
+    bucket = TokenBucket(rate_per_min=6.0, burst=2.0)  # one token per 10 s
+    assert bucket.allow(0.0)
+    assert bucket.allow(0.5)
+    assert not bucket.allow(1.0)   # burst exhausted
+    assert not bucket.allow(5.0)
+    assert bucket.allow(11.0)      # one token refilled
+
+
+def test_bucket_default_burst_is_single_token():
+    bucket = TokenBucket(rate_per_min=6.0)
+    assert bucket.allow(0.0)
+    assert not bucket.allow(1.0)
+    assert not bucket.allow(2.0)
+
+
+def test_bucket_traceroute_pattern():
+    """The paper's footnote: the first of three back-to-back probes gets
+    through; the followers are more likely to be dropped."""
+    bucket = TokenBucket(rate_per_min=6.0)
+    results = []
+    for invocation in range(5):
+        t0 = invocation * 120.0  # well-spaced invocations
+        results.append([bucket.allow(t0 + k) for k in range(3)])
+    for first, second, third in results:
+        assert first
+        assert not second
+        assert not third
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=120.0),
+    burst=st.floats(min_value=1.0, max_value=5.0),
+    gaps=st.lists(st.floats(min_value=0.01, max_value=30.0), min_size=5, max_size=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_bucket_never_exceeds_sustained_rate(rate, burst, gaps):
+    bucket = TokenBucket(rate_per_min=rate, burst=burst)
+    t = 0.0
+    allowed = 0
+    for gap in gaps:
+        t += gap
+        if bucket.allow(t):
+            allowed += 1
+    # Long-run bound: burst + rate * elapsed.
+    assert allowed <= burst + rate * t / 60.0 + 1.0
+
+
+def _synthetic_dataset(limited: set[str], loss_toward_limited: float) -> Dataset:
+    """Hand-built dataset where paths toward `limited` hosts lose probes."""
+    hosts = [f"h{i}" for i in range(6)]
+    rng = np.random.default_rng(0)
+    records = []
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            p = loss_toward_limited if dst in limited else 0.01
+            for k in range(25):
+                samples = tuple(
+                    float("nan") if rng.random() < p else 100.0 + rng.normal(0, 5)
+                    for _ in range(3)
+                )
+                records.append(
+                    TracerouteRecord(t=k * 600.0, src=src, dst=dst, rtt_samples=samples)
+                )
+    return Dataset(
+        meta=DatasetMeta(
+            name="synthetic", method="traceroute", year=1999,
+            duration_days=1, location="North America",
+        ),
+        hosts=hosts,
+        traceroutes=records,
+    )
+
+
+def test_detector_flags_limiters():
+    limited = {"h1", "h4"}
+    ds = _synthetic_dataset(limited, loss_toward_limited=0.4)
+    verdicts = detect_rate_limiters(ds)
+    assert set(flagged_hosts(verdicts)) == limited
+
+
+def test_detector_clean_dataset_flags_nothing():
+    ds = _synthetic_dataset(set(), loss_toward_limited=0.0)
+    assert flagged_hosts(detect_rate_limiters(ds)) == []
+
+
+def test_detector_ignores_symmetric_congestion():
+    """A hot access link inflates both directions; must not be flagged."""
+    hosts = ["a", "b", "c", "d"]
+    rng = np.random.default_rng(1)
+    records = []
+    congested = "a"
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            p = 0.2 if congested in (src, dst) else 0.01
+            for k in range(25):
+                samples = tuple(
+                    float("nan") if rng.random() < p else 80.0 for _ in range(3)
+                )
+                records.append(
+                    TracerouteRecord(t=k * 600.0, src=src, dst=dst, rtt_samples=samples)
+                )
+    ds = Dataset(
+        meta=DatasetMeta(
+            name="cong", method="traceroute", year=1999,
+            duration_days=1, location="North America",
+        ),
+        hosts=hosts,
+        traceroutes=records,
+    )
+    assert flagged_hosts(detect_rate_limiters(ds)) == []
+
+
+def test_detector_end_to_end_with_simulator(topo1999, conditions, resolver):
+    """On simulated collection, detection recall should be high with no
+    false flags among clearly clean hosts."""
+    from repro.measurement import Campaign, round_robin_pairs
+    from repro.netsim import SECONDS_PER_DAY
+
+    hosts = topo1999.host_names()
+    truth = {h for h in hosts if topo1999.host(h).rate_limits_icmp}
+    assert truth, "fixture should include rate limiters"
+    campaign = Campaign(topo1999, conditions, hosts, resolver=resolver, seed=21)
+    requests = round_robin_pairs(hosts, repetitions=6, duration_s=SECONDS_PER_DAY, seed=21)
+    records, _ = campaign.run_traceroutes(requests)
+    ds = Dataset(
+        meta=DatasetMeta(
+            name="scan", method="traceroute", year=1999,
+            duration_days=1, location="North America",
+        ),
+        hosts=hosts,
+        traceroutes=records,
+    )
+    flagged = set(flagged_hosts(detect_rate_limiters(ds)))
+    recall = len(flagged & truth) / len(truth)
+    assert recall >= 0.8
+    assert len(flagged - truth) <= 1

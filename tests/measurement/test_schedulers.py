@@ -1,0 +1,126 @@
+"""Tests for measurement request scheduling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.schedulers import (
+    SchedulerError,
+    poisson_episodes,
+    poisson_pairs,
+    round_robin_pairs,
+    uniform_per_server,
+)
+
+HOSTS = [f"h{i}" for i in range(8)]
+DAY = 86400.0
+
+
+def test_uniform_basic_properties():
+    reqs = list(uniform_per_server(HOSTS, DAY, 600.0, seed=1))
+    assert reqs
+    times = [r.t for r in reqs]
+    assert times == sorted(times)
+    assert all(0 <= r.t < DAY for r in reqs)
+    assert all(r.src != r.dst for r in reqs)
+    assert all(r.episode == -1 for r in reqs)
+    # Expected count: hosts * duration / interval, within 20%.
+    expected = len(HOSTS) * DAY / 600.0
+    assert expected * 0.8 < len(reqs) < expected * 1.2
+
+
+def test_uniform_each_host_measures():
+    reqs = list(uniform_per_server(HOSTS, DAY, 600.0, seed=2))
+    sources = {r.src for r in reqs}
+    assert sources == set(HOSTS)
+
+
+def test_uniform_target_restriction():
+    targets = HOSTS[:3]
+    reqs = list(uniform_per_server(HOSTS, DAY, 600.0, seed=3, targets=targets))
+    assert {r.dst for r in reqs} <= set(targets)
+    assert {r.src for r in reqs} == set(HOSTS)  # limiters still measure
+
+
+def test_uniform_unknown_target_rejected():
+    with pytest.raises(SchedulerError):
+        list(uniform_per_server(HOSTS, DAY, 600.0, targets=["nope"]))
+
+
+def test_uniform_deterministic():
+    a = list(uniform_per_server(HOSTS, DAY, 600.0, seed=9))
+    b = list(uniform_per_server(HOSTS, DAY, 600.0, seed=9))
+    assert a == b
+
+
+def test_poisson_pairs_properties():
+    reqs = list(poisson_pairs(HOSTS, DAY, 120.0, seed=1))
+    times = np.array([r.t for r in reqs])
+    assert np.all(np.diff(times) >= 0)
+    gaps = np.diff(times)
+    # Exponential gaps: coefficient of variation near 1.
+    assert 0.8 < gaps.std() / gaps.mean() < 1.2
+    assert abs(gaps.mean() - 120.0) / 120.0 < 0.15
+
+
+def test_poisson_pairs_cover_all_pairs_eventually():
+    reqs = list(poisson_pairs(HOSTS, 20 * DAY, 60.0, seed=4))
+    pairs = {(r.src, r.dst) for r in reqs}
+    assert len(pairs) == len(HOSTS) * (len(HOSTS) - 1)
+
+
+def test_episodes_measure_all_pairs_per_episode():
+    reqs = list(poisson_episodes(HOSTS, DAY, 3600.0, seed=1))
+    by_episode: dict[int, set] = {}
+    for r in reqs:
+        assert r.episode >= 0
+        by_episode.setdefault(r.episode, set()).add((r.src, r.dst))
+    n_pairs = len(HOSTS) * (len(HOSTS) - 1)
+    for episode, pairs in by_episode.items():
+        assert len(pairs) == n_pairs, f"episode {episode} incomplete"
+
+
+def test_episodes_are_time_windowed():
+    reqs = list(poisson_episodes(HOSTS, DAY, 3600.0, seed=2, spread_s=60.0))
+    by_episode: dict[int, list[float]] = {}
+    for r in reqs:
+        by_episode.setdefault(r.episode, []).append(r.t)
+    for times in by_episode.values():
+        assert max(times) - min(times) <= 60.0
+
+
+def test_round_robin_counts():
+    reqs = list(round_robin_pairs(HOSTS, repetitions=4, duration_s=DAY, seed=1))
+    n_pairs = len(HOSTS) * (len(HOSTS) - 1)
+    assert len(reqs) == 4 * n_pairs
+    times = [r.t for r in reqs]
+    assert times == sorted(times)
+
+
+def test_round_robin_rejects_bad_reps():
+    with pytest.raises(SchedulerError):
+        list(round_robin_pairs(HOSTS, repetitions=0, duration_s=DAY))
+
+
+@given(
+    n_hosts=st.integers(min_value=2, max_value=6),
+    interval=st.floats(min_value=30.0, max_value=7200.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_poisson_respects_duration_and_identity(n_hosts, interval, seed):
+    hosts = [f"x{i}" for i in range(n_hosts)]
+    reqs = list(poisson_pairs(hosts, DAY, interval, seed=seed))
+    assert all(0 <= r.t < DAY for r in reqs)
+    assert all(r.src != r.dst for r in reqs)
+
+
+def test_validation_errors():
+    with pytest.raises(SchedulerError):
+        list(poisson_pairs(["only"], DAY, 60.0))
+    with pytest.raises(SchedulerError):
+        list(poisson_pairs(HOSTS, -1.0, 60.0))
+    with pytest.raises(SchedulerError):
+        list(poisson_pairs(HOSTS, DAY, 0.0))
+    with pytest.raises(SchedulerError):
+        list(poisson_pairs(["a", "a", "b"], DAY, 60.0))

@@ -1,0 +1,77 @@
+"""Tests for the per-hop traceroute simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.measurement.traceroute import TracerouteTool
+
+
+@pytest.fixture(scope="module")
+def tool(topo1999, conditions):
+    return TracerouteTool(topo1999, conditions)
+
+
+@pytest.fixture(scope="module")
+def round_trip(topo1999, resolver):
+    names = topo1999.host_names()
+    return resolver.resolve_round_trip(names[0], names[1])
+
+
+def test_one_hop_per_forward_link(tool, round_trip, rng):
+    result = tool.trace(round_trip, t=86400.0, rng=rng)
+    assert len(result.hops) == len(round_trip.forward.links)
+    assert result.src == round_trip.forward.src
+    assert result.dst == round_trip.forward.dst
+
+
+def test_hop_ttls_and_labels(tool, round_trip, rng, topo1999):
+    result = tool.trace(round_trip, t=86400.0, rng=rng)
+    for i, hop in enumerate(result.hops, start=1):
+        assert hop.ttl == i
+        assert hop.label == topo1999.routers[hop.router_id].label
+        assert len(hop.rtt_ms) == 3
+
+
+def test_rtts_roughly_increase_with_depth(tool, round_trip, rng):
+    """Cumulative prefix delay: later hops respond no sooner than the
+    first hop (modulo jitter, compare medians of first vs last)."""
+    result = tool.trace(round_trip, t=86400.0, rng=rng)
+    first = [r for r in result.hops[0].rtt_ms if not math.isnan(r)]
+    last = [r for r in result.hops[-1].rtt_ms if not math.isnan(r)]
+    if first and last:
+        assert np.median(last) > np.median(first)
+
+
+def test_final_hop_consistent_with_prop_delay(tool, round_trip, rng):
+    result = tool.trace(round_trip, t=86400.0, rng=rng)
+    finite = [r for r in result.final_hop.rtt_ms if not math.isnan(r)]
+    if finite:
+        # Final-hop RTT covers at least the forward propagation twice
+        # (the probe and the ICMP response retrace the distance).
+        assert min(finite) >= 2 * round_trip.forward.prop_delay_ms
+
+
+def test_as_path_recovery(tool, round_trip, rng, topo1999):
+    result = tool.trace(round_trip, t=86400.0, rng=rng)
+    as_path = result.as_path(topo1999)
+    # Responders start at the first hop past the source NIC, which is
+    # still inside the source AS, so the AS sequences must match exactly.
+    assert as_path == round_trip.forward.as_path
+
+
+def test_probe_count_override(tool, round_trip, rng):
+    result = tool.trace(round_trip, t=86400.0, rng=rng, probes_per_hop=5)
+    assert all(len(h.rtt_ms) == 5 for h in result.hops)
+
+
+def test_determinism_with_same_rng_state(tool, round_trip):
+    r1 = tool.trace(round_trip, t=86400.0, rng=np.random.default_rng(7))
+    r2 = tool.trace(round_trip, t=86400.0, rng=np.random.default_rng(7))
+    assert len(r1.hops) == len(r2.hops)
+    for h1, h2 in zip(r1.hops, r2.hops):
+        assert (h1.ttl, h1.router_id, h1.label) == (h2.ttl, h2.router_id, h2.label)
+        for s1, s2 in zip(h1.rtt_ms, h2.rtt_ms):
+            # NaN == NaN is False, so compare lost probes explicitly.
+            assert (math.isnan(s1) and math.isnan(s2)) or s1 == s2

@@ -1,0 +1,77 @@
+"""Tests for the simulation calendar."""
+
+from hypothesis import given, strategies as st
+
+from repro.netsim.clock import (
+    PST_UTC_OFFSET_HOURS,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    day_of_week,
+    format_sim_time,
+    hour_of_day,
+    is_weekend,
+    pst_hour,
+    pst_is_weekend,
+    solar_offset_hours,
+)
+
+times = st.floats(min_value=0, max_value=60 * SECONDS_PER_DAY, allow_nan=False)
+
+
+def test_origin_is_monday_midnight():
+    assert day_of_week(0.0) == 0
+    assert hour_of_day(0.0) == 0.0
+
+
+def test_day_of_week_cycles():
+    assert day_of_week(5 * SECONDS_PER_DAY) == 5  # Saturday
+    assert day_of_week(6 * SECONDS_PER_DAY) == 6  # Sunday
+    assert day_of_week(7 * SECONDS_PER_DAY) == 0  # Monday again
+
+
+def test_weekend_detection_utc():
+    assert not is_weekend(0.0)
+    assert is_weekend(5 * SECONDS_PER_DAY + 1)
+    assert is_weekend(6 * SECONDS_PER_DAY + 1)
+    assert not is_weekend(7 * SECONDS_PER_DAY + 1)
+
+
+def test_offset_shifts_weekend_boundary():
+    # One second into UTC Saturday is still Friday evening in PST.
+    t = 5 * SECONDS_PER_DAY + 1
+    assert is_weekend(t)
+    assert not is_weekend(t, PST_UTC_OFFSET_HOURS)
+
+
+def test_pst_hour_offset():
+    t = 20 * SECONDS_PER_HOUR  # Monday 20:00 UTC
+    assert pst_hour(t) == 12.0
+    assert not pst_is_weekend(t)
+
+
+def test_solar_offsets():
+    assert solar_offset_hours(0.0) == 0.0
+    assert solar_offset_hours(-120.0) == -8.0  # US west coast
+    assert solar_offset_hours(135.0) == 9.0    # Japan
+
+
+@given(times)
+def test_hour_of_day_in_range(t):
+    assert 0.0 <= hour_of_day(t) < 24.0
+
+
+@given(times)
+def test_day_of_week_in_range(t):
+    assert 0 <= day_of_week(t) <= 6
+
+
+@given(times)
+def test_weekly_periodicity(t):
+    week = 7 * SECONDS_PER_DAY
+    assert day_of_week(t) == day_of_week(t + week)
+    assert abs(hour_of_day(t) - hour_of_day(t + week)) < 1e-6
+
+
+def test_format_sim_time():
+    label = format_sim_time(3 * SECONDS_PER_DAY + 14 * SECONDS_PER_HOUR + 300)
+    assert label == "day 3 (Thu) 14:05 UTC"

@@ -1,0 +1,92 @@
+"""Tests for the congestion (queuing/loss) model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.congestion import (
+    BURST_FACTOR,
+    LOSS_KNEE,
+    MAX_LINK_LOSS,
+    MAX_OCCUPANCY,
+    loss_probability,
+    loss_probability_array,
+    mean_queue_delay_ms,
+    mean_queue_delay_ms_array,
+    queuing_scale_ms,
+)
+from repro.topology.links import Link, LinkKind
+
+utilizations = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def _link(kind=LinkKind.EXCHANGE, capacity=45.0):
+    return Link(
+        link_id=0,
+        u=0,
+        v=1,
+        kind=kind,
+        prop_delay_ms=5.0,
+        capacity_mbps=capacity,
+        base_utilization=0.5,
+    )
+
+
+def test_queuing_scale_follows_kind_and_capacity():
+    hot = queuing_scale_ms(_link(LinkKind.EXCHANGE, 45.0))
+    cool = queuing_scale_ms(_link(LinkKind.BACKBONE, 155.0))
+    assert hot > cool
+    slow = queuing_scale_ms(_link(LinkKind.EXCHANGE, 10.0))
+    assert slow > hot  # slower link queues longer per packet
+
+
+def test_all_kinds_have_burst_factors():
+    for kind in LinkKind:
+        assert BURST_FACTOR[kind] > 0
+
+
+@given(u=utilizations)
+def test_queue_delay_nonnegative_and_capped(u):
+    scale = 3.0
+    q = mean_queue_delay_ms(u, scale)
+    assert 0.0 <= q <= scale * MAX_OCCUPANCY + 1e-9
+
+
+def test_queue_delay_monotone_in_utilization():
+    qs = [mean_queue_delay_ms(u, 1.0) for u in np.linspace(0, 0.95, 20)]
+    assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+
+
+def test_queue_delay_mm1_shape():
+    # u/(1-u): at u=0.5 occupancy 1; at u=0.9 occupancy 9.
+    assert mean_queue_delay_ms(0.5, 1.0) == pytest.approx(1.0)
+    assert mean_queue_delay_ms(0.9, 1.0) == pytest.approx(9.0)
+
+
+@given(u=utilizations)
+def test_loss_probability_bounds(u):
+    p = loss_probability(u)
+    assert 0.0 <= p <= MAX_LINK_LOSS
+
+
+def test_loss_zero_below_knee():
+    assert loss_probability(LOSS_KNEE) == 0.0
+    assert loss_probability(LOSS_KNEE - 0.1) == 0.0
+    assert loss_probability(LOSS_KNEE + 0.05) > 0.0
+
+
+def test_loss_monotone_above_knee():
+    ps = [loss_probability(u) for u in np.linspace(LOSS_KNEE, 1.0, 20)]
+    assert all(a <= b + 1e-15 for a, b in zip(ps, ps[1:]))
+
+
+def test_array_versions_match_scalars():
+    us = np.linspace(0, 1, 50)
+    scales = np.full(50, 2.5)
+    np.testing.assert_allclose(
+        mean_queue_delay_ms_array(us, scales),
+        [mean_queue_delay_ms(u, 2.5) for u in us],
+    )
+    np.testing.assert_allclose(
+        loss_probability_array(us), [loss_probability(u) for u in us]
+    )

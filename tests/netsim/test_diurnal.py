@@ -1,0 +1,76 @@
+"""Tests for the diurnal load model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.netsim.diurnal import (
+    WEEKDAY_ANCHORS,
+    WEEKEND_LEVEL,
+    load_multiplier,
+    load_multiplier_array,
+)
+
+
+def test_anchor_structure():
+    hours = [h for h, _ in WEEKDAY_ANCHORS]
+    assert hours == sorted(hours)
+    assert hours[0] == 0.0 and hours[-1] == 24.0
+    # Periodic: the multiplier at hour 0 equals hour 24.
+    assert WEEKDAY_ANCHORS[0][1] == WEEKDAY_ANCHORS[-1][1]
+
+
+def test_weekday_mean_is_normalized():
+    # Average the multiplier over a full weekday; must be ~1.
+    ts = np.arange(0, SECONDS_PER_DAY, 60.0)
+    values = [load_multiplier(t, 0.0) for t in ts]
+    assert np.mean(values) == pytest.approx(1.0, abs=0.01)
+
+
+def test_peak_hours_exceed_night():
+    peak = load_multiplier(11 * SECONDS_PER_HOUR, 0.0)    # Monday 11:00 local
+    night = load_multiplier(3 * SECONDS_PER_HOUR, 0.0)    # Monday 03:00 local
+    assert peak > 1.2 * night
+    assert peak > 1.0 > night
+
+
+def test_weekend_is_flat_and_low():
+    saturday = 5 * SECONDS_PER_DAY
+    morning = load_multiplier(saturday + 10 * SECONDS_PER_HOUR, 0.0)
+    evening = load_multiplier(saturday + 20 * SECONDS_PER_HOUR, 0.0)
+    assert morning == pytest.approx(evening)
+    assert morning < 1.0
+
+
+def test_offset_shifts_the_peak():
+    # Monday 19:00 UTC is 11:00 in PST (-8): peak there, evening in UTC+9.
+    t = 19 * SECONDS_PER_HOUR
+    west = load_multiplier(t, -8.0)
+    east = load_multiplier(t, +9.0)
+    assert west > east
+
+
+@given(
+    t=st.floats(min_value=0, max_value=30 * SECONDS_PER_DAY, allow_nan=False),
+    offset=st.floats(min_value=-12, max_value=12),
+)
+def test_multiplier_bounds(t, offset):
+    m = load_multiplier(t, offset)
+    assert 0.3 < m < 1.8
+
+
+def test_array_matches_scalar():
+    t = 2 * SECONDS_PER_DAY + 15 * SECONDS_PER_HOUR
+    offsets = np.array([-8.0, -5.0, 0.0, 1.0, 9.0])
+    arr = load_multiplier_array(t, offsets)
+    scalars = np.array([load_multiplier(t, o) for o in offsets])
+    np.testing.assert_allclose(arr, scalars, rtol=1e-12)
+
+
+def test_weekend_level_constant():
+    t = 6 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR  # Sunday noon
+    arr = load_multiplier_array(t, np.zeros(3))
+    assert np.allclose(arr, arr[0])
+    assert arr[0] < 1.0
+    assert WEEKEND_LEVEL < 1.0

@@ -1,0 +1,100 @@
+"""Tests for overlay route selection."""
+
+import math
+
+import pytest
+
+from repro.overlay.router import OverlayRouter
+from repro.overlay.state import OverlayState
+
+
+def _state(estimates: dict[tuple[str, str], float], hosts=None) -> OverlayState:
+    hosts = hosts or ["a", "b", "c", "d"]
+    state = OverlayState(hosts, alpha=1.0)
+    for pair, rtt in estimates.items():
+        state.record_probe(pair, rtt)
+    return state
+
+
+def test_router_validation():
+    state = _state({})
+    with pytest.raises(ValueError):
+        OverlayRouter(state, hysteresis=-0.1)
+    with pytest.raises(ValueError):
+        OverlayRouter(state, max_relays=3)
+
+
+def test_prefers_direct_when_best():
+    state = _state({("a", "b"): 50.0, ("a", "c"): 40.0, ("c", "b"): 40.0})
+    route = OverlayRouter(state).select("a", "b")
+    assert route.is_direct
+    assert route.estimated_rtt_ms == 50.0
+
+
+def test_deflects_through_clear_winner():
+    state = _state({("a", "b"): 200.0, ("a", "c"): 40.0, ("c", "b"): 40.0})
+    route = OverlayRouter(state, hysteresis=0.1).select("a", "b")
+    assert route.relays == ("c",)
+    assert route.estimated_rtt_ms == pytest.approx(80.0)
+    assert route.legs == (("a", "c"), ("c", "b"))
+
+
+def test_hysteresis_blocks_marginal_wins():
+    state = _state({("a", "b"): 100.0, ("a", "c"): 48.0, ("c", "b"): 48.0})
+    # 96 < 100, but not by 10%.
+    route = OverlayRouter(state, hysteresis=0.1).select("a", "b")
+    assert route.is_direct
+    # With no hysteresis the 4% win is taken.
+    route = OverlayRouter(state, hysteresis=0.0).select("a", "b")
+    assert route.relays == ("c",)
+
+
+def test_loss_penalty_steers_away_from_lossy_relays():
+    state = OverlayState(["a", "b", "c", "d"], alpha=0.5)
+    for pair, rtt in {
+        ("a", "b"): 200.0,
+        ("a", "c"): 40.0,
+        ("c", "b"): 40.0,
+        ("a", "d"): 45.0,
+        ("d", "b"): 45.0,
+    }.items():
+        for _ in range(6):
+            state.record_probe(pair, rtt)
+    # Make c's inbound leg lossy: ~50% loss -> +100ms penalty per leg.
+    for _ in range(10):
+        state.record_probe(("a", "c"), float("nan"))
+        state.record_probe(("a", "c"), 40.0)
+    assert state.estimate(("a", "c")).loss > 0.3
+    route = OverlayRouter(state, loss_penalty_ms=200.0).select("a", "b")
+    assert route.relays == ("d",)
+
+
+def test_two_relay_routes():
+    state = _state(
+        {
+            ("a", "b"): 300.0,
+            ("a", "c"): 30.0,
+            ("c", "d"): 30.0,
+            ("d", "b"): 30.0,
+            ("c", "b"): 250.0,
+            ("a", "d"): 250.0,
+        }
+    )
+    one = OverlayRouter(state, max_relays=1).select("a", "b")
+    two = OverlayRouter(state, max_relays=2).select("a", "b")
+    assert one.relays == ("c",) or one.is_direct
+    assert two.relays == ("c", "d")
+    assert two.estimated_rtt_ms == pytest.approx(90.0)
+
+
+def test_missing_estimates_fall_back_to_direct():
+    state = _state({("a", "b"): 100.0})  # no relay legs measured
+    route = OverlayRouter(state).select("a", "b")
+    assert route.is_direct
+
+
+def test_totally_unmeasured_pair_is_direct_with_nan_estimate():
+    state = _state({})
+    route = OverlayRouter(state).select("a", "b")
+    assert route.is_direct
+    assert math.isnan(route.estimated_rtt_ms)

@@ -1,0 +1,77 @@
+"""Tests for overlay EWMA estimates."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.overlay.state import LinkEstimate, OverlayState
+
+
+def test_state_validation():
+    with pytest.raises(ValueError):
+        OverlayState(["a", "b"], alpha=0.0)
+    with pytest.raises(ValueError):
+        OverlayState(["a", "b"], alpha=1.5)
+    with pytest.raises(ValueError):
+        OverlayState(["only"])
+
+
+def test_initial_estimates_unusable():
+    state = OverlayState(["a", "b", "c"])
+    assert not state.estimate(("a", "b")).usable
+    assert state.usable_pairs() == []
+
+
+def test_first_sample_initializes():
+    state = OverlayState(["a", "b"], alpha=0.5)
+    state.record_probe(("a", "b"), 100.0)
+    est = state.estimate(("a", "b"))
+    assert est.usable
+    assert est.rtt_ms == 100.0
+    assert est.loss == 0.0
+    assert est.samples == 1
+
+
+def test_ewma_update():
+    state = OverlayState(["a", "b"], alpha=0.5)
+    state.record_probe(("a", "b"), 100.0)
+    state.record_probe(("a", "b"), 200.0)
+    assert state.estimate(("a", "b")).rtt_ms == pytest.approx(150.0)
+
+
+def test_loss_updates_without_rtt():
+    state = OverlayState(["a", "b"], alpha=0.5)
+    state.record_probe(("a", "b"), 100.0)
+    state.record_probe(("a", "b"), float("nan"))
+    est = state.estimate(("a", "b"))
+    assert est.rtt_ms == 100.0  # lost probes don't move the RTT estimate
+    assert est.loss == pytest.approx(0.5)
+
+
+def test_all_lost_link_stays_unusable():
+    state = OverlayState(["a", "b"])
+    for _ in range(5):
+        state.record_probe(("a", "b"), float("nan"))
+    est = state.estimate(("a", "b"))
+    assert not est.usable
+    assert est.loss > 0.8
+
+
+def test_unknown_pair_raises():
+    state = OverlayState(["a", "b"])
+    with pytest.raises(KeyError):
+        state.estimate(("a", "z"))
+
+
+@given(
+    alpha=st.floats(min_value=0.05, max_value=1.0),
+    rtts=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=40),
+)
+def test_ewma_stays_within_sample_range(alpha, rtts):
+    state = OverlayState(["a", "b"], alpha=alpha)
+    for r in rtts:
+        state.record_probe(("a", "b"), r)
+    est = state.estimate(("a", "b"))
+    assert min(rtts) - 1e-9 <= est.rtt_ms <= max(rtts) + 1e-9
+    assert 0.0 <= est.loss <= 1.0

@@ -1,0 +1,187 @@
+"""Tests for route dynamics: secondary paths, flaps, dynamic sampling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.netsim import PathSampler
+from repro.routing.dynamics import (
+    DynamicPathSampler,
+    FLAP_WINDOW_S,
+    RouteFlapModel,
+)
+
+
+@pytest.fixture(scope="module")
+def pairs(topo1999):
+    names = topo1999.host_names()[:8]
+    return list(itertools.permutations(names, 2))
+
+
+@pytest.fixture(scope="module")
+def primaries(resolver, pairs):
+    return [resolver.resolve_round_trip(a, b) for a, b in pairs]
+
+
+@pytest.fixture(scope="module")
+def secondaries(resolver, pairs):
+    return [resolver.resolve_round_trip_secondary(a, b) for a, b in pairs]
+
+
+# -- secondary path resolution ------------------------------------------------
+
+def test_secondary_is_valid_path(resolver, topo1999, pairs, secondaries):
+    for (src, dst), rt in zip(pairs, secondaries):
+        path = rt.forward
+        assert path.routers[0] == topo1999.host(src).access_router
+        assert path.routers[-1] == topo1999.host(dst).access_router
+        for (a, b), link_id in zip(
+            zip(path.routers, path.routers[1:]), path.links
+        ):
+            link = topo1999.links[link_id]
+            assert {a, b} == {link.u, link.v}
+
+
+def test_secondary_differs_when_options_exist(pairs, primaries, secondaries):
+    differing = sum(
+        1
+        for p, s in zip(primaries, secondaries)
+        if p.forward.links != s.forward.links
+    )
+    assert differing > 0, "some pairs must have an alternative exchange"
+
+
+def test_secondary_same_as_path_sequence(primaries, secondaries):
+    """A flap changes the exchange point, not the AS-level route."""
+    for p, s in zip(primaries, secondaries):
+        assert p.forward.as_path == s.forward.as_path
+
+
+def test_secondary_never_shorter_than_primary_policy_choice(
+    primaries, secondaries
+):
+    """Early-exit picks the IGP-closest egress, so demoting it cannot
+    shorten the path inside the first AS (propagation may still differ
+    beyond it, but on average the secondary is no better)."""
+    mean_primary = np.mean([p.rtt_prop_ms for p in primaries])
+    mean_secondary = np.mean([s.rtt_prop_ms for s in secondaries])
+    assert mean_secondary >= mean_primary - 1.0
+
+
+def test_secondary_resolution_cached(resolver, pairs):
+    src, dst = pairs[0]
+    assert resolver.resolve_secondary(src, dst) is resolver.resolve_secondary(src, dst)
+
+
+def test_secondary_self_rejected(resolver, topo1999):
+    from repro.routing import ForwardingError
+
+    name = topo1999.host_names()[0]
+    with pytest.raises(ForwardingError):
+        resolver.resolve_secondary(name, name)
+
+
+# -- the flap model -------------------------------------------------------------
+
+def test_flap_model_validation():
+    with pytest.raises(ValueError):
+        RouteFlapModel(flappy_fraction=1.5)
+    with pytest.raises(ValueError):
+        RouteFlapModel(flap_probability=-0.1)
+
+
+def test_flap_model_deterministic():
+    a = RouteFlapModel(seed=7)
+    b = RouteFlapModel(seed=7)
+    for i in range(20):
+        for w in range(5):
+            t = w * FLAP_WINDOW_S
+            assert a.on_secondary(i, t) == b.on_secondary(i, t)
+
+
+def test_flappy_fraction_respected():
+    model = RouteFlapModel(flappy_fraction=0.3, seed=11)
+    flappy = sum(model.is_flappy(i) for i in range(500)) / 500
+    assert 0.2 < flappy < 0.4
+
+
+def test_stable_pairs_never_flap():
+    model = RouteFlapModel(flappy_fraction=0.5, flap_probability=0.5, seed=13)
+    stable = [i for i in range(100) if not model.is_flappy(i)]
+    assert stable
+    for i in stable[:10]:
+        for w in range(30):
+            assert not model.on_secondary(i, w * FLAP_WINDOW_S)
+
+
+def test_prevalence_matches_paxson_shape():
+    """Paths are 'generally dominated by a single route': the mean route
+    prevalence must be high even though some pairs fluctuate."""
+    model = RouteFlapModel(flappy_fraction=0.25, flap_probability=0.1, seed=17)
+    horizon = 14 * 86400.0
+    prevalences = [model.prevalence(i, horizon) for i in range(200)]
+    assert np.mean(prevalences) > 0.95
+    fluctuating = [p for p in prevalences if p < 1.0]
+    assert fluctuating, "some pairs must fluctuate"
+    assert all(p > 0.6 for p in prevalences)
+
+
+def test_zero_rates_mean_no_flaps():
+    model = RouteFlapModel(flappy_fraction=0.0, seed=1)
+    assert all(model.prevalence(i, 7 * 86400.0) == 1.0 for i in range(20))
+
+
+# -- dynamic sampling -------------------------------------------------------------
+
+def test_dynamic_sampler_alignment(conditions, primaries, secondaries):
+    with pytest.raises(ValueError):
+        DynamicPathSampler(conditions, primaries, secondaries[:-1], RouteFlapModel())
+
+
+def test_dynamic_sampler_matches_static_when_stable(
+    conditions, primaries, secondaries
+):
+    """With no flaps, the dynamic view equals the primary sampler's."""
+    model = RouteFlapModel(flappy_fraction=0.0, seed=1)
+    dyn = DynamicPathSampler(conditions, primaries, secondaries, model)
+    static = PathSampler(conditions, primaries)
+    t = 86400.0
+    dv, sv = dyn.view(t), static.view(t)
+    np.testing.assert_allclose(dv.qsum, sv.qsum)
+    np.testing.assert_allclose(dv.ploss, sv.ploss)
+    np.testing.assert_allclose(dv.prop, sv.prop)
+
+
+def test_dynamic_sampler_switches_routes(conditions, primaries, secondaries):
+    model = RouteFlapModel(flappy_fraction=1.0, flap_probability=1.0, seed=2)
+    dyn = DynamicPathSampler(conditions, primaries, secondaries, model)
+    sec = PathSampler(conditions, secondaries)
+    t = 86400.0
+    np.testing.assert_allclose(dyn.view(t).prop, sec.view(t).prop)
+
+
+def test_dynamic_probe_batch(conditions, primaries, secondaries, rng):
+    model = RouteFlapModel(seed=3)
+    dyn = DynamicPathSampler(conditions, primaries, secondaries, model)
+    batch = dyn.probe(86400.0, rng)
+    assert batch.rtt_ms.shape == (len(dyn),)
+    assert np.all(np.isnan(batch.rtt_ms) == batch.lost)
+
+
+def test_campaign_with_flaps(topo1999, conditions, resolver):
+    """The collector accepts a flap model and still produces a coherent
+    dataset; flapped pairs see higher RTT variance."""
+    from repro.measurement import Campaign, poisson_pairs
+    from repro.netsim import SECONDS_PER_DAY
+
+    hosts = topo1999.host_names()[:6]
+    model = RouteFlapModel(flappy_fraction=0.5, flap_probability=0.3, seed=5)
+    campaign = Campaign(
+        topo1999, conditions, hosts, resolver=resolver, seed=71,
+        control_failure_prob=0.0, flap_model=model,
+    )
+    requests = poisson_pairs(hosts, SECONDS_PER_DAY, 120.0, seed=71)
+    records, stats = campaign.run_traceroutes(requests)
+    assert stats.completed == len(records)
+    assert records

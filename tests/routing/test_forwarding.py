@@ -1,0 +1,131 @@
+"""Tests for host-to-host path resolution."""
+
+import itertools
+
+import pytest
+
+from repro.routing import (
+    EgressPolicy,
+    ForwardingError,
+    OptimalResolver,
+    PathResolver,
+)
+
+
+@pytest.fixture(scope="module")
+def pairs(topo1999):
+    names = topo1999.host_names()[:8]
+    return list(itertools.permutations(names, 2))
+
+
+def test_resolve_self_rejected(resolver, topo1999):
+    name = topo1999.host_names()[0]
+    with pytest.raises(ForwardingError):
+        resolver.resolve(name, name)
+
+
+def test_path_endpoints_and_continuity(resolver, topo1999, pairs):
+    for src, dst in pairs[:20]:
+        path = resolver.resolve(src, dst)
+        assert path.routers[0] == topo1999.host(src).access_router
+        assert path.routers[-1] == topo1999.host(dst).access_router
+        assert len(path.links) == len(path.routers) - 1
+        for (a, b), link_id in zip(zip(path.routers, path.routers[1:]), path.links):
+            link = topo1999.links[link_id]
+            assert {a, b} == {link.u, link.v}, "link does not join its routers"
+
+
+def test_as_path_matches_router_ownership(resolver, topo1999, pairs):
+    for src, dst in pairs[:20]:
+        path = resolver.resolve(src, dst)
+        seen = []
+        for rid in path.routers:
+            asn = topo1999.routers[rid].asn
+            if not seen or seen[-1] != asn:
+                seen.append(asn)
+        assert tuple(seen) == path.as_path
+
+
+def test_no_router_revisited(resolver, pairs):
+    for src, dst in pairs[:20]:
+        path = resolver.resolve(src, dst)
+        assert len(set(path.routers)) == len(path.routers)
+
+
+def test_prop_delay_is_sum_of_links(resolver, topo1999, pairs):
+    src, dst = pairs[0]
+    path = resolver.resolve(src, dst)
+    total = sum(topo1999.links[l].prop_delay_ms for l in path.links)
+    assert path.prop_delay_ms == pytest.approx(total)
+
+
+def test_resolution_is_cached(resolver, pairs):
+    src, dst = pairs[0]
+    assert resolver.resolve(src, dst) is resolver.resolve(src, dst)
+
+
+def test_round_trip_combines_directions(resolver, pairs):
+    src, dst = pairs[0]
+    rt = resolver.resolve_round_trip(src, dst)
+    assert rt.forward.src == src and rt.forward.dst == dst
+    assert rt.reverse.src == dst and rt.reverse.dst == src
+    assert rt.rtt_prop_ms == pytest.approx(
+        rt.forward.prop_delay_ms + rt.reverse.prop_delay_ms
+    )
+    assert rt.link_ids == rt.forward.links + rt.reverse.links
+
+
+def test_some_routing_asymmetry_exists(resolver, pairs):
+    """Early-exit egress selection should produce asymmetric routes for a
+    meaningful share of pairs (Paxson's observation, modeled here)."""
+    asym = sum(
+        1 for src, dst in pairs if not resolver.resolve_round_trip(src, dst).is_symmetric
+    )
+    assert asym > 0
+
+
+def test_optimal_never_worse_than_policy(topo1999, resolver, pairs):
+    optimal = OptimalResolver(topo1999)
+    for src, dst in pairs[:25]:
+        policy = resolver.resolve(src, dst).prop_delay_ms
+        best = optimal.resolve(src, dst).prop_delay_ms
+        assert best <= policy + 1e-9
+
+
+def test_policy_routing_is_sometimes_inefficient(topo1999, resolver, pairs):
+    """The paper's premise: policy paths are often longer than optimal."""
+    optimal = OptimalResolver(topo1999)
+    inflated = sum(
+        1
+        for src, dst in pairs
+        if resolver.resolve(src, dst).prop_delay_ms
+        > optimal.resolve(src, dst).prop_delay_ms * 1.1
+    )
+    assert inflated > len(pairs) * 0.2
+
+
+def test_best_exit_no_worse_on_average(topo1999, pairs):
+    """Destination-aware egress should (on average) shorten paths."""
+    early = PathResolver(topo1999)
+    best = PathResolver(
+        topo1999,
+        egress_policy=EgressPolicy.BEST_EXIT,
+        respect_as_early_exit=False,
+    )
+    d_early = sum(early.resolve(s, d).prop_delay_ms for s, d in pairs)
+    d_best = sum(best.resolve(s, d).prop_delay_ms for s, d in pairs)
+    assert d_best <= d_early * 1.02
+
+
+def test_optimal_resolver_rejects_self(topo1999):
+    optimal = OptimalResolver(topo1999)
+    name = topo1999.host_names()[0]
+    with pytest.raises(ForwardingError):
+        optimal.resolve(name, name)
+
+
+def test_optimal_round_trip_symmetric_cost(topo1999, pairs):
+    optimal = OptimalResolver(topo1999)
+    src, dst = pairs[0]
+    rt = optimal.resolve_round_trip(src, dst)
+    assert rt.forward.prop_delay_ms == pytest.approx(rt.reverse.prop_delay_ms)

@@ -1,0 +1,92 @@
+"""Tests for intra-AS routing."""
+
+import pytest
+
+from repro.routing.igp import IGPError, IGPSuite, IGPTable, link_metric
+from repro.topology.asys import IGPStyle
+
+
+def test_link_metric_styles(topo1999):
+    link = topo1999.links[0]
+    assert link_metric(link, IGPStyle.HOP_COUNT) == 1.0
+    assert link_metric(link, IGPStyle.DELAY_METRIC) == link.prop_delay_ms
+
+
+@pytest.fixture(scope="module")
+def any_big_as(topo1999):
+    # Pick the AS with the most routers for interesting paths.
+    return max(topo1999.ases, key=lambda a: len(topo1999.routers_of(a)))
+
+
+def test_intra_as_connectivity(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    routers = topo1999.routers_of(any_big_as)
+    src = routers[0]
+    for dst in routers:
+        assert table.reachable(src, dst), f"{dst} unreachable inside AS{any_big_as}"
+
+
+def test_path_endpoints_and_links(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    routers = topo1999.routers_of(any_big_as)
+    src, dst = routers[0], routers[-1]
+    path = table.path(src, dst)
+    assert path.routers[0] == src
+    assert path.routers[-1] == dst
+    assert len(path.links) == len(path.routers) - 1
+    # Every link actually joins its adjacent routers.
+    for (a, b), link_id in zip(zip(path.routers, path.routers[1:]), path.links):
+        link = topo1999.links[link_id]
+        assert {a, b} == {link.u, link.v}
+
+
+def test_path_cost_matches_metric(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    routers = topo1999.routers_of(any_big_as)
+    path = table.path(routers[0], routers[-1])
+    total = sum(
+        link_metric(topo1999.links[l], table.style) for l in path.links
+    )
+    assert path.cost == pytest.approx(total)
+
+
+def test_trivial_path(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    src = topo1999.routers_of(any_big_as)[0]
+    path = table.path(src, src)
+    assert path.routers == (src,)
+    assert path.links == ()
+    assert path.cost == 0.0
+
+
+def test_cost_triangle_inequality(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    routers = topo1999.routers_of(any_big_as)[:6]
+    for a in routers:
+        for b in routers:
+            for c in routers:
+                assert table.cost(a, c) <= table.cost(a, b) + table.cost(b, c) + 1e-9
+
+
+def test_foreign_router_rejected(topo1999):
+    asns = sorted(topo1999.ases)
+    table = IGPTable(topo1999, asns[0])
+    foreign = topo1999.routers_of(asns[1])[0]
+    with pytest.raises(IGPError):
+        table.cost(foreign, foreign)
+
+
+def test_unreachable_raises(topo1999, any_big_as):
+    table = IGPTable(topo1999, any_big_as)
+    src = topo1999.routers_of(any_big_as)[0]
+    with pytest.raises(IGPError):
+        # Router id from another AS is unreachable within this table.
+        other_as = next(a for a in topo1999.ases if a != any_big_as)
+        table.path(src, topo1999.routers_of(other_as)[0])
+
+
+def test_suite_caches_tables(topo1999, any_big_as):
+    suite = IGPSuite(topo1999)
+    assert suite.table(any_big_as) is suite.table(any_big_as)
+    with pytest.raises(IGPError):
+        suite.table(999999)

@@ -1,0 +1,101 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_traceroute_command(capsys):
+    rc = main(["traceroute", "--seed", "7", "--src", "0", "--dst", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("traceroute from")
+    assert "AS path:" in out
+
+
+def test_build_and_analyze_roundtrip(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    out = tmp_path / "uw4b.jsonl"
+    rc = main(
+        ["build", "--dataset", "UW4-B", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    )
+    assert rc == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+
+    rc = main(["analyze", str(out), "--metric", "rtt", "--min-samples", "2"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "alternate superior" in text
+    assert "improvement CDF" in text
+
+
+def test_build_unknown_dataset(tmp_path, capsys):
+    rc = main(
+        ["build", "--dataset", "NOPE", "--scale", "0.02",
+         "-o", str(tmp_path / "x.jsonl")]
+    )
+    assert rc == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_analyze_bandwidth_metric(tmp_path, capsys):
+    out = tmp_path / "n2.jsonl"
+    assert main(
+        ["build", "--dataset", "N2-NA", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    ) == 0
+    capsys.readouterr()
+    rc = main(
+        ["analyze", str(out), "--metric", "bandwidth",
+         "--loss-composition", "optimistic"]
+    )
+    assert rc == 0
+    assert "bandwidth" in capsys.readouterr().out
+
+
+def test_analyze_too_strict_min_samples(tmp_path, capsys):
+    out = tmp_path / "d.jsonl"
+    assert main(
+        ["build", "--dataset", "UW4-B", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    ) == 0
+    rc = main(["analyze", str(out), "--min-samples", "100000"])
+    assert rc == 1
+
+
+def test_reproduce_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(
+        ["reproduce", "--scale", "0.02", "--seed", "55", "--only", "table1"]
+    )
+    assert rc == 0
+    assert "table1" in capsys.readouterr().out
+
+
+def test_summarize_subcommand(tmp_path, capsys):
+    out = tmp_path / "s.jsonl"
+    assert main(
+        ["build", "--dataset", "UW4-B", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    ) == 0
+    capsys.readouterr()
+    rc = main(["summarize", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "RTT ms" in text
+    assert "coverage" in text
+
+
+def test_map_subcommand(tmp_path, capsys):
+    out = tmp_path / "topo.svg"
+    rc = main(["map", "--seed", "3", "--hosts", "6", "-o", str(out)])
+    assert rc == 0
+    assert out.exists()
+    assert out.read_text().startswith("<svg")

@@ -1,0 +1,53 @@
+"""Documentation rot guards: referenced code objects must exist."""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Dotted references like `repro.core.stats.DiffEstimate` inside backticks.
+_REF = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+
+
+def _resolve(dotted: str) -> bool:
+    parts = dotted.split(".")
+    for split in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:split])
+        try:
+            obj = importlib.import_module(module_name)
+        except ModuleNotFoundError:
+            continue
+        for attr in parts[split:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+@pytest.mark.parametrize(
+    "doc",
+    ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+     "docs/METHODOLOGY.md", "docs/CALIBRATION.md", "docs/TUTORIAL.md"],
+)
+def test_code_references_resolve(doc):
+    text = (ROOT / doc).read_text()
+    unresolved = sorted(
+        {ref for ref in _REF.findall(text) if not _resolve(ref)}
+    )
+    assert not unresolved, f"{doc} references missing objects: {unresolved}"
+
+
+def test_documented_bench_files_exist():
+    text = (ROOT / "DESIGN.md").read_text()
+    for match in re.findall(r"benchmarks/([a-z0-9_]+\.py)", text):
+        assert (ROOT / "benchmarks" / match).exists(), match
+
+
+def test_documented_example_files_exist():
+    text = (ROOT / "README.md").read_text()
+    for match in re.findall(r"examples/([a-z0-9_]+\.py)", text):
+        assert (ROOT / "examples" / match).exists(), match

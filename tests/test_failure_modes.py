@@ -1,0 +1,145 @@
+"""Failure-injection tests: degenerate inputs across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalysisError,
+    Metric,
+    MetricGraph,
+    StatsError,
+    analyze,
+    analyze_graph,
+    make_cdf,
+)
+from repro.datasets import Dataset, DatasetError, DatasetMeta, TracerouteRecord
+from repro.measurement import Campaign, CampaignError
+from repro.topology import TopologyConfig, TopologyError, generate_topology
+
+NAN = float("nan")
+
+
+def _meta(method="traceroute"):
+    return DatasetMeta(
+        name="degenerate", method=method, year=1999,
+        duration_days=1, location="North America",
+    )
+
+
+def test_empty_dataset_analysis_is_empty():
+    ds = Dataset(meta=_meta(), hosts=["a", "b"], traceroutes=[])
+    result = analyze(ds, Metric.RTT, min_samples=1)
+    assert len(result) == 0
+    assert result.fraction_improved() == 0.0
+    assert result.classification_percentages() == {
+        c: 0.0 for c in result.classification_counts()
+    }
+
+
+def test_all_probes_lost_dataset():
+    records = [
+        TracerouteRecord(t=float(i), src="a", dst="b", rtt_samples=(NAN, NAN, NAN))
+        for i in range(40)
+    ]
+    ds = Dataset(meta=_meta(), hosts=["a", "b"], traceroutes=records)
+    # No successful RTT samples -> no RTT edge -> empty analysis.
+    result = analyze(ds, Metric.RTT, min_samples=1)
+    assert len(result) == 0
+    # But loss is fully measured (rate 1.0 everywhere).
+    loss = analyze(ds, Metric.LOSS, min_samples=1)
+    # With only one pair there is no alternate; still empty, not crashing.
+    assert len(loss) == 0
+
+
+def test_two_host_dataset_has_no_alternates():
+    records = [
+        TracerouteRecord(t=float(i), src=s, dst=d, rtt_samples=(10.0, 11.0, 12.0))
+        for i in range(40)
+        for s, d in (("a", "b"), ("b", "a"))
+    ]
+    ds = Dataset(meta=_meta(), hosts=["a", "b"], traceroutes=records)
+    result = analyze(ds, Metric.RTT, min_samples=1)
+    assert len(result) == 0  # alternates need a third host
+
+
+def test_single_edge_graph_analysis():
+    from repro.core import EdgeData, SampleStats
+
+    g = MetricGraph(Metric.RTT, ["a", "b", "c"])
+    g.add_edge(("a", "b"), EdgeData(value=5.0, stats=SampleStats(n=3, mean=5.0, var=0.1)))
+    result = analyze_graph(g)
+    assert len(result) == 0
+
+
+def test_make_cdf_rejects_empty():
+    with pytest.raises(StatsError):
+        make_cdf([])
+
+
+def test_analyze_rejects_bandwidth_metric():
+    ds = Dataset(meta=_meta(), hosts=["a", "b"], traceroutes=[])
+    with pytest.raises(AnalysisError):
+        analyze(ds, Metric.BANDWIDTH)
+
+
+def test_dataset_rejects_mixed_records():
+    from repro.datasets import TransferRecord
+
+    with pytest.raises(DatasetError):
+        Dataset(
+            meta=_meta(),
+            hosts=["a", "b"],
+            traceroutes=[
+                TracerouteRecord(t=0.0, src="a", dst="b", rtt_samples=(1.0,))
+            ],
+            transfers=[
+                TransferRecord(
+                    t=0.0, src="a", dst="b", rtt_ms=1.0,
+                    loss_rate=0.0, bandwidth_kbps=1.0,
+                )
+            ],
+        )
+
+
+def test_campaign_rejects_degenerate_pools(topo1999, conditions):
+    with pytest.raises(CampaignError):
+        Campaign(topo1999, conditions, [])
+    with pytest.raises(CampaignError):
+        Campaign(topo1999, conditions, [topo1999.host_names()[0]])
+
+
+def test_generator_rejects_unknown_override():
+    with pytest.raises(ValueError):
+        TopologyConfig.for_era("1999", not_a_field=1)
+
+
+def test_topology_validate_catches_dangling_host(topo1995):
+    import copy
+
+    from repro.topology import Host, get_city
+
+    broken = copy.deepcopy(topo1995)
+    broken.hosts.append(
+        Host(
+            host_id=999,
+            name="ghost",
+            city=get_city("seattle"),
+            asn=next(iter(broken.ases)),
+            access_router=10**6,
+            access_link=0,
+        )
+    )
+    with pytest.raises(TopologyError):
+        broken.validate()
+
+
+def test_nan_guard_in_ratio():
+    from repro.core import PairComparison
+
+    comp = PairComparison(
+        src="a", dst="b", metric=Metric.LOSS,
+        default_value=0.1, alt_value=0.0, via=("c",),
+    )
+    assert np.isinf(comp.ratio)
+    result_ratio_space = comp.improvement
+    assert result_ratio_space == pytest.approx(0.1)

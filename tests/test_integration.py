@@ -1,0 +1,116 @@
+"""End-to-end integration: the paper's headline claims at reduced scale.
+
+These tests run the complete pipeline (topology → routing → collection →
+analysis) for one UW-style and one 1995-style dataset and assert the
+*shape* of the paper's findings.  Absolute numbers differ from the paper
+(different Internet, different hosts); the qualitative structure must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Comparison,
+    Metric,
+    analyze,
+    analyze_bandwidth,
+    decompose_improvements,
+    group_counts,
+    LossComposition,
+)
+from repro.datasets import BuildConfig, build_n2, build_uw3
+
+SCALE = 0.15
+MIN_SAMPLES = 5
+
+
+@pytest.fixture(scope="module")
+def uw3():
+    dataset, _env = build_uw3(BuildConfig(seed=424, scale=SCALE))
+    return dataset
+
+
+@pytest.fixture(scope="module")
+def n2():
+    dataset, _na = build_n2(BuildConfig(seed=424, scale=SCALE))
+    return dataset
+
+
+def test_headline_rtt_band(uw3):
+    """'For 30 to 55 percent of the paths measured, there is an alternate
+    path ... resulting in a smaller round-trip time.'"""
+    result = analyze(uw3, Metric.RTT, min_samples=MIN_SAMPLES)
+    assert len(result) > 500
+    assert 0.25 <= result.fraction_improved() <= 0.65
+
+
+def test_significant_rtt_improvements_exist(uw3):
+    """'For a smaller fraction, there was a significant improvement of
+    20 ms or more.'"""
+    result = analyze(uw3, Metric.RTT, min_samples=MIN_SAMPLES)
+    frac20 = result.fraction_improved_by(20.0)
+    assert 0.0 < frac20 < result.fraction_improved()
+
+
+def test_headline_loss_band(uw3):
+    """'75 to 85 percent of the paths have alternates with a lower loss
+    rate' (allowing slack for the reduced scale)."""
+    result = analyze(uw3, Metric.LOSS, min_samples=MIN_SAMPLES)
+    assert 0.5 <= result.fraction_improved() <= 0.98
+
+
+def test_headline_bandwidth_band(n2):
+    """'70 to 80 percent of the paths have alternates with improved
+    bandwidth', optimistic and pessimistic bracketing the truth."""
+    pes = analyze_bandwidth(n2, LossComposition.PESSIMISTIC)
+    opt = analyze_bandwidth(n2, LossComposition.OPTIMISTIC)
+    assert 0.4 <= pes.fraction_improved() <= 0.95
+    assert opt.fraction_improved() >= pes.fraction_improved()
+
+
+def test_bandwidth_factor_three_tail(n2):
+    """'For at least 10% to 20% of the paths the potential bandwidth
+    improvement is at least a factor of three.'"""
+    opt = analyze_bandwidth(n2, LossComposition.OPTIMISTIC)
+    ratios = opt.ratios()
+    assert np.mean(ratios > 3.0) >= 0.05
+
+
+def test_ttest_classification_not_degenerate(uw3):
+    """Table 2's structure: all three classes populated; 'better' and
+    'worse' not wildly asymmetric."""
+    result = analyze(uw3, Metric.RTT, min_samples=MIN_SAMPLES)
+    pct = result.classification_percentages()
+    assert pct[Comparison.BETTER] > 5.0
+    assert pct[Comparison.WORSE] > 5.0
+    assert pct[Comparison.INDETERMINATE] > 5.0
+
+
+def test_propagation_inefficiency_remains(uw3):
+    """Figure 15: 'superior alternate paths still exist for 50% of the
+    paths' under the propagation-delay metric (wide tolerance here)."""
+    result = analyze(uw3, Metric.PROP_DELAY, min_samples=MIN_SAMPLES)
+    assert 0.25 <= result.fraction_improved() <= 0.75
+
+
+def test_congestion_and_propagation_both_matter(uw3):
+    """Figure 16's conclusion: 'neither one can properly be said to be
+    the single dominant factor' — groups 4, 5, and 6 all populated."""
+    points = decompose_improvements(uw3, min_samples=MIN_SAMPLES)
+    counts = group_counts(points)
+    from repro.core import DelayGroup
+
+    improved = counts[DelayGroup.G4] + counts[DelayGroup.G5] + counts[DelayGroup.G6]
+    assert improved > 0
+    assert counts[DelayGroup.G4] > 0          # propagation contributes
+    assert counts[DelayGroup.G6] > 0          # congestion-avoidance contributes
+    assert counts[DelayGroup.G6] >= counts[DelayGroup.G3]
+
+
+def test_alternates_route_around_worst_paths(uw3):
+    """The worst default paths should essentially always be improvable."""
+    result = analyze(uw3, Metric.RTT, min_samples=MIN_SAMPLES)
+    comps = sorted(result.comparisons, key=lambda c: -c.default_value)
+    worst_decile = comps[: max(len(comps) // 10, 1)]
+    improved = np.mean([c.improvement > 0 for c in worst_decile])
+    assert improved > 0.8

@@ -1,0 +1,64 @@
+"""Tests for IPv4 address assignment."""
+
+import ipaddress
+
+import pytest
+
+from repro.topology.addressing import AddressingError, AddressPlan
+
+
+@pytest.fixture(scope="module")
+def plan(topo1999):
+    return AddressPlan(topo1999)
+
+
+def test_every_router_addressed(topo1999, plan):
+    addresses = {plan.address_of(r.router_id) for r in topo1999.routers}
+    assert len(addresses) == len(topo1999.routers)  # unique
+
+
+def test_addresses_fall_in_as_prefix(topo1999, plan):
+    for router in topo1999.routers[:100]:
+        prefix = plan.as_prefix(router.asn)
+        assert plan.address_of(router.router_id) in prefix
+
+
+def test_as_prefixes_disjoint(topo1999, plan):
+    asns = sorted(topo1999.ases)[:20]
+    prefixes = [plan.as_prefix(a) for a in asns]
+    for i, a in enumerate(prefixes):
+        for b in prefixes[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_reverse_and_forward_lookups(topo1999, plan):
+    router = topo1999.routers[0]
+    addr = plan.address_of(router.router_id)
+    name = plan.reverse(addr)
+    assert name.endswith(f"as{router.asn}.net")
+    assert plan.resolve(name) == addr
+    assert plan.reverse(str(addr)) == name
+
+
+def test_unknown_lookups_raise(plan):
+    with pytest.raises(AddressingError):
+        plan.address_of(10**9)
+    with pytest.raises(AddressingError):
+        plan.reverse("192.0.2.1")
+    with pytest.raises(AddressingError):
+        plan.resolve("no.such.host")
+    with pytest.raises(AddressingError):
+        plan.as_prefix(10**9)
+
+
+def test_format_hop(topo1999, plan):
+    text = plan.format_hop(topo1999.routers[0].router_id)
+    assert "(" in text and text.endswith(")")
+    ipaddress.IPv4Address(text.split("(")[1].rstrip(")"))  # parses
+
+
+def test_plan_is_deterministic(topo1999):
+    a = AddressPlan(topo1999)
+    b = AddressPlan(topo1999)
+    for router in topo1999.routers[:50]:
+        assert a.address_of(router.router_id) == b.address_of(router.router_id)

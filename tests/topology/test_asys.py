@@ -1,0 +1,69 @@
+"""Tests for AS records and business relationships."""
+
+import pytest
+
+from repro.topology.asys import (
+    ASLink,
+    ASTier,
+    AutonomousSystem,
+    LOCAL_PREF,
+    Relationship,
+)
+from repro.topology.geography import get_city
+
+
+def test_relationship_inverse_roundtrip():
+    for rel in Relationship:
+        assert rel.inverse().inverse() is rel
+
+
+def test_relationship_inverse_semantics():
+    assert Relationship.CUSTOMER.inverse() is Relationship.PROVIDER
+    assert Relationship.PROVIDER.inverse() is Relationship.CUSTOMER
+    assert Relationship.PEER.inverse() is Relationship.PEER
+    assert Relationship.SIBLING.inverse() is Relationship.SIBLING
+
+
+def test_local_pref_ordering():
+    # Customers are revenue: they beat peers, which beat providers.
+    assert (
+        LOCAL_PREF[Relationship.CUSTOMER]
+        > LOCAL_PREF[Relationship.PEER]
+        > LOCAL_PREF[Relationship.PROVIDER]
+    )
+
+
+def test_autonomous_system_rejects_negative_asn():
+    with pytest.raises(ValueError):
+        AutonomousSystem(asn=-1, name="bad", tier=ASTier.STUB)
+
+
+def test_autonomous_system_has_pop_in():
+    seattle = get_city("seattle")
+    asys = AutonomousSystem(asn=1, name="a", tier=ASTier.STUB, cities=[seattle])
+    assert asys.has_pop_in(seattle)
+    assert not asys.has_pop_in(get_city("boston"))
+
+
+def test_as_link_validation():
+    with pytest.raises(ValueError):
+        ASLink(a=1, b=1, rel_ab=Relationship.PEER, exchange_cities=("seattle",))
+    with pytest.raises(ValueError):
+        ASLink(a=1, b=2, rel_ab=Relationship.PEER, exchange_cities=())
+
+
+def test_as_link_relationship_from_both_sides():
+    # b is a's customer.
+    link = ASLink(a=1, b=2, rel_ab=Relationship.CUSTOMER, exchange_cities=("chicago",))
+    assert link.relationship_from(1) is Relationship.CUSTOMER
+    assert link.relationship_from(2) is Relationship.PROVIDER
+    with pytest.raises(ValueError):
+        link.relationship_from(3)
+
+
+def test_as_link_other():
+    link = ASLink(a=1, b=2, rel_ab=Relationship.PEER, exchange_cities=("chicago",))
+    assert link.other(1) == 2
+    assert link.other(2) == 1
+    with pytest.raises(ValueError):
+        link.other(9)

@@ -1,0 +1,61 @@
+"""Tests for networkx export and structural statistics."""
+
+import networkx as nx
+import pytest
+
+from repro.topology.export import as_graph, router_graph, topology_stats
+
+
+@pytest.fixture(scope="module")
+def asg(topo1999):
+    return as_graph(topo1999)
+
+
+@pytest.fixture(scope="module")
+def rg(topo1999):
+    return router_graph(topo1999)
+
+
+def test_as_graph_structure(topo1999, asg):
+    assert asg.number_of_nodes() == len(topo1999.ases)
+    assert asg.number_of_edges() == len(topo1999.as_links)
+    for asn, data in asg.nodes(data=True):
+        assert data["tier"] in {"tier1", "transit", "stub"}
+        assert data["n_cities"] >= 1
+
+
+def test_as_graph_edge_attributes(topo1999, asg):
+    link = topo1999.as_links[0]
+    data = asg.edges[link.a, link.b]
+    assert data["relationship"] == link.rel_ab.value
+    assert data["exchange_cities"] == list(link.exchange_cities)
+
+
+def test_as_graph_connected(asg):
+    assert nx.is_connected(asg)
+
+
+def test_router_graph_structure(topo1999, rg):
+    assert rg.number_of_nodes() == len(topo1999.routers)
+    assert rg.number_of_edges() == len(topo1999.links)
+    for link in topo1999.links[:20]:
+        data = rg.edges[link.u, link.v]
+        assert data["prop_delay_ms"] == link.prop_delay_ms
+        assert data["kind"] == link.kind.value
+
+
+def test_router_graph_connected(rg):
+    assert nx.is_connected(rg)
+
+
+def test_topology_stats(topo1999):
+    stats = topology_stats(topo1999)
+    assert stats.n_ases == len(topo1999.ases)
+    assert stats.as_connected
+    # Tier-1s form a full peering clique in generated topologies.
+    assert stats.tier1_clique_density == 1.0
+    # Stubs have 1-2 providers.
+    assert 1.0 <= stats.stub_mean_providers <= 2.0
+    # Router-level reachability within a sane hop diameter.
+    assert 4 <= stats.router_diameter_hops <= 40
+    assert stats.as_mean_degree > 1.5

@@ -1,0 +1,144 @@
+"""Tests for the topology generator."""
+
+import pytest
+
+from repro.topology import (
+    ASTier,
+    LinkKind,
+    Relationship,
+    TopologyConfig,
+    TopologyError,
+    generate_topology,
+    place_hosts,
+)
+
+
+@pytest.fixture(scope="module")
+def topo99():
+    return generate_topology(TopologyConfig.for_era("1999", seed=1))
+
+
+@pytest.fixture(scope="module")
+def topo95():
+    return generate_topology(TopologyConfig.for_era("1995", seed=1))
+
+
+def test_config_presets():
+    cfg99 = TopologyConfig.for_era("1999")
+    cfg95 = TopologyConfig.for_era("1995")
+    assert cfg95.n_tier1 < cfg99.n_tier1
+    assert cfg95.capacity_scale < cfg99.capacity_scale
+    with pytest.raises(ValueError):
+        TopologyConfig.for_era("2024")
+    with pytest.raises(ValueError):
+        TopologyConfig.for_era("1999", nonsense_field=3)
+
+
+def test_config_override():
+    cfg = TopologyConfig.for_era("1999", n_tier1=4)
+    assert cfg.n_tier1 == 4
+
+
+def test_generation_is_deterministic():
+    a = generate_topology(TopologyConfig.for_era("1999", seed=5))
+    b = generate_topology(TopologyConfig.for_era("1999", seed=5))
+    assert a.summary() == b.summary()
+    assert [l.prop_delay_ms for l in a.links] == [l.prop_delay_ms for l in b.links]
+
+
+def test_different_seeds_differ():
+    a = generate_topology(TopologyConfig.for_era("1999", seed=5))
+    b = generate_topology(TopologyConfig.for_era("1999", seed=6))
+    assert [l.prop_delay_ms for l in a.links] != [l.prop_delay_ms for l in b.links]
+
+
+def test_tier_populations(topo99):
+    cfg = TopologyConfig.for_era("1999")
+    tiers = {t: 0 for t in ASTier}
+    for asys in topo99.ases.values():
+        tiers[asys.tier] += 1
+    assert tiers[ASTier.TIER1] == cfg.n_tier1
+    assert tiers[ASTier.TRANSIT] == cfg.n_transit
+    assert tiers[ASTier.STUB] == cfg.n_stub
+
+
+def test_tier1_clique(topo99):
+    tier1 = [a.asn for a in topo99.ases.values() if a.tier is ASTier.TIER1]
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1:]:
+            rel = topo99.relationship(a, b)
+            assert rel is Relationship.PEER
+            assert topo99.exchange_links_between(a, b)
+
+
+def test_stubs_have_providers(topo99):
+    for asys in topo99.ases.values():
+        if asys.tier is not ASTier.STUB:
+            continue
+        rels = [
+            link.relationship_from(asys.asn)
+            for link in topo99.as_neighbors(asys.asn)
+        ]
+        assert rels, f"{asys} has no neighbors"
+        assert all(r is Relationship.PROVIDER for r in rels)
+
+
+def test_no_customer_provider_cycles(topo99):
+    # Tiers are strictly layered: providers always sit in an upper tier,
+    # which rules out customer-provider cycles (Gao-Rexford safety).
+    order = {ASTier.TIER1: 0, ASTier.TRANSIT: 1, ASTier.STUB: 2}
+    for as_link in topo99.as_links:
+        rel = as_link.rel_ab
+        if rel is Relationship.CUSTOMER:  # b is a's customer
+            assert order[topo99.ases[as_link.a].tier] <= order[topo99.ases[as_link.b].tier]
+        elif rel is Relationship.PROVIDER:
+            assert order[topo99.ases[as_link.b].tier] <= order[topo99.ases[as_link.a].tier]
+
+
+def test_validation_passes(topo99, topo95):
+    topo99.validate()
+    topo95.validate()
+
+
+def test_1995_is_smaller(topo99, topo95):
+    assert len(topo95.ases) < len(topo99.ases)
+    assert len(topo95.links) < len(topo99.links)
+
+
+def test_circuity_noise_applied(topo99):
+    # Some long-haul links must exceed the base circuity; none may fall
+    # below the speed-of-light floor.
+    from repro.topology.geography import propagation_delay_ms
+
+    inflated = 0
+    for link in topo99.links:
+        u, v = topo99.routers[link.u], topo99.routers[link.v]
+        base = propagation_delay_ms(u.city, v.city)
+        assert link.prop_delay_ms >= base - 1e-9
+        if link.prop_delay_ms > base * 1.05:
+            inflated += 1
+    assert inflated > len(topo99.links) / 10
+
+
+def test_place_hosts_basics(topo99):
+    hosts = place_hosts(topo99, 10, seed=3, north_america_only=True)
+    assert len(hosts) == 10
+    assert len({h.asn for h in hosts}) == 10  # distinct stub ASes
+    for h in hosts:
+        assert h.city.is_north_america
+        assert topo99.ases[h.asn].tier is ASTier.STUB
+        link = topo99.links[h.access_link]
+        assert link.kind is LinkKind.ACCESS
+
+
+def test_place_hosts_rate_limit_fraction(topo99):
+    hosts = place_hosts(
+        topo99, 20, seed=4, rate_limit_fraction=1.0, name_prefix="rl"
+    )
+    assert all(h.rate_limits_icmp for h in hosts)
+
+
+def test_place_hosts_exhaustion():
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=9, n_stub=5))
+    with pytest.raises(TopologyError):
+        place_hosts(topo, 50, seed=1)

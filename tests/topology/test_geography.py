@@ -1,0 +1,114 @@
+"""Tests for the geographic embedding."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.geography import (
+    CITIES,
+    FIBER_KM_PER_MS,
+    UnknownCityError,
+    cities_in_region,
+    get_city,
+    great_circle_km,
+    mean_pairwise_distance_km,
+    north_american_cities,
+    propagation_delay_ms,
+    world_cities,
+)
+
+city_names = st.sampled_from(sorted(CITIES))
+
+
+def test_catalog_is_nonempty_and_unique():
+    assert len(CITIES) > 50
+    assert len({c.name for c in CITIES.values()}) == len(CITIES)
+
+
+def test_catalog_is_north_america_heavy():
+    na = north_american_cities()
+    assert len(na) > len(CITIES) / 2
+    assert all(c.is_north_america for c in na)
+
+
+def test_get_city_known_and_unknown():
+    assert get_city("seattle").region == "na-west"
+    with pytest.raises(UnknownCityError):
+        get_city("atlantis")
+
+
+def test_cities_in_region():
+    west = cities_in_region("na-west")
+    assert west
+    assert all(c.region == "na-west" for c in west)
+    assert cities_in_region("no-such-region") == []
+
+
+def test_known_distance_seattle_boston():
+    # Seattle-Boston is roughly 4,000 km.
+    km = great_circle_km(get_city("seattle"), get_city("boston"))
+    assert 3800 < km < 4300
+
+
+def test_known_distance_transatlantic():
+    km = great_circle_km(get_city("new-york"), get_city("london"))
+    assert 5300 < km < 5800
+
+
+@given(a=city_names, b=city_names)
+def test_distance_symmetry(a, b):
+    ca, cb = get_city(a), get_city(b)
+    assert great_circle_km(ca, cb) == pytest.approx(great_circle_km(cb, ca))
+
+
+@given(a=city_names)
+def test_distance_identity(a):
+    assert great_circle_km(get_city(a), get_city(a)) == 0.0
+
+
+@given(a=city_names, b=city_names, c=city_names)
+def test_triangle_inequality(a, b, c):
+    ca, cb, cc = get_city(a), get_city(b), get_city(c)
+    direct = great_circle_km(ca, cc)
+    detour = great_circle_km(ca, cb) + great_circle_km(cb, cc)
+    assert direct <= detour + 1e-6
+
+
+@given(a=city_names, b=city_names)
+def test_propagation_delay_positive_and_scaled(a, b):
+    ca, cb = get_city(a), get_city(b)
+    delay = propagation_delay_ms(ca, cb)
+    assert delay >= 0.05
+    if a != b:
+        # Delay never undercuts the speed-of-light bound.
+        assert delay >= great_circle_km(ca, cb) / FIBER_KM_PER_MS - 1e-9
+
+
+def test_propagation_delay_rejects_bad_circuity():
+    with pytest.raises(ValueError):
+        propagation_delay_ms(get_city("seattle"), get_city("boston"), circuity=0.9)
+
+
+def test_propagation_delay_monotone_in_circuity():
+    a, b = get_city("seattle"), get_city("miami")
+    assert propagation_delay_ms(a, b, circuity=2.0) > propagation_delay_ms(
+        a, b, circuity=1.2
+    )
+
+
+def test_mean_pairwise_distance_world_exceeds_na():
+    na = mean_pairwise_distance_km(north_american_cities())
+    world = mean_pairwise_distance_km(world_cities())
+    assert world > na  # the paper's world datasets see longer latencies
+
+
+def test_mean_pairwise_distance_requires_two():
+    with pytest.raises(ValueError):
+        mean_pairwise_distance_km([get_city("seattle")])
+
+
+def test_fiber_speed_sanity():
+    # Cross-US one-way delay should be ~20-40 ms.
+    delay = propagation_delay_ms(get_city("seattle"), get_city("new-york"))
+    assert 15.0 < delay < 45.0

@@ -1,0 +1,65 @@
+"""Tests for the link model."""
+
+import pytest
+
+from repro.topology.links import (
+    BASELINE_UTILIZATION,
+    DEFAULT_CAPACITY_MBPS,
+    Link,
+    LinkKind,
+)
+
+
+def make_link(**overrides):
+    defaults = dict(
+        link_id=0,
+        u=1,
+        v=2,
+        kind=LinkKind.BACKBONE,
+        prop_delay_ms=5.0,
+        capacity_mbps=155.0,
+        base_utilization=0.3,
+    )
+    defaults.update(overrides)
+    return Link(**defaults)
+
+
+def test_all_kinds_have_defaults():
+    for kind in LinkKind:
+        assert DEFAULT_CAPACITY_MBPS[kind] > 0
+        lo, hi = BASELINE_UTILIZATION[kind]
+        assert 0.0 <= lo < hi < 1.0
+
+
+def test_exchange_runs_hotter_than_backbone():
+    # The 1990s congested-NAP structure the paper leans on.
+    assert BASELINE_UTILIZATION[LinkKind.EXCHANGE][1] > BASELINE_UTILIZATION[
+        LinkKind.BACKBONE
+    ][1]
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        make_link(u=1, v=1)
+    with pytest.raises(ValueError):
+        make_link(prop_delay_ms=0.0)
+    with pytest.raises(ValueError):
+        make_link(capacity_mbps=-1.0)
+    with pytest.raises(ValueError):
+        make_link(base_utilization=1.0)
+
+
+def test_link_other():
+    link = make_link()
+    assert link.other(1) == 2
+    assert link.other(2) == 1
+    with pytest.raises(ValueError):
+        link.other(3)
+
+
+def test_transmission_delay():
+    # 1500 B at 155 Mbit/s is ~77 microseconds.
+    link = make_link(capacity_mbps=155.0)
+    assert link.transmission_delay_ms == pytest.approx(1500 * 8 / 155_000)
+    slow = make_link(capacity_mbps=10.0)
+    assert slow.transmission_delay_ms > link.transmission_delay_ms

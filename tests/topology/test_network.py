@@ -1,0 +1,142 @@
+"""Tests for the Topology container."""
+
+import pytest
+
+from repro.topology.asys import ASLink, ASTier, AutonomousSystem, Relationship
+from repro.topology.geography import get_city
+from repro.topology.links import LinkKind
+from repro.topology.network import Topology, TopologyError
+from repro.topology.router import Host, RouterRole
+
+
+@pytest.fixture()
+def tiny() -> Topology:
+    """Two single-city ASes joined by one exchange."""
+    topo = Topology()
+    seattle = get_city("seattle")
+    chicago = get_city("chicago")
+    topo.add_as(AutonomousSystem(asn=1, name="a", tier=ASTier.TIER1, cities=[seattle, chicago]))
+    topo.add_as(AutonomousSystem(asn=2, name="b", tier=ASTier.STUB, cities=[chicago]))
+    c1 = topo.add_router(1, seattle, RouterRole.CORE)
+    c2 = topo.add_router(1, chicago, RouterRole.CORE)
+    c3 = topo.add_router(2, chicago, RouterRole.CORE)
+    topo.add_link(c1.router_id, c2.router_id, LinkKind.BACKBONE)
+    b1 = topo.add_router(1, chicago, RouterRole.BORDER)
+    b2 = topo.add_router(2, chicago, RouterRole.BORDER)
+    topo.add_link(b1.router_id, c2.router_id, LinkKind.METRO)
+    topo.add_link(b2.router_id, c3.router_id, LinkKind.METRO)
+    x = topo.add_link(b1.router_id, b2.router_id, LinkKind.EXCHANGE)
+    topo.add_exchange_link(x)
+    topo.add_as_link(
+        ASLink(a=1, b=2, rel_ab=Relationship.CUSTOMER, exchange_cities=("chicago",))
+    )
+    return topo
+
+
+def test_duplicate_asn_rejected(tiny):
+    with pytest.raises(TopologyError):
+        tiny.add_as(AutonomousSystem(asn=1, name="dup", tier=ASTier.STUB))
+
+
+def test_router_in_unknown_as_rejected(tiny):
+    with pytest.raises(TopologyError):
+        tiny.add_router(99, get_city("seattle"), RouterRole.CORE)
+
+
+def test_duplicate_core_router_rejected(tiny):
+    with pytest.raises(TopologyError):
+        tiny.add_router(1, get_city("seattle"), RouterRole.CORE)
+
+
+def test_link_range_checked(tiny):
+    with pytest.raises(TopologyError):
+        tiny.add_link(0, 999, LinkKind.BACKBONE)
+
+
+def test_core_router_lookup(tiny):
+    assert tiny.has_core_router(1, "seattle")
+    assert not tiny.has_core_router(2, "seattle")
+    with pytest.raises(TopologyError):
+        tiny.core_router(2, "seattle")
+
+
+def test_exchange_links_between(tiny):
+    links = tiny.exchange_links_between(1, 2)
+    assert len(links) == 1
+    assert links[0].kind is LinkKind.EXCHANGE
+    assert tiny.exchange_links_between(1, 99) == []
+
+
+def test_exchange_link_validation(tiny):
+    r1 = tiny.routers_of(1)
+    internal = tiny.add_link(r1[0], r1[1], LinkKind.METRO)
+    with pytest.raises(TopologyError):
+        tiny.add_exchange_link(internal)  # not an EXCHANGE link
+
+
+def test_relationship_lookup(tiny):
+    assert tiny.relationship(1, 2) is Relationship.CUSTOMER
+    assert tiny.relationship(2, 1) is Relationship.PROVIDER
+    assert tiny.relationship(1, 99) is None
+
+
+def test_host_registration_and_lookup(tiny):
+    nic = tiny.add_router(2, get_city("chicago"), RouterRole.ACCESS)
+    access = tiny.add_link(nic.router_id, tiny.core_router(2, "chicago"), LinkKind.ACCESS)
+    host = Host(
+        host_id=0,
+        name="h0",
+        city=get_city("chicago"),
+        asn=2,
+        access_router=nic.router_id,
+        access_link=access.link_id,
+    )
+    tiny.add_host(host)
+    assert tiny.host("h0") is host
+    assert tiny.host_names() == ["h0"]
+    with pytest.raises(TopologyError):
+        tiny.add_host(host)  # duplicate name
+    with pytest.raises(TopologyError):
+        tiny.host("nope")
+
+
+def test_validate_passes_on_consistent_topology(tiny):
+    tiny.validate()
+
+
+def test_validate_catches_as_link_without_exchange():
+    topo = Topology()
+    seattle = get_city("seattle")
+    topo.add_as(AutonomousSystem(asn=1, name="a", tier=ASTier.STUB, cities=[seattle]))
+    topo.add_as(AutonomousSystem(asn=2, name="b", tier=ASTier.STUB, cities=[seattle]))
+    topo.add_router(1, seattle, RouterRole.CORE)
+    topo.add_router(2, seattle, RouterRole.CORE)
+    topo.add_as_link(
+        ASLink(a=1, b=2, rel_ab=Relationship.PEER, exchange_cities=("seattle",))
+    )
+    with pytest.raises(TopologyError):
+        topo.validate()
+
+
+def test_validate_catches_host_as_mismatch(tiny):
+    nic = tiny.add_router(2, get_city("chicago"), RouterRole.ACCESS)
+    access = tiny.add_link(nic.router_id, tiny.core_router(2, "chicago"), LinkKind.ACCESS)
+    tiny.add_host(
+        Host(
+            host_id=0,
+            name="bad",
+            city=get_city("chicago"),
+            asn=1,  # claims AS1 but attaches to an AS2 router
+            access_router=nic.router_id,
+            access_link=access.link_id,
+        )
+    )
+    with pytest.raises(TopologyError):
+        tiny.validate()
+
+
+def test_summary_counts(tiny):
+    counts = tiny.summary()
+    assert counts["ases"] == 2
+    assert counts["routers"] == len(tiny.routers)
+    assert counts["links"] == len(tiny.links)

@@ -1,0 +1,74 @@
+"""Tests for ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import make_cdf
+from repro.viz.ascii import ascii_cdf, ascii_scatter
+
+
+@pytest.fixture()
+def series():
+    rng = np.random.default_rng(5)
+    return [
+        make_cdf(rng.normal(30, 20, 150), "alpha"),
+        make_cdf(rng.normal(-20, 50, 150), "beta"),
+    ]
+
+
+def test_cdf_plot_structure(series):
+    text = ascii_cdf(series, title="demo", width=60, height=12)
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 1 + 12 + 2 + 1  # title + rows + axis/labels + legend
+    assert "*" in text and "o" in text   # both glyphs drawn
+    assert "alpha" in text and "beta" in text
+    # Zero marker column (range crosses zero).
+    assert "|" in text
+
+
+def test_cdf_plot_monotone_top_row(series):
+    text = ascii_cdf(series, width=60, height=12)
+    rows = [l.split("|", 1)[1] for l in text.splitlines()[:12]]
+    # The top row's glyphs must sit to the right of the bottom row's.
+    top = rows[0]
+    bottom = rows[-1]
+    first_top = min(top.index(g) for g in "*o" if g in top)
+    first_bottom = min(bottom.index(g) for g in "*o" if g in bottom)
+    assert first_top >= first_bottom
+
+
+def test_cdf_plot_validation(series):
+    with pytest.raises(ValueError):
+        ascii_cdf([])
+    with pytest.raises(ValueError):
+        ascii_cdf(series, width=5)
+
+
+def test_cdf_plot_explicit_range(series):
+    text = ascii_cdf(series, x_range=(-100.0, 100.0), width=60, height=10)
+    assert "-100" in text and "100" in text
+
+
+def test_scatter_structure():
+    rng = np.random.default_rng(6)
+    text = ascii_scatter(
+        rng.normal(0, 10, 50),
+        rng.normal(0, 5, 50),
+        title="pts",
+        width=50,
+        height=12,
+        x_label="ms",
+        y_label="ms",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "pts"
+    assert "*" in text
+    assert "x: [" in lines[-1] and "y: [" in lines[-1]
+
+
+def test_scatter_validation():
+    with pytest.raises(ValueError):
+        ascii_scatter([], [])
+    with pytest.raises(ValueError):
+        ascii_scatter([1.0], [1.0, 2.0])

@@ -1,0 +1,33 @@
+"""Tests for geographic topology maps."""
+
+import pytest
+
+from repro.topology.network import Topology
+from repro.viz.map import save_topology_map, topology_map
+
+
+def test_map_structure(topo1999):
+    svg = topology_map(topo1999, title="Test Map")
+    assert svg.startswith("<svg")
+    assert "Test Map" in svg
+    assert svg.count("<circle") > 20       # cities + hosts + legend
+    assert svg.count("<line") > 50         # inter-city links
+    assert "backbone" in svg and "exchange" in svg  # legend
+
+
+def test_host_cities_highlighted(topo1999):
+    svg = topology_map(topo1999)
+    host_city = topo1999.hosts[0].city.name
+    assert host_city in svg
+    assert "#c23b22" in svg
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(ValueError):
+        topology_map(Topology())
+
+
+def test_save(tmp_path, topo1995):
+    out = save_topology_map(topo1995, tmp_path / "maps" / "t.svg", title="1995")
+    assert out.exists()
+    assert out.read_text().startswith("<svg")

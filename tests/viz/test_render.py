@@ -1,0 +1,70 @@
+"""Tests for figure-to-SVG rendering."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure1,
+    figure7,
+    figure14,
+    figure16,
+)
+from repro.viz.render import RenderError, render_all, render_figure
+
+
+@pytest.fixture(scope="module")
+def figures(suite, min_samples):
+    return {
+        "figure1": figure1(suite, min_samples=min_samples),
+        "figure7": figure7(suite, min_samples=min_samples),
+        "figure14": figure14(suite, min_samples=min_samples),
+        "figure16": figure16(suite, min_samples=min_samples),
+    }
+
+
+def test_render_cdf_figure(figures):
+    svg = render_figure(figures["figure1"]).render()
+    assert "<polyline" in svg
+    assert "Round-trip latency (ms)" in svg
+
+
+def test_render_ci_figure_has_error_bars(figures):
+    plain = render_figure(figures["figure1"]).render()
+    with_ci = render_figure(figures["figure7"]).render()
+    assert with_ci.count("<line") > plain.count("<line")
+
+
+def test_render_figure14_scatter(figures):
+    svg = render_figure(figures["figure14"]).render()
+    assert "<circle" in svg
+    assert "log10" in svg
+
+
+def test_render_figure16_scatter_with_diagonal(figures):
+    svg = render_figure(figures["figure16"]).render()
+    assert "<circle" in svg
+    assert 'stroke-dasharray="5,4"' in svg
+
+
+def test_render_all_writes_files(tmp_path, figures):
+    paths = render_all(figures, tmp_path)
+    assert len(paths) == len(figures)
+    for path in paths:
+        assert path.exists()
+        assert path.suffix == ".svg"
+
+
+def test_render_empty_figure_raises():
+    from repro.experiments.figures import FigureResult
+
+    empty = FigureResult(name="figure1", title="t")
+    with pytest.raises(RenderError):
+        render_figure(empty)
+
+
+def test_render_all_skips_unrenderable(tmp_path, figures):
+    from repro.experiments.figures import FigureResult
+
+    broken = dict(figures)
+    broken["figure99"] = FigureResult(name="figure99", title="empty")
+    paths = render_all(broken, tmp_path)
+    assert len(paths) == len(figures)

@@ -1,0 +1,98 @@
+"""Tests for axis scales and tick generation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.viz.scale import LinearScale, ScaleError, data_range, nice_number
+
+
+def test_nice_number_values():
+    assert nice_number(1.0) == 1.0
+    assert nice_number(2.7) == 2.0
+    assert nice_number(4.0) == 5.0
+    assert nice_number(8.0) == 10.0
+    assert nice_number(0.013) == pytest.approx(0.01)
+    assert nice_number(37.0, round_down=True) == 20.0
+
+
+def test_nice_number_validation():
+    with pytest.raises(ScaleError):
+        nice_number(0.0)
+    with pytest.raises(ScaleError):
+        nice_number(-3.0)
+    with pytest.raises(ScaleError):
+        nice_number(float("inf"))
+
+
+@given(value=st.floats(min_value=1e-6, max_value=1e9))
+def test_nice_number_within_factor(value):
+    nice = nice_number(value)
+    assert value / 5.0 <= nice <= value * 5.0
+    # Result is 1, 2, or 5 times a power of ten.
+    exponent = math.floor(math.log10(nice) + 1e-12)
+    fraction = round(nice / (10 ** exponent), 6)
+    assert fraction in (1.0, 2.0, 5.0, 10.0)
+
+
+def test_linear_scale_mapping():
+    scale = LinearScale(0.0, 10.0, 100.0, 200.0)
+    assert scale(0.0) == 100.0
+    assert scale(10.0) == 200.0
+    assert scale(5.0) == 150.0
+    # Clamped outside the domain.
+    assert scale(-5.0) == 100.0
+    assert scale(50.0) == 200.0
+
+
+def test_linear_scale_inverted_output():
+    scale = LinearScale(0.0, 1.0, 300.0, 0.0)  # SVG-style inversion
+    assert scale(0.0) == 300.0
+    assert scale(1.0) == 0.0
+
+
+def test_degenerate_domain_widened():
+    scale = LinearScale(5.0, 5.0, 0.0, 100.0)
+    assert scale.lo < 5.0 < scale.hi
+    assert 0.0 <= scale(5.0) <= 100.0
+
+
+def test_non_finite_domain_rejected():
+    with pytest.raises(ScaleError):
+        LinearScale(float("nan"), 1.0, 0.0, 1.0)
+
+
+def test_ticks_cover_domain():
+    scale = LinearScale(-57.0, 143.0, 0.0, 1.0)
+    ticks = scale.ticks()
+    assert len(ticks.positions) >= 3
+    assert all(-57.0 <= p <= 143.0 + 1e-9 for p in ticks.positions)
+    assert len(ticks.positions) == len(ticks.labels)
+    # Zero appears as "0", not "-0".
+    if 0.0 in ticks.positions:
+        assert ticks.labels[ticks.positions.index(0.0)] == "0"
+
+
+def test_ticks_validation():
+    scale = LinearScale(0.0, 1.0, 0.0, 1.0)
+    with pytest.raises(ScaleError):
+        scale.ticks(target_count=1)
+
+
+def test_small_step_labels_have_decimals():
+    scale = LinearScale(0.0, 0.1, 0.0, 1.0)
+    ticks = scale.ticks()
+    assert any("." in lab for lab in ticks.labels)
+
+
+def test_data_range():
+    lo, hi = data_range([(1.0, 5.0), (3.0, 9.0)])
+    assert lo < 1.0 and hi > 9.0
+    with pytest.raises(ScaleError):
+        data_range([()])
+
+
+def test_data_range_ignores_non_finite():
+    lo, hi = data_range([(1.0, float("nan"), float("inf"), 2.0)])
+    assert lo <= 1.0 and hi >= 2.0 and math.isfinite(hi)

@@ -1,0 +1,88 @@
+"""Tests for the SVG chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import make_cdf
+from repro.viz.svg import ChartStyle, SVGChart, cdf_chart
+
+
+@pytest.fixture()
+def series():
+    rng = np.random.default_rng(3)
+    return [
+        make_cdf(rng.normal(20, 40, 200), "one"),
+        make_cdf(rng.normal(-10, 60, 200), "two"),
+    ]
+
+
+def test_render_structure(series):
+    chart = cdf_chart(series, title="Title & Co", x_label="ms")
+    svg = chart.render()
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+    assert svg.count("<polyline") == 2
+    assert "Title &amp; Co" in svg          # escaped
+    assert "Fraction of paths" in svg
+    assert "one" in svg and "two" in svg    # legend entries
+
+
+def test_zero_rule_present_when_range_crosses_zero(series):
+    chart = cdf_chart(series, title="t", x_label="x")
+    assert 'stroke-dasharray="3,3"' in chart.render()
+
+
+def test_explicit_range_trims(series):
+    chart = cdf_chart(series, title="t", x_label="x", x_range=(0.0, 50.0))
+    svg = chart.render()
+    # No zero rule: zero sits on the boundary, not inside.
+    assert svg.count("<polyline") <= 2
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        cdf_chart([], title="t", x_label="x")
+
+
+def test_requires_ranges_before_drawing():
+    chart = SVGChart(title="t", x_label="x", y_label="y")
+    with pytest.raises(RuntimeError):
+        chart.add_step_curve([1.0], [0.5], "s")
+
+
+def test_scatter_and_guides():
+    chart = SVGChart(title="scatter", x_label="x", y_label="y")
+    chart.set_x_range(-10.0, 10.0)
+    chart.set_y_range(-10.0, 10.0)
+    chart.add_vertical_rule(0.0)
+    chart.add_diagonal()
+    chart.add_scatter([1.0, -2.0, 3.0], [2.0, -1.0, 0.5], "points")
+    svg = chart.render()
+    assert svg.count("<circle") == 3
+    assert 'stroke-dasharray="5,4"' in svg  # diagonal
+
+
+def test_error_bars():
+    chart = SVGChart(title="ci", x_label="x", y_label="y")
+    chart.set_x_range(0.0, 10.0)
+    chart.set_y_range(0.0, 1.0)
+    chart.add_error_bars([5.0], [0.5], [3.0], [7.0])
+    svg = chart.render()
+    # One horizontal bar plus two whisker ends.
+    assert svg.count("<line") >= 3
+
+
+def test_save(tmp_path, series):
+    chart = cdf_chart(series, title="t", x_label="x")
+    out = chart.save(tmp_path / "sub" / "chart.svg")
+    assert out.exists()
+    assert out.read_text().startswith("<svg")
+
+
+def test_custom_style():
+    style = ChartStyle(width=300, height=200)
+    chart = SVGChart(title="t", x_label="x", y_label="y", style=style)
+    chart.set_x_range(0.0, 1.0)
+    chart.set_y_range(0.0, 1.0)
+    svg = chart.render()
+    assert 'width="300"' in svg and 'height="200"' in svg
