@@ -17,7 +17,7 @@ import os
 
 import pytest
 
-from repro.datasets import BuildConfig
+from repro.datasets import BuildConfig, BuildReport
 from repro.experiments import get_datasets
 
 #: Default benchmark scale (fraction of each dataset's full duration).
@@ -35,8 +35,19 @@ def bench_min_samples() -> int:
 
 @pytest.fixture(scope="session")
 def suite():
-    """The eight Table 1 datasets at the benchmark scale (disk-cached)."""
-    return get_datasets(BuildConfig(seed=1999, scale=bench_scale()))
+    """The eight Table 1 datasets at the benchmark scale (disk-cached).
+
+    Cold builds fan out across worker processes (``REPRO_BUILD_JOBS``
+    overrides the worker count); the provisioning summary is printed so
+    ``-s`` runs show per-dataset build/load timings and cache hit/miss
+    counts.
+    """
+    report = BuildReport()
+    datasets = get_datasets(
+        BuildConfig(seed=1999, scale=bench_scale()), report=report
+    )
+    print(f"\n{report.summary()}")
+    return datasets
 
 
 @pytest.fixture(scope="session")

@@ -92,3 +92,31 @@ def test_perf_alternate_search(benchmark, env):
 
     alternates = benchmark(search)
     assert alternates
+
+
+def test_perf_direct_edge_rerun_path(benchmark):
+    """Worst case for the exclusion re-run: a complete graph whose direct
+    edges are almost always the unconstrained shortest path, forcing one
+    excluded-edge Dijkstra per pair (exercises the patched-CSR path that
+    replaced the per-pair dense rebuild)."""
+    from repro.core.graph import EdgeData, MetricGraph
+    from repro.core.stats import SampleStats
+
+    rng = np.random.default_rng(9)
+    hosts = [f"h{i}" for i in range(40)]
+    graph = MetricGraph(Metric.RTT, hosts)
+    for a in hosts:
+        for b in hosts:
+            if a == b:
+                continue
+            value = float(rng.uniform(1.0, 2.0))
+            graph.add_edge(
+                (a, b),
+                EdgeData(value=value, stats=SampleStats(n=9, mean=value, var=0.1)),
+            )
+
+    def search():
+        return AlternatePathFinder(graph).best_all()
+
+    alternates = benchmark(search)
+    assert len(alternates) == len(hosts) * (len(hosts) - 1)

@@ -5,6 +5,7 @@ Subcommands::
     repro traceroute --seed 7 --src 0 --dst 3     # demo traceroute
     repro build --dataset UW3 --scale 0.1 -o uw3.jsonl
     repro analyze uw3.jsonl --metric rtt          # alternate-path analysis
+    repro suite --scale 1.0 --jobs 4              # (re)build the suite cache
     repro reproduce --scale 1.0 --markdown report.md
 
 ``analyze`` works on any dataset written by ``build`` (or by
@@ -99,10 +100,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core import LossComposition, Metric, analyze, analyze_bandwidth
-    from repro.datasets import load_dataset
+    from repro.datasets import DatasetIOError, load_dataset
     from repro.viz import ascii_cdf
 
-    dataset = load_dataset(args.dataset_file)
+    try:
+        dataset = load_dataset(args.dataset_file)
+    except DatasetIOError as exc:
+        print(f"unreadable dataset: {exc}", file=sys.stderr)
+        return 2
     metric = Metric(args.metric)
     if metric is Metric.BANDWIDTH:
         result = analyze_bandwidth(
@@ -148,10 +153,37 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_summarize(args: argparse.Namespace) -> int:
-    from repro.datasets import load_dataset, summarize
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.datasets import BuildConfig, BuildReport
+    from repro.experiments.runner import get_datasets
 
-    dataset = load_dataset(args.dataset_file)
+    cfg = BuildConfig(seed=args.seed, scale=args.scale)
+    report = BuildReport()
+    datasets = get_datasets(
+        cfg,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        report=report,
+        progress=print,
+    )
+    print(report.summary())
+    for name, ds in datasets.items():
+        row = ds.table1_row()
+        print(
+            f"  {name:<6} {row['hosts']:>3} hosts  "
+            f"{row['measurements']:>8} measurements"
+        )
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.datasets import DatasetIOError, load_dataset, summarize
+
+    try:
+        dataset = load_dataset(args.dataset_file)
+    except DatasetIOError as exc:
+        print(f"unreadable dataset: {exc}", file=sys.stderr)
+        return 2
     print(summarize(dataset).render())
     return 0
 
@@ -160,6 +192,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import main as reproduce_main
 
     forwarded = ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
     if args.markdown:
         forwarded += ["--markdown", args.markdown]
     if args.svg_dir:
@@ -221,9 +255,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset_file")
     p.set_defaults(func=_cmd_summarize)
 
+    p = sub.add_parser(
+        "suite",
+        help="build or load the full Table 1 dataset suite (parallel, cached)",
+    )
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="build worker processes (default: REPRO_BUILD_JOBS or one per CPU)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force a rebuild without reading or writing the cache",
+    )
+    p.set_defaults(func=_cmd_suite)
+
     p = sub.add_parser("reproduce", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=1999)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="dataset build worker processes (default: one per CPU)",
+    )
     p.add_argument("--markdown", default=None)
     p.add_argument("--svg-dir", default=None)
     p.add_argument("--only", default=None)

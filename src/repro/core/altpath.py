@@ -114,16 +114,40 @@ class AlternatePathFinder:
         self._weights = np.where(
             np.isfinite(self._weights), self._weights + _EPSILON, np.inf
         )
+        self._base: csr_matrix | None = None
 
-    def _csr(self, exclude: tuple[int, int] | None = None) -> csr_matrix:
-        mat = self._weights
-        if exclude is not None:
-            mat = mat.copy()
-            mat[exclude] = np.inf
-        finite = np.isfinite(mat)
-        rows, cols = np.nonzero(finite)
+    def _csr(self) -> csr_matrix:
+        """The full graph as CSR, built from the dense weights once."""
+        if self._base is None:
+            mat = self._weights
+            finite = np.isfinite(mat)
+            rows, cols = np.nonzero(finite)
+            base = csr_matrix(
+                (mat[rows, cols], (rows, cols)), shape=mat.shape
+            )
+            base.sort_indices()
+            self._base = base
+        return self._base
+
+    def _csr_excluding(self, src_idx: int, dst_idx: int) -> csr_matrix:
+        """The base CSR with one directed edge removed.
+
+        Only the base matrix's data vector is copied (O(E)); the sparsity
+        structure is shared, and the excluded entry's weight is patched to
+        +inf, which Dijkstra treats as absent.  This keeps the direct-edge
+        re-run path from paying an O(V^2) dense copy + CSR rebuild per
+        pair.
+        """
+        base = self._csr()
+        start, end = base.indptr[src_idx], base.indptr[src_idx + 1]
+        row_cols = base.indices[start:end]
+        pos = int(np.searchsorted(row_cols, dst_idx))
+        if pos == len(row_cols) or row_cols[pos] != dst_idx:
+            return base  # edge not stored; nothing to exclude
+        data = base.data.copy()
+        data[start + pos] = np.inf
         return csr_matrix(
-            (mat[rows, cols], (rows, cols)), shape=mat.shape
+            (data, base.indices, base.indptr), shape=base.shape
         )
 
     def best(self, pair: Pair) -> AlternatePath | None:
@@ -178,7 +202,7 @@ class AlternatePathFinder:
     def _rerun(self, src_idx: int, dst_idx: int) -> AlternatePath | None:
         graph = self.graph
         hosts = graph.hosts
-        mat = self._csr(exclude=(src_idx, dst_idx))
+        mat = self._csr_excluding(src_idx, dst_idx)
         dist, pred = _dijkstra(
             mat, directed=True, indices=src_idx, return_predecessors=True
         )

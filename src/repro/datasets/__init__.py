@@ -1,19 +1,29 @@
 """Dataset containers, record types, builders, and serialization."""
 
 from repro.datasets.builders import (
+    BUILD_GROUPS,
     BuildConfig,
     DEFAULT_SEED,
     Environment,
     build_all,
     build_d2,
+    build_group,
     build_n2,
     build_uw1,
     build_uw3,
     build_uw4,
+    group_for,
     table1_order,
 )
 from repro.datasets.dataset import Dataset, DatasetError, DatasetMeta
-from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+from repro.datasets.instrumentation import BuildEvent, BuildReport
+from repro.datasets.io import (
+    CacheLock,
+    CacheLockTimeout,
+    DatasetIOError,
+    load_dataset,
+    save_dataset,
+)
 from repro.datasets.summary import (
     DatasetSummary,
     DistributionSummary,
@@ -29,7 +39,12 @@ from repro.datasets.records import (
 )
 
 __all__ = [
+    "BUILD_GROUPS",
     "BuildConfig",
+    "BuildEvent",
+    "BuildReport",
+    "CacheLock",
+    "CacheLockTimeout",
     "CollectionStats",
     "DEFAULT_SEED",
     "Dataset",
@@ -46,10 +61,12 @@ __all__ = [
     "TransferRecord",
     "build_all",
     "build_d2",
+    "build_group",
     "build_n2",
     "build_uw1",
     "build_uw3",
     "build_uw4",
+    "group_for",
     "load_dataset",
     "save_dataset",
     "summarize",

@@ -464,24 +464,74 @@ def build_n2(config: BuildConfig | None = None) -> tuple[Dataset, Dataset]:
     return n2, n2_na
 
 
-def build_all(config: BuildConfig | None = None) -> dict[str, Dataset]:
-    """Build every dataset in Table 1, keyed by the paper's names."""
+#: Independent build groups: the datasets one builder call produces
+#: together.  Groups are the unit of parallelism and cache invalidation —
+#: each group builder depends only on its ``BuildConfig`` (all randomness
+#: derives from the master seed), so groups can run in any order, in any
+#: mix of processes, and produce bit-identical datasets.
+BUILD_GROUPS: dict[str, tuple[str, ...]] = {
+    "d2": ("D2-NA", "D2"),
+    "n2": ("N2-NA", "N2"),
+    "uw1": ("UW1",),
+    "uw3": ("UW3",),
+    "uw4": ("UW4-A", "UW4-B"),
+}
+
+
+def group_for(dataset_name: str) -> str:
+    """The build group that produces ``dataset_name``.
+
+    Raises:
+        KeyError: for names outside Table 1.
+    """
+    for group, names in BUILD_GROUPS.items():
+        if dataset_name in names:
+            return group
+    raise KeyError(f"unknown dataset {dataset_name!r}")
+
+
+def build_group(group: str, config: BuildConfig | None = None) -> dict[str, Dataset]:
+    """Build one independent group of Table 1 datasets.
+
+    This is the unit of work the parallel provisioning pipeline ships to
+    pool workers, so it must stay importable at module top level
+    (picklable) and must depend only on ``config``.  The ``uw4`` group
+    regenerates UW3's environment from the same seeds rather than
+    receiving it from a ``uw3`` build, keeping the groups independent;
+    conditions are deterministic in (seed, t), so the result is identical.
+
+    Raises:
+        KeyError: for unknown group names.
+    """
     cfg = config or BuildConfig()
-    d2, d2_na = build_d2(cfg)
-    n2, n2_na = build_n2(cfg)
-    uw1 = build_uw1(cfg)
-    uw3, uw3_env = build_uw3(cfg)
-    uw4a, uw4b = build_uw4(cfg, uw3_env)
-    return {
-        "D2-NA": d2_na,
-        "D2": d2,
-        "N2-NA": n2_na,
-        "N2": n2,
-        "UW1": uw1,
-        "UW3": uw3,
-        "UW4-A": uw4a,
-        "UW4-B": uw4b,
-    }
+    if group == "d2":
+        d2, d2_na = build_d2(cfg)
+        return {"D2-NA": d2_na, "D2": d2}
+    if group == "n2":
+        n2, n2_na = build_n2(cfg)
+        return {"N2-NA": n2_na, "N2": n2}
+    if group == "uw1":
+        return {"UW1": build_uw1(cfg)}
+    if group == "uw3":
+        return {"UW3": build_uw3(cfg)[0]}
+    if group == "uw4":
+        uw4a, uw4b = build_uw4(cfg)
+        return {"UW4-A": uw4a, "UW4-B": uw4b}
+    raise KeyError(f"unknown build group {group!r}")
+
+
+def build_all(config: BuildConfig | None = None) -> dict[str, Dataset]:
+    """Build every dataset in Table 1, keyed by the paper's names.
+
+    Composes the independent :data:`BUILD_GROUPS` serially; the parallel
+    pipeline in :mod:`repro.experiments.runner` runs the same groups
+    across worker processes and yields bit-identical datasets.
+    """
+    cfg = config or BuildConfig()
+    datasets: dict[str, Dataset] = {}
+    for group in BUILD_GROUPS:
+        datasets.update(build_group(group, cfg))
+    return {name: datasets[name] for name in table1_order()}
 
 
 def table1_order() -> list[str]:

@@ -1,0 +1,129 @@
+"""Lightweight build/cache instrumentation for dataset provisioning.
+
+The dataset pipeline (``repro.experiments.runner``) threads a
+:class:`BuildReport` through cache probing, parallel group builds, and
+atomic saves.  Builders and workers record :class:`BuildEvent` entries
+(phase + wall time + worker PID); the cache layer counts hits and misses.
+``repro suite`` and ``repro reproduce`` print :meth:`BuildReport.summary`
+so every run shows where its dataset time went.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: Phases a build event can describe.
+PHASES = ("build", "load", "save", "lock-wait")
+
+
+@dataclass(frozen=True, slots=True)
+class BuildEvent:
+    """One timed step of dataset provisioning.
+
+    Attributes:
+        label: Dataset name (``"UW3"``) or build-group label
+            (``"d2 -> D2+D2-NA"``) the step worked on.
+        phase: One of :data:`PHASES`.
+        duration_s: Wall-clock duration of the step.
+        worker_pid: PID of the process that performed the step —
+            distinguishes pool workers from the coordinating process.
+    """
+
+    label: str
+    phase: str
+    duration_s: float
+    worker_pid: int
+
+
+@dataclass
+class BuildReport:
+    """Accumulated timings and cache counters for one provisioning call."""
+
+    events: list[BuildEvent] = field(default_factory=list)
+    cache_hits: list[str] = field(default_factory=list)
+    cache_misses: list[str] = field(default_factory=list)
+
+    def record(self, label: str, phase: str, duration_s: float,
+               worker_pid: int | None = None) -> None:
+        """Append one event (PID defaults to the current process)."""
+        self.events.append(
+            BuildEvent(
+                label=label,
+                phase=phase,
+                duration_s=duration_s,
+                worker_pid=os.getpid() if worker_pid is None else worker_pid,
+            )
+        )
+
+    def extend(self, events: list[BuildEvent]) -> None:
+        """Merge events produced elsewhere (e.g. in a pool worker)."""
+        self.events.extend(events)
+
+    def hit(self, name: str) -> None:
+        self.cache_hits.append(name)
+
+    def miss(self, name: str) -> None:
+        self.cache_misses.append(name)
+
+    @contextmanager
+    def timed(self, label: str, phase: str) -> Iterator[None]:
+        """Context manager recording one event around its body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(label, phase, time.perf_counter() - start)
+
+    # -- derived facts -------------------------------------------------------
+
+    @property
+    def n_cache_hits(self) -> int:
+        return len(self.cache_hits)
+
+    @property
+    def n_cache_misses(self) -> int:
+        return len(self.cache_misses)
+
+    def worker_pids(self) -> set[int]:
+        """Distinct PIDs that performed build work."""
+        return {e.worker_pid for e in self.events if e.phase == "build"}
+
+    def phase_seconds(self, phase: str) -> float:
+        """Total wall time recorded for one phase."""
+        return sum(e.duration_s for e in self.events if e.phase == phase)
+
+    def total_seconds(self) -> float:
+        return sum(e.duration_s for e in self.events)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary (CLI / reproduce output)."""
+        lines = [
+            "dataset provisioning: "
+            f"{self.n_cache_hits} cache hit(s), "
+            f"{self.n_cache_misses} miss(es), "
+            f"{len(self.worker_pids())} build worker(s)"
+        ]
+        for phase in PHASES:
+            events = [e for e in self.events if e.phase == phase]
+            if not events:
+                continue
+            lines.append(f"  {phase:<9} {self.phase_seconds(phase):7.2f}s total")
+            for e in sorted(events, key=lambda e: -e.duration_s):
+                lines.append(
+                    f"    {e.label:<24} {e.duration_s:7.2f}s  (pid {e.worker_pid})"
+                )
+        if self.cache_misses:
+            lines.append("  rebuilt: " + ", ".join(sorted(self.cache_misses)))
+        return "\n".join(lines)
+
+
+#: A progress hook receives short human-readable status strings.
+ProgressHook = Callable[[str], None]
+
+
+def null_progress(_msg: str) -> None:
+    """Default progress hook: discard."""

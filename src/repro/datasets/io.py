@@ -1,16 +1,32 @@
 """Dataset serialization: JSON-lines save/load.
 
 Format: the first line is a header object (metadata, hosts, path info,
-collection stats); each subsequent line is one measurement record.  The
+collection stats); each subsequent line is one measurement record; the
+last line is a trailer object recording how many records precede it.  The
 format is self-describing via the header's ``method`` field and is stable
 across library versions — datasets are expensive to regenerate, so
 benchmark runs cache them on disk.
+
+Robustness guarantees (the cache layer depends on both):
+
+* **Atomic saves** — :func:`save_dataset` writes to a temporary file in
+  the destination directory and ``os.replace``-s it into place, so a
+  crash or concurrent run can never leave a half-written file under the
+  final name.
+* **Truncation detection** — :func:`load_dataset` verifies the trailer's
+  record count and raises :class:`DatasetIOError` when the trailer is
+  missing or disagrees, so a truncated file is rejected instead of
+  silently yielding a shorter dataset.  Header schema drift (fields
+  added/removed by other library versions) also surfaces as
+  :class:`DatasetIOError` rather than ``TypeError``/``KeyError``.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
+import time
 from pathlib import Path
 
 from repro.datasets.dataset import Dataset, DatasetMeta
@@ -21,7 +37,11 @@ from repro.datasets.records import (
     TransferRecord,
 )
 
-FORMAT_VERSION = 1
+#: Version 2 added the record-count trailer line.
+FORMAT_VERSION = 2
+
+#: Key identifying the trailer line.
+TRAILER_KEY = "__trailer__"
 
 
 class DatasetIOError(RuntimeError):
@@ -36,10 +56,8 @@ def _none_to_nan(values: list[float | None]) -> tuple[float, ...]:
     return tuple(float("nan") if v is None else float(v) for v in values)
 
 
-def save_dataset(dataset: Dataset, path: str | Path) -> None:
-    """Write ``dataset`` to ``path`` in JSONL format."""
-    path = Path(path)
-    header = {
+def _encode_header(dataset: Dataset) -> dict:
+    return {
         "format_version": FORMAT_VERSION,
         "meta": {
             "name": dataset.meta.name,
@@ -69,57 +87,64 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
             for info in dataset.path_info.values()
         ],
     }
-    with path.open("w") as fh:
-        fh.write(json.dumps(header) + "\n")
-        for rec in dataset.traceroutes:
-            fh.write(
-                json.dumps(
-                    {
-                        "t": rec.t,
-                        "src": rec.src,
-                        "dst": rec.dst,
-                        "rtt": _nan_to_none(rec.rtt_samples),
-                        "ep": rec.episode,
-                    }
-                )
-                + "\n"
-            )
-        for rec in dataset.transfers:
-            fh.write(
-                json.dumps(
-                    {
-                        "t": rec.t,
-                        "src": rec.src,
-                        "dst": rec.dst,
-                        "rtt_ms": rec.rtt_ms,
-                        "loss": rec.loss_rate,
-                        "bw": rec.bandwidth_kbps,
-                    }
-                )
-                + "\n"
-            )
 
 
-def load_dataset(path: str | Path) -> Dataset:
-    """Read a dataset previously written by :func:`save_dataset`.
+def save_dataset(dataset: Dataset, path: str | Path) -> None:
+    """Write ``dataset`` to ``path`` in JSONL format, atomically.
 
-    Raises:
-        DatasetIOError: on missing/garbled headers or unknown versions.
+    The data is written to a temporary sibling file and renamed into
+    place, so readers never observe a partially written ``path`` and a
+    crash leaves any previous complete file intact.
     """
     path = Path(path)
-    with path.open() as fh:
-        header_line = fh.readline()
-        if not header_line:
-            raise DatasetIOError(f"{path}: empty file")
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise DatasetIOError(f"{path}: bad header: {exc}") from exc
-        version = header.get("format_version")
-        if version != FORMAT_VERSION:
-            raise DatasetIOError(
-                f"{path}: unsupported format version {version!r}"
-            )
+    n_records = len(dataset.traceroutes) + len(dataset.transfers)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(_encode_header(dataset)) + "\n")
+            for rec in dataset.traceroutes:
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": rec.t,
+                            "src": rec.src,
+                            "dst": rec.dst,
+                            "rtt": _nan_to_none(rec.rtt_samples),
+                            "ep": rec.episode,
+                        }
+                    )
+                    + "\n"
+                )
+            for rec in dataset.transfers:
+                fh.write(
+                    json.dumps(
+                        {
+                            "t": rec.t,
+                            "src": rec.src,
+                            "dst": rec.dst,
+                            "rtt_ms": rec.rtt_ms,
+                            "loss": rec.loss_rate,
+                            "bw": rec.bandwidth_kbps,
+                        }
+                    )
+                    + "\n"
+                )
+            fh.write(json.dumps({TRAILER_KEY: {"n_records": n_records}}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _decode_header(header: dict, path: Path) -> tuple[DatasetMeta, CollectionStats, dict]:
+    """Turn a parsed header into typed objects.
+
+    Any structural mismatch (missing keys, unknown fields written by a
+    different library version) is reported as :class:`DatasetIOError` so
+    callers can treat schema drift like any other stale-cache condition.
+    """
+    try:
         meta = DatasetMeta(**header["meta"])
         stats = CollectionStats(**header.get("stats", {}))
         path_info = {}
@@ -132,8 +157,39 @@ def load_dataset(path: str | Path) -> Dataset:
                 prop_delay_ms=entry["prop_delay_ms"],
             )
             path_info[(info.src, info.dst)] = info
+    except (TypeError, KeyError, ValueError) as exc:
+        raise DatasetIOError(f"{path}: stale header schema: {exc!r}") from exc
+    return meta, stats, path_info
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        DatasetIOError: on missing/garbled headers, unknown versions,
+            stale header schemas, or truncated files (missing trailer or
+            record-count mismatch).
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetIOError(f"{path}: empty file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise DatasetIOError(f"{path}: bad header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise DatasetIOError(f"{path}: header is not an object")
+        version = header.get("format_version")
+        if version != FORMAT_VERSION:
+            raise DatasetIOError(
+                f"{path}: unsupported format version {version!r}"
+            )
+        meta, stats, path_info = _decode_header(header, path)
         traceroutes: list[TracerouteRecord] = []
         transfers: list[TransferRecord] = []
+        trailer: dict | None = None
         for line_no, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
@@ -142,33 +198,150 @@ def load_dataset(path: str | Path) -> Dataset:
                 obj = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise DatasetIOError(f"{path}:{line_no}: bad record: {exc}") from exc
-            if "rtt" in obj:
-                traceroutes.append(
-                    TracerouteRecord(
-                        t=obj["t"],
-                        src=obj["src"],
-                        dst=obj["dst"],
-                        rtt_samples=_none_to_nan(obj["rtt"]),
-                        episode=obj.get("ep", -1),
+            if isinstance(obj, dict) and TRAILER_KEY in obj:
+                if trailer is not None:
+                    raise DatasetIOError(f"{path}:{line_no}: duplicate trailer")
+                trailer = obj[TRAILER_KEY]
+                continue
+            if trailer is not None:
+                raise DatasetIOError(f"{path}:{line_no}: record after trailer")
+            try:
+                if "rtt" in obj:
+                    traceroutes.append(
+                        TracerouteRecord(
+                            t=obj["t"],
+                            src=obj["src"],
+                            dst=obj["dst"],
+                            rtt_samples=_none_to_nan(obj["rtt"]),
+                            episode=obj.get("ep", -1),
+                        )
                     )
-                )
-            else:
-                transfers.append(
-                    TransferRecord(
-                        t=obj["t"],
-                        src=obj["src"],
-                        dst=obj["dst"],
-                        rtt_ms=obj["rtt_ms"],
-                        loss_rate=obj["loss"],
-                        bandwidth_kbps=obj["bw"],
+                else:
+                    transfers.append(
+                        TransferRecord(
+                            t=obj["t"],
+                            src=obj["src"],
+                            dst=obj["dst"],
+                            rtt_ms=obj["rtt_ms"],
+                            loss_rate=obj["loss"],
+                            bandwidth_kbps=obj["bw"],
+                        )
                     )
-                )
+            except (TypeError, KeyError, ValueError) as exc:
+                raise DatasetIOError(
+                    f"{path}:{line_no}: stale record schema: {exc!r}"
+                ) from exc
+        if trailer is None:
+            raise DatasetIOError(f"{path}: missing trailer (truncated file?)")
+        n_records = len(traceroutes) + len(transfers)
+        expected = trailer.get("n_records") if isinstance(trailer, dict) else None
+        if expected != n_records:
+            raise DatasetIOError(
+                f"{path}: truncated file: trailer promises {expected!r} "
+                f"records, found {n_records}"
+            )
+    try:
+        hosts = list(header["hosts"])
+        loss_first = bool(header.get("loss_first_probe_only", False))
+    except (TypeError, KeyError) as exc:
+        raise DatasetIOError(f"{path}: stale header schema: {exc!r}") from exc
     return Dataset(
         meta=meta,
-        hosts=list(header["hosts"]),
+        hosts=hosts,
         traceroutes=traceroutes,
         transfers=transfers,
         path_info=path_info,
         stats=stats,
-        loss_first_probe_only=bool(header.get("loss_first_probe_only", False)),
+        loss_first_probe_only=loss_first,
     )
+
+
+class CacheLockTimeout(DatasetIOError):
+    """Raised when a cache build lock cannot be acquired in time."""
+
+
+class CacheLock:
+    """Single-writer lock for a cache directory, safe against stale locks.
+
+    The lock is a sidecar JSON file created with ``O_CREAT | O_EXCL``
+    (atomic on POSIX and NT).  A lock is considered *stale* and broken
+    when its owning process is provably dead (same machine, PID gone) or
+    when the file is older than ``stale_after_s`` — so a crashed build
+    never wedges subsequent runs.
+
+    Usage::
+
+        with CacheLock(suite_dir):
+            ...  # sole writer for suite_dir
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        timeout_s: float = 600.0,
+        stale_after_s: float = 3600.0,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        self.path = Path(directory) / ".build.lock"
+        self.timeout_s = timeout_s
+        self.stale_after_s = stale_after_s
+        self.poll_interval_s = poll_interval_s
+        self._held = False
+
+    def _is_stale(self) -> bool:
+        try:
+            raw = self.path.read_text()
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False  # lock vanished; treat as released
+        if age > self.stale_after_s:
+            return True
+        try:
+            owner = json.loads(raw)
+            pid = int(owner["pid"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # Half-written owner record: only the age check applies.
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner is gone
+        except PermissionError:
+            return False  # alive, owned by someone else
+        return False
+
+    def acquire(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._is_stale():
+                    # Break the stale lock and retry immediately.
+                    self.path.unlink(missing_ok=True)
+                    continue
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"{self.path}: held by another process for "
+                        f">{self.timeout_s:g}s"
+                    ) from None
+                time.sleep(self.poll_interval_s)
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps({"pid": os.getpid(), "t": time.time()}))
+            self._held = True
+            return
+
+    def release(self) -> None:
+        if self._held:
+            self.path.unlink(missing_ok=True)
+            self._held = False
+
+    def __enter__(self) -> "CacheLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

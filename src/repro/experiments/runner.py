@@ -1,19 +1,56 @@
 """Dataset provisioning for experiments and benchmarks.
 
 Building the full Table 1 suite takes tens of seconds, so built datasets
-are cached on disk (JSONL) keyed by (seed, scale).  Benchmarks and the
-figure/table reproductions all obtain their data through
-:func:`get_datasets`.
+are cached on disk (JSONL), one file per dataset, keyed by (seed, scale).
+Benchmarks and the figure/table reproductions all obtain their data
+through :func:`get_datasets`.
+
+Pipeline shape:
+
+* **Per-dataset cache** — each dataset has its own file under
+  ``<cache>/seed<seed>-scale<scale>/<name>.jsonl``; a missing, truncated,
+  or schema-stale file invalidates only its *build group* (see
+  :data:`repro.datasets.builders.BUILD_GROUPS`), not the whole suite.
+* **Parallel builds** — stale groups fan out across a
+  ``ProcessPoolExecutor``; every group builder is seed-deterministic and
+  depends only on its ``BuildConfig``, so serial and parallel builds
+  yield bit-identical datasets.
+* **Crash safety** — saves are atomic (write-then-rename with a record
+  count trailer, :mod:`repro.datasets.io`) and rebuilds hold a
+  stale-lock-safe single-writer lock per suite directory so concurrent
+  runs cannot race.
+* **Instrumentation** — pass a
+  :class:`~repro.datasets.instrumentation.BuildReport` to collect
+  per-phase timings and cache hit/miss counters; the most recent report
+  is also kept in :func:`last_build_report`.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
-from repro.datasets.builders import BuildConfig, build_all, table1_order
+from repro.datasets.builders import (
+    BUILD_GROUPS,
+    BuildConfig,
+    build_group,
+    table1_order,
+)
 from repro.datasets.dataset import Dataset
-from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+from repro.datasets.instrumentation import (
+    BuildEvent,
+    BuildReport,
+    ProgressHook,
+    null_progress,
+)
+from repro.datasets.io import (
+    CacheLock,
+    DatasetIOError,
+    load_dataset,
+    save_dataset,
+)
 
 #: Default on-disk cache root; override with the REPRO_CACHE_DIR env var.
 DEFAULT_CACHE_DIR = Path(".repro-cache")
@@ -21,6 +58,12 @@ DEFAULT_CACHE_DIR = Path(".repro-cache")
 #: Scale used by default for experiment regeneration.  Full scale (1.0)
 #: reproduces Table 1's measurement counts; benchmarks may use less.
 DEFAULT_SCALE = 1.0
+
+#: Environment variable overriding the number of build worker processes.
+JOBS_ENV_VAR = "REPRO_BUILD_JOBS"
+
+#: The most recent provisioning report (diagnostics; see build_summary).
+_last_report: BuildReport | None = None
 
 
 def cache_dir() -> Path:
@@ -34,10 +77,117 @@ def _suite_dir(config: BuildConfig) -> Path:
     return cache_dir() / f"seed{config.seed}-scale{config.scale:g}"
 
 
+def dataset_cache_path(name: str, config: BuildConfig | None = None) -> Path:
+    """The cache file backing one dataset for one build config."""
+    cfg = config or BuildConfig(scale=DEFAULT_SCALE)
+    return _suite_dir(cfg) / f"{name}.jsonl"
+
+
+def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
+    """Worker-process count for ``n_tasks`` parallel group builds.
+
+    Precedence: explicit ``jobs`` argument, then the ``REPRO_BUILD_JOBS``
+    environment variable, then ``min(n_tasks, cpu_count)``.  Values are
+    clamped to ``[1, n_tasks]``; 1 means build in-process.
+    """
+    if n_tasks <= 0:
+        return 1
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR)
+        if env is not None:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def _build_group_task(
+    group: str, cfg: BuildConfig
+) -> tuple[str, dict[str, Dataset], BuildEvent]:
+    """Pool-worker task: build one group, timing it in the worker."""
+    start = time.perf_counter()
+    datasets = build_group(group, cfg)
+    event = BuildEvent(
+        label=f"{group} -> {'+'.join(BUILD_GROUPS[group])}",
+        phase="build",
+        duration_s=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+    )
+    return group, datasets, event
+
+
+def _build_groups(
+    groups: list[str],
+    cfg: BuildConfig,
+    *,
+    jobs: int | None,
+    report: BuildReport,
+    progress: ProgressHook,
+) -> dict[str, Dataset]:
+    """Build the named groups, fanning out across worker processes."""
+    n_jobs = resolve_jobs(jobs, len(groups))
+    built: dict[str, Dataset] = {}
+    if n_jobs <= 1:
+        for group in groups:
+            progress(f"building {group} ({'+'.join(BUILD_GROUPS[group])}) ...")
+            _, datasets, event = _build_group_task(group, cfg)
+            report.extend([event])
+            built.update(datasets)
+        return built
+    progress(
+        f"building {len(groups)} dataset group(s) across {n_jobs} workers ..."
+    )
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        for group, datasets, event in pool.map(
+            _build_group_task, groups, [cfg] * len(groups)
+        ):
+            progress(f"built {group} ({event.duration_s:.1f}s)")
+            report.extend([event])
+            built.update(datasets)
+    return built
+
+
+def _probe_cache(
+    suite: Path,
+    report: BuildReport,
+) -> tuple[dict[str, Dataset], list[str]]:
+    """Load every valid cached dataset; return (loaded, stale groups).
+
+    A dataset whose file is missing, truncated, or schema-stale marks its
+    whole build group stale (the group is the smallest rebuildable unit),
+    but datasets from other groups stay served from cache.
+    """
+    loaded: dict[str, Dataset] = {}
+    stale: list[str] = []
+    for group, names in BUILD_GROUPS.items():
+        for name in names:
+            path = suite / f"{name}.jsonl"
+            start = time.perf_counter()
+            try:
+                dataset = load_dataset(path)
+            except (OSError, DatasetIOError):
+                report.miss(name)
+                if group not in stale:
+                    stale.append(group)
+            else:
+                report.record(name, "load", time.perf_counter() - start)
+                report.hit(name)
+                loaded[name] = dataset
+    return loaded, stale
+
+
 def get_datasets(
     config: BuildConfig | None = None,
     *,
     use_cache: bool = True,
+    jobs: int | None = None,
+    report: BuildReport | None = None,
+    progress: ProgressHook | None = None,
 ) -> dict[str, Dataset]:
     """All Table 1 datasets for the given build config, cached on disk.
 
@@ -46,28 +196,62 @@ def get_datasets(
             full-scale build.
         use_cache: Read/write the on-disk cache (set False to force a
             rebuild without touching the cache).
+        jobs: Build worker processes for stale groups (default: the
+            ``REPRO_BUILD_JOBS`` env var, else one per CPU; 1 = build
+            in-process).
+        report: Optional instrumentation sink for per-phase timings and
+            cache hit/miss counters.
+        progress: Optional hook receiving human-readable status lines.
     """
+    global _last_report
     cfg = config or BuildConfig(scale=DEFAULT_SCALE)
-    suite = _suite_dir(cfg)
+    rep = report if report is not None else BuildReport()
+    _last_report = rep
+    prog = progress if progress is not None else null_progress
     names = table1_order()
-    if use_cache:
-        loaded: dict[str, Dataset] = {}
-        try:
-            for name in names:
-                path = suite / f"{name}.jsonl"
-                if not path.exists():
-                    break
-                loaded[name] = load_dataset(path)
-            else:
-                return loaded
-        except DatasetIOError:
-            pass  # stale/corrupt cache: rebuild below
-    datasets = build_all(cfg)
-    if use_cache:
-        suite.mkdir(parents=True, exist_ok=True)
-        for name, ds in datasets.items():
-            save_dataset(ds, suite / f"{name}.jsonl")
-    return datasets
+    if not use_cache:
+        built = _build_groups(
+            list(BUILD_GROUPS), cfg, jobs=jobs, report=rep, progress=prog
+        )
+        return {name: built[name] for name in names}
+    suite = _suite_dir(cfg)
+    loaded, stale = _probe_cache(suite, rep)
+    if not stale:
+        prog(f"all {len(names)} datasets served from cache ({suite})")
+        return {name: loaded[name] for name in names}
+    suite.mkdir(parents=True, exist_ok=True)
+    lock = CacheLock(suite)
+    lock_start = time.perf_counter()
+    with lock:
+        waited = time.perf_counter() - lock_start
+        if waited > 0.1:
+            rep.record(suite.name, "lock-wait", waited)
+        # Another writer may have filled (part of) the cache while we
+        # waited for the lock; probe again so we only rebuild what is
+        # still stale.
+        recheck = BuildReport()
+        loaded2, stale = _probe_cache(suite, recheck)
+        loaded.update(loaded2)
+        # Datasets another writer produced while we waited count as hits.
+        for name in loaded2:
+            if name in rep.cache_misses:
+                rep.cache_misses.remove(name)
+                rep.hit(name)
+        if stale:
+            # Cache files that were valid before the rebuild keep serving
+            # reads; only datasets whose files were stale get saved, so an
+            # invalidated dataset never touches its siblings' files.
+            valid_before = set(loaded2)
+            built = _build_groups(
+                stale, cfg, jobs=jobs, report=rep, progress=prog
+            )
+            for name, ds in built.items():
+                if name in valid_before:
+                    continue
+                with rep.timed(name, "save"):
+                    save_dataset(ds, suite / f"{name}.jsonl")
+                loaded[name] = ds
+    return {name: loaded[name] for name in names}
 
 
 def get_dataset(
@@ -75,11 +259,24 @@ def get_dataset(
     config: BuildConfig | None = None,
     *,
     use_cache: bool = True,
+    jobs: int | None = None,
 ) -> Dataset:
     """One named dataset from the suite.
 
     Raises:
         KeyError: for names outside Table 1.
     """
-    datasets = get_datasets(config, use_cache=use_cache)
+    datasets = get_datasets(config, use_cache=use_cache, jobs=jobs)
     return datasets[name]
+
+
+def last_build_report() -> BuildReport | None:
+    """The report from the most recent :func:`get_datasets` call."""
+    return _last_report
+
+
+def build_summary() -> str:
+    """Human-readable summary of the most recent provisioning call."""
+    if _last_report is None:
+        return "no dataset provisioning has run in this process"
+    return _last_report.summary()

@@ -173,6 +173,75 @@ def test_bandwidth_graph_rejected():
         AlternatePathFinder(g)
 
 
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_direct_edge_never_its_own_alternate(seed):
+    """Property: best_all never returns the direct edge as its own
+    alternate, even when the direct edge is the unconstrained shortest
+    path (the patched-CSR re-run path)."""
+    rng = np.random.default_rng(seed)
+    hosts = ["a", "b", "c", "d", "e", "f"]
+    weights = {}
+    for x in hosts:
+        for y in hosts:
+            if x == y or rng.random() < 0.2:
+                continue  # leave some pairs unmeasured
+            # Half the direct edges are far cheaper than any detour, so
+            # the unconstrained shortest path IS the direct edge and the
+            # finder must take the exclusion re-run.
+            lo, hi = (0.01, 0.1) if rng.random() < 0.5 else (50.0, 100.0)
+            weights[(x, y)] = float(rng.uniform(lo, hi))
+    g = _graph(Metric.RTT, hosts, weights)
+    alternates = AlternatePathFinder(g).best_all()
+    for pair, alt in alternates.items():
+        assert pair not in alt.hops
+        assert alt.hops[0][0] == pair[0]
+        assert alt.hops[-1][1] == pair[1]
+        assert len(alt.hops) >= 2
+        assert alt.value == pytest.approx(
+            sum(g.edge(h).value for h in alt.hops)
+        )
+
+
+def test_rerun_matches_dense_exclusion(mini_dataset):
+    """The patched-CSR exclusion re-run gives the same answers as naively
+    rebuilding the CSR from a dense matrix with the entry removed."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra
+
+    from repro.core.graph import build_graph
+
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    finder = AlternatePathFinder(g)
+    checked = 0
+    for pair in sorted(g.edges)[:10]:
+        i, j = g.host_index(pair[0]), g.host_index(pair[1])
+        fast = finder._csr_excluding(i, j)
+        dense = finder._weights.copy()
+        dense[i, j] = np.inf
+        finite = np.isfinite(dense)
+        rows, cols = np.nonzero(finite)
+        slow = csr_matrix((dense[rows, cols], (rows, cols)), shape=dense.shape)
+        np.testing.assert_allclose(
+            dijkstra(fast, directed=True, indices=i),
+            dijkstra(slow, directed=True, indices=i),
+        )
+        checked += 1
+    assert checked
+
+
+def test_exclusion_does_not_mutate_base(mini_dataset):
+    from repro.core.graph import build_graph
+
+    g = build_graph(mini_dataset, Metric.RTT, min_samples=5)
+    finder = AlternatePathFinder(g)
+    pair = sorted(g.edges)[0]
+    i, j = g.host_index(pair[0]), g.host_index(pair[1])
+    before = finder._csr().data.copy()
+    finder._csr_excluding(i, j)
+    np.testing.assert_array_equal(finder._csr().data, before)
+
+
 @given(seed=st.integers(min_value=0, max_value=500))
 @settings(max_examples=25, deadline=None)
 def test_random_graph_invariants(seed):

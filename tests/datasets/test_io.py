@@ -2,11 +2,20 @@
 
 import json
 import math
+import os
 
 import numpy as np
 import pytest
 
-from repro.datasets.io import DatasetIOError, load_dataset, save_dataset
+from repro.datasets import Dataset, DatasetMeta
+from repro.datasets.io import (
+    CacheLock,
+    CacheLockTimeout,
+    DatasetIOError,
+    load_dataset,
+    save_dataset,
+)
+from repro.datasets.records import TracerouteRecord
 
 
 def _assert_datasets_equal(a, b):
@@ -102,3 +111,149 @@ def test_blank_lines_tolerated(mini_dataset, tmp_path):
         fh.write("\n\n")
     loaded = load_dataset(path)
     assert len(loaded.records) == len(mini_dataset.records)
+
+
+def test_nan_samples_roundtrip(tmp_path):
+    """All-NaN and mixed-NaN probe vectors survive the JSON null mapping."""
+    ds = Dataset(
+        meta=DatasetMeta(
+            name="NAN", method="traceroute", year=1999,
+            duration_days=1, location="World",
+        ),
+        hosts=["a", "b"],
+        traceroutes=[
+            TracerouteRecord(t=0.0, src="a", dst="b",
+                             rtt_samples=(float("nan"),) * 3),
+            TracerouteRecord(t=1.0, src="a", dst="b",
+                             rtt_samples=(10.0, float("nan"), 12.5)),
+        ],
+    )
+    path = tmp_path / "nan.jsonl"
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    assert loaded.traceroutes[0].n_lost == 3
+    assert loaded.traceroutes[1].n_lost == 1
+    assert loaded.traceroutes[1].rtt_samples[0] == 10.0
+
+
+def test_truncated_file_rejected(mini_dataset, tmp_path):
+    """Dropping trailing record lines must not be silently accepted."""
+    path = tmp_path / "t.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    # Remove two records but keep the trailer: count mismatch.
+    path.write_text("\n".join(lines[:-3] + lines[-1:]) + "\n")
+    with pytest.raises(DatasetIOError, match="truncated"):
+        load_dataset(path)
+
+
+def test_missing_trailer_rejected(mini_dataset, tmp_path):
+    """A file cut off before the trailer (crash mid-write) is rejected."""
+    path = tmp_path / "m.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(DatasetIOError, match="trailer"):
+        load_dataset(path)
+
+
+def test_record_after_trailer_rejected(mini_dataset, tmp_path):
+    path = tmp_path / "a.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    lines.append(lines[1])  # replay a record after the trailer
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(DatasetIOError, match="after trailer"):
+        load_dataset(path)
+
+
+def test_stale_header_schema_rejected(mini_dataset, tmp_path):
+    """Unknown meta fields from another library version surface as
+    DatasetIOError (so cache readers rebuild) rather than TypeError."""
+    path = tmp_path / "schema.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["meta"]["exotic_future_field"] = 7
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(DatasetIOError, match="stale header"):
+        load_dataset(path)
+
+
+def test_stale_stats_schema_rejected(mini_dataset, tmp_path):
+    path = tmp_path / "stats.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["stats"]["renamed_counter"] = 1
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(DatasetIOError, match="stale header"):
+        load_dataset(path)
+
+
+def test_save_is_atomic_and_leaves_no_temp_files(mini_dataset, tmp_path):
+    path = tmp_path / "atomic.jsonl"
+    save_dataset(mini_dataset, path)
+    save_dataset(mini_dataset, path)  # overwrite in place
+    assert [p.name for p in tmp_path.iterdir()] == ["atomic.jsonl"]
+    load_dataset(path)  # still a complete, valid file
+
+
+def test_failed_save_preserves_existing_file(mini_dataset, tmp_path):
+    """A save that dies mid-write must leave the previous file intact."""
+    path = tmp_path / "keep.jsonl"
+    save_dataset(mini_dataset, path)
+    before = path.read_bytes()
+    bad = Dataset(
+        meta=DatasetMeta(
+            name="BAD", method="traceroute", year=1999,
+            duration_days=1, location="World",
+        ),
+        hosts=["a", "b"],
+        traceroutes=[
+            TracerouteRecord(t=0.0, src="a", dst=object(), rtt_samples=(1.0,))
+        ],
+    )
+    with pytest.raises(TypeError):
+        save_dataset(bad, path)  # object() is not JSON serializable
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["keep.jsonl"]
+
+
+# -- CacheLock ---------------------------------------------------------------
+
+
+def test_cache_lock_mutual_exclusion(tmp_path):
+    with CacheLock(tmp_path):
+        other = CacheLock(tmp_path, timeout_s=0.1, poll_interval_s=0.01)
+        with pytest.raises(CacheLockTimeout):
+            other.acquire()
+    # Released: acquirable again.
+    with CacheLock(tmp_path, timeout_s=0.1):
+        pass
+
+
+def test_cache_lock_breaks_dead_owner(tmp_path):
+    lock_file = tmp_path / ".build.lock"
+    lock_file.write_text(json.dumps({"pid": 2**22 + 12345, "t": 0}))
+    with CacheLock(tmp_path, timeout_s=1.0):
+        pass  # the dead owner's lock was stolen, not waited out
+
+
+def test_cache_lock_breaks_ancient_lock(tmp_path):
+    lock_file = tmp_path / ".build.lock"
+    lock_file.write_text("garbage not json")
+    old = 1_000_000_000
+    os.utime(lock_file, (old, old))
+    with CacheLock(tmp_path, timeout_s=1.0, stale_after_s=60.0):
+        pass
+
+
+def test_cache_lock_respects_live_owner(tmp_path):
+    lock_file = tmp_path / ".build.lock"
+    lock_file.write_text(json.dumps({"pid": os.getpid(), "t": 0}))
+    lock = CacheLock(tmp_path, timeout_s=0.1, poll_interval_s=0.01)
+    with pytest.raises(CacheLockTimeout):
+        lock.acquire()

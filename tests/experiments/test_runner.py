@@ -1,9 +1,18 @@
 """Tests for dataset provisioning and caching."""
 
+import json
+import os
+
 import pytest
 
-from repro.datasets import BuildConfig
-from repro.experiments.runner import cache_dir, get_dataset, get_datasets
+from repro.datasets import BuildConfig, BuildReport, table1_order
+from repro.experiments.runner import (
+    JOBS_ENV_VAR,
+    cache_dir,
+    get_dataset,
+    get_datasets,
+    resolve_jobs,
+)
 
 
 @pytest.fixture()
@@ -54,3 +63,148 @@ def test_cache_dir_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
     assert cache_dir() == tmp_path / "elsewhere"
     assert cache_dir().exists()
+
+
+def _suite_files(root):
+    return {p.name: p for p in root.rglob("*.jsonl")}
+
+
+def test_deleted_dataset_rebuilds_only_itself(tmp_path, monkeypatch, tiny_cfg):
+    """Invalidating one dataset must leave the other seven files untouched."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    first = get_datasets(tiny_cfg)
+    files = _suite_files(tmp_path / "cache")
+    mtimes = {name: p.stat().st_mtime_ns for name, p in files.items()}
+    files["UW3.jsonl"].unlink()
+    report = BuildReport()
+    rebuilt = get_datasets(tiny_cfg, report=report)
+    assert rebuilt["UW3"].n_measurements == first["UW3"].n_measurements
+    assert report.cache_misses == ["UW3"]
+    assert len(report.cache_hits) == 7
+    after = _suite_files(tmp_path / "cache")
+    assert set(after) == set(files)
+    for name, p in after.items():
+        if name == "UW3.jsonl":
+            continue
+        assert p.stat().st_mtime_ns == mtimes[name], f"{name} was rewritten"
+
+
+def test_truncated_cache_file_rebuilt(tmp_path, monkeypatch, tiny_cfg):
+    """A crash-truncated JSONL file is rejected and transparently rebuilt."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    first = get_datasets(tiny_cfg)
+    victim = _suite_files(tmp_path / "cache")["UW1.jsonl"]
+    lines = victim.read_text().splitlines()
+    victim.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+    report = BuildReport()
+    rebuilt = get_datasets(tiny_cfg, report=report)
+    assert "UW1" in report.cache_misses
+    assert rebuilt["UW1"].n_measurements == first["UW1"].n_measurements
+    # The repaired file round-trips cleanly now.
+    third = get_datasets(tiny_cfg, report=(rep3 := BuildReport()))
+    assert rep3.cache_misses == []
+    assert third["UW1"].n_measurements == first["UW1"].n_measurements
+
+
+def test_stale_schema_cache_rebuilt(tmp_path, monkeypatch, tiny_cfg):
+    """A cache written by another library version (drifted header schema)
+    triggers a rebuild instead of a TypeError crash."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg)
+    victim = _suite_files(tmp_path / "cache")["D2.jsonl"]
+    lines = victim.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["meta"]["field_from_the_future"] = True
+    lines[0] = json.dumps(header)
+    victim.write_text("\n".join(lines) + "\n")
+    report = BuildReport()
+    rebuilt = get_datasets(tiny_cfg, report=report)
+    assert "D2" in report.cache_misses
+    assert rebuilt["D2"].meta.name == "D2"
+
+
+def test_group_sibling_kept_from_cache(tmp_path, monkeypatch, tiny_cfg):
+    """Deleting D2.jsonl reruns the d2 group but must not rewrite the
+    still-valid D2-NA.jsonl sibling."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg)
+    files = _suite_files(tmp_path / "cache")
+    sibling_mtime = files["D2-NA.jsonl"].stat().st_mtime_ns
+    files["D2.jsonl"].unlink()
+    report = BuildReport()
+    get_datasets(tiny_cfg, report=report)
+    assert report.cache_misses == ["D2"]
+    assert files["D2-NA.jsonl"].stat().st_mtime_ns == sibling_mtime
+
+
+def test_parallel_build_is_deterministic_and_multiprocess(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    """A cold parallel build uses multiple worker processes and writes
+    bit-identical files to a serial build of the same config."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+    serial_report = BuildReport()
+    serial = get_datasets(tiny_cfg, jobs=1, report=serial_report)
+    assert serial_report.worker_pids() == {os.getpid()}
+    serial_files = _suite_files(tmp_path / "serial")
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+    parallel_report = BuildReport()
+    parallel = get_datasets(tiny_cfg, jobs=2, report=parallel_report)
+    pids = parallel_report.worker_pids()
+    assert len(pids) >= 2, f"expected multiple build workers, got {pids}"
+    assert os.getpid() not in pids
+    parallel_files = _suite_files(tmp_path / "parallel")
+
+    assert set(serial_files) == set(parallel_files)
+    for name in serial_files:
+        assert (
+            serial_files[name].read_bytes() == parallel_files[name].read_bytes()
+        ), f"{name} differs between serial and parallel builds"
+    for name in table1_order():
+        assert serial[name].hosts == parallel[name].hosts
+        assert serial[name].n_measurements == parallel[name].n_measurements
+
+
+def test_stale_lock_does_not_wedge_builds(tmp_path, monkeypatch, tiny_cfg):
+    """A lock file left by a crashed (dead-PID) build is broken, not
+    waited out."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    suite = tmp_path / "cache" / f"seed{tiny_cfg.seed}-scale{tiny_cfg.scale:g}"
+    suite.mkdir(parents=True)
+    (suite / ".build.lock").write_text(json.dumps({"pid": 2**22 + 54321, "t": 0}))
+    datasets = get_datasets(tiny_cfg)
+    assert len(datasets) == 8
+    assert not (suite / ".build.lock").exists()
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert resolve_jobs(4, 5) == 4
+    assert resolve_jobs(16, 5) == 5      # clamped to the task count
+    assert resolve_jobs(0, 5) == 1       # floor of one worker
+    assert resolve_jobs(None, 0) == 1
+    monkeypatch.setenv(JOBS_ENV_VAR, "3")
+    assert resolve_jobs(None, 5) == 3
+    assert resolve_jobs(2, 5) == 2       # explicit argument wins
+    monkeypatch.setenv(JOBS_ENV_VAR, "not-a-number")
+    with pytest.raises(ValueError):
+        resolve_jobs(None, 5)
+
+
+def test_report_phases_and_summary(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    cold = BuildReport()
+    get_datasets(tiny_cfg, report=cold)
+    assert cold.n_cache_misses == 8
+    assert cold.phase_seconds("build") > 0
+    assert cold.phase_seconds("save") > 0
+    warm = BuildReport()
+    get_datasets(tiny_cfg, report=warm)
+    assert warm.n_cache_hits == 8
+    assert warm.n_cache_misses == 0
+    assert warm.phase_seconds("load") > 0
+    assert warm.phase_seconds("build") == 0
+    summary = warm.summary()
+    assert "8 cache hit(s)" in summary
+    assert "load" in summary

@@ -79,6 +79,19 @@ def test_reproduce_subcommand(tmp_path, monkeypatch, capsys):
     assert "table1" in capsys.readouterr().out
 
 
+def test_suite_subcommand(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(["suite", "--scale", "0.02", "--seed", "55", "--jobs", "1"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "dataset provisioning" in text
+    assert "UW3" in text
+    # Second invocation is served from cache.
+    rc = main(["suite", "--scale", "0.02", "--seed", "55"])
+    assert rc == 0
+    assert "8 cache hit(s)" in capsys.readouterr().out
+
+
 def test_summarize_subcommand(tmp_path, capsys):
     out = tmp_path / "s.jsonl"
     assert main(
