@@ -8,7 +8,6 @@ noise), one-hop relayed paths must essentially never beat optimal routes
 routing a large fraction of pairs are improvable.
 """
 
-import itertools
 
 import numpy as np
 from conftest import run_once

@@ -7,6 +7,7 @@ Subcommands::
     repro analyze uw3.jsonl --metric rtt          # alternate-path analysis
     repro suite --scale 1.0 --jobs 4              # (re)build the suite cache
     repro reproduce --scale 1.0 --markdown report.md
+    repro check --strict                          # determinism static analysis
 
 ``analyze`` works on any dataset written by ``build`` (or by
 :func:`repro.datasets.save_dataset`), prints the headline statistics, and
@@ -41,7 +42,7 @@ def _cmd_traceroute(args: argparse.Namespace) -> int:
 
     tool = TracerouteTool(topo, conditions)
     plan = AddressPlan(topo)
-    rng = np.random.default_rng(args.seed + 3)
+    rng = np.random.default_rng((args.seed, 3))
     result = tool.trace(
         resolver.resolve_round_trip(src, dst),
         t=args.day * SECONDS_PER_DAY + args.hour * 3600.0,
@@ -188,6 +189,12 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.quality.cli import run
+
+    return run(args)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import main as reproduce_main
 
@@ -287,6 +294,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg-dir", default=None)
     p.add_argument("--only", default=None)
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "check",
+        help="determinism-and-invariant static analysis (see docs/STATIC_ANALYSIS.md)",
+    )
+    from repro.quality.cli import configure_parser as _configure_check_parser
+
+    _configure_check_parser(p)
+    p.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.analysis import AnalysisResult
-from repro.core.graph import Metric, MetricGraph, Pair, build_graph
+from repro.core.graph import Metric, Pair
 from repro.core.stats import compose_loss
 from repro.datasets.dataset import Dataset
 

@@ -14,11 +14,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.altpath import best_one_hop_alternates
-from repro.core.graph import EdgeData, Metric, MetricGraph, Pair, build_graph
+from repro.core.graph import EdgeData, Metric, MetricGraph, build_graph
 from repro.core.stats import (
     CDFSeries,
     DelayDistribution,
-    SampleStats,
     make_cdf,
     median_of_composed,
 )

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.graph import Metric, MetricGraph, Pair, build_graph
+from repro.core.graph import Metric, MetricGraph, build_graph
 from repro.datasets.dataset import Dataset
 
 

@@ -36,7 +36,6 @@ they are what the figures are computed from.  See EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field, replace
 

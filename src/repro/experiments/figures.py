@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.analysis import AnalysisResult, analyze, analyze_bandwidth
+from repro.core.analysis import analyze, analyze_bandwidth
 from repro.core.ases import as_popularity, popularity_correlation
 from repro.core.bandwidth import LossComposition
 from repro.core.episodes import analyze_episodes

@@ -34,7 +34,10 @@ def cdf_summary_row(series: CDFSeries, *, unit: str = "") -> list[object]:
     """Summary statistics of one CDF curve: key quantiles and the
     fraction of mass above zero (the paper's 'alternate superior' share)."""
     x = series.x
-    fmt = lambda v: f"{v:.1f}{unit}"
+
+    def fmt(v: float) -> str:
+        return f"{v:.1f}{unit}"
+
     return [
         series.label,
         len(x),

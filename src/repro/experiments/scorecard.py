@@ -198,7 +198,10 @@ def grade(artifacts: dict[str, Artifact]) -> list[CheckResult]:
             continue
         try:
             results.append(check(artifact))
-        except Exception as exc:  # a malformed artifact is a failure, not a crash
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+            # A malformed artifact (missing series, absent data keys, wrong
+            # shapes) is a failed check, not a crash; anything else is a bug
+            # and must propagate.
             results.append(CheckResult(name, False, f"check error: {exc}"))
     return results
 

@@ -10,7 +10,7 @@ the paper's *oracle* gain survives estimation lag.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 Pair = tuple[str, str]
 

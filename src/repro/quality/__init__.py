@@ -1,0 +1,36 @@
+"""repro.quality: determinism-and-invariant static analysis.
+
+An AST-based checker that enforces the coding discipline the repo's
+bit-identity promise rests on: derived ``default_rng((seed, tag))``
+streams, no wall-clock or set-ordering leakage into results, fail-loud
+exception handling.  See docs/STATIC_ANALYSIS.md for the rule catalog.
+
+Run it as ``repro check`` or ``python -m repro.quality``.
+"""
+
+from repro.quality.baseline import Baseline, BaselineEntry
+from repro.quality.engine import (
+    CheckResult,
+    analyze_source,
+    find_root,
+    run_check,
+)
+from repro.quality.findings import Finding, Severity
+from repro.quality.reporters import render_json, render_text
+from repro.quality.rules import RULES, RULESET_VERSION, Rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CheckResult",
+    "Finding",
+    "RULES",
+    "RULESET_VERSION",
+    "Rule",
+    "Severity",
+    "analyze_source",
+    "find_root",
+    "render_json",
+    "render_text",
+    "run_check",
+]

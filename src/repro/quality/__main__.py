@@ -1,0 +1,8 @@
+"""``python -m repro.quality`` entry point."""
+
+import sys
+
+from repro.quality.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

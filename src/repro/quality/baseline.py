@@ -1,0 +1,124 @@
+"""The committed findings baseline.
+
+A baseline entry grandfathers one existing finding (matched by
+fingerprint) with a recorded reason, so ``repro check`` can gate on *new*
+findings while legacy ones are burned down deliberately.  Entries whose
+finding has disappeared are *stale*: they are reported so the baseline
+shrinks monotonically, and ``--update-baseline`` expires them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.quality.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Reason recorded for entries added by --update-baseline without an
+#: explicit reason edit.
+DEFAULT_REASON = "grandfathered by --update-baseline; burn down or justify"
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or schema-incompatible baseline files."""
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+        }
+
+
+@dataclass(slots=True)
+class Baseline:
+    """An ordered set of grandfathered findings."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_SCHEMA_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported schema "
+                f"{data.get('version') if isinstance(data, dict) else data!r}"
+            )
+        baseline = cls()
+        for raw in data.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=raw["fingerprint"],
+                rule=raw["rule"],
+                path=raw["path"],
+                reason=raw.get("reason", ""),
+            )
+            baseline.entries[entry.fingerprint] = entry
+        return baseline
+
+    def save(self, path: Path) -> None:
+        ordered = sorted(
+            self.entries.values(), key=lambda e: (e.path, e.rule, e.fingerprint)
+        )
+        payload = {
+            "version": BASELINE_SCHEMA_VERSION,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        tmp.replace(path)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined) and list stale entries."""
+        seen: set[str] = set()
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                seen.add(finding.fingerprint)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in self.entries.items()
+            if fingerprint not in seen
+        ]
+        stale.sort(key=lambda e: (e.path, e.rule, e.fingerprint))
+        return new, baselined, stale
+
+    def updated(self, findings: list[Finding]) -> "Baseline":
+        """The baseline after --update-baseline: current findings only.
+
+        Existing reasons survive; new entries get :data:`DEFAULT_REASON`;
+        stale entries expire.
+        """
+        fresh = Baseline()
+        for finding in findings:
+            existing = self.entries.get(finding.fingerprint)
+            fresh.entries[finding.fingerprint] = BaselineEntry(
+                fingerprint=finding.fingerprint,
+                rule=finding.rule,
+                path=finding.path,
+                reason=existing.reason if existing else DEFAULT_REASON,
+            )
+        return fresh

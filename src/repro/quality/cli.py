@@ -1,0 +1,136 @@
+"""CLI for the quality engine.
+
+Two equivalent front doors::
+
+    repro check [paths...] [--strict] [--format json] ...
+    PYTHONPATH=src python -m repro.quality [paths...] ...
+
+Exit codes: 0 clean, 1 gated findings (new errors; plus warnings and
+stale baseline entries under ``--strict``), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.quality.baseline import Baseline, BaselineError
+from repro.quality.engine import (
+    DEFAULT_BASELINE,
+    DEFAULT_CACHE,
+    find_root,
+    run_check,
+)
+from repro.quality.reporters import render_json, render_rules, render_text
+
+#: Paths checked when none are given (relative to the analysis root).
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the check options (shared by `repro check` and __main__)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files or directories to check (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="analysis root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on warnings and stale baseline entries",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the per-file result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        help=f"cache file (default: <root>/{DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a configured check (shared by `repro check` and __main__)."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    root = Path(args.root).resolve() if args.root else find_root()
+    baseline_path = (
+        Path(args.baseline).resolve() if args.baseline else root / DEFAULT_BASELINE
+    )
+    cache_path = (
+        Path(args.cache_file).resolve() if args.cache_file else root / DEFAULT_CACHE
+    )
+    paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+    try:
+        result = run_check(
+            paths,
+            root=root,
+            baseline_path=baseline_path,
+            cache_path=cache_path,
+            use_cache=not args.no_cache,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    except BaselineError as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baseline:
+        baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+        all_findings = result.new_findings + result.baselined_findings
+        baseline.updated(all_findings).save(baseline_path)
+        print(
+            f"baseline updated: {len(all_findings)} entr(ies), "
+            f"{len(result.stale_baseline)} expired -> {baseline_path}"
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(render_json(result, strict=args.strict), indent=2))
+    else:
+        print(render_text(result, strict=args.strict))
+    return result.exit_code(strict=args.strict)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.quality",
+        description="Determinism-and-invariant static analysis for the repro tree",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

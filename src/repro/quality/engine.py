@@ -1,0 +1,228 @@
+"""The analysis engine: file discovery, caching, suppressions, gating.
+
+The engine parses each file once, runs every in-scope rule, drops
+findings suppressed by an inline ``# repro: ignore[RULE]`` comment, and
+partitions the rest against the committed baseline.  Per-file results are
+cached keyed by content hash (plus the ruleset version), so a repeat run
+over an unchanged tree re-analyzes nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.quality.baseline import Baseline, BaselineEntry
+from repro.quality.findings import Finding, Severity, assign_fingerprints
+from repro.quality.rules import RULES, RULESET_VERSION, FileContext, Rule
+
+#: Rule id reserved for unparseable files (always an error, never cached
+#: away by suppressions since the suppression itself can't be parsed).
+PARSE_ERROR_RULE = "E000"
+
+#: Default baseline location, relative to the analysis root.
+DEFAULT_BASELINE = "quality-baseline.json"
+
+#: Default cache location, relative to the analysis root (gitignored).
+DEFAULT_CACHE = ".repro-quality-cache.json"
+
+#: Directories never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def find_root(start: Path | None = None) -> Path:
+    """The analysis root: nearest ancestor with a pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def iter_python_files(root: Path, paths: list[str]) -> list[Path]:
+    """Every .py file under the given paths (resolved against root)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                parts = set(sub.relative_to(path).parts)
+                if parts & _SKIP_DIRS or any(
+                    p.endswith(".egg-info") for p in sub.parts
+                ):
+                    continue
+                files.append(sub)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    # De-duplicate while preserving deterministic sorted order.
+    unique = sorted(set(files))
+    return unique
+
+
+def suppressed_rules(line: str) -> set[str] | None:
+    """Rules suppressed by the line's comment.
+
+    Returns None for no suppression, an empty set for a blanket
+    ``# repro: ignore``, or the set of rule ids inside the brackets.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
+def analyze_source(
+    source: str, relpath: str, rules: list[Rule] | None = None
+) -> list[Finding]:
+    """Run every in-scope rule over one file's source text."""
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    ctx = FileContext.build(relpath, tree, lines)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else RULES.values():
+        if rule.applies(relpath):
+            findings.extend(rule.check(ctx))
+    kept: list[Finding] = []
+    for finding in findings:
+        suppressed = suppressed_rules(ctx.source_line(finding.line))
+        if suppressed is not None and (not suppressed or finding.rule in suppressed):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    assign_fingerprints(kept)
+    return kept
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Everything one engine run learned."""
+
+    root: Path
+    files_checked: int = 0
+    cache_hits: int = 0
+    new_findings: list[Finding] = field(default_factory=list)
+    baselined_findings: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def new_errors(self) -> list[Finding]:
+        return [f for f in self.new_findings if f.severity is Severity.ERROR]
+
+    @property
+    def new_warnings(self) -> list[Finding]:
+        return [f for f in self.new_findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 = clean; 1 = findings gate the run."""
+        if self.new_errors:
+            return 1
+        if strict and (self.new_warnings or self.stale_baseline):
+            return 1
+        return 0
+
+
+class ResultCache:
+    """Per-file findings cache keyed by content hash and ruleset version."""
+
+    def __init__(self, path: Path | None):
+        self.path = path
+        self._files: dict[str, dict] = {}
+        self._dirty = False
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}
+            if (
+                isinstance(data, dict)
+                and data.get("ruleset") == RULESET_VERSION
+                and isinstance(data.get("files"), dict)
+            ):
+                self._files = data["files"]
+
+    def get(self, relpath: str, digest: str) -> list[Finding] | None:
+        entry = self._files.get(relpath)
+        if entry is None or entry.get("hash") != digest:
+            return None
+        return [Finding.from_dict(raw) for raw in entry.get("findings", [])]
+
+    def put(self, relpath: str, digest: str, findings: list[Finding]) -> None:
+        self._files[relpath] = {
+            "hash": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        payload = {"ruleset": RULESET_VERSION, "files": self._files}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)
+
+
+def run_check(
+    paths: list[str],
+    root: Path | None = None,
+    baseline_path: Path | None = None,
+    cache_path: Path | None = None,
+    use_cache: bool = True,
+) -> CheckResult:
+    """Analyze the given paths and gate them against the baseline."""
+    root = (root or find_root()).resolve()
+    result = CheckResult(root=root)
+    cache = ResultCache(
+        (cache_path or root / DEFAULT_CACHE) if use_cache else None
+    )
+    all_findings: list[Finding] = []
+    for path in iter_python_files(root, paths):
+        try:
+            relpath = path.resolve().relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        findings = cache.get(relpath, digest)
+        if findings is None:
+            findings = analyze_source(source, relpath)
+            cache.put(relpath, digest, findings)
+        else:
+            result.cache_hits += 1
+        all_findings.extend(findings)
+        result.files_checked += 1
+    cache.save()
+    baseline = Baseline.load(baseline_path or root / DEFAULT_BASELINE)
+    new, baselined, stale = baseline.partition(all_findings)
+    result.new_findings = new
+    result.baselined_findings = baselined
+    result.stale_baseline = stale
+    return result

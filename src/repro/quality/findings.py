@@ -1,0 +1,84 @@
+"""Finding primitives shared by the quality-engine rules and reporters.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* identifies the violation stably across unrelated edits: it
+hashes the rule id, the file path, the stripped source line, and an
+occurrence index (so two identical lines in one file get distinct
+fingerprints) -- but **not** the line number, which drifts whenever code
+above the finding moves.  Baseline entries match on fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How a finding gates the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings fail only under
+    ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str  # POSIX-style path relative to the analysis root
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+    snippet: str = ""
+    fingerprint: str = field(default="")
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            snippet=data.get("snippet", ""),
+            fingerprint=data.get("fingerprint", ""),
+        )
+
+
+def assign_fingerprints(findings: list[Finding]) -> None:
+    """Fill in stable fingerprints for a batch of findings (in place).
+
+    Findings are grouped by ``(rule, path, stripped snippet)``; within a
+    group the occurrence index follows source order, so the fingerprint
+    survives line-number drift but distinguishes repeated identical lines.
+    """
+    groups: dict[tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        key = (finding.rule, finding.path, finding.snippet.strip())
+        index = groups.get(key, 0)
+        groups[key] = index + 1
+        payload = "|".join((finding.rule, finding.path, finding.snippet.strip(), str(index)))
+        finding.fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

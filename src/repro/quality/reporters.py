@@ -1,0 +1,84 @@
+"""Text and JSON renderings of a :class:`~repro.quality.engine.CheckResult`."""
+
+from __future__ import annotations
+
+from repro.quality.engine import CheckResult
+from repro.quality.rules import RULES, RULESET_VERSION
+
+#: Schema version of the JSON report (bump on breaking shape changes).
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: CheckResult, strict: bool = False) -> str:
+    """Human-oriented report, grouped by file."""
+    lines: list[str] = []
+    by_path: dict[str, list] = {}
+    for finding in result.new_findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        lines.append(path)
+        for f in sorted(by_path[path], key=lambda f: (f.line, f.col, f.rule)):
+            lines.append(
+                f"  {f.line}:{f.col + 1}  {f.severity.value:<7} "
+                f"{f.rule} [{RULES[f.rule].name if f.rule in RULES else 'parse'}]  "
+                f"{f.message}"
+            )
+        lines.append("")
+    if result.stale_baseline:
+        lines.append("stale baseline entries (finding no longer present):")
+        for entry in result.stale_baseline:
+            lines.append(
+                f"  {entry.fingerprint}  {entry.rule}  {entry.path}  -- {entry.reason}"
+            )
+        lines.append("  run with --update-baseline to expire them")
+        lines.append("")
+    summary = (
+        f"{result.files_checked} file(s) checked "
+        f"({result.cache_hits} cached), "
+        f"{len(result.new_errors)} error(s), "
+        f"{len(result.new_warnings)} warning(s), "
+        f"{len(result.baselined_findings)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entr(ies)"
+    )
+    lines.append(summary)
+    verdict = "FAIL" if result.exit_code(strict=strict) else "OK"
+    lines.append(f"repro check: {verdict}")
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult, strict: bool = False) -> dict:
+    """Machine-oriented report with a stable schema."""
+    findings = [
+        {**f.to_dict(), "baselined": False} for f in result.new_findings
+    ] + [{**f.to_dict(), "baselined": True} for f in result.baselined_findings]
+    findings.sort(key=lambda f: (f["path"], f["line"], f["col"], f["rule"]))
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "ruleset_version": RULESET_VERSION,
+        "root": str(result.root),
+        "strict": strict,
+        "exit_code": result.exit_code(strict=strict),
+        "summary": {
+            "files_checked": result.files_checked,
+            "cache_hits": result.cache_hits,
+            "new_errors": len(result.new_errors),
+            "new_warnings": len(result.new_warnings),
+            "baselined": len(result.baselined_findings),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "findings": findings,
+        "stale_baseline": [entry.to_dict() for entry in result.stale_baseline],
+    }
+
+
+def render_rules() -> str:
+    """The --list-rules table."""
+    lines = [f"ruleset {RULESET_VERSION}", ""]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        scope = ", ".join(rule.scopes) if rule.scopes else "all checked files"
+        lines.append(f"{rule.id}  {rule.name}  ({rule.severity.value}; {scope})")
+        lines.append(f"    {rule.description}")
+        lines.append(f"    protects: {rule.protects}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

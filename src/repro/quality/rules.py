@@ -1,0 +1,686 @@
+"""The determinism-and-invariant rule set.
+
+Every rule is an AST check registered in :data:`RULES`.  Rules are
+deliberately project-specific: they encode the coding discipline that the
+bit-identity promise of the simulation substrate rests on (derived
+``np.random.default_rng((seed, tag))`` streams, no wall-clock or
+set-ordering leakage into results) rather than general style.
+
+Rules receive a :class:`FileContext` -- the parsed tree plus an import
+alias map -- and return :class:`~repro.quality.findings.Finding` lists.
+A rule only runs on files matching its ``scopes`` path prefixes (empty
+scopes = every file).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.quality.findings import Finding, Severity
+
+#: Bumped whenever a rule's behavior changes, to invalidate result caches.
+RULESET_VERSION = "2026.08.1"
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    relpath: str  # POSIX path relative to the analysis root
+    tree: ast.AST
+    lines: list[str]
+    #: ``import numpy as np`` -> {"np": "numpy"}
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: ``from numpy.random import default_rng as rng`` ->
+    #: {"rng": "numpy.random.default_rng"}
+    imported_names: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, relpath: str, tree: ast.AST, lines: list[str]) -> "FileContext":
+        ctx = cls(relpath=relpath, tree=tree, lines=lines)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    ctx.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    ctx.imported_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return ctx
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted module path.
+
+        ``np.random.seed`` (with ``import numpy as np``) resolves to
+        ``"numpy.random.seed"``; unresolvable chains return ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.imported_names:
+            parts.append(self.imported_names[root])
+        elif root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        else:
+            parts.append(root)
+        return ".".join(reversed(parts))
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class: subclass, fill the class attributes, implement check()."""
+
+    id: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: The determinism/invariant contract the rule protects (shown by
+    #: ``--list-rules`` and quoted in docs/STATIC_ANALYSIS.md).
+    protects: str = ""
+    #: Path prefixes (relative to the analysis root) the rule applies to;
+    #: empty tuple means every checked file.
+    scopes: tuple[str, ...] = ()
+
+    def applies(self, relpath: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(relpath.startswith(scope) for scope in self.scopes)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=ctx.relpath,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=ctx.source_line(lineno).strip(),
+        )
+
+
+#: Registry: rule id -> rule instance, populated by @register.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def _mentions_seed(node: ast.expr) -> bool:
+    """True if any Name/Attribute inside ``node`` mentions a seed."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+            return True
+    return False
+
+
+_NUMPY_RNG_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+
+@register
+class NumpyGlobalRngRule(Rule):
+    id = "RNG001"
+    name = "numpy-global-rng"
+    severity = Severity.ERROR
+    description = (
+        "np.random.seed() and module-level numpy draws (np.random.rand, "
+        "np.random.choice, ...) use the hidden global BitGenerator."
+    )
+    protects = (
+        "Bit-identity across serial/parallel runs: the global numpy stream "
+        "is shared mutable state whose draw order depends on execution "
+        "order; every stream must be an explicit Generator instance."
+    )
+    scopes = ()  # everywhere, tests included
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = ctx.resolve(node.func)
+                if (
+                    dotted
+                    and dotted.startswith("numpy.random.")
+                    and dotted.rsplit(".", 1)[1] not in _NUMPY_RNG_CONSTRUCTORS
+                ):
+                    what = dotted.replace("numpy.", "np.")
+                    if dotted == "numpy.random.seed":
+                        msg = (
+                            f"{what}() mutates the process-global RNG; derive a "
+                            "stream with np.random.default_rng((seed, tag)) instead"
+                        )
+                    else:
+                        msg = (
+                            f"{what}() draws from the process-global RNG; use an "
+                            "explicit Generator derived from the run seed"
+                        )
+                    findings.append(self.finding(ctx, node, msg))
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "numpy.random"
+                and not node.level
+            ):
+                for alias in node.names:
+                    if alias.name not in _NUMPY_RNG_CONSTRUCTORS:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"importing {alias.name!r} from numpy.random pulls "
+                                "in the global-stream API; import a Generator "
+                                "constructor instead",
+                            )
+                        )
+        return findings
+
+
+@register
+class StdlibRandomRule(Rule):
+    id = "RNG002"
+    name = "stdlib-random"
+    severity = Severity.ERROR
+    description = (
+        "Module-level stdlib random draws (random.random, random.choice, "
+        "random.seed, ...) and unseeded random.Random() instances."
+    )
+    protects = (
+        "No hidden global entropy: simulation code may only construct "
+        "random.Random(seed_expr) instances whose seed expression visibly "
+        "derives from a configured seed."
+    )
+    scopes = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = ctx.resolve(node.func)
+                if dotted == "random.Random":
+                    if not node.args and not node.keywords:
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "random.Random() without a seed is entropy-seeded; "
+                                "pass an expression derived from the run seed",
+                            )
+                        )
+                    elif not any(_mentions_seed(arg) for arg in node.args) and not any(
+                        arg.value is not None and _mentions_seed(arg.value)
+                        for arg in node.keywords
+                    ):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                "random.Random(...) seed expression does not "
+                                "reference a seed name; derive it from the "
+                                "configured run seed",
+                            )
+                        )
+                elif dotted and dotted.startswith("random.") and dotted.count(".") == 1:
+                    func = dotted.split(".", 1)[1]
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"random.{func}() uses the interpreter-global stdlib "
+                            "RNG; use a seeded random.Random instance",
+                        )
+                    )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "random"
+                and not node.level
+            ):
+                for alias in node.names:
+                    if alias.name != "Random":
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"importing {alias.name!r} from random exposes the "
+                                "interpreter-global stream; import Random and seed "
+                                "it explicitly",
+                            )
+                        )
+        return findings
+
+
+@register
+class DerivedDefaultRngRule(Rule):
+    id = "RNG003"
+    name = "derived-default-rng"
+    severity = Severity.ERROR
+    description = (
+        "Every np.random.default_rng(...) call in src/repro must seed from "
+        "a tuple containing a seed-named value, e.g. default_rng((seed, 0xC0FFEE))."
+    )
+    protects = (
+        "Independent, collision-free streams: tuple seeds (seed, tag, ...) "
+        "feed SeedSequence so per-subsystem streams never alias, and every "
+        "stream is traceable to the run seed."
+    )
+    scopes = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve(node.func) != "numpy.random.default_rng":
+                continue
+            if not node.args:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "default_rng() without a seed is entropy-seeded and "
+                        "non-reproducible; seed with (seed, tag)",
+                    )
+                )
+            elif not isinstance(node.args[0], ast.Tuple):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "default_rng seed must be a tuple literal containing the "
+                        "run seed, e.g. default_rng((seed, 0xTAG)) -- scalar "
+                        "seed arithmetic risks stream collisions",
+                    )
+                )
+            elif not _mentions_seed(node.args[0]):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "default_rng seed tuple does not reference a seed name; "
+                        "derive it from the configured run seed",
+                    )
+                )
+        return findings
+
+
+#: Clock-reading callables flagged by TIME001 (resolved dotted names).
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules allowed to read clocks, with the justification recorded here so
+#: the allowlist is itself reviewable.  Everything else in src/repro must
+#: take time from the simulation clock or as an explicit parameter.
+WALL_CLOCK_ALLOWLIST: dict[str, str] = {
+    "src/repro/datasets/io.py": (
+        "cache-lock staleness and ownership timestamps are operational "
+        "metadata, never dataset content"
+    ),
+    "src/repro/datasets/instrumentation.py": (
+        "build-phase duration instrumentation (BuildReport) is reporting "
+        "output, never dataset content"
+    ),
+    "src/repro/experiments/runner.py": (
+        "cache/build wall-time accounting feeds BuildReport timing lines "
+        "only"
+    ),
+    "src/repro/experiments/reproduce.py": (
+        "per-section progress timing printed to the console only"
+    ),
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "TIME001"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = (
+        "time.time()/time.monotonic()/datetime.now() and friends outside "
+        "the io/instrumentation module allowlist."
+    )
+    protects = (
+        "Run-to-run identity: results may depend only on (seed, scale), "
+        "never on when the run happened; simulation time comes from "
+        "repro.netsim.clock."
+    )
+    scopes = ("src/repro/",)
+
+    def applies(self, relpath: str) -> bool:
+        if relpath in WALL_CLOCK_ALLOWLIST:
+            return False
+        return super().applies(relpath)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.resolve(node.func)
+            if dotted in _CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() reads the wall clock; results must depend "
+                        "only on (seed, scale) -- take time as a parameter or "
+                        "add this module to WALL_CLOCK_ALLOWLIST with a reason",
+                    )
+                )
+        return findings
+
+
+def _is_set_expr(node: ast.expr, ctx: FileContext) -> bool:
+    """Syntactic set-typed expression detection (no dataflow)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = ctx.resolve(node.func)
+        if dotted in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        }:
+            return _is_set_expr(node.func.value, ctx)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left, ctx) or _is_set_expr(node.right, ctx)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "ORD001"
+    name = "unordered-iteration"
+    severity = Severity.ERROR
+    description = (
+        "A set expression consumed directly by list()/tuple()/enumerate()/"
+        "str.join()/a list comprehension without sorted() in between."
+    )
+    protects = (
+        "Stable result ordering: set iteration order varies with insertion "
+        "history and PYTHONHASHSEED, so any ordered structure built from a "
+        "set must go through sorted()."
+    )
+    scopes = (
+        "src/repro/core/",
+        "src/repro/routing/",
+        "src/repro/topology/",
+        "src/repro/datasets/",
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            consumed: ast.expr | None = None
+            how = ""
+            if isinstance(node, ast.Call):
+                dotted = ctx.resolve(node.func)
+                if dotted in {"list", "tuple", "enumerate"} and node.args:
+                    consumed, how = node.args[0], f"{dotted}()"
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                ):
+                    consumed, how = node.args[0], "str.join()"
+            elif isinstance(node, ast.ListComp):
+                consumed, how = node.generators[0].iter, "a list comprehension"
+            if consumed is not None and _is_set_expr(consumed, ctx):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"set iteration order leaks into {how}; wrap the set in "
+                        "sorted(...) before building ordered output",
+                    )
+                )
+        return findings
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "NUM001"
+    name = "float-equality"
+    severity = Severity.ERROR
+    description = (
+        "== / != against a nonzero float literal in numeric analysis code."
+    )
+    protects = (
+        "Numeric robustness: round-tripped floats rarely compare equal to "
+        "decimal literals; use math.isclose / np.isclose or an explicit "
+        "tolerance.  Exact comparison against 0.0 (a degenerate-case guard) "
+        "is IEEE-exact and allowed."
+    )
+    scopes = (
+        "src/repro/core/",
+        "src/repro/netsim/",
+        "src/repro/measurement/",
+        "src/repro/routing/",
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if (
+                        isinstance(side, ast.Constant)
+                        and isinstance(side.value, float)
+                        and side.value != 0.0
+                    ):
+                        findings.append(
+                            self.finding(
+                                ctx,
+                                node,
+                                f"float equality against {side.value!r}; use "
+                                "math.isclose()/np.isclose() or an explicit "
+                                "tolerance",
+                            )
+                        )
+                        break
+        return findings
+
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "collections.defaultdict"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "DEF001"
+    name = "mutable-default-arg"
+    severity = Severity.ERROR
+    description = "A list/dict/set literal or constructor as a default argument."
+    protects = (
+        "Call-order independence: a mutable default is shared across calls, "
+        "so results come to depend on how many times (and in what order) a "
+        "function ran."
+    )
+    scopes = ()
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                bad = isinstance(
+                    default,
+                    (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+                ) or (
+                    isinstance(default, ast.Call)
+                    and ctx.resolve(default.func) in _MUTABLE_CALLS
+                )
+                if bad:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            default,
+                            "mutable default argument is shared across calls; "
+                            "default to None and construct inside the function",
+                        )
+                    )
+        return findings
+
+
+@register
+class OverbroadExceptRule(Rule):
+    id = "EXC001"
+    name = "overbroad-except"
+    severity = Severity.ERROR
+    description = (
+        "bare except / except Exception / except BaseException without a "
+        "'# justified: <why>' comment on the except line."
+    )
+    protects = (
+        "Fail-loud invariants: a blanket handler silently converts "
+        "determinism bugs (and every other bug) into wrong-but-plausible "
+        "results; catch the concrete exceptions the block can raise, as "
+        "experiments/scorecard.py does."
+    )
+    scopes = ("src/repro/",)
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type, ctx)
+            if broad is None:
+                continue
+            if "# justified:" in ctx.source_line(node.lineno):
+                continue
+            label = "bare except" if broad == "" else f"except {broad}"
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"{label} swallows unrelated failures; catch the concrete "
+                    "exceptions this block can raise, or append "
+                    "'# justified: <why>'",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _broad_name(type_node: ast.expr | None, ctx: FileContext) -> str | None:
+        """Return the broad exception's name, '' for bare except, else None."""
+        if type_node is None:
+            return ""
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        for cand in candidates:
+            if ctx.resolve(cand) in {"Exception", "BaseException"}:
+                return ctx.resolve(cand)
+        return None
+
+
+@register
+class SaltedHashRule(Rule):
+    id = "HASH001"
+    name = "salted-builtin-hash"
+    severity = Severity.ERROR
+    description = (
+        "builtin hash() outside a __hash__ method in result-producing code."
+    )
+    protects = (
+        "Cross-process identity: str/bytes hash() is salted per process "
+        "(PYTHONHASHSEED), so hash-derived keys or ordering differ between "
+        "runs and between pool workers; use hashlib for content keys."
+    )
+    scopes = (
+        "src/repro/core/",
+        "src/repro/routing/",
+        "src/repro/topology/",
+        "src/repro/datasets/",
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        self._visit(ctx.tree, ctx, findings, inside_hash_method=False)
+        return findings
+
+    def _visit(
+        self,
+        node: ast.AST,
+        ctx: FileContext,
+        findings: list[Finding],
+        inside_hash_method: bool,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inside_hash_method = node.name == "__hash__"
+        elif (
+            isinstance(node, ast.Call)
+            and ctx.resolve(node.func) == "hash"
+            and not inside_hash_method
+        ):
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    "builtin hash() is salted per process for str/bytes; use "
+                    "hashlib (content hashing) or a __hash__-based container",
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, ctx, findings, inside_hash_method)

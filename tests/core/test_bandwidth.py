@@ -9,7 +9,7 @@ from repro.core.bandwidth import (
     best_bandwidth_alternates,
     compose_bandwidth,
 )
-from repro.core.graph import GraphError, Metric, MetricGraph, build_graph
+from repro.core.graph import GraphError, Metric, build_graph
 from repro.measurement.tcp import mathis_bandwidth_kbps
 
 losses = st.floats(min_value=0.0, max_value=0.5)

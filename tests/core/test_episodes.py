@@ -15,7 +15,6 @@ def test_episode_analysis_structure(episode_dataset):
     analysis = analyze_episodes(episode_dataset)
     assert analysis.episodes_analyzed > 0
     assert analysis.diffs
-    n_hosts = len(episode_dataset.hosts)
     for pair, obs in analysis.diffs.items():
         assert pair[0] != pair[1]
         assert pair[0] in episode_dataset.hosts

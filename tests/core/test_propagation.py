@@ -1,6 +1,5 @@
 """Tests for the congestion-vs-propagation decomposition (Figures 15/16)."""
 
-import numpy as np
 import pytest
 
 from repro.core.analysis import analyze

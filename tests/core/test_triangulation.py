@@ -1,6 +1,5 @@
 """Tests for host-distance triangulation."""
 
-import numpy as np
 import pytest
 
 from repro.core.graph import EdgeData, Metric, MetricGraph, build_graph

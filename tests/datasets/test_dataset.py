@@ -1,6 +1,5 @@
 """Tests for the Dataset container and its corrections."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for measurement record types."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the reproduction CLI driver."""
 
-import pytest
 
 from repro.experiments.reproduce import PAPER_CLAIMS, main, run_all, write_markdown
 

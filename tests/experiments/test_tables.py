@@ -1,6 +1,5 @@
 """Tests for the Table 1/2/3 reproductions."""
 
-import pytest
 
 from repro.experiments.tables import TTEST_DATASETS, table1, table2, table3
 

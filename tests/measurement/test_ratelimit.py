@@ -1,7 +1,6 @@
 """Tests for ICMP rate limiting and its detection."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datasets.dataset import Dataset, DatasetMeta

@@ -1,9 +1,8 @@
 """Tests for the overlay network driver."""
 
-import numpy as np
 import pytest
 
-from repro.netsim import NetworkConditions, SECONDS_PER_DAY
+from repro.netsim import SECONDS_PER_DAY
 from repro.overlay import OverlayNetwork
 
 

@@ -1,11 +1,10 @@
 """Tests for overlay EWMA estimates."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.overlay.state import LinkEstimate, OverlayState
+from repro.overlay.state import OverlayState
 
 
 def test_state_validation():

@@ -1,0 +1,70 @@
+"""Baseline add/match/expire behavior."""
+
+import pytest
+
+from repro.quality import Baseline, analyze_source
+from repro.quality.baseline import DEFAULT_REASON, BaselineEntry, BaselineError
+
+CORE = "src/repro/core/mod.py"
+
+
+def findings_for(src: str):
+    return analyze_source(src, CORE)
+
+
+def test_partition_splits_new_and_baselined():
+    findings = findings_for("a = list({1})\nb = tuple({2})\n")
+    assert len(findings) == 2
+    baseline = Baseline().updated(findings[:1])
+    new, baselined, stale = baseline.partition(findings)
+    assert [f.snippet for f in new] == ["b = tuple({2})"]
+    assert [f.snippet for f in baselined] == ["a = list({1})"]
+    assert stale == []
+
+
+def test_stale_entries_reported_and_expired():
+    findings = findings_for("a = list({1})\n")
+    baseline = Baseline().updated(findings)
+    # The violation was fixed: the entry is now stale.
+    new, baselined, stale = baseline.partition([])
+    assert new == [] and baselined == []
+    assert [e.fingerprint for e in stale] == [findings[0].fingerprint]
+    # --update-baseline expires it.
+    assert baseline.updated([]).entries == {}
+
+
+def test_update_preserves_curated_reasons():
+    findings = findings_for("a = list({1})\n")
+    baseline = Baseline().updated(findings)
+    fp = findings[0].fingerprint
+    assert baseline.entries[fp].reason == DEFAULT_REASON
+    baseline.entries[fp] = BaselineEntry(
+        fingerprint=fp, rule="ORD001", path=CORE, reason="curated justification"
+    )
+    assert baseline.updated(findings).entries[fp].reason == "curated justification"
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    findings = findings_for("a = list({1})\n")
+    baseline = Baseline().updated(findings)
+    path = tmp_path / "quality-baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries.keys() == baseline.entries.keys()
+    entry = next(iter(loaded.entries.values()))
+    assert entry.rule == "ORD001"
+    assert entry.path == CORE
+
+
+def test_load_missing_file_is_empty():
+    assert Baseline.load(__import__("pathlib").Path("/nonexistent/b.json")).entries == {}
+
+
+def test_load_rejects_bad_schema(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text('{"version": 999, "entries": []}')
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+    path.write_text("{corrupt")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)

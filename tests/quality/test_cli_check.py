@@ -1,0 +1,97 @@
+"""CLI behavior of `repro check` / `python -m repro.quality`: exit codes."""
+
+import json
+
+from repro.cli import main as repro_main
+from repro.quality.cli import main as quality_main
+
+
+def make_tree(tmp_path, body):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(body)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    tree = make_tree(tmp_path, "out = sorted({1, 2})\n")
+    rc = quality_main(["--root", str(tree), "--no-cache"])
+    assert rc == 0
+    assert "repro check: OK" in capsys.readouterr().out
+
+
+def test_planted_unseeded_rng_fails(tmp_path, capsys):
+    tree = make_tree(
+        tmp_path, "import numpy as np\nrng = np.random.default_rng()\n"
+    )
+    rc = quality_main(["--root", str(tree), "--no-cache"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "RNG003" in out
+    assert "repro check: FAIL" in out
+
+
+def test_repro_check_subcommand(tmp_path, capsys):
+    tree = make_tree(tmp_path, "t = __import__('time').time()\n")
+    rc = repro_main(["check", "--root", str(tree), "--no-cache"])
+    assert rc == 0  # __import__ chains are not resolvable module aliases
+    tree2 = make_tree(tmp_path / "t2", "import time\nt = time.time()\n")
+    rc = repro_main(["check", "--root", str(tree2), "--no-cache"])
+    assert rc == 1
+    assert "TIME001" in capsys.readouterr().out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    tree = make_tree(tmp_path, "x = 1\n")
+    rc = quality_main(["--root", str(tree), "--no-cache", "does-not-exist"])
+    assert rc == 2
+    assert "repro check" in capsys.readouterr().err
+
+
+def test_json_format(tmp_path, capsys):
+    tree = make_tree(tmp_path, "out = list({1, 2})\n")
+    rc = quality_main(["--root", str(tree), "--no-cache", "--format", "json"])
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["new_errors"] == 1
+    assert report["findings"][0]["rule"] == "ORD001"
+
+
+def test_update_baseline_then_strict_gates_stale(tmp_path, capsys):
+    tree = make_tree(tmp_path, "out = list({1, 2})\n")
+    # Grandfather the finding.
+    rc = quality_main(["--root", str(tree), "--no-cache", "--update-baseline"])
+    assert rc == 0
+    assert (tree / "quality-baseline.json").exists()
+    # Baselined finding no longer gates.
+    rc = quality_main(["--root", str(tree), "--no-cache"])
+    assert rc == 0
+    # Fixing the violation leaves a stale entry: strict mode gates on it...
+    (tree / "src" / "repro" / "core" / "mod.py").write_text("out = sorted({1})\n")
+    assert quality_main(["--root", str(tree), "--no-cache"]) == 0
+    capsys.readouterr()
+    rc = quality_main(["--root", str(tree), "--no-cache", "--strict"])
+    assert rc == 1
+    assert "stale baseline" in capsys.readouterr().out
+    # ...and --update-baseline expires it.
+    quality_main(["--root", str(tree), "--no-cache", "--update-baseline"])
+    assert json.loads((tree / "quality-baseline.json").read_text())["entries"] == []
+    assert quality_main(["--root", str(tree), "--no-cache", "--strict"]) == 0
+
+
+def test_list_rules(capsys):
+    assert quality_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RNG001" in out
+    assert "HASH001" in out
+
+
+def test_repo_at_head_is_clean():
+    """The acceptance criterion: the committed tree passes strict checking."""
+    from repro.quality import find_root
+
+    root = find_root()
+    rc = quality_main(["--root", str(root), "--no-cache", "--strict", "src/repro"])
+    assert rc == 0

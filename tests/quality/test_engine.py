@@ -1,0 +1,126 @@
+"""Engine behavior: suppressions, caching, discovery, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.quality import analyze_source, run_check
+from repro.quality.engine import iter_python_files, suppressed_rules
+
+CORE = "src/repro/core/mod.py"
+
+
+# -- inline suppressions ------------------------------------------------------
+
+def test_targeted_suppression():
+    src = "out = list({1, 2})  # repro: ignore[ORD001]\n"
+    assert analyze_source(src, CORE) == []
+
+
+def test_blanket_suppression():
+    src = "out = list({1, 2})  # repro: ignore\n"
+    assert analyze_source(src, CORE) == []
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    src = "out = list({1, 2})  # repro: ignore[TIME001]\n"
+    assert [f.rule for f in analyze_source(src, CORE)] == ["ORD001"]
+
+
+def test_multi_rule_suppression():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro: ignore[RNG003, TIME001]\n"
+    )
+    assert analyze_source(src, CORE) == []
+
+
+def test_suppressed_rules_parsing():
+    assert suppressed_rules("x = 1") is None
+    assert suppressed_rules("x = 1  # repro: ignore") == set()
+    assert suppressed_rules("x = 1  # repro: ignore[RNG001]") == {"RNG001"}
+    assert suppressed_rules("x = 1  # repro: ignore[a001, b002]") == {"A001", "B002"}
+
+
+# -- fingerprints -------------------------------------------------------------
+
+def test_fingerprints_stable_under_line_drift():
+    src = "out = list({1, 2})\n"
+    (before,) = analyze_source(src, CORE)
+    (after,) = analyze_source("# a new comment line\n" + src, CORE)
+    assert before.fingerprint == after.fingerprint
+    assert before.line != after.line
+
+
+def test_identical_lines_get_distinct_fingerprints():
+    src = "out = list({1, 2})\nout = list({1, 2})\n"
+    first, second = analyze_source(src, CORE)
+    assert first.fingerprint != second.fingerprint
+
+
+# -- file discovery and the result cache --------------------------------------
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("out = sorted(set([1, 2]))\n")
+    (pkg / "dirty.py").write_text("out = list({1, 2})\n")
+    (pkg / "__pycache__").mkdir()
+    (pkg / "__pycache__" / "junk.py").write_text("x = 1\n")
+    return tmp_path
+
+
+def test_iter_python_files_skips_caches(tree):
+    files = iter_python_files(tree, ["src"])
+    names = [f.name for f in files]
+    assert names == ["clean.py", "dirty.py"]
+
+
+def test_iter_python_files_missing_path(tree):
+    with pytest.raises(FileNotFoundError):
+        iter_python_files(tree, ["nope"])
+
+
+def test_run_check_finds_and_caches(tree):
+    result = run_check(["src"], root=tree)
+    assert result.files_checked == 2
+    assert result.cache_hits == 0
+    assert [f.rule for f in result.new_findings] == ["ORD001"]
+    assert result.exit_code() == 1
+
+    again = run_check(["src"], root=tree)
+    assert again.cache_hits == 2
+    assert [f.rule for f in again.new_findings] == ["ORD001"]
+
+    cache_file = tree / ".repro-quality-cache.json"
+    assert cache_file.exists()
+    payload = json.loads(cache_file.read_text())
+    assert set(payload["files"]) == {
+        "src/repro/core/clean.py",
+        "src/repro/core/dirty.py",
+    }
+
+
+def test_cache_invalidated_by_edit(tree):
+    run_check(["src"], root=tree)
+    dirty = tree / "src" / "repro" / "core" / "dirty.py"
+    dirty.write_text("out = sorted(set([1, 2]))\n")
+    result = run_check(["src"], root=tree)
+    assert result.cache_hits == 1  # clean.py unchanged, dirty.py re-analyzed
+    assert result.new_findings == []
+    assert result.exit_code() == 0
+
+
+def test_no_cache_mode_writes_nothing(tree):
+    result = run_check(["src"], root=tree, use_cache=False)
+    assert result.files_checked == 2
+    assert not (tree / ".repro-quality-cache.json").exists()
+
+
+def test_corrupt_cache_is_ignored(tree):
+    (tree / ".repro-quality-cache.json").write_text("{not json")
+    result = run_check(["src"], root=tree)
+    assert result.cache_hits == 0
+    assert [f.rule for f in result.new_findings] == ["ORD001"]

@@ -1,0 +1,73 @@
+"""Reporter output: JSON schema and text rendering."""
+
+from repro.quality import run_check
+from repro.quality.reporters import (
+    REPORT_SCHEMA_VERSION,
+    render_json,
+    render_rules,
+    render_text,
+)
+
+
+def make_tree(tmp_path, body="out = list({1, 2})\n"):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(body)
+    return tmp_path
+
+
+def test_json_report_schema(tmp_path):
+    tree = make_tree(tmp_path)
+    result = run_check(["src"], root=tree, use_cache=False)
+    report = render_json(result, strict=True)
+    assert report["schema_version"] == REPORT_SCHEMA_VERSION
+    assert report["strict"] is True
+    assert report["exit_code"] == 1
+    assert set(report["summary"]) == {
+        "files_checked",
+        "cache_hits",
+        "new_errors",
+        "new_warnings",
+        "baselined",
+        "stale_baseline",
+    }
+    (finding,) = report["findings"]
+    assert set(finding) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "col",
+        "message",
+        "snippet",
+        "fingerprint",
+        "baselined",
+    }
+    assert finding["rule"] == "ORD001"
+    assert finding["baselined"] is False
+    assert finding["path"] == "src/repro/core/mod.py"
+    assert report["stale_baseline"] == []
+
+
+def test_text_report_fail_and_ok(tmp_path):
+    tree = make_tree(tmp_path)
+    result = run_check(["src"], root=tree, use_cache=False)
+    text = render_text(result)
+    assert "src/repro/core/mod.py" in text
+    assert "ORD001" in text
+    assert "repro check: FAIL" in text
+
+    clean = make_tree(tmp_path / "clean", body="out = sorted({1, 2})\n")
+    result = run_check(["src"], root=clean, use_cache=False)
+    text = render_text(result)
+    assert "0 error(s)" in text
+    assert "repro check: OK" in text
+
+
+def test_render_rules_lists_contracts():
+    text = render_rules()
+    for rule_id in ("RNG001", "RNG003", "TIME001", "ORD001", "EXC001"):
+        assert rule_id in text
+    assert "protects:" in text

@@ -1,0 +1,216 @@
+"""Per-rule trigger/pass fixtures for the determinism rule set."""
+
+
+from repro.quality import analyze_source
+from repro.quality.rules import RULES, WALL_CLOCK_ALLOWLIST
+
+CORE = "src/repro/core/mod.py"
+
+
+def rules_fired(source: str, relpath: str = CORE) -> set[str]:
+    return {f.rule for f in analyze_source(source, relpath)}
+
+
+def test_registry_shape():
+    assert len(RULES) >= 8
+    for rule_id, rule in RULES.items():
+        assert rule.id == rule_id
+        assert rule.name and rule.description and rule.protects
+        assert rule.severity.value in {"error", "warning"}
+
+
+# -- RNG001: numpy global stream ----------------------------------------------
+
+def test_rng001_flags_global_numpy_draws():
+    assert "RNG001" in rules_fired("import numpy as np\nnp.random.seed(1)\n")
+    assert "RNG001" in rules_fired("import numpy as np\nx = np.random.rand(3)\n")
+    assert "RNG001" in rules_fired(
+        "from numpy.random import choice\n", relpath="tests/test_x.py"
+    )
+
+
+def test_rng001_allows_generator_construction():
+    src = "import numpy as np\nrng = np.random.default_rng((seed, 1))\n"
+    assert "RNG001" not in rules_fired(src)
+    assert "RNG001" not in rules_fired(
+        "from numpy.random import default_rng\n", relpath="tests/test_x.py"
+    )
+
+
+# -- RNG002: stdlib random ----------------------------------------------------
+
+def test_rng002_flags_module_level_and_unseeded():
+    assert "RNG002" in rules_fired("import random\nx = random.random()\n")
+    assert "RNG002" in rules_fired("import random\nr = random.Random()\n")
+    assert "RNG002" in rules_fired("import random\nr = random.Random(42)\n")
+    assert "RNG002" in rules_fired("from random import shuffle\n")
+
+
+def test_rng002_allows_seed_derived_instances():
+    assert "RNG002" not in rules_fired(
+        "import random\nr = random.Random(cfg.seed + 401)\n"
+    )
+    assert "RNG002" not in rules_fired(
+        "import random\nr = random.Random(seed ^ 0x5EED)\n"
+    )
+
+
+def test_rng002_scoped_to_src():
+    assert "RNG002" not in rules_fired(
+        "import random\nx = random.random()\n", relpath="tests/test_x.py"
+    )
+
+
+# -- RNG003: derived default_rng ----------------------------------------------
+
+def test_rng003_flags_unseeded_scalar_and_seedless_tuple():
+    base = "import numpy as np\n"
+    assert "RNG003" in rules_fired(base + "rng = np.random.default_rng()\n")
+    assert "RNG003" in rules_fired(base + "rng = np.random.default_rng(seed + 3)\n")
+    assert "RNG003" in rules_fired(base + "rng = np.random.default_rng((1, 2))\n")
+
+
+def test_rng003_allows_seed_tuples():
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng((self.seed, 0xF1A9, *parts))\n"
+    )
+    assert "RNG003" not in rules_fired(src)
+
+
+def test_rng003_scoped_to_src():
+    assert "RNG003" not in rules_fired(
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        relpath="tests/conftest.py",
+    )
+
+
+# -- TIME001: wall clock ------------------------------------------------------
+
+def test_time001_flags_clock_reads():
+    assert "TIME001" in rules_fired("import time\nt = time.time()\n")
+    assert "TIME001" in rules_fired("import time\nt = time.perf_counter()\n")
+    assert "TIME001" in rules_fired(
+        "from datetime import datetime\nd = datetime.now()\n"
+    )
+    assert "TIME001" in rules_fired("import datetime\nd = datetime.date.today()\n")
+
+
+def test_time001_allowlisted_modules_exempt():
+    for relpath in WALL_CLOCK_ALLOWLIST:
+        assert "TIME001" not in rules_fired("import time\nt = time.time()\n", relpath)
+    # Every allowlist entry must carry a justification.
+    assert all(reason for reason in WALL_CLOCK_ALLOWLIST.values())
+
+
+# -- ORD001: unordered iteration ----------------------------------------------
+
+def test_ord001_flags_ordered_output_from_sets():
+    assert "ORD001" in rules_fired("out = list({1, 2, 3})\n")
+    assert "ORD001" in rules_fired("out = tuple(set(xs))\n")
+    assert "ORD001" in rules_fired("out = ', '.join({str(x) for x in xs})\n")
+    assert "ORD001" in rules_fired("out = [f(x) for x in set(xs)]\n")
+
+
+def test_ord001_set_operator_chains():
+    assert "ORD001" in rules_fired("out = list(set(a) | set(b))\n")
+    assert "ORD001" in rules_fired("out = list(set(a).union(b))\n")
+
+
+def test_ord001_allows_sorted_and_commutative_loops():
+    assert "ORD001" not in rules_fired("out = sorted(set(xs))\n")
+    assert "ORD001" not in rules_fired("out = list(sorted(set(xs)))\n")
+    assert "ORD001" not in rules_fired(
+        "total = 0\nfor x in set(xs):\n    total += x\n"
+    )
+
+
+def test_ord001_scoped_to_result_producing_packages():
+    assert "ORD001" not in rules_fired(
+        "out = list({1, 2})\n", relpath="src/repro/viz/ascii.py"
+    )
+
+
+# -- NUM001: float equality ---------------------------------------------------
+
+def test_num001_flags_nonzero_float_equality():
+    assert "NUM001" in rules_fired("ok = x == 0.5\n")
+    assert "NUM001" in rules_fired("ok = 1.5 != y\n")
+    assert "NUM001" in rules_fired("ok = a == b == 2.5\n")
+
+
+def test_num001_allows_zero_guard_and_ordering():
+    assert "NUM001" not in rules_fired("ok = den == 0.0\n")
+    assert "NUM001" not in rules_fired("ok = x < 0.5\n")
+    assert "NUM001" not in rules_fired("ok = x == 5\n")  # int equality is exact
+
+
+# -- DEF001: mutable defaults -------------------------------------------------
+
+def test_def001_flags_mutable_defaults():
+    assert "DEF001" in rules_fired("def f(xs=[]):\n    pass\n")
+    assert "DEF001" in rules_fired("def f(*, m={}):\n    pass\n")
+    assert "DEF001" in rules_fired("def f(s=set()):\n    pass\n")
+    assert "DEF001" in rules_fired("def f(d=dict()):\n    pass\n")
+
+
+def test_def001_allows_immutable_defaults():
+    assert "DEF001" not in rules_fired("def f(xs=None, n=3, t=()):\n    pass\n")
+
+
+def test_def001_applies_everywhere():
+    assert "DEF001" in rules_fired("def f(xs=[]):\n    pass\n", "tests/test_x.py")
+
+
+# -- EXC001: overbroad except -------------------------------------------------
+
+def test_exc001_flags_broad_handlers():
+    assert "EXC001" in rules_fired("try:\n    f()\nexcept Exception:\n    pass\n")
+    assert "EXC001" in rules_fired("try:\n    f()\nexcept:\n    pass\n")
+    assert "EXC001" in rules_fired(
+        "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+    )
+
+
+def test_exc001_justification_comment_escape_hatch():
+    src = (
+        "try:\n"
+        "    f()\n"
+        "except Exception:  # justified: plugin boundary, errors become WARNs\n"
+        "    pass\n"
+    )
+    assert "EXC001" not in rules_fired(src)
+
+
+def test_exc001_allows_concrete_handlers():
+    src = "try:\n    f()\nexcept (KeyError, ValueError):\n    pass\n"
+    assert "EXC001" not in rules_fired(src)
+
+
+# -- HASH001: salted builtin hash ---------------------------------------------
+
+def test_hash001_flags_builtin_hash():
+    assert "HASH001" in rules_fired("k = hash(name)\n")
+
+
+def test_hash001_allows_dunder_hash_methods():
+    src = (
+        "class A:\n"
+        "    def __hash__(self):\n"
+        "        return hash(self.asn)\n"
+    )
+    assert "HASH001" not in rules_fired(src)
+
+
+def test_hash001_allows_hashlib():
+    assert "HASH001" not in rules_fired(
+        "import hashlib\nk = hashlib.sha256(b'x').hexdigest()\n"
+    )
+
+
+# -- E000: parse errors -------------------------------------------------------
+
+def test_parse_error_is_a_finding():
+    findings = analyze_source("def broken(:\n", CORE)
+    assert [f.rule for f in findings] == ["E000"]
+    assert findings[0].severity.value == "error"

@@ -5,7 +5,6 @@ literature (Gao–Rexford safety conditions, shortest-path violations,
 multihoming) exercised against our decision/export implementation.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.routing.bgp import BGPTable

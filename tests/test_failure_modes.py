@@ -14,7 +14,7 @@ from repro.core import (
 )
 from repro.datasets import Dataset, DatasetError, DatasetMeta, TracerouteRecord
 from repro.measurement import Campaign, CampaignError
-from repro.topology import TopologyConfig, TopologyError, generate_topology
+from repro.topology import TopologyConfig, TopologyError
 
 NAN = float("nan")
 
