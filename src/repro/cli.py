@@ -12,6 +12,16 @@ Subcommands::
 ``analyze`` works on any dataset written by ``build`` (or by
 :func:`repro.datasets.save_dataset`), prints the headline statistics, and
 draws the improvement CDF as an ASCII plot.
+
+Exit codes are consistent across subcommands (see docs/METHODOLOGY.md):
+
+* 0 — success.
+* 1 — operation failed (e.g. a dataset group build exhausted its
+  retries, or an analysis found nothing to analyze).
+* 2 — bad usage: unknown dataset, unreadable input file, malformed
+  ``--fault-plan`` spec.
+* 3 — partial success: ``--keep-going`` completed with some dataset
+  groups missing.
 """
 
 from __future__ import annotations
@@ -21,6 +31,20 @@ import math
 import sys
 
 import numpy as np
+
+#: The subcommand-wide exit-code contract (documented in --help).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
+_EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  1  operation failed (build retries exhausted, nothing to analyze, ...)
+  2  bad usage (unknown dataset, unreadable file, malformed --fault-plan)
+  3  partial success (--keep-going finished with datasets missing)
+"""
 
 
 def _cmd_traceroute(args: argparse.Namespace) -> int:
@@ -156,25 +180,44 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.datasets import BuildConfig, BuildReport
+    from repro.datasets.builders import table1_order
     from repro.experiments.runner import get_datasets
+    from repro.faults import BuildFailure, FaultPlanError
 
     cfg = BuildConfig(seed=args.seed, scale=args.scale)
     report = BuildReport()
-    datasets = get_datasets(
-        cfg,
-        use_cache=not args.no_cache,
-        jobs=args.jobs,
-        report=report,
-        progress=print,
-    )
+    try:
+        datasets = get_datasets(
+            cfg,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            report=report,
+            progress=print,
+            fault_plan=args.fault_plan,
+            build_timeout=args.build_timeout,
+            keep_going=args.keep_going,
+            resume=args.resume,
+        )
+    except FaultPlanError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except BuildFailure as exc:
+        print(f"dataset build failed: {exc}", file=sys.stderr)
+        print(report.summary(), file=sys.stderr)
+        return EXIT_FAILURE
     print(report.summary())
-    for name, ds in datasets.items():
-        row = ds.table1_row()
+    for name in table1_order():
+        if name not in datasets:
+            print(f"  {name:<6} MISSING (build failed; see report above)")
+            continue
+        row = datasets[name].table1_row()
         print(
             f"  {name:<6} {row['hosts']:>3} hosts  "
             f"{row['measurements']:>8} measurements"
         )
-    return 0
+    if len(datasets) < len(table1_order()):
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -207,7 +250,45 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         forwarded += ["--svg-dir", args.svg_dir]
     if args.only:
         forwarded += ["--only", args.only]
+    if args.fault_plan is not None:
+        forwarded += ["--fault-plan", args.fault_plan]
+    if args.build_timeout is not None:
+        forwarded += ["--build-timeout", str(args.build_timeout)]
+    if args.keep_going:
+        forwarded += ["--keep-going"]
+    if args.resume:
+        forwarded += ["--resume"]
     return reproduce_main(forwarded)
+
+
+def _add_robustness_args(p: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags shared by ``suite`` and ``reproduce``."""
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="deterministic fault-injection plan, e.g. 'crash:uw3;truncate:N2' "
+        "(default: REPRO_FAULT_PLAN; see docs/ROBUSTNESS.md)",
+    )
+    p.add_argument(
+        "--build-timeout",
+        type=float,
+        default=None,
+        help="per-attempt deadline (seconds) for each dataset group build "
+        "(default: REPRO_BUILD_TIMEOUT or unbounded)",
+    )
+    p.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a group build failure, continue with the surviving datasets "
+        "and exit 3 instead of aborting",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip dataset groups a prior interrupted run already completed "
+        "(run-ledger.json)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +297,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'The End-to-End Effects of Internet "
         "Path Selection' (SIGCOMM 1999)",
+        epilog=_EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -279,6 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force a rebuild without reading or writing the cache",
     )
+    _add_robustness_args(p)
     p.set_defaults(func=_cmd_suite)
 
     p = sub.add_parser("reproduce", help="regenerate the paper's tables/figures")
@@ -293,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--markdown", default=None)
     p.add_argument("--svg-dir", default=None)
     p.add_argument("--only", default=None)
+    _add_robustness_args(p)
     p.set_defaults(func=_cmd_reproduce)
 
     p = sub.add_parser(

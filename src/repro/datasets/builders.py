@@ -40,6 +40,8 @@ import random
 from dataclasses import dataclass, field, replace
 
 from repro.datasets.dataset import Dataset, DatasetMeta
+from repro.faults import injection
+from repro.faults.plan import SITE_BUILD
 from repro.measurement.collector import Campaign
 from repro.measurement.ratelimit import detect_rate_limiters, flagged_hosts
 from repro.measurement.schedulers import (
@@ -502,6 +504,10 @@ def build_group(group: str, config: BuildConfig | None = None) -> dict[str, Data
     Raises:
         KeyError: for unknown group names.
     """
+    # Named injection point "build.group" (docs/ROBUSTNESS.md): an active
+    # fault plan can crash this process, raise, or stall here to emulate
+    # worker death, flaky builders, and hung builds.
+    injection.perform(SITE_BUILD, group)
     cfg = config or BuildConfig()
     if group == "d2":
         d2, d2_na = build_d2(cfg)

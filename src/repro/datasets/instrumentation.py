@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 #: Phases a build event can describe.
-PHASES = ("build", "load", "save", "lock-wait")
+PHASES = ("build", "load", "save", "verify", "lock-wait", "backoff")
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,11 +41,24 @@ class BuildEvent:
 
 @dataclass
 class BuildReport:
-    """Accumulated timings and cache counters for one provisioning call."""
+    """Accumulated timings and cache counters for one provisioning call.
+
+    Besides timings and hit/miss counters, the report carries the
+    resilience trail of a supervised build: retries (with reasons),
+    quarantined cache files, groups that exhausted their retry budget,
+    groups a ``--resume`` run skipped, and free-form fault notes (e.g.
+    broken-pool fallbacks).  ``repro suite``/``repro reproduce`` print
+    all of it via :meth:`summary`.
+    """
 
     events: list[BuildEvent] = field(default_factory=list)
     cache_hits: list[str] = field(default_factory=list)
     cache_misses: list[str] = field(default_factory=list)
+    retries: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    failed_groups: list[str] = field(default_factory=list)
+    resumed_groups: list[str] = field(default_factory=list)
+    fault_notes: list[str] = field(default_factory=list)
 
     def record(self, label: str, phase: str, duration_s: float,
                worker_pid: int | None = None) -> None:
@@ -69,6 +82,26 @@ class BuildReport:
     def miss(self, name: str) -> None:
         self.cache_misses.append(name)
 
+    def retry(self, label: str, reason: str) -> None:
+        """Record one failed attempt that will be retried."""
+        self.retries.append(f"{label}: {reason}")
+
+    def quarantine(self, name: str, target: str, reason: str) -> None:
+        """Record an unreadable cache file renamed out of the way."""
+        self.quarantined.append(f"{name} -> {target}: {reason}")
+
+    def fail_group(self, group: str, reason: str) -> None:
+        """Record a build group that exhausted its retry budget."""
+        self.failed_groups.append(f"{group}: {reason}")
+
+    def resume_group(self, group: str) -> None:
+        """Record a group served from a prior run's ledger (--resume)."""
+        self.resumed_groups.append(group)
+
+    def fault(self, note: str) -> None:
+        """Record a free-form fault/fallback note (e.g. broken pool)."""
+        self.fault_notes.append(note)
+
     @contextmanager
     def timed(self, label: str, phase: str) -> Iterator[None]:
         """Context manager recording one event around its body."""
@@ -87,6 +120,15 @@ class BuildReport:
     @property
     def n_cache_misses(self) -> int:
         return len(self.cache_misses)
+
+    @property
+    def n_retries(self) -> int:
+        return len(self.retries)
+
+    @property
+    def failed_datasets(self) -> list[str]:
+        """Group labels that permanently failed, stripped of reasons."""
+        return [entry.split(":", 1)[0] for entry in self.failed_groups]
 
     def worker_pids(self) -> set[int]:
         """Distinct PIDs that performed build work."""
@@ -118,6 +160,18 @@ class BuildReport:
                 )
         if self.cache_misses:
             lines.append("  rebuilt: " + ", ".join(sorted(self.cache_misses)))
+        if self.resumed_groups:
+            lines.append(
+                "  resumed (ledger): " + ", ".join(sorted(self.resumed_groups))
+            )
+        for label, entries in (
+            ("retried", self.retries),
+            ("quarantined", self.quarantined),
+            ("faults", self.fault_notes),
+            ("FAILED", self.failed_groups),
+        ):
+            for entry in entries:
+                lines.append(f"  {label}: {entry}")
         return "\n".join(lines)
 
 

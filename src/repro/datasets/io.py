@@ -36,6 +36,14 @@ from repro.datasets.records import (
     TracerouteRecord,
     TransferRecord,
 )
+from repro.faults import injection
+from repro.faults.plan import (
+    KIND_DROP_TRAILER,
+    KIND_GARBLE_HEADER,
+    KIND_TRUNCATE,
+    SITE_LOCK,
+    SITE_SAVE,
+)
 
 #: Version 2 added the record-count trailer line.
 FORMAT_VERSION = 2
@@ -98,11 +106,26 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
     """
     path = Path(path)
     n_records = len(dataset.traceroutes) + len(dataset.transfers)
+    # Deterministic fault injection (docs/ROBUSTNESS.md): a pending
+    # io.save fault makes this save emulate a specific mid-write crash —
+    # the corrupt file still lands atomically, exactly as a real crash
+    # between rename and validity would leave it.
+    fault = injection.pending(SITE_SAVE, dataset.meta.name)
+    fault_kind = fault.kind if fault is not None else None
+    record_limit = n_records
+    if fault_kind == KIND_TRUNCATE:
+        record_limit = n_records // 2
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     try:
         with tmp.open("w") as fh:
-            fh.write(json.dumps(_encode_header(dataset)) + "\n")
+            header_line = json.dumps(_encode_header(dataset))
+            if fault_kind == KIND_GARBLE_HEADER:
+                header_line = '{"format_version": <<< injected garble'
+            fh.write(header_line + "\n")
+            written = 0
             for rec in dataset.traceroutes:
+                if written >= record_limit:
+                    break
                 fh.write(
                     json.dumps(
                         {
@@ -115,7 +138,10 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
                     )
                     + "\n"
                 )
+                written += 1
             for rec in dataset.transfers:
+                if written >= record_limit:
+                    break
                 fh.write(
                     json.dumps(
                         {
@@ -129,7 +155,13 @@ def save_dataset(dataset: Dataset, path: str | Path) -> None:
                     )
                     + "\n"
                 )
-            fh.write(json.dumps({TRAILER_KEY: {"n_records": n_records}}) + "\n")
+                written += 1
+            if fault_kind != KIND_DROP_TRAILER:
+                # A truncate fault keeps the full-count trailer so the
+                # file reads as "trailer promises more records than found".
+                fh.write(
+                    json.dumps({TRAILER_KEY: {"n_records": n_records}}) + "\n"
+                )
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
@@ -256,8 +288,74 @@ def load_dataset(path: str | Path) -> Dataset:
     )
 
 
+def verify_dataset_file(path: str | Path) -> int:
+    """Cheap structural validity check of a saved dataset file.
+
+    Verifies what a crash or injected save fault can break without paying
+    for a full parse: the header line is JSON with the supported format
+    version, the last line is a trailer, and the trailer's record count
+    matches the number of record lines.  Garbling *inside* an individual
+    record line is only caught by :func:`load_dataset`'s full parse (the
+    next cache probe), which is why this is a save-time smoke test, not a
+    replacement for truncation detection on load.
+
+    Returns:
+        The number of record lines.
+
+    Raises:
+        DatasetIOError: on structural damage (bad/garbled header, wrong
+            version, missing or garbled trailer, record-count mismatch).
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetIOError(f"{path}: empty file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise DatasetIOError(f"{path}: bad header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise DatasetIOError(f"{path}: header is not an object")
+        if header.get("format_version") != FORMAT_VERSION:
+            raise DatasetIOError(
+                f"{path}: unsupported format version "
+                f"{header.get('format_version')!r}"
+            )
+        n_lines = 0
+        last: str | None = None
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            n_lines += 1
+            last = line
+    if last is None:
+        raise DatasetIOError(f"{path}: missing trailer (truncated file?)")
+    try:
+        trailer_obj = json.loads(last)
+    except json.JSONDecodeError as exc:
+        raise DatasetIOError(f"{path}: garbled trailer line: {exc}") from exc
+    if not isinstance(trailer_obj, dict) or TRAILER_KEY not in trailer_obj:
+        raise DatasetIOError(f"{path}: missing trailer (truncated file?)")
+    trailer = trailer_obj[TRAILER_KEY]
+    expected = trailer.get("n_records") if isinstance(trailer, dict) else None
+    n_records = n_lines - 1
+    if expected != n_records:
+        raise DatasetIOError(
+            f"{path}: truncated file: trailer promises {expected!r} "
+            f"records, found {n_records}"
+        )
+    return n_records
+
+
 class CacheLockTimeout(DatasetIOError):
     """Raised when a cache build lock cannot be acquired in time."""
+
+
+#: PID used by injected stale-lock faults: far above any real pid_max, so
+#: the liveness probe always reports the "owner" dead.
+_INJECTED_DEAD_PID = 2**22 + 77_777
 
 
 class CacheLock:
@@ -268,6 +366,11 @@ class CacheLock:
     when its owning process is provably dead (same machine, PID gone) or
     when the file is older than ``stale_after_s`` — so a crashed build
     never wedges subsequent runs.
+
+    Ownership is witnessed by a ``(pid, token)`` pair written into the
+    lock file on acquisition; :meth:`release` re-reads the file and only
+    unlinks when both still match, so a process whose stale lock was
+    broken and *taken over* by a peer can never delete that peer's lock.
 
     Usage::
 
@@ -288,6 +391,7 @@ class CacheLock:
         self.stale_after_s = stale_after_s
         self.poll_interval_s = poll_interval_s
         self._held = False
+        self._token: str | None = None
 
     def _is_stale(self) -> bool:
         try:
@@ -313,6 +417,15 @@ class CacheLock:
 
     def acquire(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        if injection.pending(SITE_LOCK, self.path.parent.name) is not None:
+            # Injected lock-holder death: plant a dead-owner lock file so
+            # this acquisition exercises the stale-takeover path.
+            if not self.path.exists():
+                self.path.write_text(
+                    json.dumps(
+                        {"pid": _INJECTED_DEAD_PID, "token": "injected", "t": 0}
+                    )
+                )
         deadline = time.monotonic() + self.timeout_s
         while True:
             try:
@@ -329,15 +442,41 @@ class CacheLock:
                     ) from None
                 time.sleep(self.poll_interval_s)
                 continue
+            self._token = f"{os.getpid():x}-{time.monotonic_ns():x}"
             with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps({"pid": os.getpid(), "t": time.time()}))
+                fh.write(
+                    json.dumps(
+                        {
+                            "pid": os.getpid(),
+                            "token": self._token,
+                            "t": time.time(),
+                        }
+                    )
+                )
             self._held = True
             return
 
     def release(self) -> None:
-        if self._held:
+        """Release the lock, but only if this instance still owns it.
+
+        If our lock aged out and a peer broke it and acquired its own
+        (stale takeover), the file on disk now witnesses *their*
+        ownership; unlinking it unconditionally would let a third process
+        acquire concurrently.  So the owner record is re-read and the
+        file is only unlinked when both the pid and the acquisition
+        token still match ours.
+        """
+        if not self._held:
+            return
+        self._held = False
+        try:
+            owner = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return  # vanished or rewritten mid-break: provably not ours
+        if not isinstance(owner, dict):
+            return
+        if owner.get("pid") == os.getpid() and owner.get("token") == self._token:
             self.path.unlink(missing_ok=True)
-            self._held = False
 
     def __enter__(self) -> "CacheLock":
         self.acquire()

@@ -70,3 +70,19 @@ def render_cdf_points(
 def format_percent(value: float, digits: int = 0) -> str:
     """Render a fraction as a percent string."""
     return f"{100.0 * value:.{digits}f}%"
+
+
+def render_missing_datasets(missing: Sequence[str]) -> str:
+    """Banner for datasets a ``--keep-going`` run could not provide.
+
+    Printed by the reproduction driver (and embedded in its markdown
+    report) so a partial run is unmistakably partial: the named datasets
+    failed to build after retries, and every artifact depending on them
+    was skipped rather than silently computed from less data.
+    """
+    names = ", ".join(sorted(missing))
+    return (
+        f"MISSING datasets (build failed under --keep-going): {names}\n"
+        "artifacts depending on them were skipped; rerun without "
+        "--keep-going (or fix the failure) to regenerate them"
+    )

@@ -4,12 +4,22 @@ Usage::
 
     python -m repro.experiments.reproduce [--scale 1.0] [--seed 1999]
         [--jobs 4] [--markdown out.md] [--svg-dir figures/] [--scorecard]
-        [--only figure1,figure3,table2]
+        [--only figure1,figure3,table2] [--fault-plan SPEC]
+        [--build-timeout S] [--keep-going] [--resume]
 
 Prints each table's rows and each figure's series summaries.  With
 ``--markdown`` additionally writes a paper-vs-measured report in the
 EXPERIMENTS.md format; ``--svg-dir`` renders every figure to SVG;
 ``--scorecard`` grades the run against the paper's qualitative bands.
+
+Robustness flags (see docs/ROBUSTNESS.md): ``--fault-plan`` injects a
+deterministic failure schedule into the dataset build, ``--build-timeout``
+bounds each group build attempt, ``--keep-going`` reproduces whatever the
+surviving datasets support (marking the rest MISSING and exiting 3), and
+``--resume`` skips groups a prior interrupted run already completed.
+
+Exit codes: 0 success; 1 build/artifact failure; 2 bad usage (including a
+malformed ``--fault-plan``); 3 partial success under ``--keep-going``.
 """
 
 from __future__ import annotations
@@ -17,11 +27,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import Sequence
 
 from repro.datasets import BuildConfig, BuildReport
-from repro.experiments.figures import ALL_FIGURES, FigureResult
-from repro.experiments.runner import get_datasets
+from repro.datasets.builders import BUILD_GROUPS
+from repro.experiments.figures import ALL_FIGURES, FigureError, FigureResult
+from repro.experiments.report import render_missing_datasets
+from repro.experiments.runner import get_datasets, last_build_report
 from repro.experiments.tables import TableResult, table1, table2, table3
+from repro.faults import BuildFailure, FaultPlanError
 
 #: Headline expectations quoted from the paper's text, keyed by artifact.
 PAPER_CLAIMS: dict[str, str] = {
@@ -59,21 +73,49 @@ def _figure_args(scale: float) -> dict[str, dict]:
     }
 
 
+def missing_datasets(report: BuildReport) -> list[str]:
+    """Dataset names a partial (keep-going) build failed to provide."""
+    names: set[str] = set()
+    for group in report.failed_datasets:
+        names.update(BUILD_GROUPS.get(group, (group,)))
+    return sorted(names)
+
+
 def run_all(
     scale: float,
     seed: int,
     only: set[str] | None = None,
     jobs: int | None = None,
+    *,
+    fault_plan: str | None = None,
+    build_timeout: float | None = None,
+    keep_going: bool = False,
+    resume: bool = False,
 ) -> dict[str, TableResult | FigureResult]:
-    """Build (or load) the suite and run every selected artifact."""
+    """Build (or load) the suite and run every selected artifact.
+
+    With ``keep_going=True`` dataset groups that fail to build are left
+    out: artifacts that tolerate a subset run on what survived, the rest
+    are skipped with a MISSING banner, and the caller decides the exit
+    code from :func:`repro.experiments.runner.last_build_report`.
+    """
     report = BuildReport()
     datasets = get_datasets(
-        BuildConfig(seed=seed, scale=scale), jobs=jobs, report=report
+        BuildConfig(seed=seed, scale=scale),
+        jobs=jobs,
+        report=report,
+        fault_plan=fault_plan,
+        build_timeout=build_timeout,
+        keep_going=keep_going,
+        resume=resume,
     )
     print(report.summary())
+    missing = missing_datasets(report)
+    if missing:
+        print(render_missing_datasets(missing))
     min_samples = max(4, int(round(30 * scale)))
     artifacts: dict[str, TableResult | FigureResult] = {}
-    jobs: list[tuple[str, object]] = [
+    artifact_jobs: list[tuple[str, object]] = [
         ("table1", lambda: table1(datasets)),
         ("table2", lambda: table2(datasets, min_samples=min_samples)),
         ("table3", lambda: table3(datasets, min_samples=min_samples)),
@@ -81,19 +123,31 @@ def run_all(
     fig_args = _figure_args(scale)
     for name, fn in ALL_FIGURES.items():
         kwargs = fig_args.get(name, fig_args["_default"])
-        jobs.append((name, lambda fn=fn, kwargs=kwargs: fn(datasets, **kwargs)))
-    for name, job in jobs:
+        artifact_jobs.append(
+            (name, lambda fn=fn, kwargs=kwargs: fn(datasets, **kwargs))
+        )
+    for name, job in artifact_jobs:
         if only and name not in only:
             continue
         start = time.time()
-        artifacts[name] = job()
+        try:
+            artifacts[name] = job()
+        except (FigureError, KeyError) as exc:
+            if not missing:
+                raise
+            print(f"\n=== {name} SKIPPED ({exc}) ===")
+            continue
         print(f"\n=== {name} ({time.time() - start:.1f}s) ===")
         print(artifacts[name].text)
     return artifacts
 
 
 def write_markdown(
-    artifacts: dict[str, TableResult | FigureResult], path: str, scale: float, seed: int
+    artifacts: dict[str, TableResult | FigureResult],
+    path: str,
+    scale: float,
+    seed: int,
+    missing: Sequence[str] = (),
 ) -> None:
     """Write a paper-vs-measured markdown report."""
     lines = [
@@ -103,6 +157,8 @@ def write_markdown(
         f"--seed {seed}`.",
         "",
     ]
+    if missing:
+        lines += ["```", render_missing_datasets(missing), "```", ""]
     for name, artifact in artifacts.items():
         lines.append(f"## {name}")
         lines.append("")
@@ -148,11 +204,57 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="grade the run against the paper's qualitative bands",
     )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        help="deterministic fault-injection plan for the dataset build "
+        "(spec string; see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--build-timeout",
+        type=float,
+        default=None,
+        help="per-attempt deadline (seconds) for each dataset group build "
+        "(default: REPRO_BUILD_TIMEOUT or unbounded)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="on a group build failure, reproduce what the surviving "
+        "datasets support (exit 3) instead of aborting",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip dataset groups a prior interrupted run already completed "
+        "(run ledger)",
+    )
     args = parser.parse_args(argv)
     only = set(args.only.split(",")) if args.only else None
-    artifacts = run_all(args.scale, args.seed, only, jobs=args.jobs)
+    try:
+        artifacts = run_all(
+            args.scale,
+            args.seed,
+            only,
+            jobs=args.jobs,
+            fault_plan=args.fault_plan,
+            build_timeout=args.build_timeout,
+            keep_going=args.keep_going,
+            resume=args.resume,
+        )
+    except FaultPlanError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    except BuildFailure as exc:
+        print(f"dataset build failed: {exc}", file=sys.stderr)
+        return 1
+    build_report = last_build_report()
+    missing = missing_datasets(build_report) if build_report is not None else []
     if args.markdown:
-        write_markdown(artifacts, args.markdown, args.scale, args.seed)
+        write_markdown(
+            artifacts, args.markdown, args.scale, args.seed, missing=missing
+        )
     if args.svg_dir:
         from repro.experiments.figures import FigureResult
         from repro.viz.render import render_all
@@ -169,6 +271,8 @@ def main(argv: list[str] | None = None) -> int:
 
         print()
         print(render_scorecard(grade(artifacts)))
+    if missing:
+        return 3
     return 0
 
 

@@ -11,25 +11,45 @@ Pipeline shape:
   ``<cache>/seed<seed>-scale<scale>/<name>.jsonl``; a missing, truncated,
   or schema-stale file invalidates only its *build group* (see
   :data:`repro.datasets.builders.BUILD_GROUPS`), not the whole suite.
-* **Parallel builds** — stale groups fan out across a
-  ``ProcessPoolExecutor``; every group builder is seed-deterministic and
-  depends only on its ``BuildConfig``, so serial and parallel builds
-  yield bit-identical datasets.
+* **Supervised parallel builds** — stale groups fan out across a
+  ``ProcessPoolExecutor`` under the fault-tolerant
+  :class:`~repro.faults.supervisor.BuildSupervisor`: per-group retry
+  with deterministic seed-derived backoff, per-attempt deadlines
+  (``--build-timeout`` / :data:`TIMEOUT_ENV_VAR`), and automatic serial
+  fallback when a worker dies (``BrokenProcessPool``).  Every group
+  builder is seed-deterministic and depends only on its ``BuildConfig``,
+  so serial, parallel, and retried builds yield bit-identical datasets.
 * **Crash safety** — saves are atomic (write-then-rename with a record
-  count trailer, :mod:`repro.datasets.io`) and rebuilds hold a
-  stale-lock-safe single-writer lock per suite directory so concurrent
-  runs cannot race.
+  count trailer, :mod:`repro.datasets.io`), verified structurally after
+  each write, and re-done if damaged; unreadable cache files are
+  quarantined (renamed to ``<name>.corrupt-<contenthash>``) instead of
+  being re-parsed forever; rebuilds hold a stale-lock-safe single-writer
+  lock per suite directory so concurrent runs cannot race.
+* **Resume** — a :class:`~repro.faults.supervisor.RunLedger`
+  (``run-ledger.json``) journals each completed group so
+  ``repro suite --resume`` after an interrupted run skips straight to
+  the unfinished groups.
+* **Fault injection** — a deterministic
+  :class:`~repro.faults.plan.FaultPlan` (``--fault-plan`` /
+  ``REPRO_FAULT_PLAN``) replays exact failure schedules through the
+  same code paths; see docs/ROBUSTNESS.md.
 * **Instrumentation** — pass a
   :class:`~repro.datasets.instrumentation.BuildReport` to collect
-  per-phase timings and cache hit/miss counters; the most recent report
-  is also kept in :func:`last_build_report`.
+  per-phase timings, cache hit/miss counters, and the resilience trail
+  (retries, quarantines, failures, resumes); the most recent report is
+  also kept in :func:`last_build_report`.
+
+With ``keep_going=True`` a group that exhausts its retry budget leaves
+its datasets out of the returned mapping instead of raising
+:class:`~repro.faults.supervisor.BuildFailure`; callers surface the gap
+(the CLI marks missing datasets and exits 3).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.datasets.builders import (
@@ -50,6 +70,15 @@ from repro.datasets.io import (
     DatasetIOError,
     load_dataset,
     save_dataset,
+    verify_dataset_file,
+)
+from repro.faults import injection
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import (
+    BuildFailure,
+    BuildSupervisor,
+    RetryPolicy,
+    RunLedger,
 )
 
 #: Default on-disk cache root; override with the REPRO_CACHE_DIR env var.
@@ -61,6 +90,15 @@ DEFAULT_SCALE = 1.0
 
 #: Environment variable overriding the number of build worker processes.
 JOBS_ENV_VAR = "REPRO_BUILD_JOBS"
+
+#: Environment variable setting the per-attempt group build deadline (s).
+TIMEOUT_ENV_VAR = "REPRO_BUILD_TIMEOUT"
+
+#: File name of the per-suite completion journal (see RunLedger).
+LEDGER_NAME = "run-ledger.json"
+
+#: Default retry budget per build group (first attempt included).
+DEFAULT_MAX_ATTEMPTS = 3
 
 #: The most recent provisioning report (diagnostics; see build_summary).
 _last_report: BuildReport | None = None
@@ -106,50 +144,75 @@ def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
+def resolve_build_timeout(timeout_s: float | None) -> float | None:
+    """Per-attempt group build deadline: argument, else env var, else None."""
+    if timeout_s is None:
+        env = os.environ.get(TIMEOUT_ENV_VAR)
+        if env is None or not env.strip():
+            return None
+        try:
+            timeout_s = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {env!r}"
+            ) from None
+    if timeout_s <= 0:
+        raise ValueError(f"build timeout must be > 0 seconds, got {timeout_s}")
+    return timeout_s
+
+
+def _resolve_plan(fault_plan: FaultPlan | str | None) -> FaultPlan | None:
+    """Normalize the fault-plan argument (str spec, object, or env var).
+
+    Raises:
+        FaultPlanError: on a malformed spec (CLI maps this to exit 2).
+    """
+    if fault_plan is None:
+        return FaultPlan.from_env()
+    if isinstance(fault_plan, FaultPlan):
+        return fault_plan
+    return FaultPlan.parse(fault_plan)
+
+
 def _build_group_task(
-    group: str, cfg: BuildConfig
-) -> tuple[str, dict[str, Dataset], BuildEvent]:
-    """Pool-worker task: build one group, timing it in the worker."""
-    start = time.perf_counter()
-    datasets = build_group(group, cfg)
-    event = BuildEvent(
-        label=f"{group} -> {'+'.join(BUILD_GROUPS[group])}",
-        phase="build",
-        duration_s=time.perf_counter() - start,
-        worker_pid=os.getpid(),
-    )
-    return group, datasets, event
+    group: str, attempt: int, plan_spec: str, cfg: BuildConfig
+) -> tuple[dict[str, Dataset], BuildEvent]:
+    """Supervisor task: build one group, timing it where it runs.
+
+    Runs in pool workers and (for serial fallback) in the coordinating
+    process; the fault plan and attempt number arrive as arguments so an
+    injected failure schedule replays identically in either place.
+    """
+    plan = FaultPlan.parse(plan_spec) if plan_spec else None
+    with injection.activate(plan), injection.attempt_scope(attempt):
+        start = time.perf_counter()
+        datasets = build_group(group, cfg)
+        event = BuildEvent(
+            label=f"{group} -> {'+'.join(BUILD_GROUPS[group])}",
+            phase="build",
+            duration_s=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+    return datasets, event
 
 
-def _build_groups(
-    groups: list[str],
-    cfg: BuildConfig,
-    *,
-    jobs: int | None,
-    report: BuildReport,
-    progress: ProgressHook,
-) -> dict[str, Dataset]:
-    """Build the named groups, fanning out across worker processes."""
-    n_jobs = resolve_jobs(jobs, len(groups))
-    built: dict[str, Dataset] = {}
-    if n_jobs <= 1:
-        for group in groups:
-            progress(f"building {group} ({'+'.join(BUILD_GROUPS[group])}) ...")
-            _, datasets, event = _build_group_task(group, cfg)
-            report.extend([event])
-            built.update(datasets)
-        return built
-    progress(
-        f"building {len(groups)} dataset group(s) across {n_jobs} workers ..."
-    )
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        for group, datasets, event in pool.map(
-            _build_group_task, groups, [cfg] * len(groups)
-        ):
-            progress(f"built {group} ({event.duration_s:.1f}s)")
-            report.extend([event])
-            built.update(datasets)
-    return built
+def _quarantine_cache_file(
+    path: Path, name: str, reason: str, report: BuildReport
+) -> None:
+    """Rename an unreadable cache file to ``<name>.corrupt-<contenthash>``.
+
+    Quarantining (instead of deleting or re-parsing on every run) keeps
+    the evidence for post-mortems while guaranteeing the next probe sees
+    a plain cache miss.  Racing processes may quarantine concurrently;
+    losing the race is indistinguishable from the file having vanished.
+    """
+    try:
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+        target = path.with_name(f"{path.name}.corrupt-{digest}")
+        os.replace(path, target)
+    except OSError:
+        return  # vanished or unreadable: nothing left to quarantine
+    report.quarantine(name, target.name, reason)
 
 
 def _probe_cache(
@@ -158,9 +221,11 @@ def _probe_cache(
 ) -> tuple[dict[str, Dataset], list[str]]:
     """Load every valid cached dataset; return (loaded, stale groups).
 
-    A dataset whose file is missing, truncated, or schema-stale marks its
-    whole build group stale (the group is the smallest rebuildable unit),
-    but datasets from other groups stay served from cache.
+    A dataset whose file is missing marks its whole build group stale
+    (the group is the smallest rebuildable unit); an *unreadable* file
+    (truncated, garbled, schema-stale) is additionally quarantined so it
+    is never re-parsed on subsequent runs.  Datasets from other groups
+    stay served from cache.
     """
     loaded: dict[str, Dataset] = {}
     stale: list[str] = []
@@ -170,7 +235,12 @@ def _probe_cache(
             start = time.perf_counter()
             try:
                 dataset = load_dataset(path)
-            except (OSError, DatasetIOError):
+            except FileNotFoundError:
+                report.miss(name)
+                if group not in stale:
+                    stale.append(group)
+            except (OSError, DatasetIOError) as exc:
+                _quarantine_cache_file(path, name, str(exc), report)
                 report.miss(name)
                 if group not in stale:
                     stale.append(group)
@@ -181,6 +251,40 @@ def _probe_cache(
     return loaded, stale
 
 
+def _save_verified(
+    dataset: Dataset,
+    path: Path,
+    name: str,
+    *,
+    policy: RetryPolicy,
+    report: BuildReport,
+    progress: ProgressHook,
+) -> str | None:
+    """Atomically save ``dataset`` and structurally verify the file.
+
+    A damaged write (torn by the OS, or corrupted by an injected
+    ``io.save`` fault) is quarantined and re-done up to the policy's
+    attempt budget.  Returns None on success, else the failure reason.
+    """
+    reason = "save never attempted"
+    for attempt in range(policy.max_attempts):
+        with injection.attempt_scope(attempt):
+            with report.timed(name, "save"):
+                save_dataset(dataset, path)
+        try:
+            with report.timed(name, "verify"):
+                verify_dataset_file(path)
+        except DatasetIOError as exc:
+            reason = f"save verification failed: {exc}"
+            _quarantine_cache_file(path, name, reason, report)
+            if attempt + 1 < policy.max_attempts:
+                report.retry(name, reason)
+                progress(f"{name}: {reason}; re-saving")
+            continue
+        return None
+    return reason
+
+
 def get_datasets(
     config: BuildConfig | None = None,
     *,
@@ -188,6 +292,11 @@ def get_datasets(
     jobs: int | None = None,
     report: BuildReport | None = None,
     progress: ProgressHook | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    build_timeout: float | None = None,
+    max_attempts: int | None = None,
+    keep_going: bool = False,
+    resume: bool = False,
 ) -> dict[str, Dataset]:
     """All Table 1 datasets for the given build config, cached on disk.
 
@@ -199,33 +308,131 @@ def get_datasets(
         jobs: Build worker processes for stale groups (default: the
             ``REPRO_BUILD_JOBS`` env var, else one per CPU; 1 = build
             in-process).
-        report: Optional instrumentation sink for per-phase timings and
-            cache hit/miss counters.
+        report: Optional instrumentation sink for per-phase timings,
+            cache counters, and the resilience trail.
         progress: Optional hook receiving human-readable status lines.
+        fault_plan: Deterministic fault plan (object or spec string);
+            None falls back to the ``REPRO_FAULT_PLAN`` env var.
+        build_timeout: Per-attempt group build deadline in seconds; None
+            falls back to ``REPRO_BUILD_TIMEOUT``, else unbounded.
+        max_attempts: Retry budget per group (default 3).
+        keep_going: On retry exhaustion, return the datasets that did
+            build (missing names omitted) instead of raising.
+        resume: Consult the suite's run ledger and report groups already
+            completed by a prior interrupted run.
+
+    Raises:
+        BuildFailure: a group exhausted its retries and ``keep_going``
+            is False.
+        FaultPlanError: ``fault_plan`` (or the env var) is malformed.
     """
     global _last_report
     cfg = config or BuildConfig(scale=DEFAULT_SCALE)
     rep = report if report is not None else BuildReport()
     _last_report = rep
     prog = progress if progress is not None else null_progress
+    plan = _resolve_plan(fault_plan)
+    policy = RetryPolicy(
+        max_attempts=max_attempts if max_attempts is not None else DEFAULT_MAX_ATTEMPTS,
+        timeout_s=resolve_build_timeout(build_timeout),
+        seed=cfg.seed,
+    )
     names = table1_order()
-    if not use_cache:
-        built = _build_groups(
-            list(BUILD_GROUPS), cfg, jobs=jobs, report=rep, progress=prog
-        )
-        return {name: built[name] for name in names}
+    with injection.activate(plan):
+        if not use_cache:
+            loaded, failures = _build_uncached(
+                cfg, policy=policy, plan=plan, jobs=jobs, report=rep, progress=prog
+            )
+        else:
+            loaded, failures = _build_cached(
+                cfg,
+                policy=policy,
+                plan=plan,
+                jobs=jobs,
+                report=rep,
+                progress=prog,
+                resume=resume,
+                keep_going=keep_going,
+            )
+    if failures and not keep_going:
+        raise BuildFailure(failures)
+    return {name: loaded[name] for name in names if name in loaded}
+
+
+def _build_uncached(
+    cfg: BuildConfig,
+    *,
+    policy: RetryPolicy,
+    plan: FaultPlan | None,
+    jobs: int | None,
+    report: BuildReport,
+    progress: ProgressHook,
+) -> tuple[dict[str, Dataset], dict[str, str]]:
+    """Build every group under supervision without touching the cache."""
+    groups = list(BUILD_GROUPS)
+    n_jobs = resolve_jobs(jobs, len(groups))
+    progress(
+        f"building {len(groups)} dataset group(s) across {n_jobs} worker(s) ..."
+    )
+    supervisor = BuildSupervisor(policy, plan=plan)
+    loaded: dict[str, Dataset] = {}
+
+    def on_success(group: str, payload: object) -> None:
+        datasets, event = payload
+        report.extend([event])
+        progress(f"built {group} ({event.duration_s:.1f}s)")
+        loaded.update(datasets)
+
+    result = supervisor.run(
+        _build_group_task,
+        groups,
+        (cfg,),
+        jobs=n_jobs,
+        report=report,
+        progress=progress,
+        on_success=on_success,
+    )
+    return loaded, result.failures
+
+
+def _build_cached(
+    cfg: BuildConfig,
+    *,
+    policy: RetryPolicy,
+    plan: FaultPlan | None,
+    jobs: int | None,
+    report: BuildReport,
+    progress: ProgressHook,
+    resume: bool,
+    keep_going: bool,
+) -> tuple[dict[str, Dataset], dict[str, str]]:
+    """Serve the suite from cache, rebuilding stale groups under a lock."""
     suite = _suite_dir(cfg)
-    loaded, stale = _probe_cache(suite, rep)
+    ledger = RunLedger(suite / LEDGER_NAME, seed=cfg.seed, scale=cfg.scale)
+    loaded, stale = _probe_cache(suite, report)
+    if resume:
+        for group in sorted(ledger.completed()):
+            group_names = BUILD_GROUPS.get(group, ())
+            if group_names and group not in stale and all(
+                name in loaded for name in group_names
+            ):
+                report.resume_group(group)
+            elif group in stale:
+                report.fault(
+                    f"ledger marks {group} complete but its cache is stale; "
+                    "rebuilding"
+                )
     if not stale:
-        prog(f"all {len(names)} datasets served from cache ({suite})")
-        return {name: loaded[name] for name in names}
+        progress(f"all {len(loaded)} datasets served from cache ({suite})")
+        return loaded, {}
     suite.mkdir(parents=True, exist_ok=True)
+    failures: dict[str, str] = {}
     lock = CacheLock(suite)
     lock_start = time.perf_counter()
     with lock:
         waited = time.perf_counter() - lock_start
         if waited > 0.1:
-            rep.record(suite.name, "lock-wait", waited)
+            report.record(suite.name, "lock-wait", waited)
         # Another writer may have filled (part of) the cache while we
         # waited for the lock; probe again so we only rebuild what is
         # still stale.
@@ -234,24 +441,63 @@ def get_datasets(
         loaded.update(loaded2)
         # Datasets another writer produced while we waited count as hits.
         for name in loaded2:
-            if name in rep.cache_misses:
-                rep.cache_misses.remove(name)
-                rep.hit(name)
+            if name in report.cache_misses:
+                report.cache_misses.remove(name)
+                report.hit(name)
         if stale:
+            ledger.clear(stale)
             # Cache files that were valid before the rebuild keep serving
             # reads; only datasets whose files were stale get saved, so an
             # invalidated dataset never touches its siblings' files.
             valid_before = set(loaded2)
-            built = _build_groups(
-                stale, cfg, jobs=jobs, report=rep, progress=prog
+            n_jobs = resolve_jobs(jobs, len(stale))
+            progress(
+                f"rebuilding {len(stale)} stale group(s) across "
+                f"{n_jobs} worker(s) ..."
             )
-            for name, ds in built.items():
-                if name in valid_before:
-                    continue
-                with rep.timed(name, "save"):
-                    save_dataset(ds, suite / f"{name}.jsonl")
-                loaded[name] = ds
-    return {name: loaded[name] for name in names}
+            supervisor = BuildSupervisor(policy, plan=plan)
+
+            def on_success(group: str, payload: object) -> None:
+                datasets, event = payload
+                report.extend([event])
+                progress(f"built {group} ({event.duration_s:.1f}s)")
+                saved: list[str] = []
+                for name in BUILD_GROUPS[group]:
+                    ds = datasets[name]
+                    if name in valid_before:
+                        loaded[name] = ds
+                        saved.append(name)
+                        continue
+                    reason = _save_verified(
+                        ds,
+                        suite / f"{name}.jsonl",
+                        name,
+                        policy=policy,
+                        report=report,
+                        progress=progress,
+                    )
+                    if reason is None:
+                        loaded[name] = ds
+                        saved.append(name)
+                        continue
+                    report.fail_group(group, reason)
+                    if not keep_going:
+                        raise BuildFailure({group: reason})
+                    failures[group] = reason
+                if len(saved) == len(BUILD_GROUPS[group]):
+                    ledger.mark(group, saved)
+
+            result = supervisor.run(
+                _build_group_task,
+                stale,
+                (cfg,),
+                jobs=n_jobs,
+                report=report,
+                progress=progress,
+                on_success=on_success,
+            )
+            failures.update(result.failures)
+    return loaded, failures
 
 
 def get_dataset(

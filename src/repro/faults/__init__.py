@@ -1,0 +1,71 @@
+"""Deterministic fault injection and the fault-tolerant build supervisor.
+
+See docs/ROBUSTNESS.md for the fault taxonomy, the injection-point
+registry, the retry/backoff policy, and resume semantics.
+"""
+
+from repro.faults.injection import (
+    CRASH_EXIT_CODE,
+    InjectedFault,
+    activate,
+    attempt_scope,
+    current_attempt,
+    mark_worker_process,
+    pending,
+    perform,
+)
+from repro.faults.plan import (
+    ENV_VAR,
+    KIND_CRASH,
+    KIND_DROP_TRAILER,
+    KIND_FAIL,
+    KIND_GARBLE_HEADER,
+    KIND_LOCK_STALE,
+    KIND_SITES,
+    KIND_SLOW,
+    KIND_TRUNCATE,
+    SITE_BUILD,
+    SITE_LOCK,
+    SITE_SAVE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from repro.faults.supervisor import (
+    BuildFailure,
+    BuildSupervisor,
+    RetryPolicy,
+    RunLedger,
+    SupervisorResult,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "BuildFailure",
+    "BuildSupervisor",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
+    "KIND_CRASH",
+    "KIND_DROP_TRAILER",
+    "KIND_FAIL",
+    "KIND_GARBLE_HEADER",
+    "KIND_LOCK_STALE",
+    "KIND_SITES",
+    "KIND_SLOW",
+    "KIND_TRUNCATE",
+    "RetryPolicy",
+    "RunLedger",
+    "SITE_BUILD",
+    "SITE_LOCK",
+    "SITE_SAVE",
+    "SupervisorResult",
+    "activate",
+    "attempt_scope",
+    "current_attempt",
+    "mark_worker_process",
+    "pending",
+    "perform",
+]

@@ -1,0 +1,175 @@
+"""Runtime injection points for deterministic fault plans.
+
+The pipeline's fault hooks all funnel through this module:
+
+* :func:`perform` executes *process-level* faults (worker crash, injected
+  exception, slow build) at :data:`~repro.faults.plan.SITE_BUILD`.
+* :func:`pending` merely *reports* the matching fault so the call site can
+  apply it itself — the save path in :mod:`repro.datasets.io` uses this to
+  corrupt its own output (truncated body, garbled header, dropped
+  trailer), and :class:`~repro.datasets.io.CacheLock` uses it to plant a
+  dead-owner lock file.
+
+Which plan is consulted:
+
+1. A plan explicitly activated with :func:`activate` (the build
+   supervisor activates its resolved plan around every task, shipping the
+   spec string to pool workers as a task argument, so workers never
+   depend on inherited globals).
+2. Otherwise, the :data:`~repro.faults.plan.ENV_VAR` environment
+   variable, parsed on each query — this is what lets tests and CI replay
+   an exact failure schedule against unmodified entry points.
+
+Activating ``None`` (or an empty plan) *suppresses* the environment
+fallback, so supervised builds are never perturbed by a stray variable.
+
+Attempt numbers come from :func:`attempt_scope`; outside any scope the
+attempt is 0, which is why a plain (unsupervised) call sees every
+``times>=1`` fault fire.  Nothing here reads the wall clock or draws
+randomness: firing is a pure function of (plan, site, key, attempt).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.faults.plan import (
+    KIND_CRASH,
+    KIND_FAIL,
+    KIND_SLOW,
+    FaultPlan,
+    FaultSpec,
+)
+
+#: Exit status used by injected worker crashes (os._exit), chosen to be
+#: recognizable in pool diagnostics.
+CRASH_EXIT_CODE = 113
+
+#: (activated?, plan) — when activated, the env fallback is suppressed.
+_active: tuple[bool, FaultPlan | None] = (False, None)
+
+#: Current attempt number for retry-aware faults (see attempt_scope).
+_attempt: int = 0
+
+#: True only in ProcessPoolExecutor workers (set by mark_worker_process);
+#: decides whether an injected "crash" may take the whole process down.
+_in_worker: bool = False
+
+
+class InjectedFault(RuntimeError):
+    """Raised when a ``fail`` fault fires (or a ``crash`` fires in-process).
+
+    Attributes:
+        spec: The fault clause that fired.
+        site: Injection site it fired at.
+        key: Key it matched.
+        attempt: Attempt number in effect when the fault fired.
+    """
+
+    def __init__(
+        self, spec: FaultSpec, site: str, key: str, attempt: int | None = None
+    ) -> None:
+        attempt = _attempt if attempt is None else attempt
+        super().__init__(
+            f"injected {spec.kind!r} fault at {site} for {key!r} "
+            f"(attempt {attempt})"
+        )
+        self.spec = spec
+        self.site = site
+        self.key = key
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Raised inside pool workers and shipped back pickled; the default
+        # BaseException reduction would re-call __init__ with the message
+        # string alone and fail, poisoning the pool's result queue.
+        return (type(self), (self.spec, self.site, self.key, self.attempt))
+
+
+def mark_worker_process() -> None:
+    """Pool-worker initializer: allow ``crash`` faults to really exit."""
+    global _in_worker
+    _in_worker = True
+
+
+@contextmanager
+def activate(plan: FaultPlan | None) -> Iterator[None]:
+    """Make ``plan`` the active fault plan for the dynamic extent.
+
+    ``activate(None)`` (and an empty plan) disables injection entirely,
+    including the environment fallback.
+    """
+    global _active
+    prev = _active
+    _active = (True, plan)
+    try:
+        yield
+    finally:
+        _active = prev
+
+
+@contextmanager
+def attempt_scope(attempt: int) -> Iterator[None]:
+    """Set the attempt number consulted by fault matching."""
+    global _attempt
+    prev = _attempt
+    _attempt = attempt
+    try:
+        yield
+    finally:
+        _attempt = prev
+
+
+def current_attempt() -> int:
+    """The attempt number in effect (0 outside any scope)."""
+    return _attempt
+
+
+def _plan() -> FaultPlan | None:
+    activated, plan = _active
+    if activated:
+        return plan
+    return FaultPlan.from_env()
+
+
+def pending(site: str, key: str) -> FaultSpec | None:
+    """The fault clause that fires for ``(site, key)`` now, if any.
+
+    Raises:
+        FaultPlanError: when the environment fallback holds a malformed
+            spec (surfaced rather than silently ignoring the plan).
+    """
+    plan = _plan()
+    if plan is None:
+        return None
+    return plan.match(site, key, _attempt)
+
+
+def perform(site: str, key: str) -> FaultSpec | None:
+    """Execute any process-level fault pending at ``(site, key)``.
+
+    * ``slow`` sleeps for the clause's delay and returns.
+    * ``fail`` raises :class:`InjectedFault`.
+    * ``crash`` calls ``os._exit`` in pool workers (producing a
+      ``BrokenProcessPool`` in the parent); in the coordinating process
+      it degrades to :class:`InjectedFault` so a fault plan can never
+      take down the supervisor itself.
+
+    Other kinds are returned for the call site to apply.
+    """
+    spec = pending(site, key)
+    if spec is None:
+        return None
+    if spec.kind == KIND_SLOW:
+        time.sleep(spec.delay_s)
+        return spec
+    if spec.kind == KIND_CRASH:
+        if _in_worker:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedFault(spec, site, key)
+    if spec.kind == KIND_FAIL:
+        raise InjectedFault(spec, site, key)
+    return spec

@@ -1,0 +1,250 @@
+"""Deterministic fault plans: *which* fault fires *where*, on *which attempt*.
+
+A :class:`FaultPlan` is a small, order-preserving list of
+:class:`FaultSpec` clauses.  Each clause names a fault ``kind`` (which
+implies the injection site it fires at), the ``key`` it matches at that
+site (a build-group name, a dataset name, or ``*`` for any), and how many
+*attempts* it fires on.  Firing is a pure function of
+``(plan, site, key, attempt)`` — there is no wall clock, no RNG, and no
+hidden per-process counter — so a plan replayed against the same build
+schedule injects exactly the same failures, in workers and in the
+coordinating process alike.
+
+Plans travel as compact strings (the :data:`ENV_VAR` environment variable,
+the ``--fault-plan`` CLI flag, and the argument the build supervisor ships
+to pool workers all use the same format)::
+
+    crash:uw3                       # kill the worker building group uw3 once
+    fail:*:times=2                  # every group build raises on attempts 0-1
+    slow:d2:delay=1.5               # group d2's first build sleeps 1.5s
+    truncate:UW1;drop-trailer:N2    # two save-corruption clauses
+
+Clause grammar: ``<kind>[:<key>][:times=N][:delay=S]``, clauses joined
+with ``;``.  A JSON array of ``{"kind", "key", "times", "delay_s"}``
+objects is also accepted (useful for generated plans).
+
+The injection-point registry (which kinds fire at which site, and what
+each does) is documented in ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: Environment variable carrying a fault-plan spec string.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Injection sites (see docs/ROBUSTNESS.md for the registry).
+SITE_BUILD = "build.group"
+SITE_SAVE = "io.save"
+SITE_LOCK = "lock.acquire"
+
+#: Fault kinds, and the site each fires at.
+KIND_CRASH = "crash"
+KIND_FAIL = "fail"
+KIND_SLOW = "slow"
+KIND_TRUNCATE = "truncate"
+KIND_GARBLE_HEADER = "garble-header"
+KIND_DROP_TRAILER = "drop-trailer"
+KIND_LOCK_STALE = "lock-stale"
+
+KIND_SITES: dict[str, str] = {
+    KIND_CRASH: SITE_BUILD,
+    KIND_FAIL: SITE_BUILD,
+    KIND_SLOW: SITE_BUILD,
+    KIND_TRUNCATE: SITE_SAVE,
+    KIND_GARBLE_HEADER: SITE_SAVE,
+    KIND_DROP_TRAILER: SITE_SAVE,
+    KIND_LOCK_STALE: SITE_LOCK,
+}
+
+#: Default injected delay for ``slow`` faults, seconds.
+DEFAULT_DELAY_S = 0.25
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed fault-plan specs (CLI maps this to exit 2)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One fault clause: a kind, a key filter, and an attempt budget.
+
+    Attributes:
+        kind: One of :data:`KIND_SITES`; determines the injection site.
+        key: Exact key to match at the site (build-group name for
+            :data:`SITE_BUILD`, dataset name for :data:`SITE_SAVE`, suite
+            directory name for :data:`SITE_LOCK`); ``"*"`` matches any.
+        times: Fire on attempts ``0 .. times-1`` of the matching
+            operation; the retrying supervisor increments the attempt
+            number, so a ``times=1`` fault hits the first try and lets
+            the retry succeed.
+        delay_s: Injected sleep for ``slow`` faults.
+    """
+
+    kind: str
+    key: str = "*"
+    times: int = 1
+    delay_s: float = DEFAULT_DELAY_S
+
+    def __post_init__(self) -> None:
+        if self.kind not in KIND_SITES:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {sorted(KIND_SITES)}"
+            )
+        if not self.key:
+            raise FaultPlanError(f"{self.kind}: empty key (use '*' for any)")
+        if self.times < 1:
+            raise FaultPlanError(f"{self.kind}:{self.key}: times must be >= 1")
+        if self.delay_s < 0:
+            raise FaultPlanError(f"{self.kind}:{self.key}: delay must be >= 0")
+
+    @property
+    def site(self) -> str:
+        return KIND_SITES[self.kind]
+
+    def matches(self, site: str, key: str, attempt: int) -> bool:
+        """Whether this clause fires for ``(site, key)`` on ``attempt``."""
+        return (
+            self.site == site
+            and (self.key == "*" or self.key == key)
+            and attempt < self.times
+        )
+
+    def to_clause(self) -> str:
+        """The canonical spec-string clause for this fault."""
+        parts = [self.kind, self.key]
+        if self.times != 1:
+            parts.append(f"times={self.times}")
+        if self.kind == KIND_SLOW and self.delay_s != DEFAULT_DELAY_S:
+            parts.append(f"delay={self.delay_s:g}")
+        return ":".join(parts)
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    fields = [f.strip() for f in clause.split(":")]
+    kind = fields[0]
+    key = "*"
+    options: dict[str, str] = {}
+    for i, part in enumerate(fields[1:]):
+        if "=" in part:
+            opt, _, value = part.partition("=")
+            options[opt.strip()] = value.strip()
+        elif i == 0:
+            key = part
+        else:
+            raise FaultPlanError(
+                f"clause {clause!r}: unexpected field {part!r} "
+                "(options must be name=value)"
+            )
+    times = 1
+    delay_s = DEFAULT_DELAY_S
+    for opt, value in options.items():
+        if opt == "times":
+            try:
+                times = int(value)
+            except ValueError:
+                raise FaultPlanError(
+                    f"clause {clause!r}: times must be an integer, got {value!r}"
+                ) from None
+        elif opt == "delay":
+            try:
+                delay_s = float(value)
+            except ValueError:
+                raise FaultPlanError(
+                    f"clause {clause!r}: delay must be a number, got {value!r}"
+                ) from None
+        else:
+            raise FaultPlanError(
+                f"clause {clause!r}: unknown option {opt!r} "
+                "(supported: times, delay)"
+            )
+    return FaultSpec(kind=kind, key=key, times=times, delay_s=delay_s)
+
+
+def _parse_json(text: str) -> tuple[FaultSpec, ...]:
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(f"bad JSON fault plan: {exc}") from exc
+    if not isinstance(raw, list):
+        raise FaultPlanError("JSON fault plan must be an array of objects")
+    specs = []
+    for entry in raw:
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise FaultPlanError(
+                f"JSON fault clause must be an object with a 'kind': {entry!r}"
+            )
+        unknown = set(entry) - {"kind", "key", "times", "delay_s"}
+        if unknown:
+            raise FaultPlanError(
+                f"JSON fault clause has unknown fields {sorted(unknown)}"
+            )
+        try:
+            specs.append(FaultSpec(**entry))
+        except TypeError as exc:
+            raise FaultPlanError(f"bad JSON fault clause {entry!r}: {exc}") from exc
+    return tuple(specs)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` clauses.
+
+    The first clause matching ``(site, key, attempt)`` wins, so more
+    specific clauses should precede wildcard ones.  An empty plan (from
+    ``FaultPlan.parse("")``) matches nothing; it is distinct from *no
+    plan* and suppresses any :data:`ENV_VAR` fallback while active.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a spec string (compact clause or JSON-array format).
+
+        Raises:
+            FaultPlanError: on any malformed clause.
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        if text.startswith("["):
+            return cls(specs=_parse_json(text))
+        return cls(
+            specs=tuple(
+                _parse_clause(clause)
+                for clause in text.split(";")
+                if clause.strip()
+            )
+        )
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan named by :data:`ENV_VAR`, or None when unset/empty.
+
+        Raises:
+            FaultPlanError: when the variable holds a malformed spec.
+        """
+        import os
+
+        raw = (environ if environ is not None else os.environ).get(ENV_VAR)
+        if raw is None or not raw.strip():
+            return None
+        return cls.parse(raw)
+
+    def match(self, site: str, key: str, attempt: int) -> FaultSpec | None:
+        """The first clause firing for ``(site, key)`` on ``attempt``."""
+        for spec in self.specs:
+            if spec.matches(site, key, attempt):
+                return spec
+        return None
+
+    def to_spec(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        return ";".join(spec.to_clause() for spec in self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

@@ -1,0 +1,385 @@
+"""A fault-tolerant supervisor for parallel build fan-out.
+
+:class:`BuildSupervisor` runs a set of labelled tasks (dataset build
+groups) to completion under a :class:`RetryPolicy`:
+
+* **Per-group retry** with capped exponential backoff; the jitter is
+  derived from ``(policy.seed, group, attempt)`` so two runs of the same
+  configuration back off identically (no wall-clock, no global RNG — the
+  current time and ``sleep`` are injectable for tests and the defaults
+  only *pace* the run, they never influence results).
+* **Per-attempt deadlines** (``RetryPolicy.timeout_s``): a pooled group
+  build that exceeds its deadline is abandoned and retried; the pool is
+  shut down without waiting so a hung worker cannot stall the run.
+* **BrokenProcessPool detection**: when a worker dies mid-task (crash,
+  OOM-kill, injected ``crash`` fault), results already collected are
+  kept, only the affected groups are retried, and the supervisor falls
+  back to serial in-process rebuilds for the remainder of the run.
+* **Attempt-scoped fault injection**: the active
+  :class:`~repro.faults.plan.FaultPlan` is shipped to every task as a
+  spec string together with the attempt number, so injected failure
+  schedules replay exactly across processes.
+
+Tasks must be module-level callables (picklable) with the signature
+``task(label, attempt, plan_spec, *task_args) -> payload``.  A successful
+payload is handed to the optional ``on_success`` callback in
+deterministic label order; exceptions from the callback propagate (the
+dataset pipeline uses this for fail-fast save errors).
+
+:class:`RunLedger` is the tiny crash-safe completion journal behind
+``repro suite --resume``: each completed group is recorded with an atomic
+write-then-rename, so an interrupted run can tell *finished* groups from
+merely-present files and skip straight to the unfinished work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.faults import injection
+from repro.faults.plan import FaultPlan
+
+#: Outcome kinds a round can report for one label.
+_OK, _ERROR, _TIMEOUT, _BROKEN = "ok", "error", "timeout", "broken"
+
+
+class BuildFailure(RuntimeError):
+    """One or more groups exhausted their retry budget.
+
+    Attributes:
+        failures: label -> human-readable reason for the final failure.
+    """
+
+    def __init__(self, failures: dict[str, str]) -> None:
+        detail = "; ".join(f"{label}: {reason}" for label, reason in failures.items())
+        super().__init__(f"{len(failures)} build group(s) failed: {detail}")
+        self.failures = dict(failures)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retry/backoff/deadline knobs for supervised builds.
+
+    Attributes:
+        max_attempts: Total tries per group (first attempt included).
+        base_delay_s: Backoff before the second attempt; doubles per
+            retry up to ``cap_delay_s``.
+        cap_delay_s: Upper bound on any single backoff sleep.
+        timeout_s: Per-attempt wall-clock deadline for pooled builds
+            (None = unbounded).  Serial in-process attempts cannot be
+            interrupted and run unbounded.
+        seed: Jitter derivation seed (the run seed), so backoff pacing
+            is reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    cap_delay_s: float = 2.0
+    timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    def backoff_s(self, label: str, attempt: int) -> float:
+        """Deterministic jittered backoff before retry ``attempt``.
+
+        Exponential in the attempt number, capped, then scaled by a
+        jitter factor in [0.5, 1.5) drawn from a stream derived from
+        ``(seed, label, attempt)`` — identical schedules on every run.
+        """
+        base = min(self.cap_delay_s, self.base_delay_s * (2 ** max(0, attempt - 1)))
+        label_tag = int.from_bytes(
+            hashlib.sha256(label.encode()).digest()[:4], "big"
+        )
+        rng = np.random.default_rng((self.seed, 0xFA017, label_tag, attempt))
+        return base * (0.5 + rng.random())
+
+
+@dataclass(slots=True)
+class SupervisorResult:
+    """What a supervised run produced.
+
+    Attributes:
+        results: label -> task payload, for every label that succeeded.
+        failures: label -> reason, for labels that exhausted retries.
+        attempts: label -> attempts consumed (successes and failures).
+    """
+
+    results: dict[str, object] = field(default_factory=dict)
+    failures: dict[str, str] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+
+
+class BuildSupervisor:
+    """Runs labelled tasks to completion under a :class:`RetryPolicy`.
+
+    Args:
+        policy: Retry/backoff/deadline configuration.
+        plan: Fault plan to ship to every task attempt (None = no
+            injection; tasks also ignore any ambient env plan because an
+            explicit — possibly empty — plan is always activated).
+        clock: Monotonic-time source for deadlines (injectable so the
+            supervisor itself never reads a wall clock; defaults to
+            ``time.monotonic``).
+        sleep: Backoff sleeper (defaults to ``time.sleep``).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        *,
+        plan: FaultPlan | None = None,
+        clock: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.policy = policy
+        self.plan = plan
+        self._clock = clock if clock is not None else time.monotonic
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    def run(
+        self,
+        task: Callable,
+        labels: Sequence[str],
+        task_args: tuple = (),
+        *,
+        jobs: int = 1,
+        report=None,
+        progress: Callable[[str], None] | None = None,
+        on_success: Callable[[str, object], None] | None = None,
+    ) -> SupervisorResult:
+        """Run ``task`` for every label until success or retry exhaustion.
+
+        Labels run in rounds: each round executes every still-pending
+        label once (pooled when ``jobs > 1``, else serially in-process),
+        then failed labels back off and re-enter the next round.  Pool
+        breakage permanently demotes the run to serial fallback.
+        """
+        prog = progress if progress is not None else (lambda _msg: None)
+        plan_spec = self.plan.to_spec() if self.plan is not None else ""
+        out = SupervisorResult()
+        pending = {label: 0 for label in labels}
+        force_serial = False
+        while pending:
+            order = [label for label in labels if label in pending]
+            n_jobs = 1 if force_serial else min(jobs, len(order))
+            if n_jobs > 1:
+                outcomes, broke = self._parallel_round(
+                    task, order, pending, plan_spec, task_args, n_jobs
+                )
+                if broke:
+                    force_serial = True
+            else:
+                outcomes = self._serial_round(
+                    task, order, pending, plan_spec, task_args
+                )
+            retried: list[tuple[str, int]] = []
+            for label in order:
+                status, payload = outcomes[label]
+                attempt_no = pending[label] + 1
+                if status == _OK:
+                    out.results[label] = payload
+                    out.attempts[label] = attempt_no
+                    del pending[label]
+                    if on_success is not None:
+                        on_success(label, payload)
+                    continue
+                reason = str(payload)
+                if status == _BROKEN and report is not None:
+                    report.fault(
+                        f"{label}: {reason}; serial fallback for remaining groups"
+                    )
+                if attempt_no >= self.policy.max_attempts:
+                    out.failures[label] = reason
+                    out.attempts[label] = attempt_no
+                    del pending[label]
+                    if report is not None:
+                        report.fail_group(label, reason)
+                    prog(
+                        f"{label}: giving up after {attempt_no} attempt(s): {reason}"
+                    )
+                else:
+                    pending[label] = attempt_no
+                    retried.append((label, attempt_no))
+                    if report is not None:
+                        report.retry(label, reason)
+                    prog(
+                        f"{label}: attempt {attempt_no}/"
+                        f"{self.policy.max_attempts} failed ({reason}); retrying"
+                    )
+            if pending and retried:
+                delay = max(
+                    self.policy.backoff_s(label, attempt)
+                    for label, attempt in retried
+                )
+                if report is not None:
+                    report.record("supervisor", "backoff", delay)
+                self._sleep(delay)
+        return out
+
+    def _serial_round(
+        self,
+        task: Callable,
+        order: list[str],
+        attempts: dict[str, int],
+        plan_spec: str,
+        task_args: tuple,
+    ) -> dict[str, tuple[str, object]]:
+        """Run one attempt of each label in-process, in label order."""
+        outcomes: dict[str, tuple[str, object]] = {}
+        for label in order:
+            try:
+                outcomes[label] = (
+                    _OK,
+                    task(label, attempts[label], plan_spec, *task_args),
+                )
+            except injection.InjectedFault as exc:
+                outcomes[label] = (_ERROR, str(exc))
+            except Exception as exc:  # justified: the supervisor's contract is converting any group failure into a retry/failure record, whatever the builder raised
+                outcomes[label] = (_ERROR, f"{type(exc).__name__}: {exc}")
+        return outcomes
+
+    def _parallel_round(
+        self,
+        task: Callable,
+        order: list[str],
+        attempts: dict[str, int],
+        plan_spec: str,
+        task_args: tuple,
+        n_jobs: int,
+    ) -> tuple[dict[str, tuple[str, object]], bool]:
+        """Run one attempt of each label across a worker pool.
+
+        Returns the per-label outcomes plus whether the pool broke (a
+        worker died); on breakage, results collected before the break
+        are kept and only the affected labels report failures.
+        """
+        outcomes: dict[str, tuple[str, object]] = {}
+        broke = False
+        pool = ProcessPoolExecutor(
+            max_workers=n_jobs, initializer=injection.mark_worker_process
+        )
+        try:
+            futures = {
+                label: pool.submit(
+                    task, label, attempts[label], plan_spec, *task_args
+                )
+                for label in order
+            }
+            start = self._clock()
+            for label in order:
+                remaining: float | None = None
+                if self.policy.timeout_s is not None:
+                    remaining = max(
+                        0.0, self.policy.timeout_s - (self._clock() - start)
+                    )
+                try:
+                    outcomes[label] = (_OK, futures[label].result(timeout=remaining))
+                except FutureTimeoutError:
+                    futures[label].cancel()
+                    outcomes[label] = (
+                        _TIMEOUT,
+                        f"build deadline {self.policy.timeout_s:g}s exceeded",
+                    )
+                except BrokenProcessPool:
+                    broke = True
+                    outcomes[label] = (
+                        _BROKEN,
+                        "worker process died (broken pool)",
+                    )
+                except injection.InjectedFault as exc:
+                    outcomes[label] = (_ERROR, str(exc))
+                except Exception as exc:  # justified: worker exceptions of any type must become retry/failure records, not abort sibling groups
+                    outcomes[label] = (_ERROR, f"{type(exc).__name__}: {exc}")
+        finally:
+            # Never wait: a hung or crashed worker must not stall the
+            # supervisor.  Orphaned sleepers are reaped at interpreter
+            # exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes, broke
+
+
+class RunLedger:
+    """Crash-safe journal of completed build groups for one suite dir.
+
+    The ledger is a small JSON file (``run-ledger.json``) updated with an
+    atomic write-then-rename after each group's datasets are saved and
+    verified.  ``repro suite --resume`` reads it to skip groups a prior
+    interrupted run already finished; entries are keyed to (seed, scale)
+    so a ledger can never resume a different configuration.  Contents are
+    operational metadata only — never dataset content — and carry no
+    timestamps, so ledger files are themselves reproducible.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str | Path, *, seed: int, scale: float) -> None:
+        self.path = Path(path)
+        self.seed = seed
+        self.scale = scale
+
+    def _load(self) -> dict:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != self.VERSION
+            or raw.get("seed") != self.seed
+            or raw.get("scale") != self.scale
+            or not isinstance(raw.get("completed"), dict)
+        ):
+            return {}
+        return raw
+
+    def completed(self) -> dict[str, list[str]]:
+        """group -> dataset names recorded as completed, for this config."""
+        completed = self._load().get("completed", {})
+        return {
+            group: list(names)
+            for group, names in completed.items()
+            if isinstance(names, list)
+        }
+
+    def _write(self, completed: dict[str, list[str]]) -> None:
+        payload = {
+            "version": self.VERSION,
+            "seed": self.seed,
+            "scale": self.scale,
+            "completed": {g: completed[g] for g in sorted(completed)},
+        }
+        tmp = self.path.with_name(f".{self.path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def mark(self, group: str, datasets: Sequence[str]) -> None:
+        """Record ``group`` (and the datasets it saved) as completed."""
+        completed = self.completed()
+        completed[group] = list(datasets)
+        self._write(completed)
+
+    def clear(self, groups: Sequence[str]) -> None:
+        """Drop completion records for groups about to be rebuilt."""
+        completed = self.completed()
+        remaining = {g: n for g, n in completed.items() if g not in set(groups)}
+        if remaining != completed:
+            self._write(remaining)

@@ -257,3 +257,87 @@ def test_cache_lock_respects_live_owner(tmp_path):
     lock = CacheLock(tmp_path, timeout_s=0.1, poll_interval_s=0.01)
     with pytest.raises(CacheLockTimeout):
         lock.acquire()
+
+
+# -- structural verification and mid-record damage ---------------------------
+
+
+def test_truncated_mid_record_rejected(mini_dataset, tmp_path):
+    """A file cut mid-record-line (torn write) is rejected, not parsed."""
+    path = tmp_path / "torn.jsonl"
+    save_dataset(mini_dataset, path)
+    text = path.read_text()
+    lines = text.splitlines()
+    # Cut the second record line in half: invalid JSON mid-file.
+    lines[2] = lines[2][: len(lines[2]) // 2]
+    path.write_text("\n".join(lines[:3]) + "\n")
+    with pytest.raises(DatasetIOError, match="bad record"):
+        load_dataset(path)
+
+
+def test_verify_dataset_file_accepts_clean_save(mini_dataset, tmp_path):
+    from repro.datasets.io import verify_dataset_file
+
+    path = tmp_path / "ok.jsonl"
+    save_dataset(mini_dataset, path)
+    n = verify_dataset_file(path)
+    assert n == len(mini_dataset.records)
+
+
+def test_verify_dataset_file_rejects_structural_damage(mini_dataset, tmp_path):
+    from repro.datasets.io import verify_dataset_file
+
+    path = tmp_path / "v.jsonl"
+    save_dataset(mini_dataset, path)
+    pristine = path.read_text()
+    lines = pristine.splitlines()
+
+    # Missing trailer (crash before the final line).
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(DatasetIOError, match="trailer"):
+        verify_dataset_file(path)
+
+    # Record-count mismatch (records dropped, trailer intact).
+    path.write_text("\n".join(lines[:2] + lines[-1:]) + "\n")
+    with pytest.raises(DatasetIOError, match="truncated"):
+        verify_dataset_file(path)
+
+    # Garbled header.
+    path.write_text('{"format_version": <<<\n' + "\n".join(lines[1:]) + "\n")
+    with pytest.raises(DatasetIOError, match="bad header"):
+        verify_dataset_file(path)
+
+    # Garbled trailer line.
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:5] + "\n")
+    with pytest.raises(DatasetIOError, match="trailer"):
+        verify_dataset_file(path)
+
+    # Header-only file.
+    path.write_text(lines[0] + "\n")
+    with pytest.raises(DatasetIOError, match="trailer"):
+        verify_dataset_file(path)
+
+    # And the pristine bytes still verify.
+    path.write_text(pristine)
+    verify_dataset_file(path)
+
+
+def test_cache_lock_release_after_stale_takeover(tmp_path):
+    """Regression: a lock holder whose lock was broken and taken over by
+    a peer must not unlink the peer's lock on release."""
+    lock = CacheLock(tmp_path)
+    lock.acquire()
+    lock_file = tmp_path / ".build.lock"
+    peer = {"pid": os.getpid() + 1, "token": "peer-token", "t": 0}
+    lock_file.write_text(json.dumps(peer))  # peer broke + re-acquired
+    lock.release()
+    assert json.loads(lock_file.read_text()) == peer
+    lock_file.unlink()
+
+
+def test_cache_lock_release_is_idempotent_when_lock_vanishes(tmp_path):
+    lock = CacheLock(tmp_path)
+    lock.acquire()
+    (tmp_path / ".build.lock").unlink()
+    lock.release()  # must not raise
+    assert not (tmp_path / ".build.lock").exists()

@@ -208,3 +208,42 @@ def test_report_phases_and_summary(tmp_path, monkeypatch, tiny_cfg):
     summary = warm.summary()
     assert "8 cache hit(s)" in summary
     assert "load" in summary
+
+
+def test_corrupt_cache_file_quarantined_not_reparsed(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    """An unreadable cache file is renamed to a .corrupt-<hash> corpse
+    once, recorded in the report, and never re-parsed on later runs."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg)
+    victim = _suite_files(tmp_path / "cache")["UW3.jsonl"]
+    victim.write_text("garbage\n")
+    report = BuildReport()
+    get_datasets(tiny_cfg, report=report)
+    corpses = list(victim.parent.glob("UW3.jsonl.corrupt-*"))
+    assert len(corpses) == 1
+    assert corpses[0].read_text() == "garbage\n"
+    assert len(report.quarantined) == 1
+    assert "UW3" in report.quarantined[0]
+    # The rebuilt file is valid: the next run neither misses nor
+    # quarantines anything, and the corpse is left alone.
+    rep2 = BuildReport()
+    get_datasets(tiny_cfg, report=rep2)
+    assert rep2.cache_misses == []
+    assert rep2.quarantined == []
+    assert list(victim.parent.glob("UW3.jsonl.corrupt-*")) == corpses
+
+
+def test_missing_file_is_plain_miss_without_quarantine(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg)
+    files = _suite_files(tmp_path / "cache")
+    files["UW1.jsonl"].unlink()
+    report = BuildReport()
+    get_datasets(tiny_cfg, report=report)
+    assert report.cache_misses == ["UW1"]
+    assert report.quarantined == []
+    assert not list((tmp_path / "cache").rglob("*.corrupt-*"))

@@ -1,0 +1,189 @@
+"""Fault-matrix integration tests: injected faults against the real pipeline.
+
+Every test pins an explicit ``fault_plan`` (possibly the empty plan, which
+suppresses any ambient ``REPRO_FAULT_PLAN``), so the suite behaves
+identically under CI's fixed-plan replay job and a plain local run.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.datasets import BuildConfig, BuildReport
+from repro.experiments import runner
+from repro.experiments.runner import get_datasets
+from repro.faults import BuildFailure
+
+ALL_NAMES = {"D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"}
+
+
+@pytest.fixture()
+def tiny_cfg():
+    return BuildConfig(seed=31, scale=0.02)
+
+
+def _suite_dir(root, cfg):
+    return root / f"seed{cfg.seed}-scale{cfg.scale:g}"
+
+
+def _hashes(suite):
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in suite.glob("*.jsonl")
+    }
+
+
+def test_faulted_run_is_byte_identical_to_clean_run(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    """The headline guarantee: a run that survives injected worker
+    crashes and cache corruption produces byte-identical artifacts."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+    get_datasets(tiny_cfg, jobs=2, fault_plan="")
+    clean = _hashes(_suite_dir(tmp_path / "clean", tiny_cfg))
+    assert len(clean) == 8
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "faulted"))
+    report = BuildReport()
+    plan = "crash:uw3;truncate:N2;garble-header:UW1;drop-trailer:UW4-A"
+    datasets = get_datasets(tiny_cfg, jobs=2, fault_plan=plan, report=report)
+    assert set(datasets) == ALL_NAMES
+    faulted = _hashes(_suite_dir(tmp_path / "faulted", tiny_cfg))
+    # Quarantined corpses don't count; the eight live files must match.
+    assert {n: h for n, h in faulted.items()} == clean
+    # The faults really fired: builds retried, corrupt saves quarantined.
+    assert report.n_retries > 0
+    assert any("N2" in entry for entry in report.quarantined)
+    assert report.failed_groups == []
+
+
+def test_fail_fault_retries_to_success_serially(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    report = BuildReport()
+    datasets = get_datasets(
+        tiny_cfg, jobs=1, fault_plan="fail:d2:times=2", report=report
+    )
+    assert set(datasets) == ALL_NAMES
+    assert report.n_retries == 2
+    assert all("injected" in entry for entry in report.retries)
+
+
+def test_retry_exhaustion_raises_build_failure(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    with pytest.raises(BuildFailure) as exc_info:
+        get_datasets(tiny_cfg, jobs=1, fault_plan="fail:uw3:times=99")
+    assert "uw3" in exc_info.value.failures
+
+
+def test_keep_going_returns_partial_suite(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    report = BuildReport()
+    datasets = get_datasets(
+        tiny_cfg,
+        jobs=1,
+        fault_plan="fail:uw3:times=99",
+        keep_going=True,
+        report=report,
+    )
+    assert set(datasets) == ALL_NAMES - {"UW3"}
+    assert report.failed_datasets == ["uw3"]
+    # The failed group is not recorded as complete in the ledger.
+    ledger_path = _suite_dir(tmp_path / "cache", tiny_cfg) / "run-ledger.json"
+    completed = json.loads(ledger_path.read_text())["completed"]
+    assert "uw3" not in completed
+    assert set(completed) == {"d2", "n2", "uw1", "uw4"}
+
+
+def test_lock_stale_injection_exercises_takeover(tmp_path, monkeypatch, tiny_cfg):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    datasets = get_datasets(tiny_cfg, jobs=1, fault_plan="lock-stale")
+    assert set(datasets) == ALL_NAMES
+    suite = _suite_dir(tmp_path / "cache", tiny_cfg)
+    # The planted dead-owner lock was broken, ours was released after.
+    assert not (suite / ".build.lock").exists()
+
+
+def test_resume_skips_groups_finished_before_interruption(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    """A mid-run kill leaves some groups ledgered; --resume reports them
+    and rebuilds only the unfinished ones."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    # First run "dies" with group n2 never completing (keep_going stands
+    # in for the kill: everything else is saved and ledgered).
+    get_datasets(
+        tiny_cfg, jobs=1, fault_plan="fail:n2:times=99", keep_going=True
+    )
+    suite = _suite_dir(tmp_path / "cache", tiny_cfg)
+    before = _hashes(suite)
+    assert set(before) == {f"{n}.jsonl" for n in ALL_NAMES - {"N2", "N2-NA"}}
+
+    report = BuildReport()
+    datasets = get_datasets(
+        tiny_cfg, jobs=1, fault_plan="", resume=True, report=report
+    )
+    assert set(datasets) == ALL_NAMES
+    assert sorted(report.resumed_groups) == ["d2", "uw1", "uw3", "uw4"]
+    assert sorted(report.cache_misses) == ["N2", "N2-NA"]
+    assert report.n_cache_hits == 6
+    # Only the n2 group was built; the six finished files are untouched.
+    build_labels = {e.label for e in report.events if e.phase == "build"}
+    assert build_labels == {"n2 -> N2-NA+N2"}
+    after = _hashes(suite)
+    for name, digest in before.items():
+        assert after[name] == digest
+
+
+def test_resume_with_stale_ledger_entry_rebuilds(tmp_path, monkeypatch, tiny_cfg):
+    """A ledgered group whose cache file was later damaged is rebuilt,
+    not trusted."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    get_datasets(tiny_cfg, jobs=1, fault_plan="")
+    suite = _suite_dir(tmp_path / "cache", tiny_cfg)
+    (suite / "UW3.jsonl").unlink()
+    report = BuildReport()
+    datasets = get_datasets(
+        tiny_cfg, jobs=1, fault_plan="", resume=True, report=report
+    )
+    assert set(datasets) == ALL_NAMES
+    assert "uw3" not in report.resumed_groups
+    assert any("stale" in note for note in report.fault_notes)
+    assert report.cache_misses == ["UW3"]
+
+
+def test_build_timeout_abandons_and_retries_slow_group(
+    tmp_path, monkeypatch, tiny_cfg
+):
+    """An injected slow build blows the per-attempt deadline; the retry
+    (without the fault) completes and artifacts are still canonical."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
+    get_datasets(tiny_cfg, jobs=2, fault_plan="")
+    clean = _hashes(_suite_dir(tmp_path / "clean", tiny_cfg))
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "slow"))
+    report = BuildReport()
+    datasets = get_datasets(
+        tiny_cfg,
+        jobs=2,
+        fault_plan="slow:uw1:delay=15",
+        build_timeout=6.0,
+        report=report,
+    )
+    assert set(datasets) == ALL_NAMES
+    assert any("deadline" in entry for entry in report.retries)
+    assert _hashes(_suite_dir(tmp_path / "slow", tiny_cfg)) == clean
+
+
+def test_timeout_env_var(monkeypatch):
+    monkeypatch.delenv(runner.TIMEOUT_ENV_VAR, raising=False)
+    assert runner.resolve_build_timeout(None) is None
+    assert runner.resolve_build_timeout(2.5) == 2.5
+    monkeypatch.setenv(runner.TIMEOUT_ENV_VAR, "7.5")
+    assert runner.resolve_build_timeout(None) == 7.5
+    assert runner.resolve_build_timeout(1.0) == 1.0  # argument wins
+    monkeypatch.setenv(runner.TIMEOUT_ENV_VAR, "soon")
+    with pytest.raises(ValueError):
+        runner.resolve_build_timeout(None)
+    with pytest.raises(ValueError):
+        runner.resolve_build_timeout(-1.0)

@@ -1,0 +1,109 @@
+"""Tests for the runtime injection points (activation, attempts, perform)."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.faults import injection
+from repro.faults.plan import (
+    ENV_VAR,
+    SITE_BUILD,
+    SITE_SAVE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+
+
+def test_activation_overrides_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "fail:from-env")
+    with injection.activate(FaultPlan.parse("fail:from-plan")):
+        assert injection.pending(SITE_BUILD, "from-plan") is not None
+        assert injection.pending(SITE_BUILD, "from-env") is None
+
+
+def test_activating_none_suppresses_env(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "fail:*")
+    assert injection.pending(SITE_BUILD, "x") is not None  # env fallback
+    with injection.activate(None):
+        assert injection.pending(SITE_BUILD, "x") is None
+    with injection.activate(FaultPlan()):
+        assert injection.pending(SITE_BUILD, "x") is None
+    # Fallback restored after the scope.
+    assert injection.pending(SITE_BUILD, "x") is not None
+
+
+def test_env_fallback_surfaces_parse_errors(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "not-a-kind")
+    with pytest.raises(FaultPlanError):
+        injection.pending(SITE_BUILD, "x")
+
+
+def test_attempt_scope_nesting():
+    assert injection.current_attempt() == 0
+    with injection.attempt_scope(2):
+        assert injection.current_attempt() == 2
+        with injection.attempt_scope(5):
+            assert injection.current_attempt() == 5
+        assert injection.current_attempt() == 2
+    assert injection.current_attempt() == 0
+
+
+def test_attempt_gates_firing():
+    plan = FaultPlan.parse("fail:uw3:times=2")
+    with injection.activate(plan):
+        with injection.attempt_scope(1):
+            assert injection.pending(SITE_BUILD, "uw3") is not None
+        with injection.attempt_scope(2):
+            assert injection.pending(SITE_BUILD, "uw3") is None
+
+
+def test_perform_fail_raises():
+    with injection.activate(FaultPlan.parse("fail:uw3")):
+        with pytest.raises(injection.InjectedFault) as exc_info:
+            injection.perform(SITE_BUILD, "uw3")
+    assert exc_info.value.key == "uw3"
+    assert exc_info.value.site == SITE_BUILD
+
+
+def test_perform_crash_degrades_to_exception_in_parent():
+    """A crash fault outside a pool worker must never kill the process."""
+    with injection.activate(FaultPlan.parse("crash:*")):
+        with pytest.raises(injection.InjectedFault):
+            injection.perform(SITE_BUILD, "uw3")
+
+
+def test_perform_slow_sleeps_then_returns():
+    plan = FaultPlan.parse("slow:uw3:delay=0.05")
+    with injection.activate(plan):
+        start = time.perf_counter()
+        spec = injection.perform(SITE_BUILD, "uw3")
+        assert time.perf_counter() - start >= 0.05
+    assert spec is not None and spec.kind == "slow"
+
+
+def test_perform_no_match_is_noop():
+    with injection.activate(FaultPlan.parse("fail:uw3")):
+        assert injection.perform(SITE_BUILD, "other") is None
+        assert injection.perform(SITE_SAVE, "uw3") is None
+
+
+def test_pending_returns_corruption_faults_unexecuted():
+    with injection.activate(FaultPlan.parse("truncate:N2")):
+        spec = injection.pending(SITE_SAVE, "N2")
+    assert spec == FaultSpec(kind="truncate", key="N2")
+
+
+def test_injected_fault_pickles_round_trip():
+    """Raised in pool workers and shipped back through the result queue."""
+    with injection.activate(FaultPlan.parse("fail:uw3:times=2")):
+        with injection.attempt_scope(1):
+            with pytest.raises(injection.InjectedFault) as exc_info:
+                injection.perform(SITE_BUILD, "uw3")
+    clone = pickle.loads(pickle.dumps(exc_info.value))
+    assert isinstance(clone, injection.InjectedFault)
+    assert clone.spec == exc_info.value.spec
+    assert clone.key == "uw3"
+    assert clone.attempt == 1
+    assert str(clone) == str(exc_info.value)

@@ -1,0 +1,107 @@
+"""Tests for fault-plan parsing, matching, and round-tripping."""
+
+import pytest
+
+from repro.faults.plan import (
+    ENV_VAR,
+    KIND_SITES,
+    SITE_BUILD,
+    SITE_SAVE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+
+
+def test_parse_compact_clauses():
+    plan = FaultPlan.parse("crash:uw3;fail:*:times=2;slow:d2:delay=1.5")
+    assert [s.kind for s in plan.specs] == ["crash", "fail", "slow"]
+    assert plan.specs[0].key == "uw3"
+    assert plan.specs[1] == FaultSpec(kind="fail", key="*", times=2)
+    assert plan.specs[2].delay_s == 1.5
+
+
+def test_parse_defaults():
+    plan = FaultPlan.parse("truncate")
+    (spec,) = plan.specs
+    assert spec.key == "*"
+    assert spec.times == 1
+    assert spec.site == SITE_SAVE
+
+
+def test_parse_empty_is_empty_plan():
+    assert FaultPlan.parse("") == FaultPlan()
+    assert not FaultPlan.parse("  ")
+    assert FaultPlan.parse(";;") == FaultPlan()
+
+
+def test_spec_round_trips():
+    plan = FaultPlan.parse(
+        "crash:uw3;fail:*:times=2;slow:d2:delay=1.5;drop-trailer:N2"
+    )
+    assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+def test_parse_json_array():
+    plan = FaultPlan.parse(
+        '[{"kind": "crash", "key": "uw3"}, {"kind": "truncate", "times": 2}]'
+    )
+    assert plan.specs[0] == FaultSpec(kind="crash", key="uw3")
+    assert plan.specs[1].times == 2
+    assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "explode:uw3",                      # unknown kind
+        "crash:uw3:times=0",                # times < 1
+        "crash:uw3:times=soon",             # non-integer times
+        "slow:d2:delay=-1",                 # negative delay
+        "crash:uw3:frequency=2",            # unknown option
+        "crash:uw3:extra",                  # stray positional field
+        "fail:",                            # explicit empty key
+        "[{]",                              # bad JSON
+        '{"kind": "crash"}',                # JSON but not an array
+        '[{"key": "uw3"}]',                 # object without kind
+        '[{"kind": "crash", "when": 1}]',   # unknown JSON field
+        '[{"kind": "crash", "times": "x"}]',
+    ],
+)
+def test_malformed_specs_rejected(bad):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse(bad)
+
+
+def test_match_site_key_and_attempt():
+    plan = FaultPlan.parse("fail:uw3:times=2")
+    assert plan.match(SITE_BUILD, "uw3", 0) is not None
+    assert plan.match(SITE_BUILD, "uw3", 1) is not None
+    assert plan.match(SITE_BUILD, "uw3", 2) is None       # budget spent
+    assert plan.match(SITE_BUILD, "d2", 0) is None        # key mismatch
+    assert plan.match(SITE_SAVE, "uw3", 0) is None        # site mismatch
+
+
+def test_match_first_clause_wins():
+    plan = FaultPlan.parse("slow:uw3;fail:*")
+    assert plan.match(SITE_BUILD, "uw3", 0).kind == "slow"
+    assert plan.match(SITE_BUILD, "d2", 0).kind == "fail"
+
+
+def test_every_kind_has_a_site():
+    for kind, site in KIND_SITES.items():
+        spec = FaultSpec(kind=kind)
+        assert spec.site == site
+        assert spec.matches(site, "anything", 0)
+
+
+def test_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert FaultPlan.from_env() is None
+    monkeypatch.setenv(ENV_VAR, "   ")
+    assert FaultPlan.from_env() is None
+    monkeypatch.setenv(ENV_VAR, "crash:uw3")
+    assert FaultPlan.from_env() == FaultPlan.parse("crash:uw3")
+    monkeypatch.setenv(ENV_VAR, "bogus:kind")
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_env()

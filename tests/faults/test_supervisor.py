@@ -1,0 +1,200 @@
+"""Tests for the retrying build supervisor and the run ledger."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.datasets import BuildReport
+from repro.faults.supervisor import (
+    BuildFailure,
+    BuildSupervisor,
+    RetryPolicy,
+    RunLedger,
+)
+
+# Tasks must be module-level so pool workers can unpickle them by
+# reference.  Signature: task(label, attempt, plan_spec, *task_args).
+
+
+def ok_task(label, attempt, plan_spec):
+    return f"{label}@{attempt}"
+
+
+def flaky_task(label, attempt, plan_spec, fail_below):
+    if attempt < fail_below:
+        raise RuntimeError(f"boom {label} attempt {attempt}")
+    return (label, attempt)
+
+
+def crashing_task(label, attempt, plan_spec):
+    if attempt == 0:
+        os._exit(113)
+    return (label, attempt)
+
+
+def sleeping_task(label, attempt, plan_spec, duration_s):
+    if label == "slowpoke" and attempt == 0:
+        time.sleep(duration_s)
+    return (label, attempt)
+
+
+def _fast_policy(**overrides):
+    kwargs = dict(max_attempts=3, base_delay_s=0.001, cap_delay_s=0.002, seed=7)
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs)
+
+
+def test_all_succeed_first_try():
+    sup = BuildSupervisor(_fast_policy())
+    result = sup.run(ok_task, ["a", "b", "c"])
+    assert result.results == {"a": "a@0", "b": "b@0", "c": "c@0"}
+    assert result.failures == {}
+    assert result.attempts == {"a": 1, "b": 1, "c": 1}
+
+
+def test_retry_until_success_records_report():
+    report = BuildReport()
+    sup = BuildSupervisor(_fast_policy())
+    result = sup.run(flaky_task, ["a", "b"], (1,), report=report)
+    assert result.results == {"a": ("a", 1), "b": ("b", 1)}
+    assert result.attempts == {"a": 2, "b": 2}
+    assert report.n_retries == 2
+    assert all("boom" in entry for entry in report.retries)
+    assert report.phase_seconds("backoff") > 0
+
+
+def test_retry_exhaustion_reports_failure():
+    report = BuildReport()
+    sup = BuildSupervisor(_fast_policy(max_attempts=2))
+    result = sup.run(flaky_task, ["a", "b"], (99,), report=report)
+    assert result.results == {}
+    assert set(result.failures) == {"a", "b"}
+    assert result.attempts == {"a": 2, "b": 2}
+    assert report.failed_datasets == ["a", "b"]
+    raised = BuildFailure(result.failures)
+    assert "a" in str(raised) and "boom" in str(raised)
+
+
+def test_on_success_called_in_label_order():
+    seen = []
+    sup = BuildSupervisor(_fast_policy())
+    sup.run(ok_task, ["z", "a", "m"], on_success=lambda lb, _: seen.append(lb))
+    assert seen == ["z", "a", "m"]
+
+
+def test_on_success_exception_propagates():
+    sup = BuildSupervisor(_fast_policy())
+
+    def explode(label, payload):
+        raise BuildFailure({label: "save failed"})
+
+    with pytest.raises(BuildFailure):
+        sup.run(ok_task, ["a"], on_success=explode)
+
+
+def test_backoff_is_deterministic_and_jittered():
+    a = RetryPolicy(base_delay_s=0.1, cap_delay_s=10.0, seed=42)
+    b = RetryPolicy(base_delay_s=0.1, cap_delay_s=10.0, seed=42)
+    assert a.backoff_s("uw3", 1) == b.backoff_s("uw3", 1)
+    assert a.backoff_s("uw3", 1) != a.backoff_s("d2", 1)
+    assert a.backoff_s("uw3", 1) != a.backoff_s("uw3", 2)
+    # Jitter stays within [0.5, 1.5) of the capped exponential base.
+    for attempt in (1, 2, 3):
+        base = min(10.0, 0.1 * 2 ** (attempt - 1))
+        delay = a.backoff_s("uw3", attempt)
+        assert 0.5 * base <= delay < 1.5 * base
+    # A different seed paces differently.
+    c = RetryPolicy(base_delay_s=0.1, cap_delay_s=10.0, seed=43)
+    assert c.backoff_s("uw3", 1) != a.backoff_s("uw3", 1)
+
+
+def test_injectable_sleep_receives_backoff_delays():
+    slept = []
+    sup = BuildSupervisor(_fast_policy(), sleep=slept.append)
+    sup.run(flaky_task, ["a"], (2,))
+    assert len(slept) == 2
+    policy = _fast_policy()
+    assert slept == [policy.backoff_s("a", 1), policy.backoff_s("a", 2)]
+
+
+def test_worker_crash_breaks_pool_and_falls_back_to_serial():
+    """An os._exit in a worker breaks the pool; affected groups retry
+    serially in-process and the run still completes."""
+    report = BuildReport()
+    sup = BuildSupervisor(_fast_policy())
+    result = sup.run(crashing_task, ["a", "b"], jobs=2, report=report)
+    assert result.results == {"a": ("a", 1), "b": ("b", 1)}
+    assert result.failures == {}
+    assert any("serial fallback" in note for note in report.fault_notes)
+
+
+def test_deadline_times_out_hung_worker():
+    """A pooled task exceeding the deadline is abandoned and retried."""
+    report = BuildReport()
+    sup = BuildSupervisor(_fast_policy(timeout_s=0.3))
+    result = sup.run(
+        sleeping_task, ["slowpoke", "quick"], (5.0,), jobs=2, report=report
+    )
+    assert result.results["quick"] == ("quick", 0)
+    assert result.results["slowpoke"] == ("slowpoke", 1)
+    assert result.attempts["slowpoke"] == 2
+    assert any("deadline" in entry for entry in report.retries)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=0.0)
+
+
+# -- RunLedger ---------------------------------------------------------------
+
+
+def test_ledger_mark_and_completed(tmp_path):
+    ledger = RunLedger(tmp_path / "run-ledger.json", seed=1, scale=0.5)
+    assert ledger.completed() == {}
+    ledger.mark("d2", ["D2", "D2-NA"])
+    ledger.mark("uw3", ["UW3"])
+    assert ledger.completed() == {"d2": ["D2", "D2-NA"], "uw3": ["UW3"]}
+    # No temp files left behind by the atomic write.
+    assert [p.name for p in tmp_path.iterdir()] == ["run-ledger.json"]
+
+
+def test_ledger_clear(tmp_path):
+    ledger = RunLedger(tmp_path / "run-ledger.json", seed=1, scale=0.5)
+    ledger.mark("d2", ["D2"])
+    ledger.mark("uw3", ["UW3"])
+    ledger.clear(["d2", "never-marked"])
+    assert ledger.completed() == {"uw3": ["UW3"]}
+
+
+def test_ledger_keyed_to_configuration(tmp_path):
+    path = tmp_path / "run-ledger.json"
+    RunLedger(path, seed=1, scale=0.5).mark("d2", ["D2"])
+    assert RunLedger(path, seed=2, scale=0.5).completed() == {}
+    assert RunLedger(path, seed=1, scale=0.1).completed() == {}
+    assert RunLedger(path, seed=1, scale=0.5).completed() == {"d2": ["D2"]}
+
+
+def test_ledger_tolerates_corruption(tmp_path):
+    path = tmp_path / "run-ledger.json"
+    path.write_text("{ not json")
+    ledger = RunLedger(path, seed=1, scale=0.5)
+    assert ledger.completed() == {}
+    path.write_text(json.dumps({"version": 99, "completed": {}}))
+    assert ledger.completed() == {}
+    ledger.mark("d2", ["D2"])  # recovers by rewriting a valid ledger
+    assert ledger.completed() == {"d2": ["D2"]}
+
+
+def test_ledger_is_deterministic_bytes(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    for path in (a, b):
+        ledger = RunLedger(path, seed=3, scale=0.25)
+        ledger.mark("uw3", ["UW3"])
+        ledger.mark("d2", ["D2", "D2-NA"])
+    assert a.read_bytes() == b.read_bytes()

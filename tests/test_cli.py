@@ -112,3 +112,52 @@ def test_map_subcommand(tmp_path, capsys):
     assert rc == 0
     assert out.exists()
     assert out.read_text().startswith("<svg")
+
+
+def test_suite_bad_fault_plan_exits_2(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(["suite", "--scale", "0.02", "--fault-plan", "explode:uw3"])
+    assert rc == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_reproduce_bad_fault_plan_exits_2(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(["reproduce", "--scale", "0.02", "--fault-plan", "[{]"])
+    assert rc == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_suite_keep_going_partial_exits_3(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(
+        [
+            "suite", "--scale", "0.02", "--seed", "55", "--jobs", "1",
+            "--fault-plan", "fail:uw3:times=99", "--keep-going",
+        ]
+    )
+    assert rc == 3
+    out = capsys.readouterr().out
+    uw3_line = next(ln for ln in out.splitlines() if ln.strip().startswith("UW3"))
+    assert "MISSING" in uw3_line
+    assert "FAILED: uw3" in out
+
+
+def test_suite_build_failure_exits_1(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rc = main(
+        [
+            "suite", "--scale", "0.02", "--seed", "55", "--jobs", "1",
+            "--fault-plan", "fail:uw3:times=99",
+        ]
+    )
+    assert rc == 1
+    assert "dataset build failed" in capsys.readouterr().err
+
+
+def test_help_documents_exit_codes(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert "exit codes" in out
+    assert "partial success" in out

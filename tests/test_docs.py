@@ -31,7 +31,8 @@ def _resolve(dotted: str) -> bool:
 @pytest.mark.parametrize(
     "doc",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-     "docs/METHODOLOGY.md", "docs/CALIBRATION.md", "docs/TUTORIAL.md"],
+     "docs/METHODOLOGY.md", "docs/CALIBRATION.md", "docs/TUTORIAL.md",
+     "docs/ROBUSTNESS.md"],
 )
 def test_code_references_resolve(doc):
     text = (ROOT / doc).read_text()
