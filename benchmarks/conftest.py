@@ -18,7 +18,7 @@ import os
 import pytest
 
 from repro.datasets import BuildConfig, BuildReport
-from repro.experiments import get_datasets
+from repro.experiments import provision_datasets
 
 #: Default benchmark scale (fraction of each dataset's full duration).
 DEFAULT_BENCH_SCALE = 0.35
@@ -43,7 +43,7 @@ def suite():
     counts.
     """
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         BuildConfig(seed=1999, scale=bench_scale()), report=report
     )
     print(f"\n{report.summary()}")

@@ -23,8 +23,7 @@ import argparse
 
 import numpy as np
 
-from repro.core import Metric, analyze
-from repro.datasets import BuildConfig, build_uw3
+from repro import Metric, ReproSession
 
 
 def main() -> None:
@@ -35,15 +34,16 @@ def main() -> None:
     parser.add_argument("--top", type=int, default=8, help="biggest wins to show")
     args = parser.parse_args()
 
+    session = ReproSession(seed=args.seed, scale=args.scale, use_cache=False)
     print(f"Building measurement substrate (scale={args.scale:g}) ...")
-    uw3, _env = build_uw3(BuildConfig(seed=args.seed, scale=args.scale))
+    uw3 = session.dataset("UW3")
     if args.hosts < len(uw3.hosts):
         drop = uw3.hosts[args.hosts:]
         uw3 = uw3.without_hosts(drop)
     min_samples = max(5, int(30 * args.scale))
 
-    rtt = analyze(uw3, Metric.RTT, min_samples=min_samples)
-    loss = analyze(uw3, Metric.LOSS, min_samples=min_samples)
+    rtt = session.analyze(uw3, Metric.RTT, min_samples=min_samples)
+    loss = session.analyze(uw3, Metric.LOSS, min_samples=min_samples)
 
     improvements = rtt.improvements()
     positive = improvements[improvements > 0]
@@ -77,7 +77,7 @@ def main() -> None:
 
     # One-hop restriction: how much of the gain survives if the overlay
     # only ever uses a single relay (the practical deployment)?
-    one_hop = analyze(uw3, Metric.RTT, min_samples=min_samples, one_hop_only=True)
+    one_hop = session.analyze(uw3, Metric.RTT, min_samples=min_samples, one_hop_only=True)
     print(
         f"\nSingle-relay overlay retains "
         f"{one_hop.fraction_improved() / max(rtt.fraction_improved(), 1e-9):.0%} "

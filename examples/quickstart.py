@@ -14,8 +14,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import Metric, analyze
-from repro.datasets import BuildConfig, build_uw3
+from repro import Metric, ReproSession
 
 
 def main() -> None:
@@ -29,8 +28,9 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=1999, help="master seed")
     args = parser.parse_args()
 
+    session = ReproSession(seed=args.seed, scale=args.scale, use_cache=False)
     print(f"Building UW3 analog (scale={args.scale:g}, seed={args.seed}) ...")
-    uw3, _env = build_uw3(BuildConfig(seed=args.seed, scale=args.scale))
+    uw3 = session.dataset("UW3")
     row = uw3.table1_row()
     print(
         f"  {row['hosts']} hosts, {row['measurements']} traceroutes, "
@@ -40,14 +40,14 @@ def main() -> None:
     # Scale the paper's 30-measurement floor with the collection length.
     min_samples = max(5, int(30 * args.scale))
 
-    rtt = analyze(uw3, Metric.RTT, min_samples=min_samples)
+    rtt = session.analyze(uw3, Metric.RTT, min_samples=min_samples)
     print(f"\nRound-trip time ({len(rtt)} pairs analyzed):")
     print(f"  alternate better than default : {rtt.fraction_improved():.0%}")
     print(f"  better by 20 ms or more       : {rtt.fraction_improved_by(20.0):.0%}")
     ratios = rtt.ratios()
     print(f"  50%+ lower latency            : {(ratios > 1.5).mean():.0%}")
 
-    loss = analyze(uw3, Metric.LOSS, min_samples=min_samples)
+    loss = session.analyze(uw3, Metric.LOSS, min_samples=min_samples)
     print(f"\nLoss rate ({len(loss)} pairs analyzed):")
     print(f"  alternate better than default : {loss.fraction_improved():.0%}")
     print(f"  better by 5% loss or more     : {loss.fraction_improved_by(0.05):.0%}")

@@ -18,28 +18,50 @@ The package is organized bottom-up:
 * :mod:`repro.core` - the paper's contribution: synthetic alternate-path
   construction and every analysis in Sections 5-7.
 * :mod:`repro.experiments` - regeneration of Tables 1-3 and Figures 1-16.
+* :mod:`repro.obs` - zero-dependency run-wide tracing and metrics.
+* :mod:`repro.api` - the :class:`~repro.api.ReproSession` facade over
+  the whole pipeline.
 
 Quick start::
 
-    from repro.datasets import build_uw3
-    from repro.core import Metric, analyze
+    from repro import ReproSession
 
-    uw3, _ = build_uw3()
-    result = analyze(uw3, Metric.RTT)
+    session = ReproSession(seed=1999, scale=0.2)
+    session.build(only=["UW3"])
+    result = session.analyze("UW3", "rtt")
     print(f"{result.fraction_improved():.0%} of pairs have a better alternate")
 """
 
 __version__ = "1.0.0"
 
+from repro.api import ReproSession
 from repro.core import Metric, analyze, analyze_bandwidth
-from repro.datasets import BuildConfig, Dataset, build_all
+from repro.datasets import BuildConfig, Dataset
 
 __all__ = [
     "BuildConfig",
     "Dataset",
     "Metric",
+    "ReproSession",
     "__version__",
     "analyze",
     "analyze_bandwidth",
     "build_all",
 ]
+
+
+def __getattr__(name: str) -> object:
+    """Deprecated top-level aliases, kept importable with a warning."""
+    if name == "build_all":
+        import warnings
+
+        from repro.datasets import build_all
+
+        warnings.warn(
+            "repro.build_all is deprecated; use "
+            "repro.ReproSession(...).build() or repro.datasets.build_all",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return build_all
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

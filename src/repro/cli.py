@@ -6,12 +6,19 @@ Subcommands::
     repro build --dataset UW3 --scale 0.1 -o uw3.jsonl
     repro analyze uw3.jsonl --metric rtt          # alternate-path analysis
     repro suite --scale 1.0 --jobs 4              # (re)build the suite cache
+    repro suite --scale 0.1 --trace out.json      # ... with a RunTrace
     repro reproduce --scale 1.0 --markdown report.md
+    repro trace out.json --top 10                 # inspect a RunTrace
     repro check --strict                          # determinism static analysis
 
 ``analyze`` works on any dataset written by ``build`` (or by
 :func:`repro.datasets.save_dataset`), prints the headline statistics, and
 draws the improvement CDF as an ASCII plot.
+
+File-taking subcommands accept the path either positionally or as a flag
+(``repro analyze out.jsonl`` == ``repro analyze --dataset-file
+out.jsonl``); the flag spelling is canonical, the positional is kept as
+an alias for the old CLI surface.
 
 Exit codes are consistent across subcommands (see docs/METHODOLOGY.md):
 
@@ -39,12 +46,55 @@ EXIT_USAGE = 2
 EXIT_PARTIAL = 3
 
 _EXIT_CODE_EPILOG = """\
+command surface:
+  traceroute   demo traceroute between two simulated hosts
+  build        build one paper dataset and save it (--dataset, -o)
+  analyze      alternate-path analysis of a dataset file
+               (--dataset-file PATH, or positionally)
+  summarize    diagnostic summary of a dataset file
+               (--dataset-file PATH, or positionally)
+  map          render a topology to an SVG map
+  suite        build or load the full Table 1 dataset suite
+               (--jobs, --no-cache, --trace out.json, robustness flags)
+  reproduce    regenerate the paper's tables/figures
+               (--only, --markdown, --svg-dir, --trace out.json)
+  trace        inspect a RunTrace written by --trace
+               (--trace-file PATH or positionally; --top N, --validate)
+  check        determinism-and-invariant static analysis
+
 exit codes:
   0  success
   1  operation failed (build retries exhausted, nothing to analyze, ...)
   2  bad usage (unknown dataset, unreadable file, malformed --fault-plan)
   3  partial success (--keep-going finished with datasets missing)
 """
+
+
+def _resolve_path_arg(
+    positional: str | None,
+    flagged: str | None,
+    what: str,
+    flag: str,
+) -> str | None:
+    """One value from a positional/flag alias pair, or None on bad usage.
+
+    The two spellings are interchangeable; giving both (with different
+    values) is ambiguous and reported as a usage error by the caller.
+    """
+    if positional is not None and flagged is not None and positional != flagged:
+        print(
+            f"conflicting {what} arguments: positional {positional!r} "
+            f"vs {flag} {flagged!r}",
+            file=sys.stderr,
+        )
+        return None
+    value = flagged if flagged is not None else positional
+    if value is None:
+        print(
+            f"{what} required (positionally or via {flag})", file=sys.stderr
+        )
+        return None
+    return value
 
 
 def _cmd_traceroute(args: argparse.Namespace) -> int:
@@ -128,8 +178,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.datasets import DatasetIOError, load_dataset
     from repro.viz import ascii_cdf
 
+    dataset_file = _resolve_path_arg(
+        args.dataset_file_pos, args.dataset_file, "dataset file", "--dataset-file"
+    )
+    if dataset_file is None:
+        return EXIT_USAGE
     try:
-        dataset = load_dataset(args.dataset_file)
+        dataset = load_dataset(dataset_file)
     except DatasetIOError as exc:
         print(f"unreadable dataset: {exc}", file=sys.stderr)
         return 2
@@ -179,25 +234,30 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.datasets import BuildConfig, BuildReport
     from repro.datasets.builders import table1_order
-    from repro.experiments.runner import get_datasets
+    from repro.experiments.runner import provision_datasets
     from repro.faults import BuildFailure, FaultPlanError
+    from repro.obs import runtime as obs
 
     cfg = BuildConfig(seed=args.seed, scale=args.scale)
     report = BuildReport()
+    capture_ctx = obs.capture() if args.trace else nullcontext()
     try:
-        datasets = get_datasets(
-            cfg,
-            use_cache=not args.no_cache,
-            jobs=args.jobs,
-            report=report,
-            progress=print,
-            fault_plan=args.fault_plan,
-            build_timeout=args.build_timeout,
-            keep_going=args.keep_going,
-            resume=args.resume,
-        )
+        with capture_ctx as cap:
+            datasets = provision_datasets(
+                cfg,
+                use_cache=not args.no_cache,
+                jobs=args.jobs,
+                report=report,
+                progress=print,
+                fault_plan=args.fault_plan,
+                build_timeout=args.build_timeout,
+                keep_going=args.keep_going,
+                resume=args.resume,
+            )
     except FaultPlanError as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return EXIT_USAGE
@@ -205,6 +265,17 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(f"dataset build failed: {exc}", file=sys.stderr)
         print(report.summary(), file=sys.stderr)
         return EXIT_FAILURE
+    if args.trace:
+        from repro.obs.artifact import write_run_trace
+
+        meta = {
+            "command": "suite",
+            "seed": args.seed,
+            "scale": args.scale,
+            "jobs": args.jobs,
+        }
+        trace_path, metrics_path = write_run_trace(cap, meta, args.trace)
+        print(f"wrote trace {trace_path} and {metrics_path}")
     print(report.summary())
     for name in table1_order():
         if name not in datasets:
@@ -223,8 +294,13 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_summarize(args: argparse.Namespace) -> int:
     from repro.datasets import DatasetIOError, load_dataset, summarize
 
+    dataset_file = _resolve_path_arg(
+        args.dataset_file_pos, args.dataset_file, "dataset file", "--dataset-file"
+    )
+    if dataset_file is None:
+        return EXIT_USAGE
     try:
-        dataset = load_dataset(args.dataset_file)
+        dataset = load_dataset(dataset_file)
     except DatasetIOError as exc:
         print(f"unreadable dataset: {exc}", file=sys.stderr)
         return 2
@@ -258,7 +334,38 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         forwarded += ["--keep-going"]
     if args.resume:
         forwarded += ["--resume"]
+    if args.trace:
+        forwarded += ["--trace", args.trace]
     return reproduce_main(forwarded)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import RunTrace, TraceError, render_trace
+
+    trace_file = _resolve_path_arg(
+        args.trace_file_pos, args.trace_file, "trace file", "--trace-file"
+    )
+    if trace_file is None:
+        return EXIT_USAGE
+    try:
+        trace = RunTrace.load(trace_file)
+    except OSError as exc:
+        print(f"unreadable trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except TraceError as exc:
+        print(f"malformed trace: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.validate:
+        from repro.obs import TRACE_SCHEMA, validate
+
+        errors = validate(trace.payload(), TRACE_SCHEMA)
+        if errors:
+            for err in errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"{trace_file}: valid RunTrace (version {trace.VERSION})")
+    print(render_trace(trace, top=args.top))
+    return EXIT_OK
 
 
 def _add_robustness_args(p: argparse.ArgumentParser) -> None:
@@ -319,7 +426,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("analyze", help="alternate-path analysis of a dataset file")
-    p.add_argument("dataset_file")
+    p.add_argument(
+        "dataset_file_pos",
+        nargs="?",
+        default=None,
+        metavar="dataset_file",
+        help="dataset file to analyze (alias for --dataset-file)",
+    )
+    p.add_argument(
+        "--dataset-file",
+        default=None,
+        metavar="PATH",
+        help="dataset file to analyze (canonical flag form)",
+    )
     p.add_argument(
         "--metric",
         choices=["rtt", "loss", "prop-delay", "bandwidth"],
@@ -342,7 +461,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_map)
 
     p = sub.add_parser("summarize", help="diagnostic summary of a dataset file")
-    p.add_argument("dataset_file")
+    p.add_argument(
+        "dataset_file_pos",
+        nargs="?",
+        default=None,
+        metavar="dataset_file",
+        help="dataset file to summarize (alias for --dataset-file)",
+    )
+    p.add_argument(
+        "--dataset-file",
+        default=None,
+        metavar="PATH",
+        help="dataset file to summarize (canonical flag form)",
+    )
     p.set_defaults(func=_cmd_summarize)
 
     p = sub.add_parser(
@@ -362,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force a rebuild without reading or writing the cache",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a RunTrace JSON (plus metrics.json alongside); "
+        "inspect with `repro trace PATH`",
+    )
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_suite)
 
@@ -377,8 +515,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--markdown", default=None)
     p.add_argument("--svg-dir", default=None)
     p.add_argument("--only", default=None)
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a RunTrace JSON (plus metrics.json alongside); "
+        "inspect with `repro trace PATH`",
+    )
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a RunTrace written by `suite --trace` or "
+        "`reproduce --trace`",
+    )
+    p.add_argument(
+        "trace_file_pos",
+        nargs="?",
+        default=None,
+        metavar="trace_file",
+        help="RunTrace JSON to inspect (alias for --trace-file)",
+    )
+    p.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="RunTrace JSON to inspect (canonical flag form)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="number of slowest spans to show (default 10)",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the artifact against the RunTrace schema first",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "check",

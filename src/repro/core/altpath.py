@@ -25,6 +25,7 @@ from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra as _dijkstra
 
 from repro.core.graph import GraphError, Metric, MetricGraph, Pair
+from repro.obs import runtime as obs
 
 #: Guard so zero-weight loss edges survive sparse-matrix storage (scipy
 #: treats exact zeros as missing entries).
@@ -162,6 +163,14 @@ class AlternatePathFinder:
         Pairs with no alternate route (disconnected after removing the
         direct edge) are omitted from the result.
         """
+        with obs.span("core.altpath.best_all") as sp:
+            out = self._best_all(pairs)
+            sp.set("found", len(out))
+        return out
+
+    def _best_all(
+        self, pairs: list[Pair] | None = None
+    ) -> dict[Pair, AlternatePath]:
         graph = self.graph
         hosts = graph.hosts
         wanted = pairs if pairs is not None else sorted(graph.edges)
@@ -171,6 +180,7 @@ class AlternatePathFinder:
                 graph.host_index(dst)
             )
         out: dict[Pair, AlternatePath] = {}
+        obs.count("core.altpath.pairs", len(wanted))
         base = self._csr()
         for src_idx, dst_idxs in sorted(by_src.items()):
             dist, pred = _dijkstra(
@@ -186,6 +196,7 @@ class AlternatePathFinder:
                 if pred[dst_idx] == src_idx:
                     # The unconstrained shortest path is the direct edge;
                     # re-run with that single edge excluded.
+                    obs.count("core.altpath.reruns")
                     alt = self._rerun(src_idx, dst_idx)
                     if alt is not None:
                         out[pair] = alt

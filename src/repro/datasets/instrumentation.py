@@ -11,10 +11,12 @@ so every run shows where its dataset time went.
 from __future__ import annotations
 
 import os
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
+
+from repro.obs import clock
+from repro.obs import runtime as obs
 
 #: Phases a build event can describe.
 PHASES = ("build", "load", "save", "verify", "lock-wait", "backoff")
@@ -104,12 +106,18 @@ class BuildReport:
 
     @contextmanager
     def timed(self, label: str, phase: str) -> Iterator[None]:
-        """Context manager recording one event around its body."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record(label, phase, time.perf_counter() - start)
+        """Context manager recording one event around its body.
+
+        Also opens a ``datasets.<phase>`` span, so BuildReport timing
+        lines and trace spans come from the same clock reads.
+        """
+        with obs.span(f"datasets.{phase}") as sp:
+            sp.set("dataset", label)
+            start = clock.now()
+            try:
+                yield
+            finally:
+                self.record(label, phase, clock.now() - start)
 
     # -- derived facts -------------------------------------------------------
 

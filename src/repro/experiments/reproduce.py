@@ -5,7 +5,7 @@ Usage::
     python -m repro.experiments.reproduce [--scale 1.0] [--seed 1999]
         [--jobs 4] [--markdown out.md] [--svg-dir figures/] [--scorecard]
         [--only figure1,figure3,table2] [--fault-plan SPEC]
-        [--build-timeout S] [--keep-going] [--resume]
+        [--build-timeout S] [--keep-going] [--resume] [--trace out.json]
 
 Prints each table's rows and each figure's series summaries.  With
 ``--markdown`` additionally writes a paper-vs-measured report in the
@@ -26,16 +26,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Sequence
 
 from repro.datasets import BuildConfig, BuildReport
 from repro.datasets.builders import BUILD_GROUPS
 from repro.experiments.figures import ALL_FIGURES, FigureError, FigureResult
 from repro.experiments.report import render_missing_datasets
-from repro.experiments.runner import get_datasets, last_build_report
+from repro.experiments.runner import last_build_report, provision_datasets
 from repro.experiments.tables import TableResult, table1, table2, table3
 from repro.faults import BuildFailure, FaultPlanError
+from repro.obs import clock
+from repro.obs import runtime as obs
 
 #: Headline expectations quoted from the paper's text, keyed by artifact.
 PAPER_CLAIMS: dict[str, str] = {
@@ -99,46 +100,53 @@ def run_all(
     are skipped with a MISSING banner, and the caller decides the exit
     code from :func:`repro.experiments.runner.last_build_report`.
     """
-    report = BuildReport()
-    datasets = get_datasets(
-        BuildConfig(seed=seed, scale=scale),
-        jobs=jobs,
-        report=report,
-        fault_plan=fault_plan,
-        build_timeout=build_timeout,
-        keep_going=keep_going,
-        resume=resume,
-    )
-    print(report.summary())
-    missing = missing_datasets(report)
-    if missing:
-        print(render_missing_datasets(missing))
-    min_samples = max(4, int(round(30 * scale)))
-    artifacts: dict[str, TableResult | FigureResult] = {}
-    artifact_jobs: list[tuple[str, object]] = [
-        ("table1", lambda: table1(datasets)),
-        ("table2", lambda: table2(datasets, min_samples=min_samples)),
-        ("table3", lambda: table3(datasets, min_samples=min_samples)),
-    ]
-    fig_args = _figure_args(scale)
-    for name, fn in ALL_FIGURES.items():
-        kwargs = fig_args.get(name, fig_args["_default"])
-        artifact_jobs.append(
-            (name, lambda fn=fn, kwargs=kwargs: fn(datasets, **kwargs))
+    with obs.span("experiments.reproduce") as rsp:
+        rsp.set("seed", seed)
+        rsp.set("scale", scale)
+        report = BuildReport()
+        datasets = provision_datasets(
+            BuildConfig(seed=seed, scale=scale),
+            jobs=jobs,
+            report=report,
+            fault_plan=fault_plan,
+            build_timeout=build_timeout,
+            keep_going=keep_going,
+            resume=resume,
         )
-    for name, job in artifact_jobs:
-        if only and name not in only:
-            continue
-        start = time.time()
-        try:
-            artifacts[name] = job()
-        except (FigureError, KeyError) as exc:
-            if not missing:
-                raise
-            print(f"\n=== {name} SKIPPED ({exc}) ===")
-            continue
-        print(f"\n=== {name} ({time.time() - start:.1f}s) ===")
-        print(artifacts[name].text)
+        print(report.summary())
+        missing = missing_datasets(report)
+        if missing:
+            print(render_missing_datasets(missing))
+        min_samples = max(4, int(round(30 * scale)))
+        artifacts: dict[str, TableResult | FigureResult] = {}
+        artifact_jobs: list[tuple[str, object]] = [
+            ("table1", lambda: table1(datasets)),
+            ("table2", lambda: table2(datasets, min_samples=min_samples)),
+            ("table3", lambda: table3(datasets, min_samples=min_samples)),
+        ]
+        fig_args = _figure_args(scale)
+        for name, fn in ALL_FIGURES.items():
+            kwargs = fig_args.get(name, fig_args["_default"])
+            artifact_jobs.append(
+                (name, lambda fn=fn, kwargs=kwargs: fn(datasets, **kwargs))
+            )
+        for name, job in artifact_jobs:
+            if only and name not in only:
+                continue
+            start = clock.now()
+            try:
+                with obs.span("experiments.artifact") as sp:
+                    sp.set("name", name)
+                    artifacts[name] = job()
+            except (FigureError, KeyError) as exc:
+                if not missing:
+                    raise
+                print(f"\n=== {name} SKIPPED ({exc}) ===")
+                continue
+            obs.count("experiments.artifacts")
+            print(f"\n=== {name} ({clock.now() - start:.1f}s) ===")
+            print(artifacts[name].text)
+        rsp.set("artifacts", len(artifacts))
     return artifacts
 
 
@@ -230,19 +238,50 @@ def main(argv: list[str] | None = None) -> int:
         help="skip dataset groups a prior interrupted run already completed "
         "(run ledger)",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a RunTrace JSON (plus metrics.json alongside) for the "
+        "run; inspect with `repro trace PATH`",
+    )
     args = parser.parse_args(argv)
     only = set(args.only.split(",")) if args.only else None
     try:
-        artifacts = run_all(
-            args.scale,
-            args.seed,
-            only,
-            jobs=args.jobs,
-            fault_plan=args.fault_plan,
-            build_timeout=args.build_timeout,
-            keep_going=args.keep_going,
-            resume=args.resume,
-        )
+        if args.trace:
+            from repro.obs.artifact import write_run_trace
+
+            with obs.capture() as cap:
+                artifacts = run_all(
+                    args.scale,
+                    args.seed,
+                    only,
+                    jobs=args.jobs,
+                    fault_plan=args.fault_plan,
+                    build_timeout=args.build_timeout,
+                    keep_going=args.keep_going,
+                    resume=args.resume,
+                )
+            meta = {
+                "command": "reproduce",
+                "seed": args.seed,
+                "scale": args.scale,
+                "jobs": args.jobs,
+            }
+            trace_path, metrics_path = write_run_trace(cap, meta, args.trace)
+            print(f"wrote trace {trace_path} and {metrics_path}")
+        else:
+            artifacts = run_all(
+                args.scale,
+                args.seed,
+                only,
+                jobs=args.jobs,
+                fault_plan=args.fault_plan,
+                build_timeout=args.build_timeout,
+                keep_going=args.keep_going,
+                resume=args.resume,
+            )
     except FaultPlanError as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return 2

@@ -3,7 +3,8 @@
 Building the full Table 1 suite takes tens of seconds, so built datasets
 are cached on disk (JSONL), one file per dataset, keyed by (seed, scale).
 Benchmarks and the figure/table reproductions all obtain their data
-through :func:`get_datasets`.
+through :func:`provision_datasets` (or the :class:`repro.api.ReproSession`
+facade; :func:`get_datasets` is the deprecated old spelling).
 
 Pipeline shape:
 
@@ -49,8 +50,9 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
+import warnings
 from pathlib import Path
+from typing import Sequence
 
 from repro.datasets.builders import (
     BUILD_GROUPS,
@@ -74,6 +76,8 @@ from repro.datasets.io import (
 )
 from repro.faults import injection
 from repro.faults.plan import FaultPlan
+from repro.obs import clock
+from repro.obs import runtime as obs
 from repro.faults.supervisor import (
     BuildFailure,
     BuildSupervisor,
@@ -175,25 +179,45 @@ def _resolve_plan(fault_plan: FaultPlan | str | None) -> FaultPlan | None:
 
 
 def _build_group_task(
-    group: str, attempt: int, plan_spec: str, cfg: BuildConfig
-) -> tuple[dict[str, Dataset], BuildEvent]:
+    group: str, attempt: int, plan_spec: str, cfg: BuildConfig,
+    trace: bool = False,
+) -> tuple[dict[str, Dataset], BuildEvent, dict | None]:
     """Supervisor task: build one group, timing it where it runs.
 
     Runs in pool workers and (for serial fallback) in the coordinating
     process; the fault plan and attempt number arrive as arguments so an
-    injected failure schedule replays identically in either place.
+    injected failure schedule replays identically in either place.  When
+    the coordinator is tracing, ``trace=True`` makes the task run under
+    a *fresh* obs capture (pool workers inherit the parent's capture via
+    fork; swapping it out keeps worker spans separate) and return the
+    exported blob for the coordinator to graft — so serial and parallel
+    builds produce identically-shaped traces.
     """
     plan = FaultPlan.parse(plan_spec) if plan_spec else None
-    with injection.activate(plan), injection.attempt_scope(attempt):
-        start = time.perf_counter()
-        datasets = build_group(group, cfg)
-        event = BuildEvent(
-            label=f"{group} -> {'+'.join(BUILD_GROUPS[group])}",
-            phase="build",
-            duration_s=time.perf_counter() - start,
-            worker_pid=os.getpid(),
-        )
-    return datasets, event
+    blob: dict | None = None
+    if trace:
+        with obs.capture() as cap:
+            with obs.span("datasets.build") as sp:
+                sp.set("group", group)
+                sp.set("attempt", attempt)
+                obs.count("datasets.builds")
+                with injection.activate(plan), injection.attempt_scope(attempt):
+                    start = clock.now()
+                    datasets = build_group(group, cfg)
+                    duration = clock.now() - start
+        blob = cap.blob()
+    else:
+        with injection.activate(plan), injection.attempt_scope(attempt):
+            start = clock.now()
+            datasets = build_group(group, cfg)
+            duration = clock.now() - start
+    event = BuildEvent(
+        label=f"{group} -> {'+'.join(BUILD_GROUPS[group])}",
+        phase="build",
+        duration_s=duration,
+        worker_pid=os.getpid(),
+    )
+    return datasets, event, blob
 
 
 def _quarantine_cache_file(
@@ -218,6 +242,9 @@ def _quarantine_cache_file(
 def _probe_cache(
     suite: Path,
     report: BuildReport,
+    groups: dict[str, tuple[str, ...]] | None = None,
+    *,
+    counted: bool = True,
 ) -> tuple[dict[str, Dataset], list[str]]:
     """Load every valid cached dataset; return (loaded, stale groups).
 
@@ -225,29 +252,43 @@ def _probe_cache(
     (the group is the smallest rebuildable unit); an *unreadable* file
     (truncated, garbled, schema-stale) is additionally quarantined so it
     is never re-parsed on subsequent runs.  Datasets from other groups
-    stay served from cache.
+    stay served from cache.  ``counted=False`` suppresses the obs
+    hit/miss counters (used by the post-lock re-probe so counters
+    reflect the first probe only).
     """
     loaded: dict[str, Dataset] = {}
     stale: list[str] = []
-    for group, names in BUILD_GROUPS.items():
-        for name in names:
-            path = suite / f"{name}.jsonl"
-            start = time.perf_counter()
-            try:
-                dataset = load_dataset(path)
-            except FileNotFoundError:
-                report.miss(name)
-                if group not in stale:
-                    stale.append(group)
-            except (OSError, DatasetIOError) as exc:
-                _quarantine_cache_file(path, name, str(exc), report)
-                report.miss(name)
-                if group not in stale:
-                    stale.append(group)
-            else:
-                report.record(name, "load", time.perf_counter() - start)
-                report.hit(name)
-                loaded[name] = dataset
+    with obs.span("datasets.cache.probe") as psp:
+        for group, names in (groups or BUILD_GROUPS).items():
+            for name in names:
+                path = suite / f"{name}.jsonl"
+                start = clock.now()
+                try:
+                    with obs.span("datasets.load") as sp:
+                        sp.set("dataset", name)
+                        dataset = load_dataset(path)
+                except FileNotFoundError:
+                    report.miss(name)
+                    if counted:
+                        obs.count("datasets.cache.misses")
+                    if group not in stale:
+                        stale.append(group)
+                except (OSError, DatasetIOError) as exc:
+                    _quarantine_cache_file(path, name, str(exc), report)
+                    report.miss(name)
+                    if counted:
+                        obs.count("datasets.cache.misses")
+                        obs.count("datasets.cache.quarantines")
+                    if group not in stale:
+                        stale.append(group)
+                else:
+                    report.record(name, "load", clock.now() - start)
+                    report.hit(name)
+                    if counted:
+                        obs.count("datasets.cache.hits")
+                    loaded[name] = dataset
+        psp.set("hits", len(loaded))
+        psp.set("stale_groups", len(stale))
     return loaded, stale
 
 
@@ -285,7 +326,29 @@ def _save_verified(
     return reason
 
 
-def get_datasets(
+def _groups_for(only: Sequence[str] | None) -> dict[str, tuple[str, ...]]:
+    """The BUILD_GROUPS subset covering the requested dataset names.
+
+    Raises:
+        KeyError: for names outside Table 1.
+    """
+    if only is None:
+        return dict(BUILD_GROUPS)
+    wanted = set(only)
+    unknown = wanted - set(table1_order())
+    if unknown:
+        raise KeyError(
+            f"unknown dataset name(s) {sorted(unknown)}; "
+            f"choose from {table1_order()}"
+        )
+    return {
+        group: names
+        for group, names in BUILD_GROUPS.items()
+        if wanted & set(names)
+    }
+
+
+def provision_datasets(
     config: BuildConfig | None = None,
     *,
     use_cache: bool = True,
@@ -297,6 +360,7 @@ def get_datasets(
     max_attempts: int | None = None,
     keep_going: bool = False,
     resume: bool = False,
+    only: Sequence[str] | None = None,
 ) -> dict[str, Dataset]:
     """All Table 1 datasets for the given build config, cached on disk.
 
@@ -320,11 +384,15 @@ def get_datasets(
             build (missing names omitted) instead of raising.
         resume: Consult the suite's run ledger and report groups already
             completed by a prior interrupted run.
+        only: Dataset names to provision (default: all of Table 1).  The
+            build group is the smallest buildable unit, so every dataset
+            of each covering group is returned.
 
     Raises:
         BuildFailure: a group exhausted its retries and ``keep_going``
             is False.
         FaultPlanError: ``fault_plan`` (or the env var) is malformed.
+        KeyError: ``only`` names a dataset outside Table 1.
     """
     global _last_report
     cfg = config or BuildConfig(scale=DEFAULT_SCALE)
@@ -337,30 +405,77 @@ def get_datasets(
         timeout_s=resolve_build_timeout(build_timeout),
         seed=cfg.seed,
     )
-    names = table1_order()
-    with injection.activate(plan):
-        if not use_cache:
-            loaded, failures = _build_uncached(
-                cfg, policy=policy, plan=plan, jobs=jobs, report=rep, progress=prog
-            )
-        else:
-            loaded, failures = _build_cached(
-                cfg,
-                policy=policy,
-                plan=plan,
-                jobs=jobs,
-                report=rep,
-                progress=prog,
-                resume=resume,
-                keep_going=keep_going,
-            )
+    groups = _groups_for(only)
+    names = [n for n in table1_order() if any(n in g for g in groups.values())]
+    with obs.span("datasets.provision") as sp:
+        sp.set("seed", cfg.seed)
+        sp.set("scale", cfg.scale)
+        sp.set("cached", use_cache)
+        sp.set("datasets", len(names))
+        with injection.activate(plan):
+            if not use_cache:
+                loaded, failures = _build_uncached(
+                    cfg, groups, policy=policy, plan=plan, jobs=jobs,
+                    report=rep, progress=prog,
+                )
+            else:
+                loaded, failures = _build_cached(
+                    cfg,
+                    groups,
+                    policy=policy,
+                    plan=plan,
+                    jobs=jobs,
+                    report=rep,
+                    progress=prog,
+                    resume=resume,
+                    keep_going=keep_going,
+                )
     if failures and not keep_going:
         raise BuildFailure(failures)
     return {name: loaded[name] for name in names if name in loaded}
 
 
+def get_datasets(
+    config: BuildConfig | None = None,
+    *,
+    use_cache: bool = True,
+    jobs: int | None = None,
+    report: BuildReport | None = None,
+    progress: ProgressHook | None = None,
+    fault_plan: FaultPlan | str | None = None,
+    build_timeout: float | None = None,
+    max_attempts: int | None = None,
+    keep_going: bool = False,
+    resume: bool = False,
+) -> dict[str, Dataset]:
+    """Deprecated old spelling of :func:`provision_datasets`.
+
+    Prefer :func:`provision_datasets` or the
+    :class:`repro.api.ReproSession` facade.
+    """
+    warnings.warn(
+        "get_datasets() is deprecated; use provision_datasets() or "
+        "repro.ReproSession(...).build()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return provision_datasets(
+        config,
+        use_cache=use_cache,
+        jobs=jobs,
+        report=report,
+        progress=progress,
+        fault_plan=fault_plan,
+        build_timeout=build_timeout,
+        max_attempts=max_attempts,
+        keep_going=keep_going,
+        resume=resume,
+    )
+
+
 def _build_uncached(
     cfg: BuildConfig,
+    groups: dict[str, tuple[str, ...]],
     *,
     policy: RetryPolicy,
     plan: FaultPlan | None,
@@ -369,24 +484,25 @@ def _build_uncached(
     progress: ProgressHook,
 ) -> tuple[dict[str, Dataset], dict[str, str]]:
     """Build every group under supervision without touching the cache."""
-    groups = list(BUILD_GROUPS)
-    n_jobs = resolve_jobs(jobs, len(groups))
+    labels = list(groups)
+    n_jobs = resolve_jobs(jobs, len(labels))
     progress(
-        f"building {len(groups)} dataset group(s) across {n_jobs} worker(s) ..."
+        f"building {len(labels)} dataset group(s) across {n_jobs} worker(s) ..."
     )
     supervisor = BuildSupervisor(policy, plan=plan)
     loaded: dict[str, Dataset] = {}
 
     def on_success(group: str, payload: object) -> None:
-        datasets, event = payload
+        datasets, event, blob = payload
+        obs.graft(blob)
         report.extend([event])
         progress(f"built {group} ({event.duration_s:.1f}s)")
         loaded.update(datasets)
 
     result = supervisor.run(
         _build_group_task,
-        groups,
-        (cfg,),
+        labels,
+        (cfg, obs.enabled()),
         jobs=n_jobs,
         report=report,
         progress=progress,
@@ -397,6 +513,7 @@ def _build_uncached(
 
 def _build_cached(
     cfg: BuildConfig,
+    groups: dict[str, tuple[str, ...]],
     *,
     policy: RetryPolicy,
     plan: FaultPlan | None,
@@ -409,10 +526,10 @@ def _build_cached(
     """Serve the suite from cache, rebuilding stale groups under a lock."""
     suite = _suite_dir(cfg)
     ledger = RunLedger(suite / LEDGER_NAME, seed=cfg.seed, scale=cfg.scale)
-    loaded, stale = _probe_cache(suite, report)
+    loaded, stale = _probe_cache(suite, report, groups)
     if resume:
         for group in sorted(ledger.completed()):
-            group_names = BUILD_GROUPS.get(group, ())
+            group_names = groups.get(group, ())
             if group_names and group not in stale and all(
                 name in loaded for name in group_names
             ):
@@ -428,16 +545,17 @@ def _build_cached(
     suite.mkdir(parents=True, exist_ok=True)
     failures: dict[str, str] = {}
     lock = CacheLock(suite)
-    lock_start = time.perf_counter()
+    lock_start = clock.now()
     with lock:
-        waited = time.perf_counter() - lock_start
+        waited = clock.now() - lock_start
         if waited > 0.1:
             report.record(suite.name, "lock-wait", waited)
+            obs.observe("datasets.lock_wait_s", waited)
         # Another writer may have filled (part of) the cache while we
         # waited for the lock; probe again so we only rebuild what is
         # still stale.
         recheck = BuildReport()
-        loaded2, stale = _probe_cache(suite, recheck)
+        loaded2, stale = _probe_cache(suite, recheck, groups, counted=False)
         loaded.update(loaded2)
         # Datasets another writer produced while we waited count as hits.
         for name in loaded2:
@@ -458,11 +576,12 @@ def _build_cached(
             supervisor = BuildSupervisor(policy, plan=plan)
 
             def on_success(group: str, payload: object) -> None:
-                datasets, event = payload
+                datasets, event, blob = payload
+                obs.graft(blob)
                 report.extend([event])
                 progress(f"built {group} ({event.duration_s:.1f}s)")
                 saved: list[str] = []
-                for name in BUILD_GROUPS[group]:
+                for name in groups[group]:
                     ds = datasets[name]
                     if name in valid_before:
                         loaded[name] = ds
@@ -484,13 +603,13 @@ def _build_cached(
                     if not keep_going:
                         raise BuildFailure({group: reason})
                     failures[group] = reason
-                if len(saved) == len(BUILD_GROUPS[group]):
+                if len(saved) == len(groups[group]):
                     ledger.mark(group, saved)
 
             result = supervisor.run(
                 _build_group_task,
                 stale,
-                (cfg,),
+                (cfg, obs.enabled()),
                 jobs=n_jobs,
                 report=report,
                 progress=progress,
@@ -500,6 +619,24 @@ def _build_cached(
     return loaded, failures
 
 
+def provision_dataset(
+    name: str,
+    config: BuildConfig | None = None,
+    *,
+    use_cache: bool = True,
+    jobs: int | None = None,
+) -> Dataset:
+    """One named dataset from the suite (builds only its group).
+
+    Raises:
+        KeyError: for names outside Table 1.
+    """
+    datasets = provision_datasets(
+        config, use_cache=use_cache, jobs=jobs, only=[name]
+    )
+    return datasets[name]
+
+
 def get_dataset(
     name: str,
     config: BuildConfig | None = None,
@@ -507,13 +644,14 @@ def get_dataset(
     use_cache: bool = True,
     jobs: int | None = None,
 ) -> Dataset:
-    """One named dataset from the suite.
-
-    Raises:
-        KeyError: for names outside Table 1.
-    """
-    datasets = get_datasets(config, use_cache=use_cache, jobs=jobs)
-    return datasets[name]
+    """Deprecated old spelling of :func:`provision_dataset`."""
+    warnings.warn(
+        "get_dataset() is deprecated; use provision_dataset() or "
+        "repro.ReproSession(...).build(only=[name])",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return provision_dataset(name, config, use_cache=use_cache, jobs=jobs)
 
 
 def last_build_report() -> BuildReport | None:

@@ -1,7 +1,7 @@
 """Reproduction of the paper's Tables 1, 2, and 3.
 
 Each function takes the dataset suite (from
-:func:`repro.experiments.runner.get_datasets`) and returns structured rows
+:func:`repro.experiments.runner.provision_datasets`) and returns structured rows
 plus a rendered text block matching the paper's layout.
 """
 

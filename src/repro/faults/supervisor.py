@@ -49,6 +49,8 @@ import numpy as np
 
 from repro.faults import injection
 from repro.faults.plan import FaultPlan
+from repro.obs import clock as obs_clock
+from repro.obs import runtime as obs
 
 #: Outcome kinds a round can report for one label.
 _OK, _ERROR, _TIMEOUT, _BROKEN = "ok", "error", "timeout", "broken"
@@ -135,7 +137,7 @@ class BuildSupervisor:
             explicit — possibly empty — plan is always activated).
         clock: Monotonic-time source for deadlines (injectable so the
             supervisor itself never reads a wall clock; defaults to
-            ``time.monotonic``).
+            :func:`repro.obs.clock.now`).
         sleep: Backoff sleeper (defaults to ``time.sleep``).
     """
 
@@ -149,7 +151,7 @@ class BuildSupervisor:
     ) -> None:
         self.policy = policy
         self.plan = plan
-        self._clock = clock if clock is not None else time.monotonic
+        self._clock = clock if clock is not None else obs_clock.now
         self._sleep = sleep if sleep is not None else time.sleep
 
     def run(
@@ -200,10 +202,13 @@ class BuildSupervisor:
                         on_success(label, payload)
                     continue
                 reason = str(payload)
-                if status == _BROKEN and report is not None:
-                    report.fault(
-                        f"{label}: {reason}; serial fallback for remaining groups"
-                    )
+                if status == _BROKEN:
+                    obs.count("faults.serial_fallbacks")
+                    if report is not None:
+                        report.fault(
+                            f"{label}: {reason}; serial fallback for "
+                            "remaining groups"
+                        )
                 if attempt_no >= self.policy.max_attempts:
                     out.failures[label] = reason
                     out.attempts[label] = attempt_no
@@ -216,6 +221,11 @@ class BuildSupervisor:
                 else:
                     pending[label] = attempt_no
                     retried.append((label, attempt_no))
+                    with obs.span("faults.retry") as sp:
+                        sp.set("label", label)
+                        sp.set("attempt", attempt_no)
+                        sp.set("reason", reason)
+                    obs.count("faults.retries")
                     if report is not None:
                         report.retry(label, reason)
                     prog(
@@ -229,7 +239,10 @@ class BuildSupervisor:
                 )
                 if report is not None:
                     report.record("supervisor", "backoff", delay)
-                self._sleep(delay)
+                with obs.span("faults.backoff") as sp:
+                    sp.set("delay_s", round(delay, 6))
+                    obs.count("faults.backoffs")
+                    self._sleep(delay)
         return out
 
     def _serial_round(

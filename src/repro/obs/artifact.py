@@ -1,0 +1,163 @@
+"""The per-run ``RunTrace`` artifact and its ``metrics.json`` sidecar.
+
+A :class:`RunTrace` is the JSON artifact written by
+``repro suite --trace out.json`` (and ``repro reproduce --trace``):
+
+* deterministic field order — top-level keys in a fixed sequence, every
+  nested mapping sorted;
+* **no wall-clock anywhere** — ``meta`` carries only configuration
+  (command, seed, scale, jobs), and all times are monotonic durations;
+* a :meth:`fingerprint` that covers only the deterministic projection
+  (span structure + attributes + counters), so identically-seeded runs
+  fingerprint identically while durations/PIDs vary freely.
+
+The ``metrics.json`` sidecar (see :meth:`metrics_payload`) is the same
+metrics block without the span tree, validated in CI against
+``docs/schemas/metrics.schema.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.obs.runtime import Capture
+from repro.obs.tracer import span_fingerprint
+
+
+class TraceError(ValueError):
+    """A trace file is unreadable or structurally invalid."""
+
+
+class RunTrace:
+    """One run's spans + metrics + configuration metadata."""
+
+    VERSION = 1
+
+    def __init__(
+        self,
+        meta: dict,
+        spans: list[dict],
+        metrics: dict,
+    ) -> None:
+        self.meta = dict(meta)
+        self.spans = list(spans)
+        self.metrics = metrics
+
+    @classmethod
+    def from_capture(cls, cap: Capture, meta: dict) -> "RunTrace":
+        """Freeze a live :class:`~repro.obs.runtime.Capture` into an artifact."""
+        return cls(meta=meta, spans=cap.tracer.export(), metrics=cap.metrics.export())
+
+    # -- serialization -----------------------------------------------------
+
+    def payload(self) -> dict:
+        """The full artifact as a dict with deterministic field order."""
+        return {
+            "version": self.VERSION,
+            "meta": {k: self.meta[k] for k in sorted(self.meta)},
+            "counters": self.metrics.get("counters", {}),
+            "gauges": self.metrics.get("gauges", {}),
+            "histograms": self.metrics.get("histograms", {}),
+            "spans": self.spans,
+        }
+
+    def metrics_payload(self) -> dict:
+        """The ``metrics.json`` sidecar payload (no span tree)."""
+        return {
+            "version": self.VERSION,
+            "meta": {k: self.meta[k] for k in sorted(self.meta)},
+            "counters": self.metrics.get("counters", {}),
+            "gauges": self.metrics.get("gauges", {}),
+            "histograms": self.metrics.get("histograms", {}),
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace JSON to ``path``; returns the path written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.payload(), indent=1) + "\n")
+        return target
+
+    def write_metrics(self, path: str | Path) -> Path:
+        """Write the ``metrics.json`` sidecar; returns the path written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.metrics_payload(), indent=1) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunTrace":
+        """Read a trace artifact back.
+
+        Raises:
+            TraceError: on malformed JSON or an unexpected schema
+                version (``OSError`` propagates for unreadable files).
+        """
+        try:
+            raw = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != cls.VERSION:
+            raise TraceError(
+                f"{path}: not a RunTrace v{cls.VERSION} artifact"
+            )
+        spans = raw.get("spans")
+        if not isinstance(spans, list):
+            raise TraceError(f"{path}: missing span list")
+        return cls(
+            meta=raw.get("meta", {}),
+            spans=spans,
+            metrics={
+                "counters": raw.get("counters", {}),
+                "gauges": raw.get("gauges", {}),
+                "histograms": raw.get("histograms", {}),
+            },
+        )
+
+    # -- derived facts -----------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the deterministic projection (structure + counters).
+
+        Durations, start offsets, PIDs, gauges, and histograms are
+        excluded; identically-seeded runs — traced serially or in
+        parallel — produce the same fingerprint.
+        """
+        counters = self.metrics.get("counters", {})
+        payload = json.dumps(
+            {
+                "spans": span_fingerprint(self.spans),
+                "counters": {k: counters[k] for k in sorted(counters)},
+            },
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def subsystems(self) -> list[str]:
+        """Sorted first-component span namespaces (``topology``, ...)."""
+        return sorted({d["name"].split(".", 1)[0] for d in self.spans})
+
+    def top_spans(self, n: int = 10) -> list[dict]:
+        """The ``n`` slowest spans, longest first (ties by id)."""
+        ranked = sorted(self.spans, key=lambda d: (-d["duration_s"], d["id"]))
+        return ranked[:n]
+
+    def spans_named(self, name: str) -> list[dict]:
+        """All spans with exactly this name, in id order."""
+        return [d for d in self.spans if d["name"] == name]
+
+
+def write_run_trace(
+    cap: Capture, meta: dict, path: str | Path
+) -> tuple[Path, Path]:
+    """Freeze a capture and write ``path`` plus its ``metrics.json`` sidecar.
+
+    Returns (trace_path, metrics_path); the sidecar always lands next to
+    the trace file.
+    """
+    trace = RunTrace.from_capture(cap, meta)
+    trace_path = trace.write(path)
+    metrics_path = trace.write_metrics(trace_path.with_name("metrics.json"))
+    return trace_path, metrics_path

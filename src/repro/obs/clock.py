@@ -1,0 +1,22 @@
+"""The single monotonic time source for the observability layer.
+
+Every duration the repo reports — span durations, build-phase timings,
+per-artifact progress lines — is derived from :func:`now` so timing is
+collected in exactly one format and the determinism static analysis
+(``repro check``, rule TIME001) has exactly one clock-reading module to
+allowlist.  Durations are *reporting output only*: they never feed
+dataset content, result hashes, or the RunTrace fingerprint.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic seconds from an arbitrary origin (``time.perf_counter``).
+
+    Only differences between two calls are meaningful; the absolute
+    value carries no wall-clock information.
+    """
+    return time.perf_counter()

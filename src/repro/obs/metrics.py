@@ -1,0 +1,84 @@
+"""Counters, gauges, and histograms: the metrics half of :mod:`repro.obs`.
+
+A :class:`Metrics` registry accumulates three kinds of instruments:
+
+* **counters** — monotonically increasing event counts (cache hits,
+  retries, pairs analyzed).  Counter values are configuration-derived
+  and participate in the RunTrace fingerprint.
+* **gauges** — last-written values (e.g. worker count).
+* **histograms** — summarized distributions of observed values
+  (count/total/min/max), used for durations; excluded from the
+  fingerprint because their values are timing-derived.
+
+Exports sort every key so the serialized form has a deterministic field
+order; :meth:`Metrics.merge` folds in a blob exported by another process
+(a build pool worker).
+"""
+
+from __future__ import annotations
+
+
+class Metrics:
+    """One capture's worth of counters, gauges, and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_hists")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, dict[str, float]] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        h = self._hists.get(name)
+        if h is None:
+            self._hists[name] = {
+                "count": 1, "total": value, "min": value, "max": value
+            }
+            return
+        h["count"] += 1
+        h["total"] += value
+        h["min"] = min(h["min"], value)
+        h["max"] = max(h["max"], value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def export(self) -> dict:
+        """Plain-dict form with every key sorted (deterministic order)."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: dict(self._hists[k]) for k in sorted(self._hists)
+            },
+        }
+
+    def merge(self, blob: dict) -> None:
+        """Fold in a blob produced by :meth:`export` in another process.
+
+        Counters add, gauges take the incoming value, histograms merge
+        their summaries.
+        """
+        for name, value in blob.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in blob.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, h in blob.get("histograms", {}).items():
+            mine = self._hists.get(name)
+            if mine is None:
+                self._hists[name] = dict(h)
+                continue
+            mine["count"] += h["count"]
+            mine["total"] += h["total"]
+            mine["min"] = min(mine["min"], h["min"])
+            mine["max"] = max(mine["max"], h["max"])

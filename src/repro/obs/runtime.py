@@ -1,0 +1,141 @@
+"""Process-wide activation of tracing + metrics, with a free no-op path.
+
+Instrumented modules call the module-level helpers unconditionally::
+
+    from repro.obs import runtime as obs
+
+    with obs.span("topology.generate") as sp:
+        sp.set("seed", cfg.seed)
+    obs.count("datasets.cache.hits")
+
+When no capture is active (the default) every helper is a no-op that
+allocates nothing: :func:`span` returns a shared singleton whose
+``set``/``__enter__``/``__exit__`` do nothing, and the counter/gauge/
+histogram helpers return immediately.  The hot path therefore pays one
+global read per call site when tracing is off (asserted by the
+no-allocation test in ``tests/obs``).
+
+Activation is *swap*-scoped: :func:`capture` (or :func:`activate`)
+installs a tracer/metrics pair and restores the previous pair on exit.
+Build pool workers use a fresh :func:`capture` and ship its
+:meth:`Capture.blob` back to the coordinator, which splices it in with
+:func:`graft` — see ``repro.experiments.runner``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Span, Tracer
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        """Discard the attribute."""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+_active_tracer: Tracer | None = None
+_active_metrics: Metrics | None = None
+
+
+def enabled() -> bool:
+    """Whether a capture is currently active in this process."""
+    return _active_tracer is not None
+
+
+def span(name: str) -> "Span | _NoopSpan":
+    """A span under the active tracer, or the shared no-op span."""
+    tracer = _active_tracer
+    if tracer is None:
+        return _NOOP_SPAN
+    return tracer.start(name)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment a counter on the active metrics registry (no-op when off)."""
+    metrics = _active_metrics
+    if metrics is not None:
+        metrics.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active metrics registry (no-op when off)."""
+    metrics = _active_metrics
+    if metrics is not None:
+        metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation (no-op when off)."""
+    metrics = _active_metrics
+    if metrics is not None:
+        metrics.observe(name, value)
+
+
+def graft(blob: dict | None) -> None:
+    """Splice a worker's exported blob into the active capture.
+
+    No-op when ``blob`` is None or no capture is active.  Spans land
+    under the currently open span; metrics merge into the registry.
+    """
+    if blob is None or _active_tracer is None:
+        return
+    _active_tracer.graft(blob["spans"])
+    if _active_metrics is not None:
+        _active_metrics.merge(blob["metrics"])
+
+
+class Capture:
+    """A live tracer/metrics pair handed out by :func:`capture`."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Tracer, metrics: Metrics) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def blob(self) -> dict:
+        """Portable export (spans + metrics) for cross-process grafting."""
+        return {"spans": self.tracer.export(), "metrics": self.metrics.export()}
+
+
+@contextmanager
+def activate(tracer: Tracer, metrics: Metrics) -> Iterator[None]:
+    """Install an existing tracer/metrics pair for the dynamic extent.
+
+    Swap semantics: the previously active pair (if any) is shadowed and
+    restored on exit, so a worker-side fresh capture can safely run
+    inside a fork-inherited parent capture.
+    """
+    global _active_tracer, _active_metrics
+    prev = (_active_tracer, _active_metrics)
+    _active_tracer, _active_metrics = tracer, metrics
+    try:
+        yield
+    finally:
+        _active_tracer, _active_metrics = prev
+
+
+@contextmanager
+def capture(clock_fn=None) -> Iterator[Capture]:
+    """Activate a fresh tracer/metrics pair and yield the :class:`Capture`.
+
+    ``clock_fn`` overrides the monotonic clock (tests inject a fake one
+    for golden output).
+    """
+    cap = Capture(Tracer(clock_fn), Metrics())
+    with activate(cap.tracer, cap.metrics):
+        yield cap

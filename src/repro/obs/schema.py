@@ -1,0 +1,159 @@
+"""Minimal JSON-Schema-subset validation for observability artifacts.
+
+The container ships no ``jsonschema`` dependency, so :func:`validate`
+implements the small subset the checked-in schemas need: ``type``
+(including type lists), ``properties`` / ``required`` /
+``additionalProperties`` (boolean or sub-schema), ``items``, ``enum``,
+``const``, and ``minimum``.
+
+The canonical schemas live here as plain dicts (:data:`TRACE_SCHEMA`,
+:data:`METRICS_SCHEMA`); ``docs/schemas/*.schema.json`` are the
+checked-in copies CI validates against, and a test asserts the two
+never drift.
+"""
+
+from __future__ import annotations
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: object, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; schemas mean real numbers
+    return isinstance(value, expected)
+
+
+def validate(instance: object, schema: dict, path: str = "$") -> list[str]:
+    """Validate ``instance`` against a schema subset; return error strings.
+
+    An empty list means the instance conforms.  Error strings carry a
+    JSONPath-ish location (``$.counters.cache``) so CI failures point at
+    the offending field.
+    """
+    errors: list[str] = []
+    allowed = schema.get("type")
+    if allowed is not None:
+        names = [allowed] if isinstance(allowed, str) else list(allowed)
+        if not any(_type_ok(instance, n) for n in names):
+            errors.append(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+            return errors
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected constant {schema['const']!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if not isinstance(instance, bool) and instance < schema["minimum"]:
+            errors.append(
+                f"{path}: {instance!r} is below minimum {schema['minimum']!r}"
+            )
+    if isinstance(instance, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(validate(value, props[key], f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{key}"))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+_HISTOGRAM_SCHEMA = {
+    "type": "object",
+    "required": ["count", "total", "min", "max"],
+    "additionalProperties": False,
+    "properties": {
+        "count": {"type": "integer", "minimum": 1},
+        "total": {"type": "number"},
+        "min": {"type": "number"},
+        "max": {"type": "number"},
+    },
+}
+
+_METRICS_PROPERTIES = {
+    "version": {"const": 1},
+    "meta": {
+        "type": "object",
+        "additionalProperties": {
+            "type": ["string", "integer", "number", "boolean", "null"]
+        },
+    },
+    "counters": {
+        "type": "object",
+        "additionalProperties": {"type": "integer", "minimum": 0},
+    },
+    "gauges": {
+        "type": "object",
+        "additionalProperties": {"type": "number"},
+    },
+    "histograms": {
+        "type": "object",
+        "additionalProperties": _HISTOGRAM_SCHEMA,
+    },
+}
+
+#: Schema of the ``metrics.json`` sidecar (checked in at
+#: docs/schemas/metrics.schema.json).
+METRICS_SCHEMA: dict = {
+    "type": "object",
+    "required": ["version", "meta", "counters", "gauges", "histograms"],
+    "additionalProperties": False,
+    "properties": dict(_METRICS_PROPERTIES),
+}
+
+_SPAN_SCHEMA = {
+    "type": "object",
+    "required": [
+        "id", "parent", "name", "start_s", "duration_s", "status", "pid",
+        "attrs",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "id": {"type": "integer", "minimum": 1},
+        "parent": {"type": ["integer", "null"]},
+        "name": {"type": "string"},
+        "start_s": {"type": "number", "minimum": 0},
+        "duration_s": {"type": "number", "minimum": 0},
+        "status": {"type": "string"},
+        "pid": {"type": "integer", "minimum": 0},
+        "attrs": {
+            "type": "object",
+            "additionalProperties": {
+                "type": ["string", "integer", "number", "boolean", "null"]
+            },
+        },
+    },
+}
+
+#: Schema of the full RunTrace artifact (checked in at
+#: docs/schemas/trace.schema.json).
+TRACE_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "version", "meta", "counters", "gauges", "histograms", "spans"
+    ],
+    "additionalProperties": False,
+    "properties": {**_METRICS_PROPERTIES, "spans": {
+        "type": "array",
+        "items": _SPAN_SCHEMA,
+    }},
+}

@@ -1,0 +1,188 @@
+"""Hierarchical spans: the tracing half of :mod:`repro.obs`.
+
+A :class:`Tracer` records a tree of :class:`Span` objects.  Spans are
+their own context managers::
+
+    tracer = Tracer()
+    with tracer.start("datasets.provision") as sp:
+        sp.set("seed", 1999)
+        with tracer.start("datasets.load"):
+            ...
+
+Determinism contract (tested, and relied on by the CI observability
+job):
+
+* Span ids are assigned sequentially in *start order*, so two runs of
+  the same seeded code produce identical id/parent/name structure.
+* Durations and start offsets come from the injected monotonic clock
+  (:func:`repro.obs.clock.now` by default) and are excluded from
+  :func:`span_fingerprint`; attributes must be derived from the run
+  configuration (seed, scale, labels), never from timing, PIDs, or
+  wall-clock.
+* :meth:`Tracer.graft` splices spans exported by another process (a
+  build pool worker) under the current span with deterministically
+  remapped ids, so parallel and serial runs trace the same tree shape.
+
+Tracers are not thread-safe; cross-process composition goes through
+``export()``/``graft()`` blobs instead of shared state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterator
+
+from repro.obs import clock
+
+#: Fixed field order of an exported span dict (artifact schema v1).
+SPAN_FIELDS = (
+    "id", "parent", "name", "start_s", "duration_s", "status", "pid", "attrs"
+)
+
+
+class Span:
+    """One timed, attributed operation in the trace tree.
+
+    Use via ``with tracer.start(name) as sp`` — entering assigns the id,
+    parent, and start offset; exiting records the duration and an
+    ``"ok"`` / ``"error:<ExceptionType>"`` status.
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "start_s", "duration_s",
+        "status", "pid", "attrs", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.status = "open"
+        self.pid = os.getpid()
+        self.attrs: dict[str, object] = {}
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (must be configuration-derived, JSON-able)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self, exc_type)
+        return False
+
+    def export(self) -> dict:
+        """The span as a plain dict in :data:`SPAN_FIELDS` order."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "pid": self.pid,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+
+class Tracer:
+    """Collects a deterministic tree of spans for one capture.
+
+    Args:
+        clock_fn: Monotonic time source; injectable so tests can drive
+            deterministic durations (defaults to
+            :func:`repro.obs.clock.now`).
+    """
+
+    def __init__(self, clock_fn=None) -> None:
+        self._clock = clock_fn if clock_fn is not None else clock.now
+        self._origin = self._clock()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    def start(self, name: str) -> Span:
+        """A new span, to be entered with ``with``; nests under the
+        currently open span."""
+        return Span(self, name)
+
+    def _open(self, span: Span) -> None:
+        span.span_id = len(self._spans) + 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.start_s = self._clock() - self._origin
+        self._spans.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: Span, exc_type: type | None) -> None:
+        span.duration_s = (self._clock() - self._origin) - span.start_s
+        span.status = "ok" if exc_type is None else f"error:{exc_type.__name__}"
+        # Tolerate out-of-order closes (a leaked inner span) by popping
+        # down to the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def export(self) -> list[dict]:
+        """All spans as dicts, in id (= start) order."""
+        return [span.export() for span in self._spans]
+
+    def graft(self, span_dicts: list[dict]) -> None:
+        """Splice spans exported by another tracer under the current span.
+
+        Ids are remapped past this tracer's highest id, root spans of the
+        blob are re-parented onto the currently open span, and start
+        offsets are rebased so nested times stay meaningful.  Grafting
+        the same blobs in the same order yields identical trees, which
+        is how parallel worker builds stay trace-deterministic.
+        """
+        base = len(self._spans)
+        parent = self._stack[-1] if self._stack else None
+        parent_id = parent.span_id if parent is not None else None
+        base_start = parent.start_s if parent is not None else 0.0
+        for d in span_dicts:
+            span = Span(self, d["name"])
+            span.span_id = d["id"] + base
+            span.parent_id = (
+                parent_id if d["parent"] is None else d["parent"] + base
+            )
+            span.start_s = base_start + d["start_s"]
+            span.duration_s = d["duration_s"]
+            span.status = d["status"]
+            span.pid = d["pid"]
+            span.attrs = dict(d["attrs"])
+            self._spans.append(span)
+
+
+def span_fingerprint(span_dicts: list[dict]) -> str:
+    """SHA-256 over the *deterministic* projection of exported spans.
+
+    Includes id, parent, name, status, and attributes; excludes start
+    offsets, durations, and PIDs (the only nondeterministic fields), so
+    two identically-seeded runs — serial or parallel — fingerprint
+    identically.
+    """
+    shadow = [
+        [d["id"], d["parent"], d["name"], d["status"],
+         sorted(d["attrs"].items())]
+        for d in span_dicts
+    ]
+    payload = json.dumps(shadow, separators=(",", ":"), sort_keys=False)
+    return hashlib.sha256(payload.encode()).hexdigest()

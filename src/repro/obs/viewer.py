@@ -1,0 +1,74 @@
+"""Terminal rendering for RunTrace artifacts (``repro trace <file>``).
+
+Shows where a run spent its time: the top-N slowest spans, a per-group
+dataset build breakdown (attempts + build seconds, from the
+``datasets.build`` spans), and the counter/gauge/histogram registries.
+Pure formatting — no clock reads — so golden tests drive it with a fake
+clock and assert exact output.
+"""
+
+from __future__ import annotations
+
+from repro.obs.artifact import RunTrace
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    return " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+
+
+def render_trace(trace: RunTrace, *, top: int = 10) -> str:
+    """Multi-line human-readable summary of one RunTrace."""
+    meta = trace.meta
+    meta_bits = " ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    subsystems = trace.subsystems()
+    lines = [
+        f"trace: {meta_bits}" if meta_bits else "trace:",
+        f"spans: {len(trace.spans)} across {len(subsystems)} subsystem(s): "
+        + ", ".join(subsystems),
+    ]
+    ranked = trace.top_spans(top)
+    if ranked:
+        lines.append(f"top {len(ranked)} slowest span(s):")
+        for d in ranked:
+            status = "" if d["status"] == "ok" else f"  [{d['status']}]"
+            attrs = _fmt_attrs(d["attrs"])
+            attrs = f"  {attrs}" if attrs else ""
+            lines.append(
+                f"  {d['duration_s']:9.3f}s  {d['name']:<28}{attrs}{status}"
+            )
+    builds = trace.spans_named("datasets.build")
+    if builds:
+        lines.append("build groups:")
+        per_group: dict[str, list[dict]] = {}
+        for d in builds:
+            per_group.setdefault(str(d["attrs"].get("group", "?")), []).append(d)
+        for group in sorted(per_group):
+            spans = per_group[group]
+            total = sum(d["duration_s"] for d in spans)
+            bad = sum(1 for d in spans if d["status"] != "ok")
+            note = f"  ({bad} failed attempt(s))" if bad else ""
+            lines.append(
+                f"  {group:<8} {total:8.3f}s build across "
+                f"{len(spans)} attempt(s){note}"
+            )
+    counters = trace.metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<32} {counters[name]}")
+    gauges = trace.metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<32} {gauges[name]:g}")
+    hists = trace.metrics.get("histograms", {})
+    if hists:
+        lines.append("histograms:")
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name:<32} n={h['count']} mean={mean:.3f} "
+                f"min={h['min']:.3f} max={h['max']:.3f}"
+            )
+    return "\n".join(lines)

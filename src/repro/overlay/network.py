@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.netsim.conditions import NetworkConditions, PathSampler
+from repro.obs import runtime as obs
 from repro.overlay.router import OverlayRoute, OverlayRouter
 from repro.overlay.state import OverlayState, Pair
 from repro.routing.forwarding import PathResolver
@@ -163,6 +164,7 @@ class OverlayNetwork:
         for pair, idx in self._pair_index.items():
             self.state.record_probe(pair, float(batch.rtt_ms[idx]))
         self._last_probe_t = t
+        obs.count("overlay.probe_rounds")
 
     def warm_up(self, t0: float, rounds: int = 5) -> float:
         """Run ``rounds`` probe rounds before ``t0``; returns ``t0``."""
@@ -230,12 +232,20 @@ class OverlayNetwork:
         """
         if n_flows <= 0:
             raise ValueError("n_flows must be positive")
-        self.warm_up(t0, rounds=warm_up_rounds)
-        times = np.sort(self._rng.uniform(t0, t0 + duration_s, size=n_flows))
-        evaluation = OverlayEvaluation()
-        for t in times:
-            src, dst = self._rng.choice(len(self.hosts), size=2, replace=False)
-            evaluation.outcomes.append(
-                self.send_flow(self.hosts[src], self.hosts[dst], float(t))
+        with obs.span("overlay.evaluate") as sp:
+            sp.set("flows", n_flows)
+            sp.set("warm_up_rounds", warm_up_rounds)
+            self.warm_up(t0, rounds=warm_up_rounds)
+            times = np.sort(
+                self._rng.uniform(t0, t0 + duration_s, size=n_flows)
             )
+            evaluation = OverlayEvaluation()
+            for t in times:
+                src, dst = self._rng.choice(
+                    len(self.hosts), size=2, replace=False
+                )
+                evaluation.outcomes.append(
+                    self.send_flow(self.hosts[src], self.hosts[dst], float(t))
+                )
+            obs.count("overlay.flows", n_flows)
         return evaluation

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.quality.findings import Finding, Severity
 
 #: Bumped whenever a rule's behavior changes, to invalidate result caches.
-RULESET_VERSION = "2026.08.1"
+RULESET_VERSION = "2026.08.2"
 
 
 @dataclass(slots=True)
@@ -363,16 +363,10 @@ WALL_CLOCK_ALLOWLIST: dict[str, str] = {
         "cache-lock staleness and ownership timestamps are operational "
         "metadata, never dataset content"
     ),
-    "src/repro/datasets/instrumentation.py": (
-        "build-phase duration instrumentation (BuildReport) is reporting "
-        "output, never dataset content"
-    ),
-    "src/repro/experiments/runner.py": (
-        "cache/build wall-time accounting feeds BuildReport timing lines "
-        "only"
-    ),
-    "src/repro/experiments/reproduce.py": (
-        "per-section progress timing printed to the console only"
+    "src/repro/obs/clock.py": (
+        "the observability layer's single monotonic time source; every "
+        "other module takes durations from repro.obs.clock.now so timing "
+        "stays reporting output, never dataset content"
     ),
 }
 

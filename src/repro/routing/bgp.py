@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import runtime as obs
 from repro.topology.asys import LOCAL_PREF, Relationship
 from repro.topology.network import Topology
 
@@ -133,6 +134,15 @@ class BGPTable:
 
     def _converge(self, dest: int) -> dict[int, BGPRoute]:
         """Run the decision/export fixpoint for one destination."""
+        with obs.span("routing.bgp.converge") as sp:
+            sp.set("dest", dest)
+            best, rounds = self._converge_rounds(dest)
+            sp.set("rounds", rounds)
+        obs.count("routing.bgp.convergences")
+        return best
+
+    def _converge_rounds(self, dest: int) -> tuple[dict[int, BGPRoute], int]:
+        """The fixpoint iteration; returns (state, rounds to converge)."""
         topo = self._topo
         if dest not in topo.ases:
             raise BGPError(f"unknown destination ASN {dest}")
@@ -142,7 +152,7 @@ class BGPTable:
         # the fixpoint every stored as_path is, by construction, consistent
         # with the next hop's own choice, so AS-level forwarding can follow
         # either the stored path or the next-hop chain interchangeably.
-        for _ in range(self.MAX_ROUNDS):
+        for round_no in range(self.MAX_ROUNDS):
             new_best: dict[int, BGPRoute] = {dest: origin}
             for asn in sorted(topo.ases):
                 if asn == dest:
@@ -171,6 +181,6 @@ class BGPTable:
                 if candidates:
                     new_best[asn] = min(candidates, key=BGPRoute.preference_key)
             if new_best == best:
-                return best
+                return best, round_no + 1
             best = new_best
         raise BGPError(f"BGP did not converge for destination AS{dest}")

@@ -13,6 +13,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.obs import runtime as obs
+
 from repro.topology.asys import IGPStyle
 from repro.topology.links import Link
 from repro.topology.network import Topology
@@ -147,5 +149,8 @@ class IGPSuite:
         if asn not in self._tables:
             if asn not in self._topo.ases:
                 raise IGPError(f"unknown ASN {asn}")
-            self._tables[asn] = IGPTable(self._topo, asn)
+            with obs.span("routing.igp.table") as sp:
+                sp.set("asn", asn)
+                self._tables[asn] = IGPTable(self._topo, asn)
+            obs.count("routing.igp.tables")
         return self._tables[asn]

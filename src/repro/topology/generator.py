@@ -24,6 +24,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.obs import runtime as obs
+
 from repro.topology.asys import (
     ASLink,
     ASTier,
@@ -149,15 +151,19 @@ def generate_topology(config: TopologyConfig | None = None) -> Topology:
     placed; use :func:`place_hosts`.
     """
     cfg = config or TopologyConfig()
-    state = _GenState(rng=random.Random(cfg.seed), cfg=cfg, topo=Topology())
-    _make_tier1s(state)
-    _make_transits(state)
-    _make_stubs(state)
-    _build_intra_as(state)
-    _connect_tier1_clique(state)
-    _connect_transits(state)
-    _connect_stubs(state)
-    state.topo.validate()
+    with obs.span("topology.generate") as sp:
+        sp.set("seed", cfg.seed)
+        state = _GenState(rng=random.Random(cfg.seed), cfg=cfg, topo=Topology())
+        _make_tier1s(state)
+        _make_transits(state)
+        _make_stubs(state)
+        _build_intra_as(state)
+        _connect_tier1_clique(state)
+        _connect_transits(state)
+        _connect_stubs(state)
+        state.topo.validate()
+        sp.set("ases", len(state.topo.ases))
+        obs.count("topology.generated")
     return state.topo
 
 
@@ -588,6 +594,30 @@ def place_hosts(
     Raises:
         TopologyError: if there are not enough eligible stub ASes.
     """
+    with obs.span("topology.place_hosts") as sp:
+        sp.set("hosts", n_hosts)
+        sp.set("seed", seed)
+        return _place_hosts(
+            topo,
+            n_hosts,
+            seed=seed,
+            north_america_only=north_america_only,
+            rate_limit_fraction=rate_limit_fraction,
+            name_prefix=name_prefix,
+            capacity_scale=capacity_scale,
+        )
+
+
+def _place_hosts(
+    topo: Topology,
+    n_hosts: int,
+    *,
+    seed: int,
+    north_america_only: bool,
+    rate_limit_fraction: float,
+    name_prefix: str,
+    capacity_scale: float,
+) -> list[Host]:
     rng = random.Random(seed ^ 0x5EED)
     stubs = [
         a for a in topo.ases.values()

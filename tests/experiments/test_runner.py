@@ -9,8 +9,8 @@ from repro.datasets import BuildConfig, BuildReport, table1_order
 from repro.experiments.runner import (
     JOBS_ENV_VAR,
     cache_dir,
-    get_dataset,
-    get_datasets,
+    provision_dataset,
+    provision_datasets,
     resolve_jobs,
 )
 
@@ -22,7 +22,7 @@ def tiny_cfg():
 
 def test_cache_roundtrip(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    first = get_datasets(tiny_cfg)
+    first = provision_datasets(tiny_cfg)
     assert set(first) == {
         "D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B",
     }
@@ -30,7 +30,7 @@ def test_cache_roundtrip(tmp_path, monkeypatch, tiny_cfg):
     files = list((tmp_path / "cache").rglob("*.jsonl"))
     assert len(files) == 8
     # Second call loads from cache and agrees.
-    second = get_datasets(tiny_cfg)
+    second = provision_datasets(tiny_cfg)
     for name in first:
         assert first[name].n_measurements == second[name].n_measurements
         assert first[name].hosts == second[name].hosts
@@ -38,25 +38,25 @@ def test_cache_roundtrip(tmp_path, monkeypatch, tiny_cfg):
 
 def test_corrupt_cache_triggers_rebuild(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    first = get_datasets(tiny_cfg)
+    first = provision_datasets(tiny_cfg)
     victim = next((tmp_path / "cache").rglob("UW3.jsonl"))
     victim.write_text("garbage\n")
-    rebuilt = get_datasets(tiny_cfg)
+    rebuilt = provision_datasets(tiny_cfg)
     assert rebuilt["UW3"].n_measurements == first["UW3"].n_measurements
 
 
 def test_no_cache_mode(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg, use_cache=False)
+    provision_datasets(tiny_cfg, use_cache=False)
     assert not list((tmp_path / "cache").rglob("*.jsonl"))
 
 
 def test_get_single_dataset(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    uw3 = get_dataset("UW3", tiny_cfg)
+    uw3 = provision_dataset("UW3", tiny_cfg)
     assert uw3.meta.name == "UW3"
     with pytest.raises(KeyError):
-        get_dataset("NOPE", tiny_cfg)
+        provision_dataset("NOPE", tiny_cfg)
 
 
 def test_cache_dir_env(tmp_path, monkeypatch):
@@ -72,12 +72,12 @@ def _suite_files(root):
 def test_deleted_dataset_rebuilds_only_itself(tmp_path, monkeypatch, tiny_cfg):
     """Invalidating one dataset must leave the other seven files untouched."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    first = get_datasets(tiny_cfg)
+    first = provision_datasets(tiny_cfg)
     files = _suite_files(tmp_path / "cache")
     mtimes = {name: p.stat().st_mtime_ns for name, p in files.items()}
     files["UW3.jsonl"].unlink()
     report = BuildReport()
-    rebuilt = get_datasets(tiny_cfg, report=report)
+    rebuilt = provision_datasets(tiny_cfg, report=report)
     assert rebuilt["UW3"].n_measurements == first["UW3"].n_measurements
     assert report.cache_misses == ["UW3"]
     assert len(report.cache_hits) == 7
@@ -92,16 +92,16 @@ def test_deleted_dataset_rebuilds_only_itself(tmp_path, monkeypatch, tiny_cfg):
 def test_truncated_cache_file_rebuilt(tmp_path, monkeypatch, tiny_cfg):
     """A crash-truncated JSONL file is rejected and transparently rebuilt."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    first = get_datasets(tiny_cfg)
+    first = provision_datasets(tiny_cfg)
     victim = _suite_files(tmp_path / "cache")["UW1.jsonl"]
     lines = victim.read_text().splitlines()
     victim.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
     report = BuildReport()
-    rebuilt = get_datasets(tiny_cfg, report=report)
+    rebuilt = provision_datasets(tiny_cfg, report=report)
     assert "UW1" in report.cache_misses
     assert rebuilt["UW1"].n_measurements == first["UW1"].n_measurements
     # The repaired file round-trips cleanly now.
-    third = get_datasets(tiny_cfg, report=(rep3 := BuildReport()))
+    third = provision_datasets(tiny_cfg, report=(rep3 := BuildReport()))
     assert rep3.cache_misses == []
     assert third["UW1"].n_measurements == first["UW1"].n_measurements
 
@@ -110,7 +110,7 @@ def test_stale_schema_cache_rebuilt(tmp_path, monkeypatch, tiny_cfg):
     """A cache written by another library version (drifted header schema)
     triggers a rebuild instead of a TypeError crash."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg)
+    provision_datasets(tiny_cfg)
     victim = _suite_files(tmp_path / "cache")["D2.jsonl"]
     lines = victim.read_text().splitlines()
     header = json.loads(lines[0])
@@ -118,7 +118,7 @@ def test_stale_schema_cache_rebuilt(tmp_path, monkeypatch, tiny_cfg):
     lines[0] = json.dumps(header)
     victim.write_text("\n".join(lines) + "\n")
     report = BuildReport()
-    rebuilt = get_datasets(tiny_cfg, report=report)
+    rebuilt = provision_datasets(tiny_cfg, report=report)
     assert "D2" in report.cache_misses
     assert rebuilt["D2"].meta.name == "D2"
 
@@ -127,12 +127,12 @@ def test_group_sibling_kept_from_cache(tmp_path, monkeypatch, tiny_cfg):
     """Deleting D2.jsonl reruns the d2 group but must not rewrite the
     still-valid D2-NA.jsonl sibling."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg)
+    provision_datasets(tiny_cfg)
     files = _suite_files(tmp_path / "cache")
     sibling_mtime = files["D2-NA.jsonl"].stat().st_mtime_ns
     files["D2.jsonl"].unlink()
     report = BuildReport()
-    get_datasets(tiny_cfg, report=report)
+    provision_datasets(tiny_cfg, report=report)
     assert report.cache_misses == ["D2"]
     assert files["D2-NA.jsonl"].stat().st_mtime_ns == sibling_mtime
 
@@ -144,13 +144,13 @@ def test_parallel_build_is_deterministic_and_multiprocess(
     bit-identical files to a serial build of the same config."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
     serial_report = BuildReport()
-    serial = get_datasets(tiny_cfg, jobs=1, report=serial_report)
+    serial = provision_datasets(tiny_cfg, jobs=1, report=serial_report)
     assert serial_report.worker_pids() == {os.getpid()}
     serial_files = _suite_files(tmp_path / "serial")
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
     parallel_report = BuildReport()
-    parallel = get_datasets(tiny_cfg, jobs=2, report=parallel_report)
+    parallel = provision_datasets(tiny_cfg, jobs=2, report=parallel_report)
     pids = parallel_report.worker_pids()
     assert len(pids) >= 2, f"expected multiple build workers, got {pids}"
     assert os.getpid() not in pids
@@ -173,7 +173,7 @@ def test_stale_lock_does_not_wedge_builds(tmp_path, monkeypatch, tiny_cfg):
     suite = tmp_path / "cache" / f"seed{tiny_cfg.seed}-scale{tiny_cfg.scale:g}"
     suite.mkdir(parents=True)
     (suite / ".build.lock").write_text(json.dumps({"pid": 2**22 + 54321, "t": 0}))
-    datasets = get_datasets(tiny_cfg)
+    datasets = provision_datasets(tiny_cfg)
     assert len(datasets) == 8
     assert not (suite / ".build.lock").exists()
 
@@ -195,12 +195,12 @@ def test_resolve_jobs(monkeypatch):
 def test_report_phases_and_summary(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     cold = BuildReport()
-    get_datasets(tiny_cfg, report=cold)
+    provision_datasets(tiny_cfg, report=cold)
     assert cold.n_cache_misses == 8
     assert cold.phase_seconds("build") > 0
     assert cold.phase_seconds("save") > 0
     warm = BuildReport()
-    get_datasets(tiny_cfg, report=warm)
+    provision_datasets(tiny_cfg, report=warm)
     assert warm.n_cache_hits == 8
     assert warm.n_cache_misses == 0
     assert warm.phase_seconds("load") > 0
@@ -216,11 +216,11 @@ def test_corrupt_cache_file_quarantined_not_reparsed(
     """An unreadable cache file is renamed to a .corrupt-<hash> corpse
     once, recorded in the report, and never re-parsed on later runs."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg)
+    provision_datasets(tiny_cfg)
     victim = _suite_files(tmp_path / "cache")["UW3.jsonl"]
     victim.write_text("garbage\n")
     report = BuildReport()
-    get_datasets(tiny_cfg, report=report)
+    provision_datasets(tiny_cfg, report=report)
     corpses = list(victim.parent.glob("UW3.jsonl.corrupt-*"))
     assert len(corpses) == 1
     assert corpses[0].read_text() == "garbage\n"
@@ -229,7 +229,7 @@ def test_corrupt_cache_file_quarantined_not_reparsed(
     # The rebuilt file is valid: the next run neither misses nor
     # quarantines anything, and the corpse is left alone.
     rep2 = BuildReport()
-    get_datasets(tiny_cfg, report=rep2)
+    provision_datasets(tiny_cfg, report=rep2)
     assert rep2.cache_misses == []
     assert rep2.quarantined == []
     assert list(victim.parent.glob("UW3.jsonl.corrupt-*")) == corpses
@@ -239,11 +239,11 @@ def test_missing_file_is_plain_miss_without_quarantine(
     tmp_path, monkeypatch, tiny_cfg
 ):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg)
+    provision_datasets(tiny_cfg)
     files = _suite_files(tmp_path / "cache")
     files["UW1.jsonl"].unlink()
     report = BuildReport()
-    get_datasets(tiny_cfg, report=report)
+    provision_datasets(tiny_cfg, report=report)
     assert report.cache_misses == ["UW1"]
     assert report.quarantined == []
     assert not list((tmp_path / "cache").rglob("*.corrupt-*"))

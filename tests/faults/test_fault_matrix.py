@@ -12,7 +12,7 @@ import pytest
 
 from repro.datasets import BuildConfig, BuildReport
 from repro.experiments import runner
-from repro.experiments.runner import get_datasets
+from repro.experiments.runner import provision_datasets
 from repro.faults import BuildFailure
 
 ALL_NAMES = {"D2-NA", "D2", "N2-NA", "N2", "UW1", "UW3", "UW4-A", "UW4-B"}
@@ -40,14 +40,14 @@ def test_faulted_run_is_byte_identical_to_clean_run(
     """The headline guarantee: a run that survives injected worker
     crashes and cache corruption produces byte-identical artifacts."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
-    get_datasets(tiny_cfg, jobs=2, fault_plan="")
+    provision_datasets(tiny_cfg, jobs=2, fault_plan="")
     clean = _hashes(_suite_dir(tmp_path / "clean", tiny_cfg))
     assert len(clean) == 8
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "faulted"))
     report = BuildReport()
     plan = "crash:uw3;truncate:N2;garble-header:UW1;drop-trailer:UW4-A"
-    datasets = get_datasets(tiny_cfg, jobs=2, fault_plan=plan, report=report)
+    datasets = provision_datasets(tiny_cfg, jobs=2, fault_plan=plan, report=report)
     assert set(datasets) == ALL_NAMES
     faulted = _hashes(_suite_dir(tmp_path / "faulted", tiny_cfg))
     # Quarantined corpses don't count; the eight live files must match.
@@ -61,7 +61,7 @@ def test_faulted_run_is_byte_identical_to_clean_run(
 def test_fail_fault_retries_to_success_serially(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         tiny_cfg, jobs=1, fault_plan="fail:d2:times=2", report=report
     )
     assert set(datasets) == ALL_NAMES
@@ -72,14 +72,14 @@ def test_fail_fault_retries_to_success_serially(tmp_path, monkeypatch, tiny_cfg)
 def test_retry_exhaustion_raises_build_failure(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     with pytest.raises(BuildFailure) as exc_info:
-        get_datasets(tiny_cfg, jobs=1, fault_plan="fail:uw3:times=99")
+        provision_datasets(tiny_cfg, jobs=1, fault_plan="fail:uw3:times=99")
     assert "uw3" in exc_info.value.failures
 
 
 def test_keep_going_returns_partial_suite(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         tiny_cfg,
         jobs=1,
         fault_plan="fail:uw3:times=99",
@@ -97,7 +97,7 @@ def test_keep_going_returns_partial_suite(tmp_path, monkeypatch, tiny_cfg):
 
 def test_lock_stale_injection_exercises_takeover(tmp_path, monkeypatch, tiny_cfg):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    datasets = get_datasets(tiny_cfg, jobs=1, fault_plan="lock-stale")
+    datasets = provision_datasets(tiny_cfg, jobs=1, fault_plan="lock-stale")
     assert set(datasets) == ALL_NAMES
     suite = _suite_dir(tmp_path / "cache", tiny_cfg)
     # The planted dead-owner lock was broken, ours was released after.
@@ -112,7 +112,7 @@ def test_resume_skips_groups_finished_before_interruption(
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     # First run "dies" with group n2 never completing (keep_going stands
     # in for the kill: everything else is saved and ledgered).
-    get_datasets(
+    provision_datasets(
         tiny_cfg, jobs=1, fault_plan="fail:n2:times=99", keep_going=True
     )
     suite = _suite_dir(tmp_path / "cache", tiny_cfg)
@@ -120,7 +120,7 @@ def test_resume_skips_groups_finished_before_interruption(
     assert set(before) == {f"{n}.jsonl" for n in ALL_NAMES - {"N2", "N2-NA"}}
 
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         tiny_cfg, jobs=1, fault_plan="", resume=True, report=report
     )
     assert set(datasets) == ALL_NAMES
@@ -139,11 +139,11 @@ def test_resume_with_stale_ledger_entry_rebuilds(tmp_path, monkeypatch, tiny_cfg
     """A ledgered group whose cache file was later damaged is rebuilt,
     not trusted."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-    get_datasets(tiny_cfg, jobs=1, fault_plan="")
+    provision_datasets(tiny_cfg, jobs=1, fault_plan="")
     suite = _suite_dir(tmp_path / "cache", tiny_cfg)
     (suite / "UW3.jsonl").unlink()
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         tiny_cfg, jobs=1, fault_plan="", resume=True, report=report
     )
     assert set(datasets) == ALL_NAMES
@@ -158,12 +158,12 @@ def test_build_timeout_abandons_and_retries_slow_group(
     """An injected slow build blows the per-attempt deadline; the retry
     (without the fault) completes and artifacts are still canonical."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "clean"))
-    get_datasets(tiny_cfg, jobs=2, fault_plan="")
+    provision_datasets(tiny_cfg, jobs=2, fault_plan="")
     clean = _hashes(_suite_dir(tmp_path / "clean", tiny_cfg))
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "slow"))
     report = BuildReport()
-    datasets = get_datasets(
+    datasets = provision_datasets(
         tiny_cfg,
         jobs=2,
         fault_plan="slow:uw1:delay=15",

@@ -1,0 +1,93 @@
+"""RunTrace artifact: field order, round-trip, fingerprint scope."""
+
+import json
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.artifact import RunTrace, TraceError, write_run_trace
+
+
+def _capture_blob():
+    with obs.capture() as cap:
+        with obs.span("topology.generate") as sp:
+            sp.set("seed", 7)
+            with obs.span("routing.igp.table"):
+                pass
+        obs.count("topology.generated")
+        obs.observe("datasets.lock_wait_s", 0.5)
+        obs.gauge("workers", 2)
+    return cap
+
+
+META = {"command": "test", "seed": 7, "scale": 0.1, "jobs": None}
+
+
+def test_payload_field_order_is_fixed():
+    trace = RunTrace.from_capture(_capture_blob(), META)
+    assert list(trace.payload()) == [
+        "version", "meta", "counters", "gauges", "histograms", "spans"
+    ]
+    assert list(trace.metrics_payload()) == [
+        "version", "meta", "counters", "gauges", "histograms"
+    ]
+    assert list(trace.payload()["meta"]) == sorted(META)
+
+
+def test_no_wall_clock_fields_in_payload():
+    payload = RunTrace.from_capture(_capture_blob(), META).payload()
+    text = json.dumps(payload)
+    for banned in ("wall", "time.time", "timestamp", "date"):
+        assert banned not in text
+
+
+def test_write_and_load_round_trip(tmp_path):
+    cap = _capture_blob()
+    trace_path, metrics_path = write_run_trace(cap, META, tmp_path / "t.json")
+    assert metrics_path.name == "metrics.json"
+    loaded = RunTrace.load(trace_path)
+    original = RunTrace.from_capture(cap, META)
+    assert loaded.payload() == original.payload()
+    assert loaded.fingerprint() == original.fingerprint()
+    sidecar = json.loads(metrics_path.read_text())
+    assert sidecar == original.metrics_payload()
+
+
+def test_load_rejects_malformed_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(TraceError):
+        RunTrace.load(bad)
+    bad.write_text(json.dumps({"version": 99}))
+    with pytest.raises(TraceError):
+        RunTrace.load(bad)
+    bad.write_text(json.dumps({"version": 1, "spans": "nope"}))
+    with pytest.raises(TraceError):
+        RunTrace.load(bad)
+    with pytest.raises(OSError):
+        RunTrace.load(tmp_path / "missing.json")
+
+
+def test_fingerprint_ignores_timing_but_not_counters():
+    a = RunTrace.from_capture(_capture_blob(), META)
+    b = RunTrace.from_capture(_capture_blob(), META)
+    for d in b.spans:
+        d["duration_s"] += 9.0
+        d["start_s"] += 9.0
+        d["pid"] += 1
+    b.metrics["gauges"]["workers"] = 64
+    b.metrics["histograms"]["datasets.lock_wait_s"]["max"] = 99.0
+    assert a.fingerprint() == b.fingerprint()
+    b.metrics["counters"]["topology.generated"] += 1
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_derived_facts():
+    trace = RunTrace.from_capture(_capture_blob(), META)
+    assert trace.subsystems() == ["routing", "topology"]
+    assert [d["name"] for d in trace.spans_named("topology.generate")] == [
+        "topology.generate"
+    ]
+    top = trace.top_spans(1)
+    assert len(top) == 1
+    assert top[0]["duration_s"] == max(d["duration_s"] for d in trace.spans)

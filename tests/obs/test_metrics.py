@@ -1,0 +1,65 @@
+"""Metrics registry: instruments, sorted exports, cross-process merge."""
+
+from repro.obs.metrics import Metrics
+
+
+def test_counters_accumulate():
+    m = Metrics()
+    m.count("hits")
+    m.count("hits", 2)
+    assert m.counter("hits") == 3
+    assert m.counter("never") == 0
+
+
+def test_gauge_last_write_wins():
+    m = Metrics()
+    m.gauge("workers", 4)
+    m.gauge("workers", 2)
+    assert m.export()["gauges"] == {"workers": 2}
+
+
+def test_histogram_summary():
+    m = Metrics()
+    for v in (1.0, 3.0, 2.0):
+        m.observe("wait_s", v)
+    h = m.export()["histograms"]["wait_s"]
+    assert h == {"count": 3, "total": 6.0, "min": 1.0, "max": 3.0}
+
+
+def test_export_keys_sorted():
+    m = Metrics()
+    for name in ("zeta", "alpha", "mid"):
+        m.count(name)
+        m.gauge(name, 1.0)
+        m.observe(name, 1.0)
+    out = m.export()
+    for section in ("counters", "gauges", "histograms"):
+        assert list(out[section]) == ["alpha", "mid", "zeta"]
+
+
+def test_merge_combines_worker_blobs():
+    worker = Metrics()
+    worker.count("builds", 2)
+    worker.gauge("workers", 8)
+    worker.observe("wait_s", 5.0)
+
+    main = Metrics()
+    main.count("builds", 1)
+    main.gauge("workers", 1)
+    main.observe("wait_s", 1.0)
+    main.merge(worker.export())
+
+    out = main.export()
+    assert out["counters"]["builds"] == 3
+    assert out["gauges"]["workers"] == 8
+    assert out["histograms"]["wait_s"] == {
+        "count": 2, "total": 6.0, "min": 1.0, "max": 5.0
+    }
+
+
+def test_merge_into_empty_registry():
+    worker = Metrics()
+    worker.observe("wait_s", 2.0)
+    main = Metrics()
+    main.merge(worker.export())
+    assert main.export()["histograms"]["wait_s"]["count"] == 1

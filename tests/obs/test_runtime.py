@@ -1,0 +1,95 @@
+"""Runtime activation: no-op path, swap scoping, zero allocation."""
+
+import tracemalloc
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
+
+
+def test_disabled_by_default():
+    assert not obs.enabled()
+    obs.count("nothing")
+    obs.gauge("nothing", 1.0)
+    obs.observe("nothing", 1.0)
+    obs.graft({"spans": [], "metrics": {}})
+
+
+def test_noop_span_is_a_shared_singleton():
+    assert not obs.enabled()
+    a = obs.span("x")
+    b = obs.span("y")
+    assert a is b
+    with a as sp:
+        sp.set("ignored", 1)
+
+
+def test_disabled_helpers_allocate_nothing():
+    """The no-op path must not allocate (beyond tracemalloc's own frames)."""
+    assert not obs.enabled()
+
+    def hot_path() -> None:
+        for _ in range(100):
+            with obs.span("datasets.build") as sp:
+                sp.set("group", "uw3")
+            obs.count("datasets.builds")
+            obs.observe("datasets.lock_wait_s", 0.0)
+
+    hot_path()  # warm up (bytecode caches, method binding)
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    hot_path()
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    here = __file__
+    growth = sum(
+        stat.size_diff
+        for stat in after.compare_to(before, "filename")
+        if stat.traceback[0].filename == here
+    )
+    assert growth <= 0, f"no-op observability allocated {growth} bytes"
+
+
+def test_capture_enables_and_restores():
+    with obs.capture() as cap:
+        assert obs.enabled()
+        with obs.span("unit.test") as sp:
+            sp.set("k", "v")
+        obs.count("unit.counter", 2)
+    assert not obs.enabled()
+    blob = cap.blob()
+    assert [d["name"] for d in blob["spans"]] == ["unit.test"]
+    assert blob["metrics"]["counters"] == {"unit.counter": 2}
+
+
+def test_activate_swaps_and_restores_previous_capture():
+    outer_tracer, outer_metrics = Tracer(), Metrics()
+    inner_tracer, inner_metrics = Tracer(), Metrics()
+    with obs.activate(outer_tracer, outer_metrics):
+        with obs.span("outer.span"):
+            pass
+        with obs.activate(inner_tracer, inner_metrics):
+            with obs.span("inner.span"):
+                pass
+        with obs.span("outer.again"):
+            pass
+    assert [s.name for s in outer_tracer] == ["outer.span", "outer.again"]
+    assert [s.name for s in inner_tracer] == ["inner.span"]
+    assert not obs.enabled()
+
+
+def test_graft_into_active_capture():
+    with obs.capture() as worker:
+        with obs.span("datasets.build"):
+            pass
+        obs.count("datasets.builds")
+    with obs.capture() as cap:
+        with obs.span("datasets.provision"):
+            obs.graft(worker.blob())
+        obs.graft(None)  # tolerated
+    spans = cap.tracer.export()
+    assert [d["name"] for d in spans] == [
+        "datasets.provision", "datasets.build"
+    ]
+    assert spans[1]["parent"] == spans[0]["id"]
+    assert cap.metrics.counter("datasets.builds") == 1

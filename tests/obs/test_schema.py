@@ -1,0 +1,60 @@
+"""Schema validation and checked-in-schema drift guards."""
+
+import json
+from pathlib import Path
+
+from repro.obs import runtime as obs
+from repro.obs.artifact import RunTrace
+from repro.obs.schema import METRICS_SCHEMA, TRACE_SCHEMA, validate
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _trace():
+    with obs.capture() as cap:
+        with obs.span("topology.generate") as sp:
+            sp.set("seed", 7)
+        obs.count("topology.generated")
+        obs.gauge("workers", 2)
+        obs.observe("datasets.lock_wait_s", 0.25)
+    return RunTrace.from_capture(
+        cap, {"command": "test", "seed": 7, "scale": 0.1, "jobs": None}
+    )
+
+
+def test_real_artifacts_validate():
+    trace = _trace()
+    assert validate(trace.payload(), TRACE_SCHEMA) == []
+    assert validate(trace.metrics_payload(), METRICS_SCHEMA) == []
+
+
+def test_validator_reports_paths():
+    trace = _trace()
+    payload = trace.payload()
+    payload["counters"]["bad"] = -1
+    payload["spans"][0]["id"] = "one"
+    payload["extra"] = True
+    errors = validate(payload, TRACE_SCHEMA)
+    assert any("$.counters.bad" in e for e in errors)
+    assert any("$.spans[0].id" in e for e in errors)
+    assert any("unexpected key 'extra'" in e for e in errors)
+
+
+def test_validator_type_subset():
+    assert validate(1, {"type": "integer"}) == []
+    assert validate(True, {"type": "integer"}) != []  # bool is not a number
+    assert validate(None, {"type": ["integer", "null"]}) == []
+    assert validate(0.5, {"type": "number", "minimum": 0}) == []
+    assert validate(-0.5, {"type": "number", "minimum": 0}) != []
+    assert validate("x", {"enum": ["x", "y"]}) == []
+    assert validate("z", {"enum": ["x", "y"]}) != []
+    assert validate(2, {"const": 1}) != []
+    assert validate([1, "a"], {"type": "array", "items": {"type": "integer"}}) != []
+
+
+def test_checked_in_schemas_match_embedded():
+    """docs/schemas/*.schema.json must never drift from the code."""
+    trace_file = ROOT / "docs" / "schemas" / "trace.schema.json"
+    metrics_file = ROOT / "docs" / "schemas" / "metrics.schema.json"
+    assert json.loads(trace_file.read_text()) == TRACE_SCHEMA
+    assert json.loads(metrics_file.read_text()) == METRICS_SCHEMA

@@ -1,0 +1,133 @@
+"""Tracer determinism: nesting, ids, grafting, fingerprints."""
+
+from repro.obs.tracer import SPAN_FIELDS, Tracer, span_fingerprint
+
+
+class FakeClock:
+    """Monotonic fake clock advancing 1s per read."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+def _sample_run(tracer: Tracer) -> None:
+    with tracer.start("a") as sp:
+        sp.set("seed", 1)
+        with tracer.start("a.inner"):
+            pass
+        with tracer.start("a.inner"):
+            pass
+    with tracer.start("b"):
+        pass
+
+
+def test_ids_assigned_in_start_order():
+    tracer = Tracer(FakeClock())
+    _sample_run(tracer)
+    spans = tracer.export()
+    assert [d["id"] for d in spans] == [1, 2, 3, 4]
+    assert [d["parent"] for d in spans] == [None, 1, 1, None]
+    assert [d["name"] for d in spans] == ["a", "a.inner", "a.inner", "b"]
+    assert all(tuple(d) == SPAN_FIELDS for d in spans)
+
+
+def test_status_records_exception_type():
+    tracer = Tracer(FakeClock())
+    try:
+        with tracer.start("boom"):
+            raise KeyError("x")
+    except KeyError:
+        pass
+    assert tracer.export()[0]["status"] == "error:KeyError"
+
+
+def test_durations_monotonic_and_excluded_from_fingerprint():
+    fast, slow = Tracer(FakeClock()), Tracer(FakeClock())
+    _sample_run(fast)
+    _sample_run(slow)
+    # Perturb only the timing fields: the fingerprint must not change.
+    spans_a, spans_b = fast.export(), slow.export()
+    for d in spans_b:
+        d["start_s"] += 100.0
+        d["duration_s"] *= 7.0
+        d["pid"] += 1
+    assert span_fingerprint(spans_a) == span_fingerprint(spans_b)
+    assert all(d["duration_s"] >= 0 for d in spans_a)
+
+
+def test_fingerprint_sensitive_to_structure_and_attrs():
+    base = Tracer(FakeClock())
+    _sample_run(base)
+    renamed = Tracer(FakeClock())
+    with renamed.start("a") as sp:
+        sp.set("seed", 2)  # different attr value
+        with renamed.start("a.inner"):
+            pass
+        with renamed.start("a.inner"):
+            pass
+    with renamed.start("b"):
+        pass
+    assert span_fingerprint(base.export()) != span_fingerprint(renamed.export())
+
+
+def test_identical_runs_fingerprint_identically():
+    one, two = Tracer(FakeClock()), Tracer(FakeClock())
+    _sample_run(one)
+    _sample_run(two)
+    assert span_fingerprint(one.export()) == span_fingerprint(two.export())
+
+
+def test_graft_remaps_ids_and_reparents_roots():
+    worker = Tracer(FakeClock())
+    with worker.start("datasets.build") as sp:
+        sp.set("group", "uw3")
+        with worker.start("datasets.save"):
+            pass
+    blob = worker.export()
+
+    coordinator = Tracer(FakeClock())
+    with coordinator.start("datasets.provision"):
+        coordinator.graft(blob)
+    spans = coordinator.export()
+    assert [d["name"] for d in spans] == [
+        "datasets.provision", "datasets.build", "datasets.save"
+    ]
+    build, save = spans[1], spans[2]
+    assert build["id"] == 2 and build["parent"] == 1
+    assert save["id"] == 3 and save["parent"] == 2
+    assert build["attrs"] == {"group": "uw3"}
+
+
+def test_graft_order_is_deterministic():
+    def worker_blob(group: str) -> list[dict]:
+        t = Tracer(FakeClock())
+        with t.start("datasets.build") as sp:
+            sp.set("group", group)
+        return t.export()
+
+    def compose() -> str:
+        t = Tracer(FakeClock())
+        with t.start("datasets.provision"):
+            for group in ("d2", "n2", "uw3"):
+                t.graft(worker_blob(group))
+        return span_fingerprint(t.export())
+
+    assert compose() == compose()
+
+
+def test_out_of_order_close_tolerated():
+    tracer = Tracer(FakeClock())
+    outer = tracer.start("outer")
+    inner = tracer.start("inner")
+    outer.__enter__()
+    inner.__enter__()
+    # Close the outer span while the inner is still open (a leak).
+    outer.__exit__(None, None, None)
+    assert tracer.current is None
+    with tracer.start("next"):
+        pass
+    assert tracer.export()[-1]["parent"] is None

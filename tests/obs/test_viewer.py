@@ -1,0 +1,82 @@
+"""Viewer golden output, driven by a deterministic fake clock."""
+
+from repro.obs.artifact import RunTrace
+from repro.obs.metrics import Metrics
+from repro.obs.runtime import Capture
+from repro.obs.tracer import Tracer
+from repro.obs.viewer import render_trace
+
+
+class FakeClock:
+    """Monotonic fake clock advancing 1s per read."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+def _golden_capture() -> Capture:
+    tracer, metrics = Tracer(FakeClock()), Metrics()
+    with tracer.start("datasets.provision") as sp:
+        sp.set("seed", 7)
+        with tracer.start("datasets.build") as bp:
+            bp.set("group", "uw3")
+            bp.set("attempt", 0)
+        try:
+            with tracer.start("datasets.build") as bp:
+                bp.set("group", "n2")
+                bp.set("attempt", 0)
+                raise RuntimeError("injected")
+        except RuntimeError:
+            pass
+        with tracer.start("datasets.build") as bp:
+            bp.set("group", "n2")
+            bp.set("attempt", 1)
+    metrics.count("datasets.builds", 3)
+    metrics.count("faults.retries", 1)
+    metrics.gauge("workers", 2)
+    metrics.observe("datasets.lock_wait_s", 0.5)
+    return Capture(tracer, metrics)
+
+
+GOLDEN = """\
+trace: command=suite seed=7
+spans: 4 across 1 subsystem(s): datasets
+top 2 slowest span(s):
+      7.000s  datasets.provision            seed=7
+      1.000s  datasets.build                attempt=0 group=uw3
+build groups:
+  n2          2.000s build across 2 attempt(s)  (1 failed attempt(s))
+  uw3         1.000s build across 1 attempt(s)
+counters:
+  datasets.builds                  3
+  faults.retries                   1
+gauges:
+  workers                          2
+histograms:
+  datasets.lock_wait_s             n=1 mean=0.500 min=0.500 max=0.500"""
+
+
+def test_render_trace_golden():
+    trace = RunTrace.from_capture(
+        _golden_capture(), {"command": "suite", "seed": 7}
+    )
+    assert render_trace(trace, top=2) == GOLDEN
+
+
+def test_render_trace_empty():
+    trace = RunTrace(meta={}, spans=[], metrics={})
+    out = render_trace(trace)
+    assert out.startswith("trace:")
+    assert "spans: 0 across 0 subsystem(s):" in out
+
+
+def test_render_trace_top_bounds():
+    trace = RunTrace.from_capture(
+        _golden_capture(), {"command": "suite", "seed": 7}
+    )
+    out = render_trace(trace, top=100)
+    assert "top 4 slowest span(s):" in out

@@ -1,0 +1,104 @@
+"""The ReproSession facade and the deprecation surface behind it."""
+
+import warnings
+
+import pytest
+
+from repro import ReproSession
+from repro.datasets import BuildConfig
+
+
+@pytest.fixture()
+def session(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return ReproSession(seed=31, scale=0.02, jobs=1, trace=True)
+
+
+def test_facade_is_the_package_level_export():
+    import repro
+    from repro.api import ReproSession as direct
+
+    assert repro.ReproSession is direct
+    assert "ReproSession" in repro.__all__
+
+
+def test_build_analyze_trace_round_trip(session, tmp_path):
+    datasets = session.build(only=["UW3"])
+    assert set(datasets) == {"UW3"}
+    assert session.report is not None
+    assert session.config == BuildConfig(seed=31, scale=0.02)
+
+    result = session.analyze("UW3", "rtt", min_samples=2)
+    assert len(result) > 0
+
+    trace = session.trace()
+    assert {"core", "datasets"} <= set(trace.subsystems())
+    assert trace.meta["command"] == "session"
+    trace_path, metrics_path = session.save_trace(tmp_path / "session.json")
+    assert trace_path.exists() and metrics_path.name == "metrics.json"
+
+
+def test_dataset_builds_on_demand(session):
+    uw1 = session.dataset("UW1")
+    assert uw1.meta.name == "UW1"
+    # Second access is a plain dict hit, not another build.
+    assert session.dataset("UW1") is uw1
+
+
+def test_analyze_accepts_dataset_objects(session):
+    uw3 = session.dataset("UW3")
+    result = session.analyze(uw3, "rtt", min_samples=2)
+    assert len(result) > 0
+
+
+def test_untraced_session_rejects_trace_access(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    session = ReproSession(seed=31, scale=0.02, trace=False)
+    assert not session.tracing
+    with pytest.raises(ValueError, match="trace=False"):
+        session.trace()
+    with pytest.raises(ValueError, match="trace=False"):
+        session.save_trace(tmp_path / "t.json")
+
+
+def test_reproduce_via_facade(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    session = ReproSession(seed=31, scale=0.02, jobs=1, trace=True)
+    artifacts = session.reproduce(only={"table1"})
+    assert set(artifacts) == {"table1"}
+    assert session.report is not None
+    assert "experiments" in session.trace().subsystems()
+    capsys.readouterr()  # swallow run_all's progress output
+
+
+def test_repr_mentions_configuration(session):
+    text = repr(session)
+    assert "seed=31" in text and "trace=True" in text
+
+
+def test_deprecated_get_datasets_warns(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.experiments.runner import get_dataset, get_datasets
+
+    cfg = BuildConfig(seed=31, scale=0.02)
+    with pytest.warns(DeprecationWarning, match="provision_datasets"):
+        datasets = get_datasets(cfg, jobs=1)
+    assert len(datasets) == 8
+    with pytest.warns(DeprecationWarning, match="provision_dataset"):
+        uw3 = get_dataset("UW3", cfg, jobs=1)
+    assert uw3.meta.name == "UW3"
+
+
+def test_deprecated_build_all_alias_warns():
+    import repro
+    from repro.datasets import build_all
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        alias = repro.build_all
+    assert alias is build_all
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    )
+    with pytest.raises(AttributeError):
+        repro.no_such_symbol

@@ -161,3 +161,124 @@ def test_help_documents_exit_codes(capsys):
     out = capsys.readouterr().out
     assert "exit codes" in out
     assert "partial success" in out
+
+
+def test_help_documents_command_surface(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    out = capsys.readouterr().out
+    assert "command surface" in out
+    for command in ("analyze", "suite", "reproduce", "trace", "check"):
+        assert command in out
+
+
+def test_analyze_flag_alias_matches_positional(tmp_path, capsys):
+    out = tmp_path / "d.jsonl"
+    assert main(
+        ["build", "--dataset", "UW4-B", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--dataset-file", str(out), "--min-samples", "2"]) == 0
+    flagged = capsys.readouterr().out
+    assert main(["analyze", str(out), "--min-samples", "2"]) == 0
+    positional = capsys.readouterr().out
+    assert flagged == positional
+
+
+def test_analyze_conflicting_paths_exit_2(tmp_path, capsys):
+    rc = main(
+        ["analyze", str(tmp_path / "a.jsonl"),
+         "--dataset-file", str(tmp_path / "b.jsonl")]
+    )
+    assert rc == 2
+    assert "conflicting" in capsys.readouterr().err
+
+
+def test_analyze_missing_path_exit_2(capsys):
+    rc = main(["analyze"])
+    assert rc == 2
+    assert "--dataset-file" in capsys.readouterr().err
+
+
+def test_summarize_flag_alias(tmp_path, capsys):
+    out = tmp_path / "d.jsonl"
+    assert main(
+        ["build", "--dataset", "UW4-B", "--seed", "61", "--scale", "0.05",
+         "-o", str(out)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["summarize", "--dataset-file", str(out)]) == 0
+    assert main(["summarize"]) == 2
+
+
+def test_suite_trace_writes_artifacts(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    trace_file = tmp_path / "out.json"
+    rc = main(
+        ["suite", "--scale", "0.02", "--seed", "55", "--jobs", "1",
+         "--trace", str(trace_file)]
+    )
+    assert rc == 0
+    assert "wrote trace" in capsys.readouterr().out
+    assert trace_file.exists()
+    assert (tmp_path / "metrics.json").exists()
+
+    rc = main(["trace", str(trace_file), "--validate", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "valid RunTrace" in out
+    assert "top 3 slowest span(s):" in out
+    assert "datasets.provision" in out
+
+    rc = main(["trace", "--trace-file", str(trace_file)])
+    assert rc == 0
+
+
+def test_trace_subcommand_bad_usage(tmp_path, capsys):
+    assert main(["trace"]) == 2
+    assert "--trace-file" in capsys.readouterr().err
+
+    missing = tmp_path / "missing.json"
+    assert main(["trace", str(missing)]) == 2
+    assert "unreadable trace" in capsys.readouterr().err
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["trace", str(bad)]) == 2
+    assert "malformed trace" in capsys.readouterr().err
+
+
+def test_trace_validate_rejects_schema_violations(tmp_path, capsys):
+    import json
+
+    payload = {
+        "version": 1,
+        "meta": {},
+        "counters": {"bad": -1},
+        "gauges": {},
+        "histograms": {},
+        "spans": [],
+    }
+    bad = tmp_path / "invalid.json"
+    bad.write_text(json.dumps(payload))
+    rc = main(["trace", str(bad), "--validate"])
+    assert rc == 1
+    assert "schema violation" in capsys.readouterr().err
+
+
+def test_reproduce_forwards_trace(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    trace_file = tmp_path / "repro-trace.json"
+    rc = main(
+        ["reproduce", "--scale", "0.02", "--seed", "55", "--only", "table1",
+         "--trace", str(trace_file)]
+    )
+    assert rc == 0
+    assert trace_file.exists()
+    from repro.obs.artifact import RunTrace
+
+    trace = RunTrace.load(trace_file)
+    assert trace.meta["command"] == "reproduce"
+    assert "experiments" in trace.subsystems()
+    capsys.readouterr()

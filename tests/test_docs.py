@@ -32,7 +32,7 @@ def _resolve(dotted: str) -> bool:
     "doc",
     ["README.md", "DESIGN.md", "EXPERIMENTS.md",
      "docs/METHODOLOGY.md", "docs/CALIBRATION.md", "docs/TUTORIAL.md",
-     "docs/ROBUSTNESS.md"],
+     "docs/ROBUSTNESS.md", "docs/OBSERVABILITY.md"],
 )
 def test_code_references_resolve(doc):
     text = (ROOT / doc).read_text()

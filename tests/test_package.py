@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.overlay",
     "repro.viz",
+    "repro.obs",
 ]
 
 
