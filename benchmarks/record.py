@@ -1,0 +1,19 @@
+"""Record the routing perf baseline (BENCH_routing.json).
+
+Thin wrapper kept next to the benchmarks; the implementation lives in
+:mod:`repro.experiments.bench` and is also reachable as ``repro bench``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py            # refresh baseline
+    PYTHONPATH=src python benchmarks/record.py --compare  # check current tree
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

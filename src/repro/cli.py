@@ -10,6 +10,7 @@ Subcommands::
     repro reproduce --scale 1.0 --markdown report.md
     repro trace out.json --top 10                 # inspect a RunTrace
     repro check --strict                          # determinism static analysis
+    repro bench --compare                         # perf vs BENCH_routing.json
 
 ``analyze`` works on any dataset written by ``build`` (or by
 :func:`repro.datasets.save_dataset`), prints the headline statistics, and
@@ -55,12 +56,14 @@ command surface:
                (--dataset-file PATH, or positionally)
   map          render a topology to an SVG map
   suite        build or load the full Table 1 dataset suite
-               (--jobs, --no-cache, --trace out.json, robustness flags)
+               (--jobs, --routing-jobs, --no-cache, --trace out.json,
+               robustness flags)
   reproduce    regenerate the paper's tables/figures
                (--only, --markdown, --svg-dir, --trace out.json)
   trace        inspect a RunTrace written by --trace
                (--trace-file PATH or positionally; --top N, --validate)
   check        determinism-and-invariant static analysis
+  bench        record/compare the perf baseline (BENCH_routing.json)
 
 exit codes:
   0  success
@@ -251,6 +254,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 cfg,
                 use_cache=not args.no_cache,
                 jobs=args.jobs,
+                routing_jobs=args.routing_jobs,
                 report=report,
                 progress=print,
                 fault_plan=args.fault_plan,
@@ -314,12 +318,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import run as bench_run
+
+    return bench_run(args)
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import main as reproduce_main
 
     forwarded = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.jobs is not None:
         forwarded += ["--jobs", str(args.jobs)]
+    if args.routing_jobs is not None:
+        forwarded += ["--routing-jobs", str(args.routing_jobs)]
     if args.markdown:
         forwarded += ["--markdown", args.markdown]
     if args.svg_dir:
@@ -489,6 +501,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="build worker processes (default: REPRO_BUILD_JOBS or one per CPU)",
     )
     p.add_argument(
+        "--routing-jobs",
+        type=int,
+        default=None,
+        help="BGP batch-convergence worker processes per build "
+        "(default: REPRO_ROUTING_JOBS or serial)",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="force a rebuild without reading or writing the cache",
@@ -511,6 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="dataset build worker processes (default: one per CPU)",
+    )
+    p.add_argument(
+        "--routing-jobs",
+        type=int,
+        default=None,
+        help="BGP batch-convergence worker processes per build "
+        "(default: REPRO_ROUTING_JOBS or serial)",
     )
     p.add_argument("--markdown", default=None)
     p.add_argument("--svg-dir", default=None)
@@ -564,6 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_check_parser(p)
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="record or compare the routing perf baseline "
+        "(BENCH_routing.json; see docs/PERFORMANCE.md)",
+    )
+    from repro.experiments.bench import configure_parser as _configure_bench_parser
+
+    _configure_bench_parser(p)
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -31,6 +31,11 @@ from repro.obs import runtime as obs
 #: treats exact zeros as missing entries).
 _EPSILON = 1e-12
 
+#: Memory ceiling for the one-hop search's (n, n, n) candidate broadcast;
+#: larger graphs fall back to the O(n^2)-memory per-intermediate loop.
+#: 64 MiB covers ~200 hosts — far above any Table 1 dataset.
+_ONE_HOP_BROADCAST_CAP_BYTES = 64 * 1024 * 1024
+
 
 @dataclass(frozen=True, slots=True)
 class AlternatePath:
@@ -243,14 +248,25 @@ def best_one_hop_alternates(
     hosts = graph.hosts
     n = len(hosts)
     wanted = pairs if pairs is not None else sorted(graph.edges)
-    best_val = np.full((n, n), np.inf)
-    best_mid = np.full((n, n), -1, dtype=int)
-    for k in range(n):
-        # Candidate: src -> k -> dst for all (src, dst) at once.
-        cand = weights[:, k][:, None] + weights[k, :][None, :]
-        improved = cand < best_val
-        best_val[improved] = cand[improved]
-        best_mid[improved] = k
+    if n > 0 and n ** 3 * 8 <= _ONE_HOP_BROADCAST_CAP_BYTES:
+        # One 3-D broadcast: cand[i, j, k] = w[i, k] + w[k, j].  argmin
+        # returns the first k attaining the minimum — the same tie-break
+        # as the chunked loop below (a later equal candidate never
+        # displaces an earlier one).
+        cand = weights[:, None, :] + weights.T[None, :, :]
+        best_mid = np.argmin(cand, axis=2)
+        best_val = np.take_along_axis(cand, best_mid[:, :, None], axis=2)[:, :, 0]
+        best_mid = np.where(np.isfinite(best_val), best_mid, -1)
+    else:
+        # Chunked fallback: one intermediate at a time, O(n^2) memory.
+        best_val = np.full((n, n), np.inf)
+        best_mid = np.full((n, n), -1, dtype=int)
+        for k in range(n):
+            # Candidate: src -> k -> dst for all (src, dst) at once.
+            cand = weights[:, k][:, None] + weights[k, :][None, :]
+            improved = cand < best_val
+            best_val[improved] = cand[improved]
+            best_mid[improved] = k
     out: dict[Pair, AlternatePath] = {}
     for src, dst in wanted:
         i, j = graph.host_index(src), graph.host_index(dst)

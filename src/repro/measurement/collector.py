@@ -94,6 +94,11 @@ class Campaign:
             i for i in range(len(pairs))
             if blackout_rng.random() < pair_blackout_prob
         }
+        # Converge every destination AS up front in one batch (honors
+        # REPRO_ROUTING_JOBS) so per-pair resolution below hits warm
+        # routing state instead of converging destinations one at a time.
+        dest_asns = sorted({topo.host(name).asn for name in self._hosts})
+        self._resolver.bgp.converge_all(dest_asns)
         self._round_trips = [
             self._resolver.resolve_round_trip(a, b) for a, b in pairs
         ]

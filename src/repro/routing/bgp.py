@@ -17,18 +17,44 @@ We model the canonical policy structure of the commercial Internet
   makes "good" paths inexpressible: two stubs of different providers can
   never transit a third stub, and peer-peer-peer paths do not exist.
 
-Routes are computed per destination AS by fixed-point relaxation of the
-decision process, which converges for any relationship graph without
-customer-provider cycles (the generator only produces such graphs).
+Two solvers compute the converged routes per destination AS:
+
+* ``algorithm="gao-rexford"`` (default) — the classic single-pass
+  three-stage solver: customer routes climb the customer→provider
+  hierarchy once (stage 1), cross peer edges once (stage 2), then descend
+  provider→customer edges once (stage 3).  On any valley-free hierarchy
+  this is provably the unique stable state, in O(E) per destination.
+  Topologies with SIBLING adjacencies (which launder any route into the
+  sibling class) or customer-provider cycles transparently fall back to
+  the fixpoint.
+* ``algorithm="fixpoint"`` — the original synchronous relaxation, kept as
+  a reference oracle; ``tests/routing/test_bgp_equivalence.py`` asserts
+  route-for-route identity (including tie-breaks) between the two.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.obs import runtime as obs
 from repro.topology.asys import LOCAL_PREF, Relationship
 from repro.topology.network import Topology
+
+#: Highest relationship-class preference; hoisted so the hot preference
+#: comparison does not recompute ``max(LOCAL_PREF.values())`` per route.
+_MAX_LOCAL_PREF = max(LOCAL_PREF.values())
+
+#: Local-pref of an AS's own prefix (beats every learned route).
+_ORIGIN_PREF = _MAX_LOCAL_PREF + 100
+
+#: Environment variable overriding the worker count for
+#: :meth:`BGPTable.converge_all`; the ``--routing-jobs`` CLI flag sets it
+#: so dataset builders running in pool workers inherit the setting.
+ROUTING_JOBS_ENV_VAR = "REPRO_ROUTING_JOBS"
+
+#: Solver names accepted by :class:`BGPTable`.
+ALGORITHMS = ("gao-rexford", "fixpoint")
 
 
 class BGPError(RuntimeError):
@@ -61,7 +87,7 @@ class BGPRoute:
     def local_pref(self) -> int:
         """Local-preference value of this route."""
         if self.learned_from is None:
-            return max(LOCAL_PREF.values()) + 100  # own prefix beats all
+            return _ORIGIN_PREF  # own prefix beats all
         return LOCAL_PREF[self.learned_from]
 
     def preference_key(self) -> tuple[int, int, int]:
@@ -85,19 +111,99 @@ def _exportable(route: BGPRoute, to_relationship: Relationship) -> bool:
     return route.learned_from in (None, Relationship.CUSTOMER, Relationship.SIBLING)
 
 
+def resolve_routing_jobs(jobs: int | None, n_tasks: int) -> int:
+    """Worker-process count for a batch convergence of ``n_tasks`` dests.
+
+    Precedence: explicit ``jobs`` argument, then the
+    ``REPRO_ROUTING_JOBS`` environment variable, else 1 (in-process).
+    Values are clamped to ``[1, n_tasks]``.
+    """
+    if n_tasks <= 0:
+        return 1
+    if jobs is None:
+        env = os.environ.get(ROUTING_JOBS_ENV_VAR)
+        if env is None or not env.strip():
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{ROUTING_JOBS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+    return max(1, min(jobs, n_tasks))
+
+
+def _converge_chunk(
+    topo: Topology, algorithm: str, dests: tuple[int, ...]
+) -> dict[int, dict[int, BGPRoute]]:
+    """Pool-worker task: converge a batch of destinations.
+
+    Module-level (picklable) and pure: results depend only on the
+    topology and destination list, so serial and parallel batch runs are
+    bit-identical.
+    """
+    table = BGPTable(topo, algorithm=algorithm)
+    return {dest: table._converge_impl(dest) for dest in dests}
+
+
 class BGPTable:
     """Converged BGP routing state for every (AS, destination AS) pair."""
 
-    #: Relaxation rounds before declaring non-convergence.  Any
-    #: Gao–Rexford-compliant graph converges in O(diameter) rounds.
+    #: Relaxation rounds before declaring non-convergence (fixpoint
+    #: oracle only).  Any Gao–Rexford-compliant graph converges in
+    #: O(diameter) rounds.
     MAX_ROUNDS = 64
 
-    def __init__(self, topo: Topology) -> None:
+    def __init__(self, topo: Topology, *, algorithm: str = "gao-rexford") -> None:
+        """
+        Args:
+            topo: The topology to route over.
+            algorithm: ``"gao-rexford"`` for the single-pass three-stage
+                solver (default), ``"fixpoint"`` for the synchronous
+                relaxation oracle.
+
+        Raises:
+            ValueError: on an unknown algorithm name.
+        """
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown BGP algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
         self._topo = topo
+        self._algorithm = algorithm
+        self._effective: str | None = None
         # routes[dest][asn] -> best BGPRoute at `asn` toward `dest`.
-        self._routes: dict[int, dict[int, BGPRoute]] = {}
+        # The store lives in the topology's routing cache (keyed by
+        # solver), so tables built over the same topology share converged
+        # state: results are a pure function of (topology, algorithm),
+        # and the bag is cleared when the topology is mutated.
+        self._routes: dict[int, dict[int, BGPRoute]] = topo.routing_cache(
+            "bgp"
+        ).setdefault(algorithm, {})
 
     # -- public API --------------------------------------------------------
+
+    @property
+    def algorithm(self) -> str:
+        """The solver requested at construction."""
+        return self._algorithm
+
+    def effective_algorithm(self) -> str:
+        """The solver actually used (``gao-rexford`` may fall back).
+
+        The staged solver requires a sibling-free, cycle-free relationship
+        hierarchy; anything else transparently uses the fixpoint oracle.
+        """
+        if self._effective is None:
+            if self._algorithm == "fixpoint":
+                self._effective = "fixpoint"
+            else:
+                index = self._topo.relationship_index()
+                if index.has_siblings or index.up_order is None:
+                    self._effective = "fixpoint"
+                else:
+                    self._effective = "gao-rexford"
+        return self._effective
 
     def route(self, src_asn: int, dst_asn: int) -> BGPRoute | None:
         """Best route installed at ``src_asn`` toward ``dst_asn``.
@@ -113,11 +219,41 @@ class BGPTable:
         route = self.route(src_asn, dst_asn)
         return route.as_path if route else None
 
+    def converge_all(
+        self, dests: list[int] | None = None, *, jobs: int | None = None
+    ) -> None:
+        """Converge every destination in ``dests`` (default: all ASes).
+
+        Destinations already converged are skipped.  With ``jobs`` > 1
+        the batch fans out across a ``ProcessPoolExecutor`` (one chunk
+        per worker); the chunk task is pure, so parallel results are
+        bit-identical to serial ones.  ``jobs=None`` consults the
+        ``REPRO_ROUTING_JOBS`` environment variable, defaulting to 1.
+
+        Raises:
+            BGPError: if any destination is unknown or fails to converge.
+        """
+        targets = sorted(self._topo.ases) if dests is None else sorted(set(dests))
+        missing = [d for d in targets if d not in self._routes]
+        n_jobs = resolve_routing_jobs(jobs, len(missing))
+        with obs.span("routing.bgp.converge_all") as sp:
+            sp.set("algorithm", self.effective_algorithm())
+            sp.set("destinations", len(targets))
+            sp.set("converged", len(missing))
+            sp.set("jobs", n_jobs)
+            if n_jobs <= 1:
+                for dest in missing:
+                    self._routes[dest] = self._converge_impl(dest)
+            else:
+                self._converge_parallel(missing, n_jobs)
+        obs.count("routing.bgp.batch_convergences", len(missing))
+
     def reachable_fraction(self) -> float:
         """Fraction of ordered AS pairs with a policy-compliant route.
 
         A diagnostic: a well-formed hierarchy should be fully connected.
         """
+        self.converge_all()
         asns = list(self._topo.ases)
         total = 0
         ok = 0
@@ -133,13 +269,134 @@ class BGPTable:
     # -- convergence -------------------------------------------------------
 
     def _converge(self, dest: int) -> dict[int, BGPRoute]:
-        """Run the decision/export fixpoint for one destination."""
+        """Run the solver for one destination, under a tracing span."""
         with obs.span("routing.bgp.converge") as sp:
             sp.set("dest", dest)
-            best, rounds = self._converge_rounds(dest)
-            sp.set("rounds", rounds)
+            sp.set("algorithm", self.effective_algorithm())
+            best = self._converge_impl(dest)
         obs.count("routing.bgp.convergences")
         return best
+
+    def _converge_impl(self, dest: int) -> dict[int, BGPRoute]:
+        """Solver dispatch without instrumentation (shared by batch mode)."""
+        if self.effective_algorithm() == "gao-rexford":
+            return self._converge_stages(dest)
+        best, _rounds = self._converge_rounds(dest)
+        return best
+
+    def _converge_parallel(self, dests: list[int], n_jobs: int) -> None:
+        """Fan a destination batch across worker processes."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = [tuple(dests[i::n_jobs]) for i in range(n_jobs)]
+        chunks = [c for c in chunks if c]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(_converge_chunk, self._topo, self._algorithm, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                self._routes.update(future.result())
+
+    # -- three-stage Gao-Rexford solver ------------------------------------
+
+    def _converge_stages(self, dest: int) -> dict[int, BGPRoute]:
+        """Single-pass solver: up the hierarchy, across peers, back down.
+
+        Correctness sketch (classic Gao–Rexford argument): with the
+        customer > peer > provider preference and valley-free export, an
+        AS's stable route is customer-learned whenever any customer route
+        exists, so uphill-exportable routes are exactly the stage-1
+        routes; peer-learned routes extend those across one peer edge
+        (peer routes are never re-exported to peers); provider-learned
+        routes descend from each AS's final choice.  Each stage's
+        dependency order is acyclic (the customer DAG, one edge, the
+        reversed DAG), so the computed state is the unique stable one —
+        the same state the synchronous fixpoint converges to, with
+        identical (local-pref, path length, next-hop ASN) tie-breaking.
+        """
+        topo = self._topo
+        if dest not in topo.ases:
+            raise BGPError(f"unknown destination ASN {dest}")
+        index = topo.relationship_index()
+        assert index.up_order is not None  # guaranteed by effective_algorithm()
+        origin = BGPRoute(dest=dest, as_path=(dest,), learned_from=None)
+        # `best` holds only uphill-exportable routes until stage 2 merges.
+        best: dict[int, BGPRoute] = {dest: origin}
+        customers = index.customers
+        peers = index.peers
+        providers = index.providers
+        # Stage 1 — customer routes climb customer→provider edges.  The
+        # order guarantees every customer's route is final before any of
+        # its providers look at it.
+        for asn in index.up_order:
+            if asn == dest:
+                continue
+            chosen: BGPRoute | None = None
+            chosen_key: tuple[int, int] | None = None
+            for nb in customers.get(asn, ()):
+                learned = best.get(nb)
+                if learned is None or asn in learned.as_path:
+                    continue
+                key = (len(learned.as_path), nb)
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = learned
+            if chosen is not None:
+                best[asn] = BGPRoute(
+                    dest=dest,
+                    as_path=(asn, *chosen.as_path),
+                    learned_from=Relationship.CUSTOMER,
+                )
+        # Stage 2 — one exchange across peer edges.  Candidates read only
+        # stage-1 state (peer routes are not exportable to peers), so the
+        # results are collected before merging.
+        peer_routes: dict[int, BGPRoute] = {}
+        for asn, asn_peers in peers.items():
+            if asn == dest or asn in best:
+                continue
+            chosen = None
+            chosen_key = None
+            for nb in asn_peers:
+                learned = best.get(nb)
+                if learned is None or asn in learned.as_path:
+                    continue
+                key = (len(learned.as_path), nb)
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = learned
+            if chosen is not None:
+                peer_routes[asn] = BGPRoute(
+                    dest=dest,
+                    as_path=(asn, *chosen.as_path),
+                    learned_from=Relationship.PEER,
+                )
+        best.update(peer_routes)
+        # Stage 3 — routes descend provider→customer edges; providers are
+        # finalized before their customers (reversed stage-1 order), and
+        # an AS with a customer or peer route never takes a provider one.
+        for asn in reversed(index.up_order):
+            if asn == dest or asn in best:
+                continue
+            chosen = None
+            chosen_key = None
+            for nb in providers.get(asn, ()):
+                learned = best.get(nb)
+                if learned is None or asn in learned.as_path:
+                    continue
+                key = (len(learned.as_path), nb)
+                if chosen_key is None or key < chosen_key:
+                    chosen_key = key
+                    chosen = learned
+            if chosen is not None:
+                best[asn] = BGPRoute(
+                    dest=dest,
+                    as_path=(asn, *chosen.as_path),
+                    learned_from=Relationship.PROVIDER,
+                )
+        return best
+
+    # -- fixpoint oracle ---------------------------------------------------
 
     def _converge_rounds(self, dest: int) -> tuple[dict[int, BGPRoute], int]:
         """The fixpoint iteration; returns (state, rounds to converge)."""

@@ -123,6 +123,14 @@ class PathResolver:
         self._respect_as_flag = respect_as_early_exit
         self._cache: dict[tuple[str, str], ForwardPath] = {}
         self._secondary_cache: dict[tuple[str, str], ForwardPath] = {}
+        # Ranked egress options memoized across resolutions: many host
+        # pairs funnel through the same (AS hop, ingress) combination, and
+        # ranking re-runs IGP cost lookups per option.  Early-exit choices
+        # are destination-independent; best-exit keys include the
+        # destination city (the "remaining distance" term).
+        self._egress_cache: dict[
+            tuple[int, int, int, EgressPolicy, str | None], tuple[Link, ...]
+        ] = {}
 
     @property
     def bgp(self) -> BGPTable:
@@ -262,6 +270,27 @@ class PathResolver:
         policy = self._egress_policy
         if self._respect_as_flag and not topo.ases[here].early_exit:
             policy = EgressPolicy.BEST_EXIT
+        # Early-exit ranking ignores the destination entirely; best-exit
+        # depends on it only through the destination *city*.
+        city = dst_host.city.name if policy is EgressPolicy.BEST_EXIT else None
+        cache_key = (here, nxt, ingress, policy, city)
+        ranked = self._egress_cache.get(cache_key)
+        if ranked is None:
+            ranked = self._rank_egress(here, nxt, ingress, dst_host, policy, options)
+            self._egress_cache[cache_key] = ranked
+        return ranked[1] if demote and len(ranked) > 1 else ranked[0]
+
+    def _rank_egress(
+        self,
+        here: int,
+        nxt: int,
+        ingress: int,
+        dst_host: Host,
+        policy: EgressPolicy,
+        options: list[Link],
+    ) -> tuple[Link, ...]:
+        """Rank the candidate exchange links under ``policy`` (best first)."""
+        topo = self._topo
         igp = self._igp.table(here)
 
         def early_exit_key(link: Link) -> tuple[float, int]:
@@ -280,8 +309,7 @@ class PathResolver:
             return (igp_cost + link.prop_delay_ms + remaining, link.link_id)
 
         key = early_exit_key if policy is EgressPolicy.EARLY_EXIT else best_exit_key
-        ranked = sorted(options, key=key)
-        return ranked[1] if demote and len(ranked) > 1 else ranked[0]
+        return tuple(sorted(options, key=key))
 
 
 class OptimalResolver:

@@ -6,11 +6,29 @@ propagation delay.  This module computes, per AS, all-pairs shortest paths
 over the AS's induced router subgraph and exposes cost/path lookups used
 by the forwarding layer to pick egress points and expand AS-level routes
 into router-level hops.
+
+Two backends implement the lookups:
+
+* **lazy** — the original per-source Dijkstra (binary heap), computed on
+  first query per source router.  Cheapest when only a handful of sources
+  are ever queried (tiny stub ASes with 2–8 routers).
+* **vectorized** — one ``scipy.sparse.csgraph.dijkstra`` call computes the
+  whole all-pairs distance/predecessor matrix in C.  Used automatically
+  for ASes with at least :data:`VECTOR_MIN_ROUTERS` routers (the
+  forwarding layer queries most border routers of every transit AS, so
+  the all-pairs cost is amortized immediately).
+
+Both backends agree on every cost; where equal-cost paths exist the
+chosen path may differ (both are valid shortest paths — the lazy backend
+keeps the first offer within a 1e-12 epsilon, scipy takes the true
+minimum).  Nothing downstream depends on equal-cost tie-breaks across
+backends; byte-identity CI checks pin each build to a single backend.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 from repro.obs import runtime as obs
@@ -18,6 +36,21 @@ from repro.obs import runtime as obs
 from repro.topology.asys import IGPStyle
 from repro.topology.links import Link
 from repro.topology.network import Topology
+
+try:  # scipy is an optional accelerator; the lazy backend needs neither.
+    import numpy as _np
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _HAVE_SCIPY = False
+
+#: Router count at which an AS switches to the vectorized all-pairs
+#: backend.  Below this, per-source lazy Dijkstra wins because most
+#: sources are never queried; above it, the forwarding layer touches
+#: enough (src, dst) pairs that one C-level all-pairs solve is cheaper.
+VECTOR_MIN_ROUTERS = 16
 
 
 class IGPError(RuntimeError):
@@ -57,7 +90,17 @@ class IGPPath:
 class IGPTable:
     """All-pairs intra-AS routing state for one AS."""
 
-    def __init__(self, topo: Topology, asn: int) -> None:
+    def __init__(
+        self, topo: Topology, asn: int, *, vectorized: bool | None = None
+    ) -> None:
+        """
+        Args:
+            topo: The owning topology.
+            asn: The AS whose induced router subgraph this table covers.
+            vectorized: Force the all-pairs scipy backend on (True) or off
+                (False); None picks automatically by AS size.  Without
+                scipy the lazy backend is always used.
+        """
         self._topo = topo
         self.asn = asn
         self.style = topo.ases[asn].igp_style
@@ -69,15 +112,89 @@ class IGPTable:
             for link in topo.links_of(r):
                 if link.other(r) in router_set:
                     self._adj[r].append(link)
-        # Lazily computed per-source shortest-path trees.
+        if vectorized is None:
+            vectorized = len(self._routers) >= VECTOR_MIN_ROUTERS
+        self.vectorized = bool(vectorized) and _HAVE_SCIPY
+        # Lazily computed per-source shortest-path trees (lazy backend).
         self._dist: dict[int, dict[int, float]] = {}
         self._pred: dict[int, dict[int, tuple[int, int]]] = {}
+        # Lazily computed all-pairs state (vectorized backend).  Stored as
+        # plain nested lists: scalar lookups dominate and python-level
+        # indexing beats numpy scalar extraction on this access pattern.
+        self._idx: dict[int, int] = {r: i for i, r in enumerate(self._routers)}
+        self._dist_rows: list[list[float]] | None = None
+        self._pred_rows: list[list[int]] | None = None
+        self._link_by_pair: dict[tuple[int, int], int] = {}
+        # Resolved-path memo: IGPPath objects are immutable and the
+        # forwarding layer re-requests the same border-to-border segments
+        # for many host pairs.
+        self._path_cache: dict[tuple[int, int], IGPPath] = {}
+
+    # -- vectorized backend ------------------------------------------------
+
+    def _ensure_matrix(self) -> None:
+        """Build the all-pairs distance/predecessor matrices once."""
+        if self._dist_rows is not None:
+            return
+        with obs.span("routing.igp.matrix") as sp:
+            sp.set("asn", self.asn)
+            sp.set("routers", len(self._routers))
+            n = len(self._routers)
+            # Parallel links collapse to the (metric, link_id)-minimal one
+            # per directed pair *before* building the CSR — coo/csr
+            # construction sums duplicate entries, which would corrupt
+            # the metric.
+            best_edge: dict[tuple[int, int], tuple[float, int]] = {}
+            for r in self._routers:
+                i = self._idx[r]
+                for link in self._adj[r]:
+                    j = self._idx[link.other(r)]
+                    cand = (link_metric(link, self.style), link.link_id)
+                    prev = best_edge.get((i, j))
+                    if prev is None or cand < prev:
+                        best_edge[(i, j)] = cand
+            edges = sorted(best_edge.items())
+            rows = _np.fromiter((ij[0] for ij, _ in edges), dtype=_np.int32, count=len(edges))
+            cols = _np.fromiter((ij[1] for ij, _ in edges), dtype=_np.int32, count=len(edges))
+            data = _np.fromiter((m for _, (m, _lid) in edges), dtype=_np.float64, count=len(edges))
+            graph = _csr_matrix((data, (rows, cols)), shape=(n, n))
+            dist, pred = _sp_dijkstra(graph, directed=True, return_predecessors=True)
+            self._dist_rows = dist.tolist()
+            self._pred_rows = pred.tolist()
+            self._link_by_pair = {ij: lid for ij, (_m, lid) in edges}
+        obs.count("routing.igp.matrix_builds")
+
+    def _vector_path(self, src: int, dst: int) -> IGPPath:
+        self._ensure_matrix()
+        assert self._dist_rows is not None and self._pred_rows is not None
+        i = self._idx[src]
+        j = self._idx.get(dst)
+        if j is None or math.isinf(self._dist_rows[i][j]):
+            raise IGPError(f"router {dst} unreachable from {src} within AS{self.asn}")
+        routers = [dst]
+        links: list[int] = []
+        pred_row = self._pred_rows[i]
+        cur = j
+        while cur != i:
+            prev = pred_row[cur]
+            links.append(self._link_by_pair[(prev, cur)])
+            routers.append(self._routers[prev])
+            cur = prev
+        routers.reverse()
+        links.reverse()
+        prop = sum(self._topo.links[k].prop_delay_ms for k in links)
+        return IGPPath(
+            routers=tuple(routers),
+            links=tuple(links),
+            cost=self._dist_rows[i][j],
+            prop_delay_ms=prop,
+        )
+
+    # -- lazy backend ------------------------------------------------------
 
     def _ensure_source(self, src: int) -> None:
         if src in self._dist:
             return
-        if src not in self._adj:
-            raise IGPError(f"router {src} is not in AS{self.asn}")
         dist: dict[int, float] = {src: 0.0}
         pred: dict[int, tuple[int, int]] = {}
         heap: list[tuple[float, int]] = [(0.0, src)]
@@ -95,21 +212,7 @@ class IGPTable:
         self._dist[src] = dist
         self._pred[src] = pred
 
-    def cost(self, src: int, dst: int) -> float:
-        """Metric cost from ``src`` to ``dst``; ``inf`` if unreachable."""
-        self._ensure_source(src)
-        return self._dist[src].get(dst, float("inf"))
-
-    def reachable(self, src: int, dst: int) -> bool:
-        """Whether ``dst`` is reachable from ``src`` inside this AS."""
-        return self.cost(src, dst) != float("inf")
-
-    def path(self, src: int, dst: int) -> IGPPath:
-        """Shortest intra-AS path from ``src`` to ``dst``.
-
-        Raises:
-            IGPError: if ``dst`` is unreachable from ``src``.
-        """
+    def _lazy_path(self, src: int, dst: int) -> IGPPath:
         self._ensure_source(src)
         if dst not in self._dist[src]:
             raise IGPError(f"router {dst} unreachable from {src} within AS{self.asn}")
@@ -132,13 +235,60 @@ class IGPTable:
             prop_delay_ms=prop,
         )
 
+    # -- lookups -----------------------------------------------------------
+
+    def _check_source(self, src: int) -> None:
+        if src not in self._adj:
+            raise IGPError(f"router {src} is not in AS{self.asn}")
+
+    def cost(self, src: int, dst: int) -> float:
+        """Metric cost from ``src`` to ``dst``; ``inf`` if unreachable."""
+        self._check_source(src)
+        if self.vectorized:
+            self._ensure_matrix()
+            assert self._dist_rows is not None
+            j = self._idx.get(dst)
+            if j is None:
+                return float("inf")
+            return self._dist_rows[self._idx[src]][j]
+        self._ensure_source(src)
+        return self._dist[src].get(dst, float("inf"))
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """Whether ``dst`` is reachable from ``src`` inside this AS."""
+        return not math.isinf(self.cost(src, dst))
+
+    def path(self, src: int, dst: int) -> IGPPath:
+        """Shortest intra-AS path from ``src`` to ``dst``.
+
+        Raises:
+            IGPError: if ``src`` is not in this AS or ``dst`` is
+                unreachable from it.
+        """
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        self._check_source(src)
+        if self.vectorized:
+            path = self._vector_path(src, dst)
+        else:
+            path = self._lazy_path(src, dst)
+        self._path_cache[(src, dst)] = path
+        return path
+
 
 class IGPSuite:
-    """Lazy per-AS collection of :class:`IGPTable` objects."""
+    """Lazy per-AS collection of :class:`IGPTable` objects.
+
+    Tables are held in the topology's routing cache, so suites built over
+    the same topology (one per :class:`~repro.routing.forwarding.PathResolver`)
+    share them instead of recomputing identical shortest-path state; the
+    cache is cleared when the topology is mutated.
+    """
 
     def __init__(self, topo: Topology) -> None:
         self._topo = topo
-        self._tables: dict[int, IGPTable] = {}
+        self._tables: dict[int, IGPTable] = topo.routing_cache("igp")
 
     def table(self, asn: int) -> IGPTable:
         """The IGP table for ``asn``, building it on first use.
@@ -146,11 +296,14 @@ class IGPSuite:
         Raises:
             IGPError: if the ASN is unknown.
         """
-        if asn not in self._tables:
+        table = self._tables.get(asn)
+        if table is None:
             if asn not in self._topo.ases:
                 raise IGPError(f"unknown ASN {asn}")
             with obs.span("routing.igp.table") as sp:
                 sp.set("asn", asn)
-                self._tables[asn] = IGPTable(self._topo, asn)
+                table = IGPTable(self._topo, asn)
+                sp.set("vectorized", table.vectorized)
+                self._tables[asn] = table
             obs.count("routing.igp.tables")
-        return self._tables[asn]
+        return table

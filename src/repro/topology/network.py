@@ -9,6 +9,7 @@ measurement hosts may be attached after generation.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -20,6 +21,78 @@ from repro.topology.router import Host, Router, RouterRole
 
 class TopologyError(RuntimeError):
     """Raised on structurally invalid topology operations."""
+
+
+@dataclass(frozen=True, slots=True)
+class ASRelationshipIndex:
+    """Per-relationship AS adjacency, precomputed for the routing fast path.
+
+    The BGP three-stage solver (:mod:`repro.routing.bgp`) needs, per AS,
+    its neighbors split by relationship class plus a topological order of
+    the customer→provider hierarchy.  Building these once per topology
+    (instead of re-classifying every :class:`ASLink` per destination)
+    keeps route computation O(E) per destination.
+
+    Attributes:
+        customers: ``asn -> sorted neighbor ASNs that are asn's customers``.
+        providers: ``asn -> sorted neighbor ASNs that are asn's providers``.
+        peers: ``asn -> sorted neighbor ASNs that are asn's peers``.
+        has_siblings: Whether any SIBLING adjacency exists (the staged
+            solver does not model sibling route laundering and falls back
+            to the fixpoint oracle when this is set).
+        up_order: Every ASN ordered so each AS appears *after* all of its
+            customers (customers-first topological order of the
+            customer→provider DAG), or ``None`` when the relationship
+            graph contains a customer-provider cycle.
+    """
+
+    customers: dict[int, tuple[int, ...]]
+    providers: dict[int, tuple[int, ...]]
+    peers: dict[int, tuple[int, ...]]
+    has_siblings: bool
+    up_order: tuple[int, ...] | None
+
+
+def _build_relationship_index(topo: "Topology") -> ASRelationshipIndex:
+    customers: dict[int, list[int]] = defaultdict(list)
+    providers: dict[int, list[int]] = defaultdict(list)
+    peers: dict[int, list[int]] = defaultdict(list)
+    has_siblings = False
+    for as_link in topo.as_links:
+        for asn in (as_link.a, as_link.b):
+            neighbor = as_link.other(asn)
+            rel = as_link.relationship_from(asn)
+            if rel is Relationship.CUSTOMER:
+                customers[asn].append(neighbor)
+            elif rel is Relationship.PROVIDER:
+                providers[asn].append(neighbor)
+            elif rel is Relationship.PEER:
+                peers[asn].append(neighbor)
+            else:
+                has_siblings = True
+    # Customers-first topological order of the provider hierarchy (Kahn
+    # with a min-heap so the order is deterministic for a given topology).
+    indegree = {asn: len(customers.get(asn, ())) for asn in topo.ases}
+    ready = [asn for asn, deg in sorted(indegree.items()) if deg == 0]
+    heapq.heapify(ready)
+    up_order: list[int] = []
+    while ready:
+        asn = heapq.heappop(ready)
+        up_order.append(asn)
+        for provider in providers.get(asn, ()):
+            indegree[provider] -= 1
+            if indegree[provider] == 0:
+                heapq.heappush(ready, provider)
+    order: tuple[int, ...] | None = tuple(up_order)
+    if len(up_order) != len(topo.ases):
+        order = None  # customer-provider cycle: no valid hierarchy
+    return ASRelationshipIndex(
+        customers={a: tuple(sorted(ns)) for a, ns in customers.items()},
+        providers={a: tuple(sorted(ns)) for a, ns in providers.items()},
+        peers={a: tuple(sorted(ns)) for a, ns in peers.items()},
+        has_siblings=has_siblings,
+        up_order=order,
+    )
 
 
 @dataclass
@@ -46,6 +119,12 @@ class Topology:
         default_factory=lambda: defaultdict(list)
     )
     _host_by_name: dict[str, Host] = field(default_factory=dict)
+    _rel_index: ASRelationshipIndex | None = field(
+        default=None, repr=False, compare=False
+    )
+    _route_cache: dict[str, dict] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     # -- construction ------------------------------------------------------
 
@@ -58,6 +137,8 @@ class Topology:
         if asys.asn in self.ases:
             raise TopologyError(f"duplicate ASN {asys.asn}")
         self.ases[asys.asn] = asys
+        self._rel_index = None
+        self._route_cache.clear()
         return asys
 
     def add_router(self, asn: int, city: City, role: RouterRole) -> Router:
@@ -71,6 +152,7 @@ class Topology:
         router = Router(router_id=len(self.routers), asn=asn, city=city, role=role)
         self.routers.append(router)
         self._as_routers[asn].append(router.router_id)
+        self._route_cache.clear()
         if role is RouterRole.CORE:
             key = (asn, city.name)
             if key in self._core_router:
@@ -114,6 +196,7 @@ class Topology:
         self.links.append(link)
         self._router_adj[link.u].append(link)
         self._router_adj[link.v].append(link)
+        self._route_cache.clear()
         return link
 
     def add_as_link(self, as_link: ASLink) -> ASLink:
@@ -129,6 +212,8 @@ class Topology:
         self.as_links.append(as_link)
         self._as_adj[as_link.a].append(as_link)
         self._as_adj[as_link.b].append(as_link)
+        self._rel_index = None
+        self._route_cache.clear()
         return as_link
 
     def add_exchange_link(self, link: Link) -> None:
@@ -163,6 +248,39 @@ class Topology:
     def as_neighbors(self, asn: int) -> list[ASLink]:
         """AS adjacencies involving ``asn``."""
         return self._as_adj.get(asn, [])
+
+    def relationship_index(self) -> ASRelationshipIndex:
+        """Relationship-classified AS adjacency (cached until mutated).
+
+        Invalidated by :meth:`add_as` / :meth:`add_as_link`; consumers
+        must not hold the returned index across topology mutations.
+        """
+        if self._rel_index is None:
+            self._rel_index = _build_relationship_index(self)
+        return self._rel_index
+
+    def routing_cache(self, layer: str) -> dict:
+        """Mutable memo bag for derived routing state, keyed by layer name.
+
+        Routing state (converged BGP routes, IGP tables) is a pure
+        function of the topology, so resolver instances built over the
+        same topology share it through these bags instead of recomputing
+        it (:mod:`repro.routing.bgp` uses layer ``"bgp"``,
+        :mod:`repro.routing.igp` uses ``"igp"``).  Every bag is cleared
+        whenever the AS graph or the router/link substrate is mutated, so
+        cached state can never go stale; attaching a host does not clear
+        them (hosts are endpoints, not graph structure).
+        """
+        return self._route_cache.setdefault(layer, {})
+
+    def __getstate__(self):
+        # Derived routing state is cheap to rebuild and can be large
+        # (all-pairs IGP matrices, converged route sets); drop it so
+        # pickles shipped to worker processes stay lean.
+        state = self.__dict__.copy()
+        state["_rel_index"] = None
+        state["_route_cache"] = {}
+        return state
 
     def relationship(self, asn: int, neighbor: int) -> Relationship | None:
         """Relationship of ``neighbor`` from ``asn``'s viewpoint, or None."""

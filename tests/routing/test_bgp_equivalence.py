@@ -1,0 +1,263 @@
+"""Differential tests: staged Gao-Rexford solver vs the fixpoint oracle.
+
+The three-stage solver must be *route-for-route identical* to the
+synchronous fixpoint — same reachability, same AS paths, same
+learned-from classes, same tie-breaks — on every topology the generator
+can produce.  These tests converge every destination on generated
+topologies across seeds and eras and compare the full route tables, plus
+the structural fallbacks (siblings, customer-provider cycles) and the
+batch API's serial/parallel identity.
+
+Note the two tables are keyed separately in the topology's shared routing
+cache (by *requested* algorithm), so the comparison is never vacuous.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.bgp import (
+    BGPError,
+    BGPTable,
+    ROUTING_JOBS_ENV_VAR,
+    resolve_routing_jobs,
+)
+from repro.topology import TopologyConfig, generate_topology
+from repro.topology.asys import ASLink, ASTier, AutonomousSystem, Relationship
+from repro.topology.geography import get_city
+from repro.topology.network import Topology
+
+
+def _gadget(n: int, links: list[tuple[int, int, Relationship]]) -> Topology:
+    """AS-only topology; rel is of b from a's viewpoint ('b is a's rel')."""
+    topo = Topology()
+    city = get_city("chicago")
+    for asn in range(1, n + 1):
+        topo.add_as(
+            AutonomousSystem(
+                asn=asn, name=f"as{asn}", tier=ASTier.TRANSIT, cities=[city]
+            )
+        )
+    for a, b, rel in links:
+        rel_ab = rel if a < b else rel.inverse()
+        topo.add_as_link(
+            ASLink(a=min(a, b), b=max(a, b), rel_ab=rel_ab, exchange_cities=("chicago",))
+        )
+    return topo
+
+
+def _assert_identical_tables(topo: Topology) -> None:
+    """Converge everything under both solvers and compare exhaustively."""
+    fast = BGPTable(topo)
+    oracle = BGPTable(topo, algorithm="fixpoint")
+    fast.converge_all()
+    oracle.converge_all()
+    for dest in sorted(topo.ases):
+        for asn in sorted(topo.ases):
+            assert fast.route(asn, dest) == oracle.route(asn, dest), (
+                f"route divergence at AS{asn} -> AS{dest}"
+            )
+
+
+def _assert_valley_free(topo: Topology, path: tuple[int, ...]) -> None:
+    """No path may go down (or across a peer edge) and then up again."""
+    descended = False
+    peers_crossed = 0
+    for a, b in zip(path, path[1:]):
+        rel = topo.relationship(a, b)
+        assert rel is not None, f"adjacent ASes {a},{b} in {path} not linked"
+        if rel is Relationship.PROVIDER:
+            assert not descended, f"valley in {path}: uphill after downhill"
+            assert peers_crossed == 0, f"valley in {path}: uphill after peer"
+        elif rel is Relationship.PEER:
+            peers_crossed += 1
+            assert peers_crossed <= 1, f"two peer edges in {path}"
+            assert not descended, f"peer edge after downhill in {path}"
+        elif rel is Relationship.CUSTOMER:
+            descended = True
+        # SIBLING edges launder routes and are exempt (none generated).
+
+
+@pytest.mark.parametrize("era", ["1995", "1999"])
+@pytest.mark.parametrize("seed", [41, 42, 43])
+def test_generated_topologies_route_identical(era, seed):
+    topo = generate_topology(TopologyConfig.for_era(era, seed=seed))
+    fast = BGPTable(topo)
+    assert fast.effective_algorithm() == "gao-rexford"
+    _assert_identical_tables(topo)
+
+
+@pytest.mark.parametrize("era", ["1995", "1999"])
+def test_generated_topologies_valley_free(era):
+    topo = generate_topology(TopologyConfig.for_era(era, seed=42))
+    table = BGPTable(topo)
+    table.converge_all()
+    checked = 0
+    for dest in sorted(topo.ases):
+        for asn in sorted(topo.ases):
+            path = table.as_path(asn, dest)
+            if path is None or len(path) < 2:
+                continue
+            _assert_valley_free(topo, path)
+            checked += 1
+    assert checked > 0
+
+
+def test_gadget_topologies_route_identical():
+    gadgets = [
+        # Peer-peer-peer inexpressibility.
+        _gadget(4, [
+            (2, 1, Relationship.CUSTOMER),
+            (2, 3, Relationship.CUSTOMER),
+            (1, 4, Relationship.PEER),
+            (4, 3, Relationship.PEER),
+        ]),
+        # Customer route preferred although longer.
+        _gadget(5, [
+            (1, 2, Relationship.CUSTOMER),
+            (2, 4, Relationship.CUSTOMER),
+            (4, 5, Relationship.CUSTOMER),
+            (1, 3, Relationship.PEER),
+            (3, 5, Relationship.CUSTOMER),
+        ]),
+        # Next-hop ASN tie-break.
+        _gadget(4, [
+            (1, 2, Relationship.PROVIDER),
+            (1, 3, Relationship.PROVIDER),
+            (2, 4, Relationship.CUSTOMER),
+            (3, 4, Relationship.CUSTOMER),
+        ]),
+        # Disconnected AS.
+        _gadget(3, [(1, 2, Relationship.PEER)]),
+        # Diamond with a peer shortcut at the top.
+        _gadget(6, [
+            (1, 3, Relationship.PROVIDER),
+            (2, 4, Relationship.PROVIDER),
+            (3, 5, Relationship.PROVIDER),
+            (4, 6, Relationship.PROVIDER),
+            (5, 6, Relationship.PEER),
+            (3, 4, Relationship.PEER),
+        ]),
+    ]
+    for topo in gadgets:
+        assert BGPTable(topo).effective_algorithm() == "gao-rexford"
+        _assert_identical_tables(topo)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_random_hierarchies_route_identical(seed):
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(4, 12)
+    links = []
+    for asn in range(2, n + 1):
+        provider = rng.randint(1, asn - 1)
+        links.append((provider, asn, Relationship.CUSTOMER))
+    for _ in range(rng.randint(0, n // 2)):
+        a, b = rng.sample(range(1, n + 1), 2)
+        if not any({a, b} == {x, y} for x, y, _ in links):
+            links.append((a, b, Relationship.PEER))
+    _assert_identical_tables(_gadget(n, links))
+
+
+def test_sibling_topology_falls_back_to_fixpoint():
+    topo = _gadget(3, [
+        (1, 2, Relationship.SIBLING),
+        (2, 3, Relationship.PEER),
+    ])
+    table = BGPTable(topo)
+    assert table.effective_algorithm() == "fixpoint"
+    # Sibling laundering still works through the fallback.
+    assert table.as_path(1, 3) == (1, 2, 3)
+    assert table.as_path(3, 1) == (3, 2, 1)
+    _assert_identical_tables(topo)
+
+
+def test_customer_provider_cycle_falls_back_to_fixpoint():
+    topo = _gadget(3, [
+        (1, 2, Relationship.PROVIDER),   # 2 is 1's provider
+        (2, 3, Relationship.PROVIDER),   # 3 is 2's provider
+        (3, 1, Relationship.PROVIDER),   # 1 is 3's provider: a cycle
+    ])
+    assert topo.relationship_index().up_order is None
+    table = BGPTable(topo)
+    assert table.effective_algorithm() == "fixpoint"
+    _assert_identical_tables(topo)
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError, match="unknown BGP algorithm"):
+        BGPTable(Topology(), algorithm="ospf")
+
+
+def test_converge_all_unknown_destination():
+    topo = _gadget(2, [(1, 2, Relationship.PEER)])
+    with pytest.raises(BGPError, match="unknown destination"):
+        BGPTable(topo).converge_all([99])
+
+
+def test_converge_all_serial_parallel_and_lazy_identical():
+    cfg = TopologyConfig.for_era("1995", seed=44)
+    # Distinct topology instances so the shared per-topology route cache
+    # cannot make the comparison vacuous (the generator is deterministic).
+    topo_serial = generate_topology(cfg)
+    topo_parallel = generate_topology(cfg)
+    topo_lazy = generate_topology(cfg)
+    serial = BGPTable(topo_serial)
+    parallel = BGPTable(topo_parallel)
+    lazy = BGPTable(topo_lazy)
+    serial.converge_all(jobs=1)
+    parallel.converge_all(jobs=2)
+    for dest in sorted(topo_serial.ases):
+        for asn in sorted(topo_serial.ases):
+            s = serial.route(asn, dest)
+            assert s == parallel.route(asn, dest), f"AS{asn}->AS{dest}"
+            assert s == lazy.route(asn, dest), f"AS{asn}->AS{dest}"
+
+
+def test_converge_all_subset_and_idempotence():
+    topo = generate_topology(TopologyConfig.for_era("1995", seed=45))
+    table = BGPTable(topo)
+    dests = sorted(topo.ases)[:5]
+    table.converge_all(dests)
+    table.converge_all(dests)  # second call is a no-op, not an error
+    for d in dests:
+        assert table.route(d, d) is not None
+
+
+def test_resolve_routing_jobs(monkeypatch):
+    monkeypatch.delenv(ROUTING_JOBS_ENV_VAR, raising=False)
+    assert resolve_routing_jobs(None, 10) == 1       # default: serial
+    assert resolve_routing_jobs(4, 10) == 4
+    assert resolve_routing_jobs(16, 10) == 10        # clamped to tasks
+    assert resolve_routing_jobs(0, 10) == 1          # floor of 1
+    assert resolve_routing_jobs(8, 0) == 1           # nothing to do
+    monkeypatch.setenv(ROUTING_JOBS_ENV_VAR, "3")
+    assert resolve_routing_jobs(None, 10) == 3
+    assert resolve_routing_jobs(2, 10) == 2          # explicit arg wins
+    monkeypatch.setenv(ROUTING_JOBS_ENV_VAR, "lots")
+    with pytest.raises(ValueError, match=ROUTING_JOBS_ENV_VAR):
+        resolve_routing_jobs(None, 10)
+
+
+def test_shared_route_cache_reused_and_invalidated():
+    topo = _gadget(3, [
+        (1, 2, Relationship.CUSTOMER),
+        (2, 3, Relationship.CUSTOMER),
+    ])
+    first = BGPTable(topo)
+    assert first.as_path(3, 1) == (3, 2, 1)
+    # A second table over the same topology sees the converged store.
+    second = BGPTable(topo)
+    assert second._routes is first._routes
+    # Mutating the AS graph invalidates the shared store: a new table
+    # starts fresh and sees the new link.
+    city = get_city("chicago")
+    topo.add_as(AutonomousSystem(asn=4, name="as4", tier=ASTier.TRANSIT, cities=[city]))
+    topo.add_as_link(ASLink(a=1, b=4, rel_ab=Relationship.CUSTOMER, exchange_cities=("chicago",)))
+    third = BGPTable(topo)
+    assert third._routes is not first._routes
+    assert third.as_path(4, 1) is not None

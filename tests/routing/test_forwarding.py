@@ -129,3 +129,32 @@ def test_optimal_round_trip_symmetric_cost(topo1999, pairs):
     src, dst = pairs[0]
     rt = optimal.resolve_round_trip(src, dst)
     assert rt.forward.prop_delay_ms == pytest.approx(rt.reverse.prop_delay_ms)
+
+
+def test_egress_memo_consistent_with_direct_ranking(topo1999, pairs):
+    """A warm egress cache must hand out the same exchange links a cold
+    ranking would: resolving the same pairs through a fresh resolver with
+    an emptied cache yields identical router-level paths."""
+    warm = PathResolver(topo1999)
+    warm_paths = [warm.resolve(s, d) for s, d in pairs[:20]]
+    assert warm._egress_cache  # multi-exchange hops were memoized
+    cold = PathResolver(topo1999)
+    cold._cache.clear()
+    cold._egress_cache.clear()
+    for (s, d), expected in zip(pairs[:20], warm_paths):
+        assert cold.resolve(s, d) == expected
+
+
+def test_secondary_demotes_via_same_ranking(topo1999, pairs):
+    """The demoted (secondary) egress comes from the same memoized
+    ranking: where the primary and secondary differ, they differ in the
+    first AS hop with >= 2 exchange options."""
+    resolver = PathResolver(topo1999)
+    diverged = 0
+    for s, d in pairs[:30]:
+        primary = resolver.resolve(s, d)
+        secondary = resolver.resolve_secondary(s, d)
+        assert secondary.as_path == primary.as_path
+        if secondary.links != primary.links:
+            diverged += 1
+    assert diverged > 0

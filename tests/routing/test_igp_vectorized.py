@@ -1,0 +1,119 @@
+"""Vectorized (scipy all-pairs) vs lazy (per-source heap) IGP backends.
+
+The two backends must agree on every cost and on reachability; where
+equal-cost shortest paths exist the chosen path may differ between
+backends, so path assertions check validity and optimality rather than
+hop-for-hop identity.
+"""
+
+import math
+
+import pytest
+
+from repro.routing.forwarding import PathResolver
+from repro.routing.igp import IGPError, IGPTable, VECTOR_MIN_ROUTERS, link_metric
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_topology(TopologyConfig.for_era("1999", seed=42))
+
+
+def _checkable_ases(topo, limit=6):
+    """The largest ASes (the ones that exercise the vectorized backend)."""
+    sized = sorted(
+        topo.ases, key=lambda a: (-len(topo.routers_of(a)), a)
+    )
+    return sized[:limit]
+
+
+def test_backends_agree_on_all_costs(topo):
+    for asn in _checkable_ases(topo):
+        routers = topo.routers_of(asn)
+        lazy = IGPTable(topo, asn, vectorized=False)
+        vec = IGPTable(topo, asn, vectorized=True)
+        assert not lazy.vectorized
+        assert vec.vectorized
+        for s in routers:
+            for d in routers:
+                cl, cv = lazy.cost(s, d), vec.cost(s, d)
+                if math.isinf(cl):
+                    assert math.isinf(cv), (asn, s, d)
+                else:
+                    assert cl == pytest.approx(cv), (asn, s, d)
+
+
+def test_vectorized_paths_are_valid_shortest_paths(topo):
+    for asn in _checkable_ases(topo, limit=3):
+        routers = topo.routers_of(asn)
+        vec = IGPTable(topo, asn, vectorized=True)
+        lazy = IGPTable(topo, asn, vectorized=False)
+        for s in routers[:8]:
+            for d in routers:
+                if math.isinf(vec.cost(s, d)):
+                    continue
+                path = vec.path(s, d)
+                assert path.routers[0] == s and path.routers[-1] == d
+                assert len(path.links) == len(path.routers) - 1
+                total = 0.0
+                for (u, v), lid in zip(
+                    zip(path.routers, path.routers[1:]), path.links
+                ):
+                    link = topo.links[lid]
+                    assert {link.u, link.v} == {u, v}, (asn, s, d, lid)
+                    total += link_metric(link, vec.style)
+                # Valid AND optimal: cost equals the lazy backend's.
+                assert total == pytest.approx(path.cost)
+                assert path.cost == pytest.approx(lazy.cost(s, d))
+
+
+def test_auto_threshold_selects_backend(topo):
+    for asn in sorted(topo.ases):
+        table = IGPTable(topo, asn)
+        expect = len(topo.routers_of(asn)) >= VECTOR_MIN_ROUTERS
+        assert table.vectorized == expect, asn
+
+
+def test_vectorized_error_semantics_match(topo):
+    asn = _checkable_ases(topo, limit=1)[0]
+    other = next(a for a in sorted(topo.ases) if a != asn)
+    foreign = topo.routers_of(other)[0]
+    inside = topo.routers_of(asn)[0]
+    for vectorized in (False, True):
+        table = IGPTable(topo, asn, vectorized=vectorized)
+        with pytest.raises(IGPError, match=f"not in AS{asn}"):
+            table.cost(foreign, inside)
+        with pytest.raises(IGPError, match=f"not in AS{asn}"):
+            table.path(foreign, inside)
+        with pytest.raises(IGPError, match="unreachable"):
+            table.path(inside, foreign)
+        # Trivial self-path.
+        self_path = table.path(inside, inside)
+        assert self_path.routers == (inside,)
+        assert self_path.links == ()
+        assert self_path.cost == 0.0
+
+
+def test_igp_path_memo_returns_same_object(topo):
+    asn = _checkable_ases(topo, limit=1)[0]
+    routers = topo.routers_of(asn)
+    table = IGPTable(topo, asn)
+    first = table.path(routers[0], routers[-1])
+    assert table.path(routers[0], routers[-1]) is first
+
+
+def test_resolvers_share_igp_tables_and_bgp_routes(topo):
+    place = generate_topology(TopologyConfig.for_era("1995", seed=46))
+    place_hosts(place, 6, seed=7)
+    r1 = PathResolver(place)
+    names = place.host_names()
+    p1 = r1.resolve(names[0], names[1])
+    # A second resolver over the same topology reuses the shared routing
+    # state and produces identical paths.
+    r2 = PathResolver(place)
+    assert r2._igp.table(place.host(names[0]).asn) is r1._igp.table(
+        place.host(names[0]).asn
+    )
+    assert r2._bgp._routes is r1._bgp._routes
+    assert r2.resolve(names[0], names[1]) == p1
