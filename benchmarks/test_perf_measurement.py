@@ -1,0 +1,150 @@
+"""Performance benchmarks for the measurement pipeline.
+
+These cover the probe/measurement substrate end to end: raw sampler
+probe throughput, the collector's traceroute and transfer loops (the
+dataset builders' hot path), episode collection over flapping routes,
+and the ping tool.  The committed baseline (``BENCH_measurement.json``)
+holds the pre-vectorization numbers, so ``repro bench --compare
+--output BENCH_measurement.json`` reports the measurement fast path's
+speedup; see docs/PERFORMANCE.md.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.measurement import Campaign, PingTool, poisson_episodes, poisson_pairs
+from repro.netsim import NetworkConditions, PathSampler, SECONDS_PER_DAY
+from repro.routing import PathResolver
+from repro.routing.dynamics import RouteFlapModel
+from repro.topology import TopologyConfig, generate_topology, place_hosts
+
+
+@pytest.fixture(scope="module")
+def env():
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=41))
+    place_hosts(topo, 20, seed=42, north_america_only=True, rate_limit_fraction=0.2)
+    conditions = NetworkConditions(topo, seed=43)
+    resolver = PathResolver(topo)
+    return topo, conditions, resolver
+
+
+@pytest.fixture(scope="module")
+def sampler(env):
+    topo, conditions, resolver = env
+    names = topo.host_names()
+    pairs = list(itertools.permutations(names, 2))
+    return PathSampler(
+        conditions, [resolver.resolve_round_trip(a, b) for a, b in pairs]
+    )
+
+
+def test_perf_probe_throughput(benchmark, sampler):
+    """1000 all-pairs probe rounds: the online prober's steady state."""
+    rng = np.random.default_rng(7)
+
+    def probe_thousand():
+        total = 0
+        for i in range(1000):
+            batch = sampler.probe(SECONDS_PER_DAY + i * 17.0, rng)
+            total += int(batch.lost.sum())
+        return total
+
+    benchmark(probe_thousand)
+
+
+def test_perf_probe_batched(benchmark, sampler):
+    """One probe_batch call covering 50 all-pairs rounds across buckets.
+
+    Exercises the episode-in-one-pass API (no per-round python); not in
+    the pre-vectorization baseline, so comparisons simply skip it.
+    """
+    n = len(sampler)
+    ts = np.repeat(SECONDS_PER_DAY + np.arange(50) * 17.0, n)
+    idx = np.tile(np.arange(n), 50)
+
+    def probe_batched():
+        rng = np.random.default_rng(7)
+        rtts = sampler.probe_batch(ts, rng, indices=idx)
+        return int(np.isnan(rtts).sum())
+
+    benchmark(probe_batched)
+
+
+def test_perf_collector_traceroutes(benchmark, env):
+    """Half a simulated day of Poisson traceroutes through the campaign."""
+    topo, conditions, resolver = env
+    hosts = topo.host_names()
+    campaign = Campaign(
+        topo, conditions, hosts, resolver=resolver, seed=44,
+        control_failure_prob=0.02,
+    )
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY / 2, 30.0, seed=45))
+
+    def run():
+        records, stats = campaign.run_traceroutes(requests)
+        return len(records)
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_perf_collector_transfers(benchmark, env):
+    """Half a simulated day of npd-style TCP transfers."""
+    topo, conditions, resolver = env
+    hosts = topo.host_names()
+    campaign = Campaign(
+        topo, conditions, hosts, resolver=resolver, seed=46,
+        control_failure_prob=0.02,
+    )
+    requests = list(poisson_pairs(hosts, SECONDS_PER_DAY / 2, 30.0, seed=47))
+
+    def run():
+        records, stats = campaign.run_transfers(requests)
+        return len(records)
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_perf_collector_episodes_flap(benchmark, env):
+    """UW4-A-style all-pairs episodes over flapping routes."""
+    topo, conditions, resolver = env
+    hosts = topo.host_names()[:12]
+    campaign = Campaign(
+        topo, conditions, hosts, resolver=resolver, seed=48,
+        control_failure_prob=0.02,
+        flap_model=RouteFlapModel(flappy_fraction=0.3, flap_probability=0.1, seed=49),
+    )
+    requests = list(
+        poisson_episodes(hosts, SECONDS_PER_DAY / 2, 3600.0, seed=50)
+    )
+
+    def run():
+        records, stats = campaign.run_traceroutes(requests)
+        return len(records)
+
+    count = benchmark(run)
+    assert count > 0
+
+
+def test_perf_ping(benchmark, env):
+    """Repeated ping runs along one resolved path (the overlay's probe)."""
+    topo, conditions, resolver = env
+    names = topo.host_names()
+    round_trip = resolver.resolve_round_trip(names[0], names[1])
+    tool = PingTool(conditions)
+
+    def run():
+        rng = np.random.default_rng(51)
+        received = 0
+        for k in range(40):
+            result = tool.ping(
+                round_trip, t=SECONDS_PER_DAY + k * 600.0, rng=rng, count=10
+            )
+            received += result.received
+        return received
+
+    received = benchmark(run)
+    assert received > 0

@@ -63,7 +63,8 @@ command surface:
   trace        inspect a RunTrace written by --trace
                (--trace-file PATH or positionally; --top N, --validate)
   check        determinism-and-invariant static analysis
-  bench        record/compare the perf baseline (BENCH_routing.json)
+  bench        record/compare a perf baseline (BENCH_routing.json,
+               BENCH_measurement.json)
 
 exit codes:
   0  success
@@ -593,8 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="record or compare the routing perf baseline "
-        "(BENCH_routing.json; see docs/PERFORMANCE.md)",
+        help="record or compare a perf baseline (BENCH_routing.json, "
+        "BENCH_measurement.json; see docs/PERFORMANCE.md)",
     )
     from repro.experiments.bench import configure_parser as _configure_bench_parser
 

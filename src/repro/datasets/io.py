@@ -83,6 +83,7 @@ def _encode_header(dataset: Dataset) -> dict:
             "completed": dataset.stats.completed,
             "control_failures": dataset.stats.control_failures,
             "rate_limited_probes": dataset.stats.rate_limited_probes,
+            "blacked_out": dataset.stats.blacked_out,
         },
         "path_info": [
             {

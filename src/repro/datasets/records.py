@@ -122,13 +122,29 @@ class CollectionStats:
         requested: Measurement requests issued by the control host.
         completed: Requests that produced a record.
         control_failures: Requests dropped because the control host could
-            not contact the server (paper §4.2: occasional failures).
+            not contact the server (paper §4.2: occasional transient
+            failures).
         rate_limited_probes: Probes suppressed by destination ICMP rate
             limiting (ground truth, unknown to the measurement tools).
+        blacked_out: Requests dropped because the pair is persistently
+            unmeasurable (the campaign's ``pair_blackout_prob``) — the
+            Table 1 "percent of paths covered" shortfall, as opposed to
+            the transient control failures above.
     """
 
     requested: int = 0
     completed: int = 0
     control_failures: int = 0
     rate_limited_probes: int = 0
+    blacked_out: int = 0
     notes: list[str] = field(default_factory=list)
+
+    @property
+    def failed_requests(self) -> int:
+        """All requests that produced no record (legacy combined count).
+
+        Before ``blacked_out`` existed, blackout drops were folded into
+        ``control_failures``; consumers of that legacy sum should use
+        this property.
+        """
+        return self.control_failures + self.blacked_out

@@ -1,9 +1,12 @@
-"""Perf-baseline recorder: run the core benchmarks, track BENCH_routing.json.
+"""Perf-baseline recorder: run benchmark suites, track committed baselines.
 
-The repo's perf trajectory is tracked in a committed ``BENCH_routing.json``
-at the repository root: median/min wall-clock per core benchmark plus a
-machine-calibration constant so numbers recorded on different hardware
-remain roughly comparable (see docs/PERFORMANCE.md).
+The repo's perf trajectory is tracked in committed baseline files at the
+repository root — ``BENCH_routing.json`` (the core routing benchmarks,
+the default) and ``BENCH_measurement.json`` (the measurement pipeline,
+via ``--output BENCH_measurement.json --bench-file
+benchmarks/test_perf_measurement.py``): median/min wall-clock per
+benchmark plus a machine-calibration constant so numbers recorded on
+different hardware remain roughly comparable (see docs/PERFORMANCE.md).
 
 Two entry points drive this module:
 
@@ -11,8 +14,8 @@ Two entry points drive this module:
 * ``python benchmarks/record.py`` — a thin wrapper kept next to the
   benchmarks themselves.
 
-Recording runs ``benchmarks/test_perf_core.py`` under pytest-benchmark in
-a subprocess, parses the exported JSON, and writes the baseline file.
+Recording runs the benchmark module under pytest-benchmark in a
+subprocess, parses the exported JSON, and writes the baseline file.
 ``--compare`` reports speedup/regression ratios against the committed
 baseline instead of overwriting it (CI's perf-smoke job uses this to spot
 order-of-magnitude regressions without rerunning statistics).

@@ -7,6 +7,14 @@ destination hosts' ICMP rate limiting, and occasionally fails to contact a
 server (paper §4.2: "the control host was occasionally unable to contact
 the server it selected").  Its outputs are raw records ready to be wrapped
 into a :class:`~repro.datasets.dataset.Dataset`.
+
+Execution is batched: a whole campaign's randomness follows a fixed
+draw-count protocol (one control-failure uniform per request, then a
+fixed block of uniforms per executed request), so the vectorized
+``run_traceroutes``/``run_transfers`` consume the identical generator
+stream as the retained scalar reference implementations
+(``run_traceroutes_scalar``/``run_transfers_scalar``) and produce
+byte-identical records — see tests/measurement/test_batched_equivalence.py.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from repro.measurement.ratelimit import TokenBucket
 from repro.measurement.schedulers import Request
 from repro.measurement.tcp import TCPTransferSimulator
 from repro.measurement.traceroute import INTER_PROBE_GAP_S
-from repro.netsim.conditions import BUCKET_SECONDS, NetworkConditions, PathSampler
+from repro.netsim.conditions import NetworkConditions, PathSampler
 from repro.routing.dynamics import DynamicPathSampler, RouteFlapModel
 from repro.routing.forwarding import PathResolver
 from repro.topology.network import Topology
@@ -41,8 +49,8 @@ class Campaign:
 
     Paths are resolved once up front (Internet paths are "generally
     dominated by a single route", Paxson 1996) and congestion state is
-    taken per time bucket, so execution cost is a few scalar draws per
-    probe.
+    taken per time bucket, so execution cost is a few vectorized draws
+    per probe.
     """
 
     def __init__(
@@ -113,6 +121,11 @@ class Campaign:
                 conditions, self._round_trips, secondaries, flap_model
             )
         self._tcp = TCPTransferSimulator(topo, self._round_trips)
+        self._rate_limits = {
+            h.name: h.icmp_rate_limit_per_min
+            for h in topo.hosts
+            if h.name in set(self._hosts) and h.rate_limits_icmp
+        }
 
     @property
     def hosts(self) -> list[str]:
@@ -135,17 +148,97 @@ class Campaign:
 
     # -- execution -----------------------------------------------------------
 
-    def _iter_with_views(self, requests: Iterable[Request]):
-        """Yield (request, view) with per-bucket congestion state reuse."""
+    def _prepare(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[Request], np.ndarray]:
+        """Schedule-order the requests and resolve their pair indices."""
         ordered = sorted(requests, key=lambda r: r.t)
-        current_bucket = None
-        view = None
-        for req in ordered:
-            bucket = int(req.t // BUCKET_SECONDS)
-            if bucket != current_bucket:
-                current_bucket = bucket
-                view = self._sampler.view((bucket + 0.5) * BUCKET_SECONDS)
-            yield req, view
+        idx = np.empty(len(ordered), dtype=np.int64)
+        for j, req in enumerate(ordered):
+            i = self._pair_index.get((req.src, req.dst))
+            if i is None:
+                raise CampaignError(
+                    f"request for unknown pair {req.src}->{req.dst}"
+                )
+            idx[j] = i
+        return ordered, idx
+
+    def _control_outcomes(
+        self, idx: np.ndarray, rng: np.random.Generator, stats: CollectionStats
+    ) -> np.ndarray:
+        """Roll control failures for all requests; returns the executed mask.
+
+        One uniform per request, in schedule order, whether or not the
+        pair is blacked out — failure classification checks the control
+        roll first, exactly like the scalar reference.
+        """
+        n = len(idx)
+        stats.requested = n
+        failed = rng.random(n) < self._control_failure_prob
+        if self._blocked:
+            blocked = np.fromiter(
+                (int(i) in self._blocked for i in idx), dtype=bool, count=n
+            )
+        else:
+            blocked = np.zeros(n, dtype=bool)
+        executed = ~failed & ~blocked
+        stats.control_failures = int(failed.sum())
+        stats.blacked_out = int((~failed & blocked).sum())
+        stats.completed = int(executed.sum())
+        return executed
+
+    def _apply_rate_limits(
+        self, exec_requests: list[Request], samples: np.ndarray
+    ) -> int:
+        """Suppress probe responses at rate-limiting destinations.
+
+        ``samples`` is the (n_requests, PROBES_PER_TRACEROUTE) RTT matrix,
+        mutated in place (a suppressed response becomes NaN, just like a
+        genuine loss).  Each destination's token bucket is fed its probe
+        arrivals in global time order — requests overlap (probes go out
+        one second apart while other requests start), so feeding buckets
+        request-by-request would violate the bucket's nondecreasing-time
+        contract and silently swallow refill time.  Lost probes never
+        reach the destination and consume no token.
+
+        Returns:
+            Number of suppressed probes.
+        """
+        if not self._rate_limits:
+            return 0
+        arrivals: dict[str, list[tuple[float, int, int]]] = {}
+        for j, req in enumerate(exec_requests):
+            if req.dst not in self._rate_limits:
+                continue
+            for k in range(PROBES_PER_TRACEROUTE):
+                arrivals.setdefault(req.dst, []).append(
+                    (req.t + k * INTER_PROBE_GAP_S, j, k)
+                )
+        suppressed = 0
+        for dst, probes in arrivals.items():
+            bucket = TokenBucket(rate_per_min=self._rate_limits[dst])
+            probes.sort(key=lambda p: p[0])
+            for probe_t, j, k in probes:
+                if np.isnan(samples[j, k]):
+                    continue
+                if not bucket.allow(probe_t):
+                    samples[j, k] = np.nan
+                    suppressed += 1
+        return suppressed
+
+    def _traceroute_records(
+        self, exec_requests: list[Request], samples: np.ndarray
+    ) -> list[TracerouteRecord]:
+        return [
+            TracerouteRecord(
+                t=req.t,
+                src=req.src,
+                dst=req.dst,
+                rtt_samples=tuple(float(x) for x in row),
+                episode=req.episode,
+            )
+            for req, row in zip(exec_requests, samples)
+        ]
 
     def run_traceroutes(
         self, requests: Iterable[Request]
@@ -156,67 +249,115 @@ class Campaign:
         apart.  Destination ICMP rate limiting is applied with per-host
         token buckets; a suppressed response is recorded as NaN exactly
         like a genuine loss — downstream tooling cannot tell them apart.
+
+        All probes of the batch are generated in one vectorized pass;
+        byte-identical to :meth:`run_traceroutes_scalar`.
         """
         stats = CollectionStats()
-        buckets = {
-            h.name: TokenBucket(rate_per_min=h.icmp_rate_limit_per_min)
-            for h in self._topo.hosts
-            if h.name in self._pair_index_hosts()
-        }
-        records: list[TracerouteRecord] = []
         rng = self._rng
-        for req, view in self._iter_with_views(requests):
-            stats.requested += 1
-            if rng.random() < self._control_failure_prob:
+        ordered, idx = self._prepare(requests)
+        executed = self._control_outcomes(idx, rng, stats)
+        exec_pos = np.flatnonzero(executed)
+        exec_requests = [ordered[j] for j in exec_pos]
+        ts = np.repeat(
+            np.array([req.t for req in exec_requests], dtype=np.float64),
+            PROBES_PER_TRACEROUTE,
+        )
+        pidx = np.repeat(idx[exec_pos], PROBES_PER_TRACEROUTE)
+        rtts = self._sampler.probe_batch(ts, rng, indices=pidx)
+        samples = rtts.reshape(len(exec_requests), PROBES_PER_TRACEROUTE)
+        stats.rate_limited_probes = self._apply_rate_limits(
+            exec_requests, samples
+        )
+        return self._traceroute_records(exec_requests, samples), stats
+
+    def run_traceroutes_scalar(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[TracerouteRecord], CollectionStats]:
+        """Per-probe reference implementation of :meth:`run_traceroutes`.
+
+        Kept as the differential-test oracle: it draws the same protocol
+        (one control uniform per request up front, then one fixed draw
+        block per probe) one value at a time.
+        """
+        stats = CollectionStats()
+        rng = self._rng
+        ordered, idx = self._prepare(requests)
+        stats.requested = len(ordered)
+        control = [rng.random() for _ in ordered]
+        exec_requests: list[Request] = []
+        rows: list[list[float]] = []
+        for req, i, roll in zip(ordered, idx, control):
+            if roll < self._control_failure_prob:
                 stats.control_failures += 1
                 continue
-            idx = self._pair_index.get((req.src, req.dst))
-            if idx is None:
-                raise CampaignError(f"request for unknown pair {req.src}->{req.dst}")
-            if idx in self._blocked:
-                stats.control_failures += 1
+            if int(i) in self._blocked:
+                stats.blacked_out += 1
                 continue
-            limiter = buckets.get(req.dst)
-            samples: list[float] = []
-            for k in range(PROBES_PER_TRACEROUTE):
-                probe_t = req.t + k * INTER_PROBE_GAP_S
-                rtt = view.probe_pair(idx, rng)
-                if not np.isnan(rtt) and limiter is not None:
-                    if not limiter.allow(probe_t):
-                        stats.rate_limited_probes += 1
-                        rtt = float("nan")
-                samples.append(rtt)
-            records.append(
-                TracerouteRecord(
-                    t=req.t,
-                    src=req.src,
-                    dst=req.dst,
-                    rtt_samples=tuple(samples),
-                    episode=req.episode,
-                )
+            view = self._sampler.bucket_view(req.t)
+            rows.append(
+                [view.probe_pair(int(i), rng) for _ in range(PROBES_PER_TRACEROUTE)]
             )
+            exec_requests.append(req)
             stats.completed += 1
-        return records, stats
+        samples = np.array(rows, dtype=np.float64).reshape(
+            len(exec_requests), PROBES_PER_TRACEROUTE
+        )
+        stats.rate_limited_probes = self._apply_rate_limits(
+            exec_requests, samples
+        )
+        return self._traceroute_records(exec_requests, samples), stats
 
     def run_transfers(
         self, requests: Iterable[Request]
     ) -> tuple[list[TransferRecord], CollectionStats]:
-        """Execute npd-style TCP transfer requests."""
+        """Execute npd-style TCP transfer requests.
+
+        All transfers are measured in one vectorized pass; byte-identical
+        to :meth:`run_transfers_scalar`.
+        """
         stats = CollectionStats()
-        records: list[TransferRecord] = []
         rng = self._rng
-        for req, view in self._iter_with_views(requests):
-            stats.requested += 1
-            if rng.random() < self._control_failure_prob:
+        ordered, idx = self._prepare(requests)
+        executed = self._control_outcomes(idx, rng, stats)
+        exec_pos = np.flatnonzero(executed)
+        exec_requests = [ordered[j] for j in exec_pos]
+        exec_idx = idx[exec_pos]
+        ts = np.array([req.t for req in exec_requests], dtype=np.float64)
+        prop, qsum, ploss = self._sampler.gather_bucket_state(ts, exec_idx)
+        rtt, loss, bw = self._tcp.measure_block(prop, qsum, ploss, exec_idx, rng)
+        records = [
+            TransferRecord(
+                t=req.t,
+                src=req.src,
+                dst=req.dst,
+                rtt_ms=float(rtt[j]),
+                loss_rate=float(loss[j]),
+                bandwidth_kbps=float(bw[j]),
+            )
+            for j, req in enumerate(exec_requests)
+        ]
+        return records, stats
+
+    def run_transfers_scalar(
+        self, requests: Iterable[Request]
+    ) -> tuple[list[TransferRecord], CollectionStats]:
+        """Per-transfer reference implementation of :meth:`run_transfers`."""
+        stats = CollectionStats()
+        rng = self._rng
+        ordered, idx = self._prepare(requests)
+        stats.requested = len(ordered)
+        control = [rng.random() for _ in ordered]
+        records: list[TransferRecord] = []
+        for req, i, roll in zip(ordered, idx, control):
+            if roll < self._control_failure_prob:
                 stats.control_failures += 1
                 continue
-            idx = self._pair_index.get((req.src, req.dst))
-            if idx is None:
-                raise CampaignError(f"request for unknown pair {req.src}->{req.dst}")
-            if idx in self._blocked:
-                stats.control_failures += 1
+            if int(i) in self._blocked:
+                stats.blacked_out += 1
                 continue
-            result = self._tcp.measure(view, idx, rng)
+            view = self._sampler.bucket_view(req.t)
+            result = self._tcp.measure(view, int(i), rng)
             records.append(
                 TransferRecord(
                     t=req.t,
@@ -229,6 +370,3 @@ class Campaign:
             )
             stats.completed += 1
         return records, stats
-
-    def _pair_index_hosts(self) -> set[str]:
-        return set(self._hosts)

@@ -63,11 +63,17 @@ class PingResult:
 
     @property
     def mdev_ms(self) -> float:
-        """Mean absolute deviation of the RTTs, ping-style."""
+        """RMS deviation of the RTTs: sqrt(mean(x^2) - mean(x)^2).
+
+        This is iputils ping's ``mdev`` — a population standard
+        deviation, not a mean absolute deviation.
+        """
         if not self.rtts_ms:
             return math.nan
         arr = np.asarray(self.rtts_ms)
-        return float(np.mean(np.abs(arr - arr.mean())))
+        mean = float(arr.mean())
+        mean_sq = float(np.mean(arr * arr))
+        return math.sqrt(max(mean_sq - mean * mean, 0.0))
 
     def render(self) -> str:
         """Classic ping summary block."""
@@ -85,10 +91,27 @@ class PingResult:
 
 
 class PingTool:
-    """Simulates ping runs over resolved round-trip paths."""
+    """Simulates ping runs over resolved round-trip paths.
+
+    Samplers are cached per round trip, so repeated pings of the same
+    path (the overlay's steady state) skip the CSR construction, and the
+    echo train is generated in one batched pass.
+    """
+
+    _MAX_CACHED_SAMPLERS = 128
 
     def __init__(self, conditions: NetworkConditions) -> None:
         self._conditions = conditions
+        self._samplers: dict[RoundTripPath, PathSampler] = {}
+
+    def _sampler_for(self, round_trip: RoundTripPath) -> PathSampler:
+        sampler = self._samplers.get(round_trip)
+        if sampler is None:
+            if len(self._samplers) > self._MAX_CACHED_SAMPLERS:
+                self._samplers.clear()
+            sampler = PathSampler(self._conditions, [round_trip])
+            self._samplers[round_trip] = sampler
+        return sampler
 
     def ping(
         self,
@@ -108,17 +131,16 @@ class PingTool:
             raise ValueError(f"count must be positive, got {count}")
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
-        sampler = PathSampler(self._conditions, [round_trip])
-        rtts: list[float] = []
-        for k in range(count):
-            view = sampler.view(t + k * interval_s)
-            rtt = view.probe_pair(0, rng)
-            if not math.isnan(rtt):
-                rtts.append(rtt)
+        sampler = self._sampler_for(round_trip)
+        times = t + np.arange(count) * interval_s
+        rtts = sampler.probe_batch(
+            times, rng, indices=np.zeros(count, dtype=np.int64)
+        )
+        answered = rtts[~np.isnan(rtts)]
         return PingResult(
             src=round_trip.forward.src,
             dst=round_trip.forward.dst,
             sent=count,
-            received=len(rtts),
-            rtts_ms=tuple(rtts),
+            received=int(answered.size),
+            rtts_ms=tuple(float(r) for r in answered),
         )

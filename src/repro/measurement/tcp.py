@@ -96,27 +96,66 @@ class TCPTransferSimulator:
             [bottleneck_capacity_kbps(topo, rt) for rt in paths]
         )
 
+    #: Uniform draws consumed per transfer, in order: jitter, self-queue
+    #: inflation, self-induced loss, rate noise.  Fixed so a batched
+    #: ``random((n, 4))`` block consumes the same generator stream as
+    #: ``n`` scalar :meth:`measure` calls.
+    DRAWS_PER_TRANSFER = 4
+
+    def measure_block(
+        self,
+        prop: np.ndarray,
+        qsum: np.ndarray,
+        ploss: np.ndarray,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Measure one transfer per row, vectorized.
+
+        ``prop``/``qsum``/``ploss`` are the per-transfer path state (as
+        gathered from each transfer's bucket view) and ``indices`` the
+        path index per transfer (for the bottleneck cap).  The observed
+        RTT is a probe sample inflated slightly by the transfer's own
+        queue occupancy; the observed loss combines the background loss
+        probability with self-induced loss.
+
+        Returns:
+            (rtt_ms, loss_rate, bandwidth_kbps) arrays aligned with rows.
+        """
+        u = rng.random((len(prop), self.DRAWS_PER_TRANSFER))
+        jitter = -np.log1p(-u[:, 0]) * (0.35 * qsum + 0.4)
+        self_queue = 1.02 + (1.15 - 1.02) * u[:, 1]  # our own packets queue too
+        rtt = (prop + qsum) * self_queue + jitter + 0.4
+        lo, hi = SELF_LOSS_RANGE
+        p_self = lo + (hi - lo) * u[:, 2]
+        p_eff = 1.0 - (1.0 - ploss) * (1.0 - p_self)
+        bw = mathis_bandwidth_kbps_array(rtt, p_eff)
+        bw = np.minimum(bw, BOTTLENECK_SHARE * self._bottleneck[indices])
+        # Short transfers never reach steady state: slow start costs a
+        # fraction of the achievable rate that grows with RTT.
+        bw = bw * (1.0 / (1.0 + rtt / SLOW_START_HALF_RTT_MS))
+        # Small measurement noise on the achieved rate.
+        bw = bw * (0.92 + (1.08 - 0.92) * u[:, 3])
+        return rtt, p_eff, bw
+
     def measure(
         self, view: SamplerView, index: int, rng: np.random.Generator
     ) -> TransferResult:
         """Measure one transfer along path ``index`` in bucket ``view``.
 
-        The observed RTT is a probe sample inflated slightly by the
-        transfer's own queue occupancy; the observed loss combines the
-        background loss probability with self-induced loss.
+        Scalar reference for :meth:`measure_block`: routed through the
+        same code on one-element slices, so a loop of scalar calls is
+        byte-identical to one batched call with the same generator.
         """
-        q = view.qsum[index]
-        jitter = rng.exponential() * (0.35 * q + 0.4)
-        self_queue = rng.uniform(1.02, 1.15)  # our own packets queue too
-        rtt = float((view.prop[index] + q) * self_queue + jitter + 0.4)
-        p_background = float(view.ploss[index])
-        p_self = rng.uniform(*SELF_LOSS_RANGE)
-        p_eff = 1.0 - (1.0 - p_background) * (1.0 - p_self)
-        bw = mathis_bandwidth_kbps(rtt, p_eff)
-        bw = min(bw, BOTTLENECK_SHARE * float(self._bottleneck[index]))
-        # Short transfers never reach steady state: slow start costs a
-        # fraction of the achievable rate that grows with RTT.
-        bw *= 1.0 / (1.0 + rtt / SLOW_START_HALF_RTT_MS)
-        # Small measurement noise on the achieved rate.
-        bw *= rng.uniform(0.92, 1.08)
-        return TransferResult(rtt_ms=rtt, loss_rate=p_eff, bandwidth_kbps=bw)
+        rtt, loss, bw = self.measure_block(
+            view.prop[index : index + 1],
+            view.qsum[index : index + 1],
+            view.ploss[index : index + 1],
+            np.array([index], dtype=np.int64),
+            rng,
+        )
+        return TransferResult(
+            rtt_ms=float(rtt[0]),
+            loss_rate=float(loss[0]),
+            bandwidth_kbps=float(bw[0]),
+        )

@@ -98,7 +98,6 @@ class TracerouteTool:
         topo = self._topo
         forward = round_trip.forward
         hops: list[TracerouteHop] = []
-        probe_t = t
         queue = self._cond.queue_delay_ms(t)
         ploss = self._cond.loss_probability(t)
         prefix_prop = 0.0
@@ -118,7 +117,6 @@ class TracerouteTool:
                 else:
                     jitter = rng.exponential() * (0.35 * prefix_queue + 0.4)
                     samples.append(2.0 * (prefix_prop + prefix_queue) + jitter + 0.4)
-                probe_t += INTER_PROBE_GAP_S
             hops.append(
                 TracerouteHop(
                     ttl=idx + 1,

@@ -69,12 +69,33 @@ CHRONIC_LOSS_FRACTION = 0.05
 CHRONIC_LOSS_RANGE = (0.005, 0.03)
 
 
-def _apply_tail(rtt: float, rng: np.random.Generator) -> float:
-    """Occasionally inflate a probe RTT with a heavy-tail event."""
-    if rng.random() < TAIL_PROB:
-        lo, hi = TAIL_EXTRA_RANGE
-        return rtt * (1.0 + rng.uniform(lo, hi))
-    return rtt
+#: Uniform draws consumed per probe, in order: loss, jitter, tail flag,
+#: tail magnitude.  Every probe consumes exactly this many draws whether
+#: or not it is lost or hits a tail event, so a batched ``random((n, 4))``
+#: block consumes the identical generator stream as ``n`` scalar probes —
+#: the invariant behind the batched/scalar differential tests.
+DRAWS_PER_PROBE = 4
+
+
+def _sample_probe_rtts(
+    prop: np.ndarray,
+    qsum: np.ndarray,
+    ploss: np.ndarray,
+    u: np.ndarray,
+) -> np.ndarray:
+    """Turn per-probe path state and uniform draws into RTTs (NaN = lost).
+
+    ``u`` has shape (n, DRAWS_PER_PROBE).  The jitter draw goes through
+    the exponential inverse CDF rather than the generator's ziggurat
+    sampler so the draw count per probe is fixed.
+    """
+    scale = JITTER_FRACTION * qsum + HOST_OVERHEAD_MS
+    jitter = -np.log1p(-u[:, 1]) * scale
+    rtt = prop + qsum + jitter + HOST_OVERHEAD_MS
+    lo, hi = TAIL_EXTRA_RANGE
+    tail_mult = 1.0 + (lo + (hi - lo) * u[:, 3])
+    rtt = np.where(u[:, 2] < TAIL_PROB, rtt * tail_mult, rtt)
+    return np.where(u[:, 0] < ploss, np.nan, rtt)
 
 
 class NetworkConditions:
@@ -187,13 +208,38 @@ class SamplerView:
     ploss: np.ndarray
 
     def probe_pair(self, index: int, rng: np.random.Generator) -> float:
-        """One probe along path ``index``; returns RTT in ms or NaN if lost."""
-        if rng.random() < self.ploss[index]:
-            return float("nan")
-        q = self.qsum[index]
-        jitter = rng.exponential() * (JITTER_FRACTION * q + HOST_OVERHEAD_MS)
-        rtt = float(self.prop[index] + q + jitter + HOST_OVERHEAD_MS)
-        return _apply_tail(rtt, rng)
+        """One probe along path ``index``; returns RTT in ms or NaN if lost.
+
+        Consumes exactly :data:`DRAWS_PER_PROBE` uniforms, making a loop
+        of scalar probes stream-equivalent to one :meth:`probe_block`.
+        """
+        u = rng.random(DRAWS_PER_PROBE).reshape(1, DRAWS_PER_PROBE)
+        rtt = _sample_probe_rtts(
+            self.prop[index : index + 1],
+            self.qsum[index : index + 1],
+            self.ploss[index : index + 1],
+            u,
+        )
+        return float(rtt[0])
+
+    def probe_block(
+        self, rng: np.random.Generator, indices: np.ndarray | None = None
+    ) -> "ProbeBatch":
+        """Probe every selected path once, in one vectorized pass.
+
+        Byte-identical to calling :meth:`probe_pair` per index in order
+        with the same generator.
+        """
+        if indices is None:
+            prop, qsum, ploss = self.prop, self.qsum, self.ploss
+        else:
+            idx = np.asarray(indices, dtype=np.int64)
+            prop = self.prop[idx]
+            qsum = self.qsum[idx]
+            ploss = self.ploss[idx]
+        u = rng.random((len(prop), DRAWS_PER_PROBE))
+        rtt = _sample_probe_rtts(prop, qsum, ploss, u)
+        return ProbeBatch(rtt_ms=rtt, lost=np.isnan(rtt))
 
 
 @dataclass(frozen=True, slots=True)
@@ -209,7 +255,101 @@ class ProbeBatch:
     lost: np.ndarray
 
 
-class PathSampler:
+class BucketProbeMixin:
+    """Bucket-frozen probing fast path shared by path samplers.
+
+    Subclasses provide ``view(t)`` (exact-time congestion state) and
+    ``__len__``; the mixin adds a bounded per-bucket view cache plus the
+    scalar and batched probe entry points built on it.  Congestion is
+    already frozen per :data:`BUCKET_SECONDS` bucket, so evaluating each
+    bucket's view once (at mid-bucket, where the collector has always
+    taken it) and reusing it turns per-probe cost into a dict lookup and
+    a few vectorized draws.
+    """
+
+    _MAX_CACHED_VIEWS = 256
+
+    def bucket_view(self, t: float) -> SamplerView:
+        """The cached congestion view of ``t``'s bucket (mid-bucket state)."""
+        bucket = int(t // BUCKET_SECONDS)
+        cache: dict[int, SamplerView] | None = getattr(self, "_bucket_views", None)
+        if cache is None:
+            cache = {}
+            self._bucket_views = cache
+        view = cache.get(bucket)
+        if view is None:
+            if len(cache) > self._MAX_CACHED_VIEWS:
+                cache.clear()
+            view = self.view((bucket + 0.5) * BUCKET_SECONDS)
+            cache[bucket] = view
+        return view
+
+    def probe(
+        self,
+        t: float,
+        rng: np.random.Generator,
+        indices: np.ndarray | None = None,
+    ) -> ProbeBatch:
+        """Send one probe along each selected path at time ``t``.
+
+        Args:
+            t: Simulation time of the probes (selects the bucket view).
+            rng: Generator for per-probe randomness (loss, jitter, tails).
+            indices: Path indices to probe; all paths when None.
+
+        Returns:
+            A :class:`ProbeBatch` aligned with ``indices``.
+        """
+        return self.bucket_view(t).probe_block(rng, indices)
+
+    def gather_bucket_state(
+        self, ts: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-probe (prop, qsum, ploss) taken from each time's bucket view.
+
+        ``ts`` and ``indices`` align element-wise; views are computed once
+        per distinct bucket.  Consumes no randomness.
+        """
+        ts = np.asarray(ts, dtype=np.float64)
+        idx = np.asarray(indices, dtype=np.int64)
+        if ts.shape != idx.shape:
+            raise ValueError("ts and indices must align")
+        n = len(ts)
+        prop = np.empty(n)
+        qsum = np.empty(n)
+        ploss = np.empty(n)
+        buckets = (ts // BUCKET_SECONDS).astype(np.int64)
+        for bucket in np.unique(buckets):
+            sel = buckets == bucket
+            view = self.bucket_view(float(bucket) * BUCKET_SECONDS)
+            pidx = idx[sel]
+            prop[sel] = view.prop[pidx]
+            qsum[sel] = view.qsum[pidx]
+            ploss[sel] = view.ploss[pidx]
+        return prop, qsum, ploss
+
+    def probe_batch(
+        self,
+        ts: np.ndarray,
+        rng: np.random.Generator,
+        indices: np.ndarray,
+    ) -> np.ndarray:
+        """Generate a whole episode of probes in one numpy pass.
+
+        Each probe ``k`` samples path ``indices[k]`` under the bucket view
+        of ``ts[k]``.  Byte-identical to the scalar reference
+        ``[self.bucket_view(t).probe_pair(i, rng) for t, i in zip(ts, indices)]``
+        with the same generator.
+
+        Returns:
+            RTTs in ms aligned with the inputs; NaN marks lost probes.
+        """
+        prop, qsum, ploss = self.gather_bucket_state(ts, indices)
+        u = rng.random((len(prop), DRAWS_PER_PROBE))
+        return _sample_probe_rtts(prop, qsum, ploss, u)
+
+
+class PathSampler(BucketProbeMixin):
     """Samples probe RTTs and losses over a fixed set of round-trip paths.
 
     The constructor flattens each path's link ids into a CSR-style layout
@@ -262,45 +402,10 @@ class PathSampler:
         return self._prop.copy()
 
     def view(self, t: float) -> SamplerView:
-        """Capture this bucket's congestion state for fast scalar probing."""
+        """Capture the exact-time congestion state for all paths."""
         return SamplerView(
             t=t,
             prop=self._prop,
             qsum=self.queue_delay_sums(t),
             ploss=self.loss_probabilities(t),
         )
-
-    def probe(
-        self,
-        t: float,
-        rng: np.random.Generator,
-        indices: np.ndarray | None = None,
-    ) -> ProbeBatch:
-        """Send one probe along each selected path at time ``t``.
-
-        Args:
-            t: Simulation time of the probes.
-            rng: Generator for per-probe randomness (jitter, loss draws).
-            indices: Path indices to probe; all paths when None.
-
-        Returns:
-            A :class:`ProbeBatch` aligned with ``indices``.
-        """
-        qsum = self.queue_delay_sums(t)
-        ploss = self.loss_probabilities(t)
-        if indices is not None:
-            qsum = qsum[indices]
-            ploss = ploss[indices]
-            prop = self._prop[indices]
-        else:
-            prop = self._prop
-        jitter = rng.exponential(scale=1.0, size=len(prop)) * (
-            JITTER_FRACTION * qsum + HOST_OVERHEAD_MS
-        )
-        rtt = prop + qsum + jitter + HOST_OVERHEAD_MS
-        tail = rng.random(len(prop)) < TAIL_PROB
-        lo, hi = TAIL_EXTRA_RANGE
-        rtt = np.where(tail, rtt * (1.0 + rng.uniform(lo, hi, size=len(prop))), rtt)
-        lost = rng.random(len(prop)) < ploss
-        rtt = np.where(lost, np.nan, rtt)
-        return ProbeBatch(rtt_ms=rtt, lost=lost)

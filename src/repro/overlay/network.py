@@ -182,10 +182,9 @@ class OverlayNetwork:
 
     # -- delivery -------------------------------------------------------------
 
-    def _actual_rtt(self, pair: Pair, t: float) -> float:
-        """Expected actual RTT of one leg at time ``t`` (no probe noise)."""
+    def _actual_rtt(self, pair: Pair, view) -> float:
+        """Expected actual RTT of one leg under ``view`` (no probe noise)."""
         idx = self._pair_index[pair]
-        view = self._sampler.view(t)
         return float(view.prop[idx] + view.qsum[idx])
 
     def send_flow(self, src: str, dst: str, t: float) -> FlowOutcome:
@@ -196,13 +195,16 @@ class OverlayNetwork:
         """
         self.advance_to(t)
         route = self.router.select(src, dst)
-        direct = self._actual_rtt((src, dst), t)
-        overlay = sum(self._actual_rtt(leg, t) for leg in route.legs) if not route.is_direct else direct
+        # One exact-time view serves every leg comparison of this flow
+        # (direct, overlay, and all oracle candidates).
+        view = self._sampler.view(t)
+        direct = self._actual_rtt((src, dst), view)
+        overlay = sum(self._actual_rtt(leg, view) for leg in route.legs) if not route.is_direct else direct
         oracle = direct
         for mid in self.hosts:
             if mid in (src, dst):
                 continue
-            candidate = self._actual_rtt((src, mid), t) + self._actual_rtt((mid, dst), t)
+            candidate = self._actual_rtt((src, mid), view) + self._actual_rtt((mid, dst), view)
             oracle = min(oracle, candidate)
         return FlowOutcome(
             t=t,

@@ -24,9 +24,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.netsim.conditions import (
+    BucketProbeMixin,
     NetworkConditions,
     PathSampler,
-    ProbeBatch,
     SamplerView,
 )
 from repro.routing.forwarding import PathResolver, RoundTripPath
@@ -97,12 +97,17 @@ def resolve_secondary(
     return resolver.resolve_round_trip_secondary(src, dst)
 
 
-class DynamicPathSampler:
+class DynamicPathSampler(BucketProbeMixin):
     """Samples probes over flapping routes.
 
     Drop-in replacement for :class:`PathSampler` in the collector: it owns
     two underlying samplers (primary and secondary paths, index-aligned)
-    and consults the flap model per (pair, time).
+    and consults the flap model per (pair, time).  The flap decisions are
+    pure functions of (pair, window), so the per-window secondary masks
+    and the flappy-pair set are computed once and cached; blended bucket
+    views come from the shared :class:`BucketProbeMixin` cache (flap
+    windows are whole multiples of the congestion bucket, so a bucket
+    never straddles a route change).
     """
 
     def __init__(
@@ -117,17 +122,30 @@ class DynamicPathSampler:
         self._primary = PathSampler(conditions, primaries)
         self._secondary = PathSampler(conditions, secondaries)
         self.flap_model = flap_model
+        self._flappy: np.ndarray | None = None
+        self._mask_cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self._primary)
 
     def _active_mask(self, t: float) -> np.ndarray:
-        return np.array(
-            [
-                self.flap_model.on_secondary(i, t)
-                for i in range(len(self))
-            ]
-        )
+        window = int(t // FLAP_WINDOW_S)
+        mask = self._mask_cache.get(window)
+        if mask is None:
+            if self._flappy is None:
+                self._flappy = np.fromiter(
+                    (self.flap_model.is_flappy(i) for i in range(len(self))),
+                    dtype=bool,
+                    count=len(self),
+                )
+            if len(self._mask_cache) > 256:
+                self._mask_cache.clear()
+            mask = np.zeros(len(self), dtype=bool)
+            window_t = window * FLAP_WINDOW_S
+            for i in np.flatnonzero(self._flappy):
+                mask[i] = self.flap_model.on_secondary(int(i), window_t)
+            self._mask_cache[window] = mask
+        return mask
 
     def prop_delays(self) -> np.ndarray:
         """Primary-route propagation delays (static reference)."""
@@ -144,18 +162,3 @@ class DynamicPathSampler:
             qsum=np.where(mask, sv.qsum, pv.qsum),
             ploss=np.where(mask, sv.ploss, pv.ploss),
         )
-
-    def probe(
-        self,
-        t: float,
-        rng: np.random.Generator,
-        indices: np.ndarray | None = None,
-    ) -> ProbeBatch:
-        """Probe each selected pair along its currently active route."""
-        view = self.view(t)
-        idx = np.arange(len(self)) if indices is None else np.asarray(indices)
-        rtts = np.empty(len(idx))
-        for out_pos, pair_idx in enumerate(idx):
-            rtts[out_pos] = view.probe_pair(int(pair_idx), rng)
-        lost = np.isnan(rtts)
-        return ProbeBatch(rtt_ms=rtts, lost=lost)

@@ -67,6 +67,21 @@ def test_roundtrip_preserves_stats(mini_dataset, tmp_path):
     loaded = load_dataset(path)
     assert loaded.stats.requested == mini_dataset.stats.requested
     assert loaded.stats.completed == mini_dataset.stats.completed
+    assert loaded.stats.control_failures == mini_dataset.stats.control_failures
+    assert loaded.stats.blacked_out == mini_dataset.stats.blacked_out
+    assert loaded.stats.failed_requests == mini_dataset.stats.failed_requests
+
+
+def test_header_without_blacked_out_still_loads(mini_dataset, tmp_path):
+    """Pre-blacked_out cache files decode with the counter defaulting to 0."""
+    path = tmp_path / "legacy.jsonl"
+    save_dataset(mini_dataset, path)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    del header["stats"]["blacked_out"]
+    lines[0] = json.dumps(header)
+    path.write_text("\n".join(lines) + "\n")
+    assert load_dataset(path).stats.blacked_out == 0
 
 
 def test_empty_file_rejected(tmp_path):

@@ -7,7 +7,7 @@ import pytest
 
 from repro.measurement.collector import Campaign, CampaignError
 from repro.measurement.schedulers import Request, poisson_episodes, poisson_pairs
-from repro.netsim import SECONDS_PER_DAY
+from repro.netsim import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 
 @pytest.fixture(scope="module")
@@ -52,7 +52,8 @@ def test_run_traceroutes_records(campaign):
     records, stats = campaign.run_traceroutes(requests)
     assert stats.requested == len(requests)
     assert stats.completed == len(records)
-    assert stats.completed + stats.control_failures == stats.requested
+    assert stats.completed + stats.failed_requests == stats.requested
+    assert stats.blacked_out == 0  # no blackout configured
     # ~5% control failures.
     assert 0.0 < stats.control_failures / stats.requested < 0.15
     for rec in records[:50]:
@@ -84,7 +85,12 @@ def test_blackout_pairs_never_complete(topo1999, conditions, resolver):
     possible = len(hosts) * (len(hosts) - 1)
     # Roughly 30% of pairs are blacked out.
     assert len(measured) < possible
-    assert stats.control_failures > 0
+    # Blackouts are persistent failures, counted apart from the transient
+    # control failures (of which this campaign has none).
+    assert stats.blacked_out > 0
+    assert stats.control_failures == 0
+    assert stats.failed_requests == stats.blacked_out
+    assert stats.completed + stats.blacked_out == stats.requested
     # Blackout must be consistent: no blacked-out pair ever completes.
     requested_pairs = {(r.src, r.dst) for r in requests}
     blocked = requested_pairs - measured
@@ -114,6 +120,44 @@ def test_rate_limited_destination_loses_followup_probes(
     )
     assert later_losses > 0.5
     assert first_losses < later_losses
+
+
+def test_interleaved_requests_rate_limited_in_global_time_order(
+    topo1999, conditions, resolver
+):
+    """Regression: overlapping requests toward one rate-limited host must
+    feed the destination's token bucket in global probe-time order.
+
+    The old per-request feeding violated the bucket's nondecreasing-time
+    contract: a later-fed request's earlier probe hit the elapsed-time
+    clamp (swallowing refill credit) and then rewound the bucket clock,
+    letting a subsequent probe harvest refill time that had already been
+    consumed — here that spuriously answered a mid-burst probe.
+    """
+    dst = next(
+        h.name for h in topo1999.hosts if h.icmp_rate_limit_per_min == 12.0
+    )
+    src = next(h.name for h in topo1999.hosts if not h.rate_limits_icmp)
+    campaign = Campaign(
+        topo1999, conditions, [src, dst], resolver=resolver, seed=53,
+        control_failure_prob=0.0,
+    )
+    # Weekend night: loss probability is negligible, so every NaN below
+    # is a suppression, not a genuine loss (checked by the exact counts).
+    t0 = 6 * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+    requests = [
+        Request(t=t0 + off, src=src, dst=dst) for off in (0.0, 0.5, 1.0)
+    ]
+    records, stats = campaign.run_traceroutes(requests)
+    assert len(records) == 3
+    # Nine probes arrive within three seconds at a 12/min bucket
+    # (0.2 tokens/s, burst 1): the first is answered from the full bucket
+    # and no later arrival ever sees a whole token of refill, so exactly
+    # eight are suppressed.  The old ordering answered a ninth probe.
+    assert stats.rate_limited_probes == 8
+    samples = [s for r in records for s in r.rtt_samples]
+    assert sum(math.isnan(s) for s in samples) == 8
+    assert not math.isnan(records[0].rtt_samples[0])
 
 
 def test_run_transfers_records(campaign):

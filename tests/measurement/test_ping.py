@@ -56,6 +56,37 @@ def test_all_lost_result():
     assert "100% packet loss" in result.render()
 
 
+def test_mdev_is_rms_deviation():
+    """iputils ping's mdev is sqrt(mean(x^2) - mean(x)^2) — the RMS
+    deviation, not the mean absolute deviation."""
+    result = PingResult(
+        src="a", dst="b", sent=4, received=4,
+        rtts_ms=(100.0, 100.0, 140.0, 140.0),
+    )
+    assert result.mdev_ms == pytest.approx(20.0)
+    skewed = PingResult(
+        src="a", dst="b", sent=3, received=3, rtts_ms=(10.0, 10.0, 40.0)
+    )
+    # mean 20, mean square 600: sqrt(600 - 400) = sqrt(200).
+    assert skewed.mdev_ms == pytest.approx(math.sqrt(200.0))
+    # The old mean absolute deviation would be (10 + 10 + 20) / 3 ≈ 13.3.
+    assert skewed.mdev_ms > 40.0 / 3.0
+
+
+def test_mdev_constant_sample_is_zero():
+    result = PingResult(
+        src="a", dst="b", sent=3, received=3, rtts_ms=(50.0, 50.0, 50.0)
+    )
+    assert result.mdev_ms == pytest.approx(0.0)
+
+
+def test_repeated_pings_reuse_cached_sampler(tool, round_trip, rng):
+    tool.ping(round_trip, t=86400.0, rng=rng, count=2)
+    first = tool._samplers[round_trip]
+    tool.ping(round_trip, t=90000.0, rng=rng, count=2)
+    assert tool._samplers[round_trip] is first
+
+
 def test_ping_deterministic(tool, round_trip):
     r1 = tool.ping(round_trip, t=86400.0, rng=np.random.default_rng(5), count=10)
     r2 = tool.ping(round_trip, t=86400.0, rng=np.random.default_rng(5), count=10)
