@@ -1,0 +1,41 @@
+"""Performance benchmarks for the whole-program quality pass.
+
+``repro check --deep`` parses all of ``src/repro`` into a project model
+on every cold run, so its cost scales with the tree.  These benches
+track the three tiers: raw model construction, a full cold deep
+analysis, and a warm run answered from the digest-keyed cache (which is
+what a repeat ``repro check --deep`` on an unchanged tree pays).
+
+Record/compare via the usual recorder::
+
+    repro bench --bench-file benchmarks/test_perf_quality.py \
+        --output BENCH_quality.json
+"""
+
+from pathlib import Path
+
+from repro.quality import run_check
+from repro.quality.graph import analyze_project, build_project_model
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_perf_graph_model_build(benchmark):
+    model = benchmark(lambda: build_project_model(REPO_ROOT))
+    assert "repro.routing.bgp" in model.modules
+
+
+def test_perf_deep_analysis_cold(benchmark):
+    findings = benchmark(lambda: analyze_project(REPO_ROOT))
+    assert findings == []
+
+
+def test_perf_deep_check_cached(benchmark, tmp_path):
+    cache = tmp_path / "cache.json"
+    prime = run_check([], root=REPO_ROOT, cache_path=cache, deep=True)
+    assert prime.deep and not prime.deep_cache_hit
+
+    result = benchmark(
+        lambda: run_check([], root=REPO_ROOT, cache_path=cache, deep=True)
+    )
+    assert result.deep_cache_hit

@@ -63,6 +63,7 @@ command surface:
   trace        inspect a RunTrace written by --trace
                (--trace-file PATH or positionally; --top N, --validate)
   check        determinism-and-invariant static analysis
+               (--deep whole-program ARCH/PAR/PERF; --changed diff scope)
   bench        record/compare a perf baseline (BENCH_routing.json,
                BENCH_measurement.json)
 

@@ -30,7 +30,7 @@ from repro.datasets.summary import (
     HostParticipation,
     summarize,
 )
-from repro.datasets.records import (
+from repro.measurement.records import (
     CollectionStats,
     PROBES_PER_TRACEROUTE,
     PathInfo,

@@ -1,7 +1,7 @@
 """The :class:`Dataset` container and its filtering operations.
 
 A dataset is an immutable bag of measurement records between a set of
-hosts, plus the static routing facts (:class:`~repro.datasets.records.PathInfo`)
+hosts, plus the static routing facts (:class:`~repro.measurement.records.PathInfo`)
 for every measured ordered pair, plus collection metadata.  All the
 corrections the paper applies to its raw data are implemented as methods
 that return *new* datasets:
@@ -25,7 +25,7 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.datasets.records import (
+from repro.measurement.records import (
     CollectionStats,
     PathInfo,
     TracerouteRecord,

@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 
 from repro.datasets.dataset import Dataset, DatasetMeta
-from repro.datasets.records import (
+from repro.measurement.records import (
     CollectionStats,
     PathInfo,
     TracerouteRecord,

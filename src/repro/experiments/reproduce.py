@@ -308,7 +308,7 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.svg_dir:
         from repro.experiments.figures import FigureResult
-        from repro.viz.render import render_all
+        from repro.experiments.render import render_all
 
         figures = {
             name: art

@@ -104,11 +104,13 @@ def activate(plan: FaultPlan | None) -> Iterator[None]:
     """
     global _active
     prev = _active
-    _active = (True, plan)
+    # Each process owns its _active: workers re-activate their own plan
+    # on entry and the swap is scoped, so state never leaks across forks.
+    _active = (True, plan)  # repro: ignore[PAR003]  # justified: scoped per-process swap
     try:
         yield
     finally:
-        _active = prev
+        _active = prev  # repro: ignore[PAR003]  # justified: restores the pre-swap value
 
 
 @contextmanager
@@ -116,11 +118,12 @@ def attempt_scope(attempt: int) -> Iterator[None]:
     """Set the attempt number consulted by fault matching."""
     global _attempt
     prev = _attempt
-    _attempt = attempt
+    # Same per-process swap protocol as activate() above.
+    _attempt = attempt  # repro: ignore[PAR003]  # justified: scoped per-process swap
     try:
         yield
     finally:
-        _attempt = prev
+        _attempt = prev  # repro: ignore[PAR003]  # justified: restores the pre-swap value
 
 
 def current_attempt() -> int:

@@ -8,6 +8,13 @@ from repro.measurement.ratelimit import (
     detect_rate_limiters,
     flagged_hosts,
 )
+from repro.measurement.records import (
+    PROBES_PER_TRACEROUTE,
+    CollectionStats,
+    PathInfo,
+    TracerouteRecord,
+    TransferRecord,
+)
 from repro.measurement.schedulers import (
     Request,
     SchedulerError,
@@ -34,9 +41,12 @@ from repro.measurement.traceroute import (
 __all__ = [
     "Campaign",
     "CampaignError",
+    "CollectionStats",
     "DEFAULT_INTERVAL_S",
     "DEFAULT_MSS_BYTES",
     "MATHIS_C",
+    "PROBES_PER_TRACEROUTE",
+    "PathInfo",
     "PingResult",
     "PingTool",
     "RateLimitVerdict",
@@ -45,8 +55,10 @@ __all__ = [
     "TCPTransferSimulator",
     "TokenBucket",
     "TracerouteHop",
+    "TracerouteRecord",
     "TracerouteResult",
     "TracerouteTool",
+    "TransferRecord",
     "TransferResult",
     "bottleneck_capacity_kbps",
     "detect_rate_limiters",

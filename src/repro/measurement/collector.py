@@ -23,19 +23,20 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.datasets.records import (
+from repro.measurement.ratelimit import TokenBucket
+from repro.measurement.records import (
     CollectionStats,
     PROBES_PER_TRACEROUTE,
     PathInfo,
     TracerouteRecord,
     TransferRecord,
 )
-from repro.measurement.ratelimit import TokenBucket
 from repro.measurement.schedulers import Request
 from repro.measurement.tcp import TCPTransferSimulator
 from repro.measurement.traceroute import INTER_PROBE_GAP_S
 from repro.netsim.conditions import NetworkConditions, PathSampler
-from repro.routing.dynamics import DynamicPathSampler, RouteFlapModel
+from repro.netsim.dynamics import DynamicPathSampler
+from repro.routing.dynamics import RouteFlapModel
 from repro.routing.forwarding import PathResolver
 from repro.topology.network import Topology
 

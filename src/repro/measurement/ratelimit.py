@@ -12,10 +12,15 @@ during collection and the detector used afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.datasets.dataset import Dataset
+if TYPE_CHECKING:
+    # Annotation-only: the detector duck-types its input (hosts,
+    # pairs(), loss_samples), and a runtime import here would point
+    # measurement upward at the datasets layer (ARCH002).
+    from repro.datasets.dataset import Dataset
 
 
 @dataclass(slots=True)

@@ -1,0 +1,150 @@
+"""Measurement record types shared by collection and analysis.
+
+Two record families correspond to the paper's two collection tools:
+
+* :class:`TracerouteRecord` — one ``traceroute`` invocation (the UW and D2
+  datasets).  Each invocation takes **three consecutive samples** of the
+  round-trip time to the end host; a lost probe is recorded as NaN.
+* :class:`TransferRecord` — one ``npd`` TCP transfer (the N2 datasets),
+  yielding the RTT and loss rate observed *within* the transfer and the
+  achieved bandwidth.
+
+Records carry simulation timestamps (seconds from the simulated Monday
+00:00 UTC origin) so the analysis layer can reproduce the paper's
+time-of-day breakdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Number of RTT samples a single traceroute invocation takes.
+PROBES_PER_TRACEROUTE = 3
+
+
+@dataclass(frozen=True, slots=True)
+class PathInfo:
+    """Static routing facts about one ordered host pair's default path.
+
+    Attributes:
+        src: Source host name.
+        dst: Destination host name.
+        as_path: AS-level forward path (source AS first).
+        hop_count: Router-level forward hop count.
+        prop_delay_ms: Round-trip propagation delay (both directions).
+    """
+
+    src: str
+    dst: str
+    as_path: tuple[int, ...]
+    hop_count: int
+    prop_delay_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteRecord:
+    """One traceroute invocation between an ordered host pair.
+
+    Attributes:
+        t: Simulation time of the invocation, seconds.
+        src: Source host name.
+        dst: Destination host name.
+        rtt_samples: RTT of each probe in ms; NaN marks a lost probe.
+        episode: Episode index for simultaneous datasets (UW4-A); -1 for
+            independently scheduled measurements.
+    """
+
+    t: float
+    src: str
+    dst: str
+    rtt_samples: tuple[float, ...]
+    episode: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.rtt_samples:
+            raise ValueError("a traceroute record needs at least one sample")
+
+    @property
+    def n_lost(self) -> int:
+        """Number of lost probes in this invocation."""
+        return sum(1 for r in self.rtt_samples if math.isnan(r))
+
+    @property
+    def n_probes(self) -> int:
+        """Number of probes sent."""
+        return len(self.rtt_samples)
+
+    @property
+    def successful_rtts(self) -> tuple[float, ...]:
+        """RTTs of answered probes only."""
+        return tuple(r for r in self.rtt_samples if not math.isnan(r))
+
+    def first_sample_lost(self) -> bool:
+        """Whether the first probe was lost (the D2 loss heuristic)."""
+        return math.isnan(self.rtt_samples[0])
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One npd-style TCP transfer between an ordered host pair.
+
+    Attributes:
+        t: Simulation time of the transfer start, seconds.
+        src: Sending host name.
+        dst: Receiving host name.
+        rtt_ms: Mean RTT observed during the transfer.
+        loss_rate: Fraction of packets lost during the transfer.
+        bandwidth_kbps: Achieved throughput in kilobytes per second.
+    """
+
+    t: float
+    src: str
+    dst: str
+    rtt_ms: float
+    loss_rate: float
+    bandwidth_kbps: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms <= 0:
+            raise ValueError(f"rtt_ms must be positive, got {self.rtt_ms}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if self.bandwidth_kbps < 0:
+            raise ValueError(f"bandwidth_kbps must be >= 0, got {self.bandwidth_kbps}")
+
+
+@dataclass(slots=True)
+class CollectionStats:
+    """Bookkeeping from a collection campaign (for Table 1 and debugging).
+
+    Attributes:
+        requested: Measurement requests issued by the control host.
+        completed: Requests that produced a record.
+        control_failures: Requests dropped because the control host could
+            not contact the server (paper §4.2: occasional transient
+            failures).
+        rate_limited_probes: Probes suppressed by destination ICMP rate
+            limiting (ground truth, unknown to the measurement tools).
+        blacked_out: Requests dropped because the pair is persistently
+            unmeasurable (the campaign's ``pair_blackout_prob``) — the
+            Table 1 "percent of paths covered" shortfall, as opposed to
+            the transient control failures above.
+    """
+
+    requested: int = 0
+    completed: int = 0
+    control_failures: int = 0
+    rate_limited_probes: int = 0
+    blacked_out: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def failed_requests(self) -> int:
+        """All requests that produced no record (legacy combined count).
+
+        Before ``blacked_out`` existed, blackout drops were folded into
+        ``control_failures``; consumers of that legacy sum should use
+        this property.
+        """
+        return self.control_failures + self.blacked_out

@@ -65,6 +65,7 @@ def mathis_bandwidth_kbps(
     return bytes_per_sec / 1000.0
 
 
+# hotpath
 def mathis_bandwidth_kbps_array(
     rtt_ms: np.ndarray, loss_rate: np.ndarray, *, mss_bytes: int = DEFAULT_MSS_BYTES
 ) -> np.ndarray:
@@ -102,6 +103,7 @@ class TCPTransferSimulator:
     #: ``n`` scalar :meth:`measure` calls.
     DRAWS_PER_TRANSFER = 4
 
+    # hotpath
     def measure_block(
         self,
         prop: np.ndarray,

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets.records import PROBES_PER_TRACEROUTE
+from repro.measurement.records import PROBES_PER_TRACEROUTE
 from repro.netsim.conditions import NetworkConditions
 from repro.routing.forwarding import RoundTripPath
 from repro.topology.network import Topology

@@ -77,6 +77,7 @@ CHRONIC_LOSS_RANGE = (0.005, 0.03)
 DRAWS_PER_PROBE = 4
 
 
+# hotpath
 def _sample_probe_rtts(
     prop: np.ndarray,
     qsum: np.ndarray,
@@ -222,6 +223,7 @@ class SamplerView:
         )
         return float(rtt[0])
 
+    # hotpath
     def probe_block(
         self, rng: np.random.Generator, indices: np.ndarray | None = None
     ) -> "ProbeBatch":
@@ -302,6 +304,7 @@ class BucketProbeMixin:
         """
         return self.bucket_view(t).probe_block(rng, indices)
 
+    # hotpath
     def gather_bucket_state(
         self, ts: np.ndarray, indices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -328,6 +331,7 @@ class BucketProbeMixin:
             ploss[sel] = view.ploss[pidx]
         return prop, qsum, ploss
 
+    # hotpath
     def probe_batch(
         self,
         ts: np.ndarray,
@@ -376,6 +380,7 @@ class PathSampler(BucketProbeMixin):
     def __len__(self) -> int:
         return len(self.paths)
 
+    # hotpath
     def _path_sums(self, per_link: np.ndarray) -> np.ndarray:
         """Sum a per-link quantity over each path's links."""
         if len(self._flat) == 0:

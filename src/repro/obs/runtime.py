@@ -122,11 +122,13 @@ def activate(tracer: Tracer, metrics: Metrics) -> Iterator[None]:
     """
     global _active_tracer, _active_metrics
     prev = (_active_tracer, _active_metrics)
-    _active_tracer, _active_metrics = tracer, metrics
+    # Workers run a fresh capture under this swap; each process touches
+    # only its own pair, and exports cross the fork as blobs, not state.
+    _active_tracer, _active_metrics = tracer, metrics  # repro: ignore[PAR003]  # justified: scoped per-process swap
     try:
         yield
     finally:
-        _active_tracer, _active_metrics = prev
+        _active_tracer, _active_metrics = prev  # repro: ignore[PAR003]  # justified: restores the pre-swap value
 
 
 @contextmanager

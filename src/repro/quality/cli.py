@@ -2,8 +2,8 @@
 
 Two equivalent front doors::
 
-    repro check [paths...] [--strict] [--format json] ...
-    PYTHONPATH=src python -m repro.quality [paths...] ...
+    repro check [paths...] [--deep] [--changed] [--strict] [--format json] ...
+    PYTHONPATH=src python -m repro.quality [paths...] [--deep] ...
 
 Exit codes: 0 clean, 1 gated findings (new errors; plus warnings and
 stale baseline entries under ``--strict``), 2 usage errors.
@@ -20,9 +20,11 @@ from repro.quality.baseline import Baseline, BaselineError
 from repro.quality.engine import (
     DEFAULT_BASELINE,
     DEFAULT_CACHE,
+    changed_python_files,
     find_root,
     run_check,
 )
+from repro.quality.graph.manifest import ManifestError
 from repro.quality.reporters import render_json, render_rules, render_text
 
 #: Paths checked when none are given (relative to the analysis root).
@@ -74,6 +76,27 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help=f"cache file (default: <root>/{DEFAULT_CACHE})",
     )
     parser.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (ARCH layer DAG, PAR "
+            "process-boundary safety, PERF hot-path purity) over src/repro"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "check only python files changed relative to HEAD "
+            "(staged, unstaged, and untracked); per-file rules only"
+        ),
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="architecture manifest for --deep (default: <root>/docs/architecture.toml)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule registry and exit",
@@ -92,7 +115,25 @@ def run(args: argparse.Namespace) -> int:
     cache_path = (
         Path(args.cache_file).resolve() if args.cache_file else root / DEFAULT_CACHE
     )
-    paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+    if args.changed:
+        if args.paths:
+            print(
+                "repro check: --changed and explicit paths are mutually "
+                "exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            paths = changed_python_files(root)
+        except RuntimeError as exc:
+            print(f"repro check: {exc}", file=sys.stderr)
+            return 2
+        if not paths and not args.deep:
+            print("repro check: no changed python files")
+            return 0
+    else:
+        paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+    manifest_path = Path(args.manifest).resolve() if args.manifest else None
     try:
         result = run_check(
             paths,
@@ -100,11 +141,13 @@ def run(args: argparse.Namespace) -> int:
             baseline_path=baseline_path,
             cache_path=cache_path,
             use_cache=not args.no_cache,
+            deep=args.deep,
+            manifest_path=manifest_path,
         )
     except FileNotFoundError as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
-    except BaselineError as exc:
+    except (BaselineError, ManifestError) as exc:
         print(f"repro check: {exc}", file=sys.stderr)
         return 2
     if args.update_baseline:

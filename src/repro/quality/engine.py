@@ -12,12 +12,17 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
-import re
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.quality.baseline import Baseline, BaselineEntry
-from repro.quality.findings import Finding, Severity, assign_fingerprints
+from repro.quality.findings import (
+    Finding,
+    Severity,
+    assign_fingerprints,
+    suppressed_rules,
+)
 from repro.quality.rules import RULES, RULESET_VERSION, FileContext, Rule
 
 #: Rule id reserved for unparseable files (always an error, never cached
@@ -32,11 +37,6 @@ DEFAULT_CACHE = ".repro-quality-cache.json"
 
 #: Directories never descended into.
 _SKIP_DIRS = {"__pycache__", ".git", "build", "dist"}
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
-)
-
 
 def find_root(start: Path | None = None) -> Path:
     """The analysis root: nearest ancestor with a pyproject.toml."""
@@ -69,21 +69,6 @@ def iter_python_files(root: Path, paths: list[str]) -> list[Path]:
     # De-duplicate while preserving deterministic sorted order.
     unique = sorted(set(files))
     return unique
-
-
-def suppressed_rules(line: str) -> set[str] | None:
-    """Rules suppressed by the line's comment.
-
-    Returns None for no suppression, an empty set for a blanket
-    ``# repro: ignore``, or the set of rule ids inside the brackets.
-    """
-    match = _SUPPRESS_RE.search(line)
-    if match is None:
-        return None
-    rules = match.group("rules")
-    if rules is None:
-        return set()
-    return {r.strip().upper() for r in rules.split(",") if r.strip()}
 
 
 def analyze_source(
@@ -131,6 +116,10 @@ class CheckResult:
     new_findings: list[Finding] = field(default_factory=list)
     baselined_findings: list[Finding] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: Whether the whole-program (--deep) pass ran, and whether its
+    #: result came out of the cache (one hit per unchanged tree).
+    deep: bool = False
+    deep_cache_hit: bool = False
 
     @property
     def new_errors(self) -> list[Finding]:
@@ -150,11 +139,19 @@ class CheckResult:
 
 
 class ResultCache:
-    """Per-file findings cache keyed by content hash and ruleset version."""
+    """Findings cache keyed by content hash and ruleset version.
+
+    Two sections: per-file results keyed by each file's content hash,
+    and one whole-program (``--deep``) result keyed by the project
+    digest — a hash over every module's path and content plus the
+    architecture manifest, so any rename, edit, or manifest change
+    invalidates it.
+    """
 
     def __init__(self, path: Path | None):
         self.path = path
         self._files: dict[str, dict] = {}
+        self._deep: dict | None = None
         self._dirty = False
         if path is not None and path.exists():
             try:
@@ -167,6 +164,9 @@ class ResultCache:
                 and isinstance(data.get("files"), dict)
             ):
                 self._files = data["files"]
+                deep = data.get("deep")
+                if isinstance(deep, dict) and "digest" in deep:
+                    self._deep = deep
 
     def get(self, relpath: str, digest: str) -> list[Finding] | None:
         entry = self._files.get(relpath)
@@ -181,13 +181,56 @@ class ResultCache:
         }
         self._dirty = True
 
+    def get_deep(self, digest: str) -> list[Finding] | None:
+        if self._deep is None or self._deep.get("digest") != digest:
+            return None
+        return [Finding.from_dict(raw) for raw in self._deep.get("findings", [])]
+
+    def put_deep(self, digest: str, findings: list[Finding]) -> None:
+        self._deep = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
     def save(self) -> None:
         if self.path is None or not self._dirty:
             return
-        payload = {"ruleset": RULESET_VERSION, "files": self._files}
+        payload: dict = {"ruleset": RULESET_VERSION, "files": self._files}
+        if self._deep is not None:
+            payload["deep"] = self._deep
         tmp = self.path.with_name(self.path.name + ".tmp")
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         tmp.replace(self.path)
+
+
+def changed_python_files(root: Path) -> list[str]:
+    """Python files touched relative to HEAD (staged, unstaged, untracked).
+
+    Powers ``repro check --changed``: a diff-scoped run over just the
+    files this change touches.  Deleted files are skipped.  Raises
+    :class:`RuntimeError` when ``root`` is not inside a git work tree.
+    """
+    def _git(*args: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip() or 'not a git repository?'}"
+            )
+        return [line for line in proc.stdout.splitlines() if line]
+
+    names = set(_git("diff", "--name-only", "HEAD"))
+    names.update(_git("ls-files", "--others", "--exclude-standard"))
+    return sorted(
+        name
+        for name in names
+        if name.endswith(".py") and (root / name).is_file()
+    )
 
 
 def run_check(
@@ -196,8 +239,16 @@ def run_check(
     baseline_path: Path | None = None,
     cache_path: Path | None = None,
     use_cache: bool = True,
+    deep: bool = False,
+    manifest_path: Path | None = None,
 ) -> CheckResult:
-    """Analyze the given paths and gate them against the baseline."""
+    """Analyze the given paths and gate them against the baseline.
+
+    With ``deep=True`` the whole-program pass (ARCH/PAR/PERF over the
+    full ``src/repro`` tree) runs as well, regardless of ``paths`` —
+    project-wide properties cannot be judged from a file subset.  Deep
+    findings join the same baseline partition as per-file ones.
+    """
     root = (root or find_root()).resolve()
     result = CheckResult(root=root)
     cache = ResultCache(
@@ -219,6 +270,20 @@ def run_check(
             result.cache_hits += 1
         all_findings.extend(findings)
         result.files_checked += 1
+    if deep:
+        # Imported here so the per-file path never pays for the graph
+        # machinery (and to keep module initialization acyclic).
+        from repro.quality.graph import analyze_project, project_digest
+
+        digest = project_digest(root, manifest_path=manifest_path)
+        deep_findings = cache.get_deep(digest)
+        if deep_findings is None:
+            deep_findings = analyze_project(root, manifest_path=manifest_path)
+            cache.put_deep(digest, deep_findings)
+        else:
+            result.deep_cache_hit = True
+        result.deep = True
+        all_findings.extend(deep_findings)
     cache.save()
     baseline = Baseline.load(baseline_path or root / DEFAULT_BASELINE)
     new, baselined, stale = baseline.partition(all_findings)

@@ -11,8 +11,31 @@ above the finding moves.  Baseline entries match on fingerprints.
 from __future__ import annotations
 
 import hashlib
+import re
 from dataclasses import dataclass, field
 from enum import Enum
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def suppressed_rules(line: str) -> set[str] | None:
+    """Rules suppressed by the line's comment.
+
+    Returns None for no suppression, an empty set for a blanket
+    ``# repro: ignore``, or the set of rule ids inside the brackets.
+    Lives here (not in the engine) so both the per-file and the
+    whole-program passes can honor inline ignores without importing
+    each other.
+    """
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip().upper() for r in rules.split(",") if r.strip()}
 
 
 class Severity(str, Enum):

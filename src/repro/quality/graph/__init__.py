@@ -1,0 +1,54 @@
+"""Whole-program analysis: the project model and the deep rule families.
+
+Where :mod:`repro.quality.rules` checks one file at a time, this package
+parses all of ``src/repro`` once into a :class:`ProjectModel` (module
+table, import graph, per-function call/symbol summaries) and runs three
+rule families that need the whole program in view:
+
+* **ARCH** — the intended layer DAG, declared in
+  ``docs/architecture.toml``: no import cycles, no upward or undeclared
+  cross-layer imports.
+* **PAR**  — process-boundary safety for everything submitted to a
+  ``ProcessPoolExecutor``: worker callables must be module-level,
+  submitted arguments must not smuggle tracers/metrics/locks across the
+  fork, and worker-reachable code must not mutate module globals.
+* **PERF** — hot-path purity for ``# hotpath``-marked kernels: no
+  per-element Python loops over arrays, no scalar RNG draws in loops,
+  no allocation inside loops.
+
+Surfaced as ``repro check --deep``; findings flow through the same
+baseline / ``# repro: ignore[RULE]`` / reporter machinery as the
+per-file rules.
+"""
+
+from repro.quality.graph.analyzer import (
+    DEEP_RULES,
+    analyze_project,
+    project_digest,
+)
+from repro.quality.graph.manifest import (
+    ArchitectureManifest,
+    ManifestError,
+    load_manifest,
+)
+from repro.quality.graph.model import (
+    FunctionInfo,
+    ImportEdge,
+    ModuleInfo,
+    ProjectModel,
+    build_project_model,
+)
+
+__all__ = [
+    "ArchitectureManifest",
+    "DEEP_RULES",
+    "FunctionInfo",
+    "ImportEdge",
+    "ManifestError",
+    "ModuleInfo",
+    "ProjectModel",
+    "analyze_project",
+    "build_project_model",
+    "load_manifest",
+    "project_digest",
+]

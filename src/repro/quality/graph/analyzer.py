@@ -1,0 +1,242 @@
+"""The whole-program analysis pass behind ``repro check --deep``.
+
+Per-file rules see one file at a time; these rules see the program.
+:func:`analyze_project` parses every module once into a
+:class:`~repro.quality.graph.model.ProjectModel` and runs the three deep
+rule families over it — ARCH (layer DAG), PAR (process-boundary safety),
+PERF (hot-path purity).  Findings re-enter the ordinary machinery:
+inline ``# repro: ignore[RULE]`` comments on the flagged line suppress,
+fingerprints make baselining work, and reporters need no changes.
+
+:func:`project_digest` condenses the whole input of the pass — every
+module's content plus the architecture manifest — into one hash, which
+the engine uses to cache the deep result exactly the way per-file
+results are cached by file hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.quality.findings import (
+    Finding,
+    Severity,
+    assign_fingerprints,
+    suppressed_rules,
+)
+from repro.quality.graph.arch import check_cycles, check_layering
+from repro.quality.graph.manifest import (
+    DEFAULT_MANIFEST,
+    ArchitectureManifest,
+    load_manifest,
+)
+from repro.quality.graph.model import (
+    ProjectModel,
+    build_project_model,
+    iter_project_files,
+)
+from repro.quality.graph.par import check_process_safety
+from repro.quality.graph.perf import check_hot_paths
+
+
+@dataclass(frozen=True, slots=True)
+class DeepRule:
+    """Catalog entry for one whole-program rule (for docs and reports)."""
+
+    id: str
+    name: str
+    severity: Severity
+    description: str
+    protects: str
+
+
+#: The deep-rule catalog, keyed by rule id.
+DEEP_RULES: dict[str, DeepRule] = {
+    rule.id: rule
+    for rule in (
+        DeepRule(
+            id="ARCH001",
+            name="import-cycle",
+            severity=Severity.ERROR,
+            description=(
+                "Runtime import cycle between modules (typing-only "
+                "imports exempt)."
+            ),
+            protects=(
+                "Initialization order must not be load-bearing; any layer "
+                "must be extractable."
+            ),
+        ),
+        DeepRule(
+            id="ARCH002",
+            name="undeclared-layer-import",
+            severity=Severity.ERROR,
+            description=(
+                "Import edge not declared in docs/architecture.toml "
+                "(upward or sideways dependency)."
+            ),
+            protects=(
+                "The layer DAG: topology -> routing -> netsim -> "
+                "measurement -> datasets, with obs/faults/quality as "
+                "leaf-only cross-cutting layers."
+            ),
+        ),
+        DeepRule(
+            id="ARCH003",
+            name="unknown-layer",
+            severity=Severity.ERROR,
+            description="Module belongs to no layer declared in the manifest.",
+            protects=(
+                "Manifest totality: new subpackages take a DAG position "
+                "before code lands in them."
+            ),
+        ),
+        DeepRule(
+            id="PAR001",
+            name="non-module-level-worker",
+            severity=Severity.ERROR,
+            description=(
+                "Lambda, closure, or bound method submitted to a process "
+                "pool (traced through parameter forwarding)."
+            ),
+            protects=(
+                "Fork-boundary picklability: workers must be addressable "
+                "module-level functions."
+            ),
+        ),
+        DeepRule(
+            id="PAR002",
+            name="forbidden-capture",
+            severity=Severity.ERROR,
+            description=(
+                "Tracer/Metrics/lock objects passed as process-pool "
+                "arguments."
+            ),
+            protects=(
+                "Observability integrity: fork-inherited tracers silently "
+                "bifurcate; pickled locks guard nothing."
+            ),
+        ),
+        DeepRule(
+            id="PAR003",
+            name="worker-global-mutation",
+            severity=Severity.ERROR,
+            description=(
+                "Module-global rebinding in code reachable from a "
+                "pool-submitted worker."
+            ),
+            protects=(
+                "Cross-process determinism: worker-side globals diverge "
+                "between processes."
+            ),
+        ),
+        DeepRule(
+            id="PERF001",
+            name="per-element-loop",
+            severity=Severity.ERROR,
+            description=(
+                "Per-element Python loop over a numpy array in a "
+                "``# hotpath`` function."
+            ),
+            protects="Vectorized kernels stay vectorized.",
+        ),
+        DeepRule(
+            id="PERF002",
+            name="scalar-rng-in-loop",
+            severity=Severity.ERROR,
+            description=(
+                "Scalar RNG draw inside a loop in a ``# hotpath`` function."
+            ),
+            protects=(
+                "Batch-draw protocol (DRAWS_PER_PROBE): fixed draw counts "
+                "keep RNG streams aligned across code paths."
+            ),
+        ),
+        DeepRule(
+            id="PERF003",
+            name="allocation-in-loop",
+            severity=Severity.WARNING,
+            description=(
+                "numpy allocation inside a loop in a ``# hotpath`` "
+                "function."
+            ),
+            protects="Hot paths preallocate; loops fill slices.",
+        ),
+    )
+}
+
+
+def project_digest(
+    root: Path,
+    *,
+    src_dir: str = "src",
+    package: str = "repro",
+    manifest_path: Path | None = None,
+) -> str:
+    """One hash over everything the deep pass reads.
+
+    Any module content change, module add/remove/rename, or manifest
+    edit changes the digest — the cache key for the whole-program result.
+    """
+    root = root.resolve()
+    src_root = root / src_dir
+    hasher = hashlib.sha256()
+    for path in iter_project_files(src_root, package):
+        rel = path.relative_to(root).as_posix()
+        content = hashlib.sha256(path.read_bytes()).hexdigest()
+        hasher.update(f"{rel}\x00{content}\x00".encode("utf-8"))
+    manifest = manifest_path or root / DEFAULT_MANIFEST
+    if manifest.is_file():
+        hasher.update(b"manifest\x00")
+        hasher.update(manifest.read_bytes())
+    return hasher.hexdigest()
+
+
+def _apply_suppressions(
+    model: ProjectModel, findings: list[Finding]
+) -> list[Finding]:
+    """Drop findings whose flagged line carries a matching inline ignore."""
+    by_relpath = {info.relpath: info for info in model.modules.values()}
+    kept: list[Finding] = []
+    for finding in findings:
+        info = by_relpath.get(finding.path)
+        if info is not None:
+            suppressed = suppressed_rules(info.source_line(finding.line))
+            if suppressed is not None and (
+                not suppressed or finding.rule in suppressed
+            ):
+                continue
+        kept.append(finding)
+    return kept
+
+
+def analyze_project(
+    root: Path,
+    *,
+    src_dir: str = "src",
+    package: str = "repro",
+    manifest_path: Path | None = None,
+    model: ProjectModel | None = None,
+    manifest: ArchitectureManifest | None = None,
+) -> list[Finding]:
+    """Run every deep rule over the program under ``root``.
+
+    Raises :class:`~repro.quality.graph.manifest.ManifestError` when the
+    architecture manifest is missing or invalid — a broken manifest must
+    fail loudly, not skip the ARCH family.
+    """
+    if model is None:
+        model = build_project_model(root, src_dir=src_dir, package=package)
+    if manifest is None:
+        manifest = load_manifest(manifest_path or root / DEFAULT_MANIFEST)
+    findings: list[Finding] = []
+    findings.extend(check_cycles(model))
+    findings.extend(check_layering(model, manifest))
+    findings.extend(check_process_safety(model))
+    findings.extend(check_hot_paths(model))
+    findings = _apply_suppressions(model, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    assign_fingerprints(findings)
+    return findings

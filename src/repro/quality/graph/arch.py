@@ -1,0 +1,172 @@
+"""ARCH rules: enforce the declared layer DAG over the import graph.
+
+* **ARCH001** — runtime import cycle between modules.  Cycles make
+  initialization order load-bearing (whichever module happens to be
+  imported first wins) and block extracting any involved layer.
+* **ARCH002** — import not declared in ``docs/architecture.toml``:
+  either upward (a lower layer reaching into a higher one) or simply
+  undeclared.  Either way the manifest diff, not the import, is the
+  place the decision gets reviewed.
+* **ARCH003** — module outside any declared layer.  Keeps the manifest
+  total: a new subpackage must take a position in the DAG before code
+  can land in it.
+
+Typing-only imports (under ``if TYPE_CHECKING:``) are exempt from all
+three: they are erased at runtime, so they can neither cycle nor
+actually couple layers.
+"""
+
+from __future__ import annotations
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.graph.manifest import ArchitectureManifest
+from repro.quality.graph.model import ImportEdge, ProjectModel
+
+
+def _finding(
+    rule: str, model: ProjectModel, module: str, lineno: int, message: str
+) -> Finding:
+    info = model.modules[module]
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=info.relpath,
+        line=lineno,
+        col=0,
+        message=message,
+        snippet=info.source_line(lineno).strip(),
+    )
+
+
+def _runtime_edges(model: ProjectModel) -> list[ImportEdge]:
+    edges = []
+    for name in sorted(model.modules):
+        for edge in model.modules[name].imports:
+            if not edge.typing_only:
+                edges.append(edge)
+    return edges
+
+
+def check_cycles(model: ProjectModel) -> list[Finding]:
+    """ARCH001: strongly connected components of the runtime import graph."""
+    graph: dict[str, set[str]] = {name: set() for name in model.modules}
+    for edge in _runtime_edges(model):
+        graph[edge.src].add(edge.dst)
+
+    # Tarjan's SCC, iterative (the module graph is small but recursion
+    # depth should not depend on program shape).
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    for start in sorted(graph):
+        if start in index_of:
+            continue
+        work: list[tuple[str, list[str], int]] = [
+            (start, sorted(graph[start]), 0)
+        ]
+        index_of[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, succs, i = work.pop()
+            advanced = False
+            while i < len(succs):
+                succ = succs[i]
+                i += 1
+                if succ not in index_of:
+                    work.append((node, succs, i))
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(graph[succ]), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    findings: list[Finding] = []
+    for scc in sorted(sccs):
+        members = set(scc)
+        label = " <-> ".join(scc)
+        for edge in _runtime_edges(model):
+            if edge.src in members and edge.dst in members:
+                findings.append(
+                    _finding(
+                        "ARCH001",
+                        model,
+                        edge.src,
+                        edge.lineno,
+                        f"import of {edge.dst} participates in an import "
+                        f"cycle ({label}); break the cycle by moving the "
+                        "shared pieces into the lower layer",
+                    )
+                )
+    return findings
+
+
+def check_layering(
+    model: ProjectModel, manifest: ArchitectureManifest
+) -> list[Finding]:
+    """ARCH002/ARCH003: undeclared cross-layer imports, unknown layers."""
+    findings: list[Finding] = []
+    for name in sorted(model.modules):
+        layer = manifest.layer_of(name)
+        if layer is None:
+            findings.append(
+                _finding(
+                    "ARCH003",
+                    model,
+                    name,
+                    1,
+                    f"module {name} belongs to no declared layer; add its "
+                    "subpackage to docs/architecture.toml with the layers "
+                    "it may import",
+                )
+            )
+            continue
+        for edge in model.modules[name].imports:
+            if edge.typing_only:
+                continue
+            dst_layer = manifest.layer_of(edge.dst)
+            if dst_layer is None:
+                continue  # ARCH003 already fires on the module itself
+            if not manifest.allowed(layer, dst_layer):
+                direction = (
+                    "imports the application shell"
+                    if dst_layer == "__toplevel__"
+                    else f"imports layer '{dst_layer}'"
+                )
+                findings.append(
+                    _finding(
+                        "ARCH002",
+                        model,
+                        name,
+                        edge.lineno,
+                        f"layer '{layer}' {direction} "
+                        f"({edge.dst}), which docs/architecture.toml does "
+                        "not allow; move the shared code down a layer or "
+                        "declare the edge in the manifest",
+                    )
+                )
+    return findings

@@ -1,0 +1,137 @@
+"""The architecture manifest: the intended layer DAG, checked in.
+
+``docs/architecture.toml`` declares which subpackage ("layer") of the
+program may import which others.  The ARCH rules enforce it: an import
+from a layer to one not in its ``deps`` list is an upward or undeclared
+dependency, and the declared graph itself must be acyclic (a cyclic
+manifest would make the check vacuous).
+
+Keeping the manifest in a reviewed file — rather than hardcoding the DAG
+in the rule — makes architectural drift an explicit diff: adding a new
+dependency edge means editing ``architecture.toml`` in the same PR, where
+a reviewer sees it.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Manifest location relative to the analysis root.
+DEFAULT_MANIFEST = "docs/architecture.toml"
+
+
+class ManifestError(ValueError):
+    """Raised for a missing, unparseable, or cyclic manifest."""
+
+
+@dataclass(slots=True)
+class ArchitectureManifest:
+    """Declared layering for one top-level package.
+
+    Attributes:
+        package: The program's top-level package ("repro").
+        layers: Layer name (subpackage under the top-level package) ->
+            set of layer names it may import.
+        toplevel: Top-of-the-world modules directly under the package
+            (``cli``, ``api``, the package ``__init__``) that may import
+            any layer — the application shell the DAG converges into.
+    """
+
+    package: str
+    layers: dict[str, set[str]] = field(default_factory=dict)
+    toplevel: set[str] = field(default_factory=set)
+
+    def layer_of(self, module: str) -> str | None:
+        """The layer a dotted module name belongs to.
+
+        ``repro.routing.bgp`` -> ``routing``; ``repro.cli`` and the
+        package root map to None only when unlisted (unknown layer).
+        """
+        parts = module.split(".")
+        if parts[0] != self.package:
+            return None
+        if len(parts) == 1:
+            return "__toplevel__"
+        if parts[1] in self.layers:
+            return parts[1]
+        if parts[1] in self.toplevel:
+            return "__toplevel__"
+        return None
+
+    def allowed(self, src_layer: str, dst_layer: str) -> bool:
+        """Whether an import from ``src_layer`` to ``dst_layer`` is declared."""
+        if src_layer == dst_layer or src_layer == "__toplevel__":
+            return True
+        if dst_layer == "__toplevel__":
+            # Layers importing the application shell would invert the DAG.
+            return False
+        return dst_layer in self.layers.get(src_layer, set())
+
+    def check_acyclic(self) -> None:
+        """Raise :class:`ManifestError` if the declared DAG has a cycle."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {layer: WHITE for layer in self.layers}
+
+        def visit(layer: str, stack: list[str]) -> None:
+            color[layer] = GRAY
+            stack.append(layer)
+            for dep in sorted(self.layers.get(layer, set())):
+                if dep not in color:
+                    continue
+                if color[dep] == GRAY:
+                    cycle = " -> ".join(stack[stack.index(dep) :] + [dep])
+                    raise ManifestError(
+                        f"architecture manifest declares a cyclic layer "
+                        f"dependency: {cycle}"
+                    )
+                if color[dep] == WHITE:
+                    visit(dep, stack)
+            stack.pop()
+            color[layer] = BLACK
+
+        for layer in sorted(self.layers):
+            if color[layer] == WHITE:
+                visit(layer, [])
+
+
+def load_manifest(path: Path) -> ArchitectureManifest:
+    """Load and validate an architecture manifest file."""
+    if not path.is_file():
+        raise ManifestError(
+            f"architecture manifest not found: {path} "
+            "(repro check --deep needs the declared layer DAG)"
+        )
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError) as exc:
+        raise ManifestError(f"unreadable manifest {path}: {exc}") from exc
+    package = data.get("package")
+    if not isinstance(package, str) or not package:
+        raise ManifestError(f"manifest {path} must set package = \"<name>\"")
+    raw_layers = data.get("layers")
+    if not isinstance(raw_layers, dict) or not raw_layers:
+        raise ManifestError(f"manifest {path} must declare a [layers] table")
+    layers: dict[str, set[str]] = {}
+    for name, deps in raw_layers.items():
+        if not isinstance(deps, list) or not all(
+            isinstance(d, str) for d in deps
+        ):
+            raise ManifestError(
+                f"manifest {path}: layers.{name} must be a list of layer names"
+            )
+        layers[name] = set(deps)
+    for name, deps in sorted(layers.items()):
+        unknown = sorted(deps - set(layers))
+        if unknown:
+            raise ManifestError(
+                f"manifest {path}: layers.{name} depends on undeclared "
+                f"layer(s) {', '.join(unknown)}"
+            )
+    toplevel = set(data.get("toplevel", {}).get("modules", []))
+    manifest = ArchitectureManifest(
+        package=package, layers=layers, toplevel=toplevel
+    )
+    manifest.check_acyclic()
+    return manifest

@@ -1,0 +1,543 @@
+"""The project model: every module of the program, parsed once.
+
+:func:`build_project_model` walks a package root (``src/repro``), parses
+each file, and distills what the deep rules need:
+
+* a **module table** (dotted name -> :class:`ModuleInfo`) with source
+  lines kept for snippet/suppression handling;
+* an **import graph** of :class:`ImportEdge` records, each classified as
+  runtime or typing-only (``if TYPE_CHECKING:`` blocks never execute, so
+  they cannot create runtime cycles and are exempt from layering);
+* per-function :class:`FunctionInfo` summaries — qualified name,
+  resolved project-local calls, ``global`` mutations, nested defs, local
+  constructor types — enough to trace a callable submitted to a process
+  pool back to its definition and walk its transitive callees.
+
+The model is deliberately syntactic: no imports are executed, so
+analysis cost stays proportional to source size and the analyzer can run
+on a tree that does not even import cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Directories never descended into while discovering modules.
+_SKIP_DIRS = {"__pycache__"}
+
+#: Comment marker that opts a function (def line or the line above it)
+#: or a whole module (a marker line within the first MODULE_MARKER_LINES
+#: lines) into the PERF hot-path purity rules.
+HOTPATH_MARKER = "# hotpath"
+
+#: How far into a file a module-level ``# hotpath`` marker may appear.
+MODULE_MARKER_LINES = 10
+
+
+@dataclass(frozen=True, slots=True)
+class ImportEdge:
+    """One import statement, as an edge in the module import graph.
+
+    Attributes:
+        src: Importing module (dotted name).
+        dst: Imported module (dotted name, normalized to the module that
+            actually resolves — ``from repro.x import y`` maps to
+            ``repro.x`` unless ``repro.x.y`` is itself a module).
+        lineno: Line of the import statement.
+        typing_only: True when the import sits under ``if TYPE_CHECKING:``
+            (erased at runtime; exempt from cycle/layer checks).
+        function_level: True when the import executes inside a function
+            body (lazy import; still a runtime edge).
+    """
+
+    src: str
+    dst: str
+    lineno: int
+    typing_only: bool = False
+    function_level: bool = False
+
+
+@dataclass(slots=True)
+class FunctionInfo:
+    """Summary of one function or method.
+
+    Attributes:
+        qualname: ``module:Class.method`` or ``module:function``.
+        module: Owning module's dotted name.
+        name: Bare name.
+        lineno: Definition line.
+        params: Positional/keyword parameter names, in order.
+        nested: True for a def nested inside another function (a closure
+            candidate — not addressable at module level).
+        hotpath: True when the function carries the ``# hotpath`` marker
+            (directly or via a module-level marker).
+        calls: Call descriptions ``(dotted, node)`` where ``dotted`` is
+            the resolved dotted name ("repro.faults.injection.activate",
+            "self._parallel_round", "local:table.method", or the bare
+            name) — consumers re-resolve against the project.
+        global_writes: ``(name, lineno)`` for names declared ``global``
+            and assigned in the body.
+        local_types: Local variable -> dotted class name, for locals
+            assigned from a constructor call (``x = BGPTable(...)``).
+        local_defs: Name -> lineno for defs nested in this function and
+            for locals bound to a lambda — closure candidates that are
+            not addressable (picklable) at module level.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    params: list[str] = field(default_factory=list)
+    nested: bool = False
+    hotpath: bool = False
+    node: ast.AST | None = None
+    calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+    global_writes: list[tuple[str, int]] = field(default_factory=list)
+    local_types: dict[str, str] = field(default_factory=dict)
+    local_defs: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed module of the program."""
+
+    name: str  # dotted name, e.g. "repro.routing.bgp"
+    relpath: str  # POSIX path relative to the analysis root
+    tree: ast.Module
+    lines: list[str]
+    #: Alias -> imported module ("np" -> "numpy").
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: Imported name -> dotted origin ("span" -> "repro.obs.runtime.span").
+    imported_names: dict[str, str] = field(default_factory=dict)
+    #: Names bound at module level (functions, classes, assignments).
+    module_level_names: set[str] = field(default_factory=set)
+    #: Module-level function name -> FunctionInfo.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: "Class.method" -> FunctionInfo (methods of module-level classes).
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Class name -> base-class dotted names (for method resolution).
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+    imports: list[ImportEdge] = field(default_factory=list)
+    hotpath_module: bool = False
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute chain against this module's imports."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.imported_names:
+            parts.append(self.imported_names[root])
+        elif root in self.module_aliases:
+            parts.append(self.module_aliases[root])
+        else:
+            parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass(slots=True)
+class ProjectModel:
+    """Every module of the program plus derived lookup tables."""
+
+    root: Path
+    package: str  # top-level package name, e.g. "repro"
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def module_of(self, dotted: str) -> str | None:
+        """The project module a dotted name belongs to, if any.
+
+        ``repro.obs.runtime.span`` -> ``repro.obs.runtime``;
+        ``repro.routing`` -> ``repro.routing`` (the package __init__).
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def function(self, dotted: str) -> FunctionInfo | None:
+        """Look up ``module.func`` or ``module.Class.method``."""
+        mod = self.module_of(dotted)
+        if mod is None or dotted == mod:
+            return None
+        rest = dotted[len(mod) + 1 :]
+        info = self.modules[mod]
+        if rest in info.functions:
+            return info.functions[rest]
+        if rest in info.methods:
+            return info.methods[rest]
+        # Method on a class whose def we can find: Class.method.
+        if "." in rest:
+            cls, _, meth = rest.partition(".")
+            resolved = self._method_on_class(info, cls, meth)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _method_on_class(
+        self, info: ModuleInfo, cls: str, meth: str, _depth: int = 0
+    ) -> FunctionInfo | None:
+        """``cls.meth`` in ``info``, walking project-local base classes."""
+        if _depth > 8:
+            return None
+        key = f"{cls}.{meth}"
+        if key in info.methods:
+            return info.methods[key]
+        for base in info.class_bases.get(cls, []):
+            base_mod = self.module_of(base)
+            if base_mod is None:
+                continue
+            base_info = self.modules[base_mod]
+            base_cls = base.rsplit(".", 1)[1] if "." in base else base
+            found = self._method_on_class(base_info, base_cls, meth, _depth + 1)
+            if found is not None:
+                return found
+        return None
+
+
+def _module_name_for(path: Path, src_root: Path) -> str:
+    """Dotted module name of ``path`` relative to the source root."""
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _normalize_import_target(
+    dotted: str, known_modules: set[str]
+) -> str | None:
+    """Map an import target onto the project module it lands in."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:cut])
+        if candidate in known_modules:
+            return candidate
+    return None
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Single walk that fills a :class:`ModuleInfo`."""
+
+    def __init__(self, info: ModuleInfo, package: str) -> None:
+        self.info = info
+        self.package = package
+        self._typing_depth = 0
+        self._function_stack: list[FunctionInfo] = []
+        self._class_stack: list[str] = []
+
+    # -- imports -----------------------------------------------------------
+
+    def _record_import(self, target: str, lineno: int) -> None:
+        self.info.imports.append(
+            ImportEdge(
+                src=self.info.name,
+                dst=target,
+                lineno=lineno,
+                typing_only=self._typing_depth > 0,
+                function_level=bool(self._function_stack),
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.info.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+            if not self._function_stack:
+                self.info.module_level_names.add(
+                    alias.asname or alias.name.split(".")[0]
+                )
+            if alias.name.split(".")[0] == self.package:
+                self._record_import(alias.name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            # Relative import: resolve against the containing package
+            # (the module itself when this file is an __init__.py).
+            pkg = self.info.name.split(".")
+            if not self.info.relpath.endswith("__init__.py"):
+                pkg = pkg[:-1]
+            anchor = pkg[: len(pkg) - (node.level - 1)]
+            module = ".".join(anchor + (node.module.split(".") if node.module else []))
+        else:
+            module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.info.imported_names[alias.asname or alias.name] = (
+                f"{module}.{alias.name}" if module else alias.name
+            )
+            if not self._function_stack:
+                self.info.module_level_names.add(alias.asname or alias.name)
+        if module.split(".")[0] == self.package:
+            # Record per imported name: ``from repro.faults import
+            # injection`` depends on the submodule, not the package
+            # __init__.  Normalization later cuts each target down to
+            # the module that actually exists.
+            recorded = False
+            for alias in node.names:
+                if alias.name != "*":
+                    self._record_import(
+                        f"{module}.{alias.name}", node.lineno
+                    )
+                    recorded = True
+            if not recorded:
+                self._record_import(module, node.lineno)
+
+    def visit_If(self, node: ast.If) -> None:
+        """Track ``if TYPE_CHECKING:`` so imports under it are typing-only."""
+        test = node.test
+        is_typing_guard = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or (
+            isinstance(test, ast.Attribute)
+            and test.attr == "TYPE_CHECKING"
+        )
+        if is_typing_guard:
+            self._typing_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._typing_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    # -- defs --------------------------------------------------------------
+
+    def _has_hotpath_marker(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", 1)
+        candidates = [lineno]
+        # Decorators push the def line down; the marker may sit on the
+        # line above the first decorator.
+        first = min(
+            [lineno]
+            + [d.lineno for d in getattr(node, "decorator_list", [])]
+        )
+        candidates.extend([first, first - 1])
+        # A marker is a comment line or a trailing comment — a docstring
+        # that merely mentions "# hotpath" must not opt a function in.
+        for n in candidates:
+            line = self.info.source_line(n)
+            if HOTPATH_MARKER not in line:
+                continue
+            if line.strip().startswith("#") or line.rstrip().endswith(
+                HOTPATH_MARKER
+            ):
+                return True
+        return False
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> FunctionInfo:
+        nested = bool(self._function_stack)
+        if self._class_stack and not nested:
+            qual = f"{'.'.join(self._class_stack)}.{node.name}"
+        else:
+            qual = node.name
+        args = node.args
+        params = [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        fn = FunctionInfo(
+            qualname=f"{self.info.name}:{qual}",
+            module=self.info.name,
+            name=node.name,
+            lineno=node.lineno,
+            params=params,
+            nested=nested,
+            hotpath=self.info.hotpath_module or self._has_hotpath_marker(node),
+            node=node,
+        )
+        if nested:
+            # Closures are recorded on their parent for PAR resolution.
+            self._function_stack[-1].local_defs[node.name] = node.lineno
+        elif self._class_stack:
+            self.info.methods[qual] = fn
+        else:
+            self.info.functions[node.name] = fn
+            self.info.module_level_names.add(node.name)
+        return fn
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        fn = self._enter_function(node)
+        self._function_stack.append(fn)
+        declared_global: set[str] = set()
+        for child in node.body:
+            for sub in ast.walk(child):
+                if isinstance(sub, ast.Global):
+                    declared_global.update(sub.names)
+        if declared_global:
+            for child in node.body:
+                for sub in ast.walk(child):
+                    if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for target in targets:
+                            for name_node in ast.walk(target):
+                                if (
+                                    isinstance(name_node, ast.Name)
+                                    and name_node.id in declared_global
+                                ):
+                                    fn.global_writes.append(
+                                        (name_node.id, sub.lineno)
+                                    )
+        for child in node.body:
+            self.visit(child)
+        self._function_stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._function_stack:
+            self.info.module_level_names.add(node.name)
+            bases = []
+            for base in node.bases:
+                dotted = self.info.resolve(base)
+                if dotted is not None:
+                    bases.append(dotted)
+            self.info.class_bases[node.name] = bases
+        self._class_stack.append(node.name)
+        for child in node.body:
+            self.visit(child)
+        self._class_stack.pop()
+
+    # -- statements inside functions ---------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._function_stack and not self._class_stack:
+            for target in node.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        self.info.module_level_names.add(name_node.id)
+        if self._function_stack and isinstance(node.value, ast.Call):
+            dotted = self.info.resolve(node.value.func)
+            if dotted is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._function_stack[-1].local_types[target.id] = dotted
+        if self._function_stack and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._function_stack[-1].local_defs[target.id] = node.lineno
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            not self._function_stack
+            and not self._class_stack
+            and isinstance(node.target, ast.Name)
+        ):
+            self.info.module_level_names.add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_stack:
+            fn = self._function_stack[-1]
+            dotted = self.info.resolve(node.func)
+            if dotted is None and isinstance(node.func, ast.Attribute):
+                # obj.method() where obj is a typed local: tag for
+                # project-level re-resolution.
+                base = node.func.value
+                if isinstance(base, ast.Name) and base.id in fn.local_types:
+                    dotted = f"local:{base.id}.{node.func.attr}"
+            if dotted is not None:
+                fn.calls.append((dotted, node))
+        self.generic_visit(node)
+
+
+def iter_project_files(src_root: Path, package: str) -> list[Path]:
+    """Every .py file of the package, sorted for determinism."""
+    pkg_root = src_root / package
+    files = []
+    for path in sorted(pkg_root.rglob("*.py")):
+        if set(path.relative_to(pkg_root).parts) & _SKIP_DIRS:
+            continue
+        files.append(path)
+    return files
+
+
+def build_project_model(
+    root: Path, *, src_dir: str = "src", package: str = "repro"
+) -> ProjectModel:
+    """Parse the whole program under ``<root>/<src_dir>/<package>``.
+
+    Unparseable files are skipped here — the per-file pass already
+    reports E000 for them, and a partial model is more useful than none.
+    """
+    root = root.resolve()
+    src_root = root / src_dir
+    model = ProjectModel(root=root, package=package)
+    infos: list[ModuleInfo] = []
+    for path in iter_project_files(src_root, package):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        name = _module_name_for(path, src_root)
+        lines = source.splitlines()
+        info = ModuleInfo(
+            name=name,
+            relpath=path.relative_to(root).as_posix(),
+            tree=tree,
+            lines=lines,
+        )
+        # Module markers must be comment lines: a docstring merely
+        # *mentioning* "# hotpath" must not opt a whole module in.
+        info.hotpath_module = any(
+            line.strip().startswith("#") and HOTPATH_MARKER in line
+            for line in lines[:MODULE_MARKER_LINES]
+        )
+        infos.append(info)
+        model.modules[name] = info
+    known = set(model.modules)
+    for info in infos:
+        _ModuleVisitor(info, package).visit(info.tree)
+        # Normalize import targets onto actual project modules, drop
+        # self-imports introduced by package __init__ re-exports, and
+        # dedupe (one ``from x import a, b`` records an edge per name).
+        normalized: list[ImportEdge] = []
+        seen_edges: set[tuple[str, int, bool]] = set()
+        for edge in info.imports:
+            target = _normalize_import_target(edge.dst, known)
+            if target is None or target == edge.src:
+                continue
+            key = (target, edge.lineno, edge.typing_only)
+            if key in seen_edges:
+                continue
+            seen_edges.add(key)
+            normalized.append(
+                ImportEdge(
+                    src=edge.src,
+                    dst=target,
+                    lineno=edge.lineno,
+                    typing_only=edge.typing_only,
+                    function_level=edge.function_level,
+                )
+            )
+        info.imports = normalized
+    return model

@@ -1,0 +1,460 @@
+"""PAR rules: process-boundary safety for pool-submitted work.
+
+The repo's parallelism is fork-based ``ProcessPoolExecutor`` fan-out
+(routing batch convergence, supervised dataset builds).  Its bit-identity
+promise survives only if what crosses the process boundary is a
+module-level callable with picklable, state-free arguments — the static
+analogue of a race detector for our parallel call-sites:
+
+* **PAR001** — the submitted callable (or pool ``initializer``) must
+  resolve to a module-level function.  Lambdas, defs nested in the
+  submitting function, and bound methods either fail to pickle or drag
+  an entire captured object graph into the worker.  Callables forwarded
+  through parameters (``supervisor.run(task, ...)``) are traced to the
+  call sites that supply them, across functions and methods.
+* **PAR002** — submitted arguments must not reference tracers, metrics,
+  or locks.  A fork-inherited ``Tracer``/``Metrics`` silently bifurcates
+  (worker spans never reach the parent), and a pickled lock guards
+  nothing.
+* **PAR003** — code reachable from a worker callable must not mutate
+  module globals (``global X`` plus assignment).  Worker-global state
+  diverges from the coordinator's and from other workers', making
+  results depend on which process ran what.  Deliberate per-process
+  protocols (fault-plan activation, capture swaps) carry an inline
+  justified ignore.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.graph.model import FunctionInfo, ModuleInfo, ProjectModel
+
+#: Dotted names that construct a process pool.
+_POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Pool methods that take a worker callable as their first argument.
+_SUBMIT_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async"}
+
+#: Resolved dotted-name suffixes that must never cross a fork as an
+#: argument (PAR002).
+_FORBIDDEN_CAPTURES = (
+    "repro.obs.tracer.Tracer",
+    "repro.obs.metrics.Metrics",
+    "repro.obs.runtime.Capture",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+)
+
+#: How many parameter-forwarding hops to trace when resolving a
+#: submitted callable back to its definition.
+_MAX_FORWARD_DEPTH = 6
+
+
+@dataclass(frozen=True, slots=True)
+class _SubmitSite:
+    """One pool call-site handing a callable to worker processes."""
+
+    module: str
+    function: FunctionInfo
+    call: ast.Call
+    callable_expr: ast.expr
+    arg_exprs: tuple[ast.expr, ...]
+    kind: str  # "submit" or "initializer"
+
+
+def _finding(
+    model: ProjectModel,
+    rule: str,
+    module: str,
+    node: ast.AST,
+    message: str,
+) -> Finding:
+    info = model.modules[module]
+    lineno = getattr(node, "lineno", 1)
+    return Finding(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=info.relpath,
+        line=lineno,
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        snippet=info.source_line(lineno).strip(),
+    )
+
+
+def _pool_locals(info: ModuleInfo, fn: FunctionInfo) -> set[str]:
+    """Local names in ``fn`` bound to a process pool.
+
+    Covers ``pool = ProcessPoolExecutor(...)`` (tracked in local_types)
+    and ``with ProcessPoolExecutor(...) as pool:``.
+    """
+    names = {
+        local
+        for local, dotted in fn.local_types.items()
+        if dotted in _POOL_CONSTRUCTORS
+    }
+    if fn.node is None:
+        return names
+    for node in ast.walk(fn.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            ctx = item.context_expr
+            if (
+                isinstance(ctx, ast.Call)
+                and info.resolve(ctx.func) in _POOL_CONSTRUCTORS
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                names.add(item.optional_vars.id)
+    return names
+
+
+def find_submit_sites(model: ProjectModel) -> list[_SubmitSite]:
+    """Every pool ``submit``/``map`` call and pool ``initializer=``."""
+    sites: list[_SubmitSite] = []
+    for name in sorted(model.modules):
+        info = model.modules[name]
+        fns = list(info.functions.values()) + list(info.methods.values())
+        for fn in fns:
+            if fn.node is None:
+                continue
+            pools = _pool_locals(info, fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                # pool.submit(worker, *args) on a known pool local.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SUBMIT_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in pools
+                    and node.args
+                ):
+                    sites.append(
+                        _SubmitSite(
+                            module=name,
+                            function=fn,
+                            call=node,
+                            callable_expr=node.args[0],
+                            arg_exprs=tuple(node.args[1:]),
+                            kind="submit",
+                        )
+                    )
+                # ProcessPoolExecutor(..., initializer=fn, initargs=...)
+                if (
+                    info.resolve(node.func) in _POOL_CONSTRUCTORS
+                ):
+                    for kw in node.keywords:
+                        if kw.arg == "initializer" and kw.value is not None:
+                            sites.append(
+                                _SubmitSite(
+                                    module=name,
+                                    function=fn,
+                                    call=node,
+                                    callable_expr=kw.value,
+                                    arg_exprs=(),
+                                    kind="initializer",
+                                )
+                            )
+    return sites
+
+
+def _resolve_method_target(
+    model: ProjectModel, info: ModuleInfo, fn: FunctionInfo, call: ast.Call
+) -> FunctionInfo | None:
+    """The FunctionInfo a call resolves to, if it is project-local."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        dotted = info.resolve(func)
+        if dotted is None:
+            return None
+        return model.function(dotted) or (
+            model.function(f"{info.name}.{dotted}")
+            if "." not in dotted
+            else None
+        )
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            cls = fn.qualname.split(":", 1)[1].rsplit(".", 1)[0]
+            return model._method_on_class(info, cls, func.attr)
+        if isinstance(base, ast.Name) and base.id in fn.local_types:
+            cls_dotted = fn.local_types[base.id]
+            cls_mod = model.module_of(cls_dotted)
+            if cls_mod is not None and cls_dotted != cls_mod:
+                cls_name = cls_dotted[len(cls_mod) + 1 :]
+                return model._method_on_class(
+                    model.modules[cls_mod], cls_name, func.attr
+                )
+        dotted = info.resolve(func)
+        if dotted is not None:
+            return model.function(dotted)
+    return None
+
+
+def _callers_passing_param(
+    model: ProjectModel, target: FunctionInfo, param: str
+) -> list[tuple[ModuleInfo, FunctionInfo, ast.Call, ast.expr]]:
+    """Call sites of ``target`` with the expression bound to ``param``.
+
+    Methods are matched through ``self.name(...)``, typed locals, and
+    plain/module-qualified calls; the binding honors both positional
+    order (skipping ``self``) and keyword use.
+    """
+    try:
+        pos = target.params.index(param)
+    except ValueError:
+        return []
+    is_method = bool(target.params) and target.params[0] in {"self", "cls"}
+    out = []
+    for name in sorted(model.modules):
+        info = model.modules[name]
+        fns = list(info.functions.values()) + list(info.methods.values())
+        for fn in fns:
+            for _dotted, call in fn.calls:
+                resolved = _resolve_method_target(model, info, fn, call)
+                if resolved is not target:
+                    continue
+                expr: ast.expr | None = None
+                for kw in call.keywords:
+                    if kw.arg == param:
+                        expr = kw.value
+                effective_pos = pos - (1 if is_method else 0)
+                if expr is None and 0 <= effective_pos < len(call.args):
+                    candidate = call.args[effective_pos]
+                    if not isinstance(candidate, ast.Starred):
+                        expr = candidate
+                if expr is not None:
+                    out.append((info, fn, call, expr))
+    return out
+
+
+def _classify_callable(
+    model: ProjectModel,
+    info: ModuleInfo,
+    fn: FunctionInfo,
+    expr: ast.expr,
+    origin: _SubmitSite,
+    findings: list[Finding],
+    depth: int = 0,
+    seen: set[str] | None = None,
+) -> list[FunctionInfo]:
+    """Validate one submitted-callable expression; return worker entries.
+
+    Emits PAR001 findings for lambdas/closures/bound methods at the
+    site that supplies the bad callable; returns the resolved
+    module-level worker functions for reachability analysis.
+    """
+    where = (
+        "pool initializer" if origin.kind == "initializer" else "process pool"
+    )
+    if isinstance(expr, ast.Lambda):
+        findings.append(
+            _finding(
+                model,
+                "PAR001",
+                info.name,
+                expr,
+                f"lambda submitted to a {where} cannot be pickled by "
+                "reference; define a module-level worker function",
+            )
+        )
+        return []
+    if isinstance(expr, ast.Name):
+        local = expr.id
+        if local in fn.local_defs:
+            findings.append(
+                _finding(
+                    model,
+                    "PAR001",
+                    info.name,
+                    expr,
+                    f"'{local}' is defined inside {fn.name}() and closes "
+                    f"over its locals; a {where} worker must be a "
+                    "module-level function",
+                )
+            )
+            return []
+        if local in fn.params:
+            if depth >= _MAX_FORWARD_DEPTH:
+                return []
+            key = f"{fn.qualname}:{local}"
+            seen = seen or set()
+            if key in seen:
+                return []
+            seen.add(key)
+            workers: list[FunctionInfo] = []
+            for c_info, c_fn, _call, c_expr in _callers_passing_param(
+                model, fn, local
+            ):
+                workers.extend(
+                    _classify_callable(
+                        model,
+                        c_info,
+                        c_fn,
+                        c_expr,
+                        origin,
+                        findings,
+                        depth + 1,
+                        seen,
+                    )
+                )
+            return workers
+        dotted = info.resolve(expr)
+        if dotted is not None:
+            target = model.function(dotted) or model.function(
+                f"{info.name}.{dotted}" if "." not in dotted else dotted
+            )
+            if target is not None:
+                if target.nested:
+                    findings.append(
+                        _finding(
+                            model,
+                            "PAR001",
+                            info.name,
+                            expr,
+                            f"'{local}' resolves to a nested function; a "
+                            f"{where} worker must be module-level",
+                        )
+                    )
+                    return []
+                return [target]
+        return []
+    if isinstance(expr, ast.Attribute):
+        dotted = info.resolve(expr)
+        if dotted is not None:
+            mod = model.module_of(dotted)
+            if mod is not None and dotted != mod:
+                rest = dotted[len(mod) + 1 :]
+                if "." not in rest:
+                    # module.function through a module alias: module-level.
+                    target = model.function(dotted)
+                    if target is not None and not target.nested:
+                        return [target]
+        base = expr.value
+        if isinstance(base, ast.Name) and (
+            base.id == "self" or base.id in fn.local_types or base.id in fn.params
+        ):
+            findings.append(
+                _finding(
+                    model,
+                    "PAR001",
+                    info.name,
+                    expr,
+                    f"bound method '{ast.unparse(expr)}' submitted to a "
+                    f"{where} pickles its whole instance into the worker; "
+                    "submit a module-level function taking plain data",
+                )
+            )
+            return []
+        # Attribute on a module alias that didn't resolve to a project
+        # function (stdlib or third-party callable): out of scope.
+        return []
+    return []
+
+
+def _check_arg_captures(
+    model: ProjectModel, site: _SubmitSite, findings: list[Finding]
+) -> None:
+    """PAR002: forbidden objects referenced by submitted arguments."""
+    info = model.modules[site.module]
+    fn = site.function
+    for arg in site.arg_exprs:
+        for sub in ast.walk(arg):
+            dotted: str | None = None
+            if isinstance(sub, ast.Name):
+                dotted = fn.local_types.get(sub.id)
+            elif isinstance(sub, (ast.Attribute, ast.Call)):
+                target = sub.func if isinstance(sub, ast.Call) else sub
+                dotted = info.resolve(target)
+            if dotted is None:
+                continue
+            for forbidden in _FORBIDDEN_CAPTURES:
+                if dotted == forbidden or dotted.endswith("." + forbidden):
+                    findings.append(
+                        _finding(
+                            model,
+                            "PAR002",
+                            site.module,
+                            arg,
+                            f"argument references {dotted} across the "
+                            "process boundary; tracers/metrics/locks must "
+                            "stay in the coordinating process (export a "
+                            "blob and graft it instead)",
+                        )
+                    )
+                    break
+
+
+def _reachable_functions(
+    model: ProjectModel, entries: list[FunctionInfo]
+) -> list[FunctionInfo]:
+    """Project-local functions reachable from the worker entry points."""
+    seen: dict[str, FunctionInfo] = {}
+    frontier = list(entries)
+    while frontier:
+        fn = frontier.pop()
+        if fn.qualname in seen:
+            continue
+        seen[fn.qualname] = fn
+        info = model.modules.get(fn.module)
+        if info is None:
+            continue
+        for _dotted, call in fn.calls:
+            target = _resolve_method_target(model, info, fn, call)
+            if target is not None and target.qualname not in seen:
+                frontier.append(target)
+    return sorted(seen.values(), key=lambda f: f.qualname)
+
+
+def check_process_safety(model: ProjectModel) -> list[Finding]:
+    """Run PAR001/PAR002/PAR003 over every pool call-site."""
+    findings: list[Finding] = []
+    workers: dict[str, FunctionInfo] = {}
+    sites = find_submit_sites(model)
+    for site in sites:
+        info = model.modules[site.module]
+        resolved = _classify_callable(
+            model, info, site.function, site.callable_expr, site, findings
+        )
+        if site.kind == "submit":
+            # Initializers exist to set per-process state, so only the
+            # submitted task's reachable code is held to PAR003.
+            for worker in resolved:
+                workers[worker.qualname] = worker
+        _check_arg_captures(model, site, findings)
+    for fn in _reachable_functions(model, sorted(workers.values(), key=lambda f: f.qualname)):
+        for global_name, lineno in fn.global_writes:
+            findings.append(
+                _finding(
+                    model,
+                    "PAR003",
+                    fn.module,
+                    _LineAnchor(lineno),
+                    f"{fn.name}() is reachable from a pool worker and "
+                    f"rebinds module global '{global_name}'; worker-side "
+                    "global state diverges across processes — pass state "
+                    "as arguments or return it",
+                )
+            )
+    return findings
+
+
+class _LineAnchor:
+    """Minimal AST-node stand-in carrying just a location."""
+
+    def __init__(self, lineno: int, col_offset: int = 0) -> None:
+        self.lineno = lineno
+        self.col_offset = col_offset

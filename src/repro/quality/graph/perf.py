@@ -1,0 +1,255 @@
+"""PERF rules: hot-path purity for the vectorized kernels.
+
+The measurement and routing kernels earn their speed by staying inside
+numpy: batch RNG draws, boolean-mask selection, whole-array arithmetic.
+A per-element Python loop quietly reintroduced into one of them is a
+100x regression that no unit test notices — results stay identical,
+wall-clock does not.  These rules are the tripwire, and they are
+**opt-in**: a function (or module) marked ``# hotpath`` promises to stay
+vectorized, and only marked code is checked.
+
+* **PERF001** — per-element loop over a numpy array: iterating
+  ``range(len(arr))`` or subscripting an array with the loop variable.
+  Replace with whole-array ops or boolean masks.
+* **PERF002** — scalar RNG draw inside a loop.  Per-element draws both
+  crawl and break the fixed-draw-count protocol (``DRAWS_PER_PROBE``)
+  that keeps streams aligned across code paths; draw the whole batch
+  before the loop with ``size=``.
+* **PERF003** — numpy array allocation inside a loop.  Repeated
+  ``np.zeros``/``np.concatenate`` in a loop is quadratic churn;
+  preallocate outside and fill slices.
+
+Only names the model can *prove* array-like are considered: locals
+assigned from a ``numpy.*`` call and parameters annotated as ndarray.
+Dict/list loops in marked functions stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.quality.findings import Finding, Severity
+from repro.quality.graph.model import FunctionInfo, ModuleInfo, ProjectModel
+
+#: numpy callables whose result is (or contains) a fresh array.
+_ARRAY_PRODUCERS_PREFIX = "numpy."
+
+#: numpy callables that allocate, flagged by PERF003 when inside a loop.
+_ALLOCATORS = {
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "numpy.full",
+    "numpy.arange",
+    "numpy.linspace",
+    "numpy.array",
+    "numpy.concatenate",
+    "numpy.append",
+    "numpy.vstack",
+    "numpy.hstack",
+    "numpy.stack",
+    "numpy.tile",
+    "numpy.repeat",
+}
+
+#: Generator draw methods whose un-``size=``d form returns a scalar.
+_RNG_DRAW_METHODS = {
+    "random",
+    "normal",
+    "uniform",
+    "exponential",
+    "lognormal",
+    "integers",
+    "standard_normal",
+    "poisson",
+    "binomial",
+    "choice",
+}
+
+
+def _finding(
+    model: ProjectModel,
+    rule: str,
+    severity: Severity,
+    module: str,
+    node: ast.AST,
+    message: str,
+) -> Finding:
+    info = model.modules[module]
+    lineno = getattr(node, "lineno", 1)
+    return Finding(
+        rule=rule,
+        severity=severity,
+        path=info.relpath,
+        line=lineno,
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        snippet=info.source_line(lineno).strip(),
+    )
+
+
+def _annotation_is_ndarray(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    text = ast.unparse(node)
+    return "ndarray" in text or "NDArray" in text
+
+
+def _array_names(info: ModuleInfo, fn: FunctionInfo) -> set[str]:
+    """Names provably bound to numpy arrays inside ``fn``.
+
+    Sources: parameters annotated ndarray, and locals assigned from a
+    resolved ``numpy.*`` call (``x = np.zeros(...)``, ``u = np.unique(b)``).
+    """
+    names: set[str] = set()
+    node = fn.node
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if _annotation_is_ndarray(arg.annotation):
+                names.add(arg.arg)
+    for local, dotted in fn.local_types.items():
+        if dotted.startswith(_ARRAY_PRODUCERS_PREFIX):
+            names.add(local)
+    return names
+
+
+def _is_range_len(call: ast.expr, array_names: set[str]) -> str | None:
+    """The array name when ``call`` is ``range(len(arr))`` over an array."""
+    if not (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "range"
+        and len(call.args) == 1
+    ):
+        return None
+    inner = call.args[0]
+    if (
+        isinstance(inner, ast.Call)
+        and isinstance(inner.func, ast.Name)
+        and inner.func.id == "len"
+        and len(inner.args) == 1
+        and isinstance(inner.args[0], ast.Name)
+        and inner.args[0].id in array_names
+    ):
+        return inner.args[0].id
+    return None
+
+
+def _loop_target_names(target: ast.expr) -> set[str]:
+    return {
+        n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+    }
+
+
+def _rng_receiver(info: ModuleInfo, fn: FunctionInfo, func: ast.expr) -> str | None:
+    """The receiver name when ``func`` is a draw method on an rng object."""
+    if not (
+        isinstance(func, ast.Attribute) and func.attr in _RNG_DRAW_METHODS
+    ):
+        return None
+    base = func.value
+    if isinstance(base, ast.Name):
+        dotted = fn.local_types.get(base.id, "")
+        if dotted.startswith("numpy.random") or "rng" in base.id.lower():
+            return base.id
+    if isinstance(base, ast.Attribute) and "rng" in base.attr.lower():
+        return ast.unparse(base)
+    return None
+
+
+def _check_function(
+    model: ProjectModel, info: ModuleInfo, fn: FunctionInfo
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if fn.node is None:
+        return findings
+    array_names = _array_names(info, fn)
+    for loop in ast.walk(fn.node):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        loop_vars: set[str] = set()
+        if isinstance(loop, ast.For):
+            loop_vars = _loop_target_names(loop.target)
+            arr = _is_range_len(loop.iter, array_names)
+            if arr is not None:
+                findings.append(
+                    _finding(
+                        model,
+                        "PERF001",
+                        Severity.ERROR,
+                        info.name,
+                        loop,
+                        f"hot path iterates range(len({arr})) over a numpy "
+                        "array; vectorize with whole-array ops or a boolean "
+                        "mask",
+                    )
+                )
+        body = loop.body + getattr(loop, "orelse", [])
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                # arr[i] with i a loop variable: per-element access.
+                if (
+                    isinstance(sub, ast.Subscript)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id in array_names
+                    and isinstance(sub.slice, ast.Name)
+                    and sub.slice.id in loop_vars
+                ):
+                    findings.append(
+                        _finding(
+                            model,
+                            "PERF001",
+                            Severity.ERROR,
+                            info.name,
+                            sub,
+                            f"hot path indexes numpy array "
+                            f"'{sub.value.id}' element-by-element inside a "
+                            "loop; vectorize the access",
+                        )
+                    )
+                if not isinstance(sub, ast.Call):
+                    continue
+                receiver = _rng_receiver(info, fn, sub.func)
+                if receiver is not None and not any(
+                    kw.arg == "size" for kw in sub.keywords
+                ):
+                    findings.append(
+                        _finding(
+                            model,
+                            "PERF002",
+                            Severity.ERROR,
+                            info.name,
+                            sub,
+                            f"scalar {receiver}.{sub.func.attr}() draw "
+                            "inside a loop; draw the whole batch before the "
+                            "loop with size= (fixed draw count per probe "
+                            "keeps RNG streams aligned)",
+                        )
+                    )
+                dotted = info.resolve(sub.func)
+                if dotted in _ALLOCATORS:
+                    findings.append(
+                        _finding(
+                            model,
+                            "PERF003",
+                            Severity.WARNING,
+                            info.name,
+                            sub,
+                            f"{dotted}() allocates inside a loop on a hot "
+                            "path; preallocate outside the loop and fill "
+                            "slices",
+                        )
+                    )
+    return findings
+
+
+def check_hot_paths(model: ProjectModel) -> list[Finding]:
+    """Run PERF001/PERF002/PERF003 over every ``# hotpath`` function."""
+    findings: list[Finding] = []
+    for name in sorted(model.modules):
+        info = model.modules[name]
+        for fn in list(info.functions.values()) + list(info.methods.values()):
+            if fn.hotpath:
+                findings.extend(_check_function(model, info, fn))
+    return findings

@@ -3,10 +3,19 @@
 from __future__ import annotations
 
 from repro.quality.engine import CheckResult
+from repro.quality.graph.analyzer import DEEP_RULES
 from repro.quality.rules import RULES, RULESET_VERSION
 
 #: Schema version of the JSON report (bump on breaking shape changes).
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+
+def _rule_name(rule_id: str) -> str:
+    if rule_id in RULES:
+        return RULES[rule_id].name
+    if rule_id in DEEP_RULES:
+        return DEEP_RULES[rule_id].name
+    return "parse"
 
 
 def render_text(result: CheckResult, strict: bool = False) -> str:
@@ -20,7 +29,7 @@ def render_text(result: CheckResult, strict: bool = False) -> str:
         for f in sorted(by_path[path], key=lambda f: (f.line, f.col, f.rule)):
             lines.append(
                 f"  {f.line}:{f.col + 1}  {f.severity.value:<7} "
-                f"{f.rule} [{RULES[f.rule].name if f.rule in RULES else 'parse'}]  "
+                f"{f.rule} [{_rule_name(f.rule)}]  "
                 f"{f.message}"
             )
         lines.append("")
@@ -32,9 +41,14 @@ def render_text(result: CheckResult, strict: bool = False) -> str:
             )
         lines.append("  run with --update-baseline to expire them")
         lines.append("")
+    deep_note = ""
+    if result.deep:
+        deep_note = (
+            f", deep pass {'cached' if result.deep_cache_hit else 'ran'}"
+        )
     summary = (
         f"{result.files_checked} file(s) checked "
-        f"({result.cache_hits} cached), "
+        f"({result.cache_hits} cached){deep_note}, "
         f"{len(result.new_errors)} error(s), "
         f"{len(result.new_warnings)} warning(s), "
         f"{len(result.baselined_findings)} baselined, "
@@ -65,6 +79,8 @@ def render_json(result: CheckResult, strict: bool = False) -> dict:
             "new_warnings": len(result.new_warnings),
             "baselined": len(result.baselined_findings),
             "stale_baseline": len(result.stale_baseline),
+            "deep": result.deep,
+            "deep_cache_hit": result.deep_cache_hit,
         },
         "findings": findings,
         "stale_baseline": [entry.to_dict() for entry in result.stale_baseline],
@@ -72,12 +88,20 @@ def render_json(result: CheckResult, strict: bool = False) -> dict:
 
 
 def render_rules() -> str:
-    """The --list-rules table."""
+    """The --list-rules table: per-file rules, then deep (--deep) rules."""
     lines = [f"ruleset {RULESET_VERSION}", ""]
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
         scope = ", ".join(rule.scopes) if rule.scopes else "all checked files"
         lines.append(f"{rule.id}  {rule.name}  ({rule.severity.value}; {scope})")
+        lines.append(f"    {rule.description}")
+        lines.append(f"    protects: {rule.protects}")
+        lines.append("")
+    lines.append("whole-program rules (require --deep):")
+    lines.append("")
+    for rule_id in sorted(DEEP_RULES):
+        rule = DEEP_RULES[rule_id]
+        lines.append(f"{rule.id}  {rule.name}  ({rule.severity.value})")
         lines.append(f"    {rule.description}")
         lines.append(f"    protects: {rule.protects}")
         lines.append("")

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.quality.findings import Finding, Severity
 
 #: Bumped whenever a rule's behavior changes, to invalidate result caches.
-RULESET_VERSION = "2026.08.2"
+RULESET_VERSION = "2026.08.3"
 
 
 @dataclass(slots=True)

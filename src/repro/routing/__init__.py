@@ -2,7 +2,6 @@
 
 from repro.routing.bgp import BGPError, BGPRoute, BGPTable
 from repro.routing.dynamics import (
-    DynamicPathSampler,
     FLAP_WINDOW_S,
     RouteFlapModel,
     resolve_secondary,
@@ -21,7 +20,6 @@ __all__ = [
     "BGPError",
     "BGPRoute",
     "BGPTable",
-    "DynamicPathSampler",
     "EgressPolicy",
     "FLAP_WINDOW_S",
     "ForwardPath",

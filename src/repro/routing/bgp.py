@@ -300,6 +300,7 @@ class BGPTable:
 
     # -- three-stage Gao-Rexford solver ------------------------------------
 
+    # hotpath
     def _converge_stages(self, dest: int) -> dict[int, BGPRoute]:
         """Single-pass solver: up the hierarchy, across peers, back down.
 

@@ -11,10 +11,12 @@ behaviour to the substrate:
 * a :class:`RouteFlapModel` that deterministically decides, per pair and
   time, whether the primary or secondary route is in effect — flap
   episodes arrive per-pair as a renewal process derived from counter-based
-  hashing, so any query order gives identical answers;
-* a :class:`DynamicPathSampler` with the same probing interface as
-  :class:`~repro.netsim.conditions.PathSampler` that draws each probe
-  from whichever route is active.
+  hashing, so any query order gives identical answers.
+
+The probe-level consumer of these decisions,
+:class:`~repro.netsim.dynamics.DynamicPathSampler`, lives one layer up
+in netsim: routing decides which routes exist and when they flap, the
+simulator decides what probes experience on them.
 """
 
 from __future__ import annotations
@@ -23,12 +25,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.netsim.conditions import (
-    BucketProbeMixin,
-    NetworkConditions,
-    PathSampler,
-    SamplerView,
-)
 from repro.routing.forwarding import PathResolver, RoundTripPath
 
 #: Length of a flap-evaluation window.  Within one window a pair's active
@@ -95,70 +91,3 @@ def resolve_secondary(
     (single-homed chains have nothing to flap to).
     """
     return resolver.resolve_round_trip_secondary(src, dst)
-
-
-class DynamicPathSampler(BucketProbeMixin):
-    """Samples probes over flapping routes.
-
-    Drop-in replacement for :class:`PathSampler` in the collector: it owns
-    two underlying samplers (primary and secondary paths, index-aligned)
-    and consults the flap model per (pair, time).  The flap decisions are
-    pure functions of (pair, window), so the per-window secondary masks
-    and the flappy-pair set are computed once and cached; blended bucket
-    views come from the shared :class:`BucketProbeMixin` cache (flap
-    windows are whole multiples of the congestion bucket, so a bucket
-    never straddles a route change).
-    """
-
-    def __init__(
-        self,
-        conditions: NetworkConditions,
-        primaries: list[RoundTripPath],
-        secondaries: list[RoundTripPath],
-        flap_model: RouteFlapModel,
-    ) -> None:
-        if len(primaries) != len(secondaries):
-            raise ValueError("primary/secondary path lists must align")
-        self._primary = PathSampler(conditions, primaries)
-        self._secondary = PathSampler(conditions, secondaries)
-        self.flap_model = flap_model
-        self._flappy: np.ndarray | None = None
-        self._mask_cache: dict[int, np.ndarray] = {}
-
-    def __len__(self) -> int:
-        return len(self._primary)
-
-    def _active_mask(self, t: float) -> np.ndarray:
-        window = int(t // FLAP_WINDOW_S)
-        mask = self._mask_cache.get(window)
-        if mask is None:
-            if self._flappy is None:
-                self._flappy = np.fromiter(
-                    (self.flap_model.is_flappy(i) for i in range(len(self))),
-                    dtype=bool,
-                    count=len(self),
-                )
-            if len(self._mask_cache) > 256:
-                self._mask_cache.clear()
-            mask = np.zeros(len(self), dtype=bool)
-            window_t = window * FLAP_WINDOW_S
-            for i in np.flatnonzero(self._flappy):
-                mask[i] = self.flap_model.on_secondary(int(i), window_t)
-            self._mask_cache[window] = mask
-        return mask
-
-    def prop_delays(self) -> np.ndarray:
-        """Primary-route propagation delays (static reference)."""
-        return self._primary.prop_delays()
-
-    def view(self, t: float) -> SamplerView:
-        """Blended congestion view: per pair, the active route's state."""
-        pv = self._primary.view(t)
-        sv = self._secondary.view(t)
-        mask = self._active_mask(t)
-        return SamplerView(
-            t=t,
-            prop=np.where(mask, sv.prop, pv.prop),
-            qsum=np.where(mask, sv.qsum, pv.qsum),
-            ploss=np.where(mask, sv.ploss, pv.ploss),
-        )

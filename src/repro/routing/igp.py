@@ -132,6 +132,7 @@ class IGPTable:
 
     # -- vectorized backend ------------------------------------------------
 
+    # hotpath
     def _ensure_matrix(self) -> None:
         """Build the all-pairs distance/predecessor matrices once."""
         if self._dist_rows is not None:

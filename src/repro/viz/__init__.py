@@ -2,7 +2,6 @@
 
 from repro.viz.ascii import ascii_cdf, ascii_scatter
 from repro.viz.map import MapStyle, save_topology_map, topology_map
-from repro.viz.render import RenderError, render_all, render_figure
 from repro.viz.scale import LinearScale, ScaleError, Ticks, data_range, nice_number
 from repro.viz.svg import ChartStyle, SVGChart, cdf_chart
 
@@ -10,7 +9,6 @@ __all__ = [
     "ChartStyle",
     "LinearScale",
     "MapStyle",
-    "RenderError",
     "SVGChart",
     "ScaleError",
     "Ticks",
@@ -19,8 +17,6 @@ __all__ = [
     "cdf_chart",
     "data_range",
     "nice_number",
-    "render_all",
-    "render_figure",
     "save_topology_map",
     "topology_map",
 ]

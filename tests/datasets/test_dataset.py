@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.dataset import Dataset, DatasetError, DatasetMeta
-from repro.datasets.records import TracerouteRecord, TransferRecord
+from repro.measurement.records import TracerouteRecord, TransferRecord
 
 NAN = float("nan")
 

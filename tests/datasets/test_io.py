@@ -15,7 +15,7 @@ from repro.datasets.io import (
     load_dataset,
     save_dataset,
 )
-from repro.datasets.records import TracerouteRecord
+from repro.measurement.records import TracerouteRecord
 
 
 def _assert_datasets_equal(a, b):

@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.datasets.records import (
+from repro.measurement.records import (
     CollectionStats,
     PathInfo,
     TracerouteRecord,

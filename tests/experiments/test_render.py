@@ -8,7 +8,7 @@ from repro.experiments.figures import (
     figure14,
     figure16,
 )
-from repro.viz.render import RenderError, render_all, render_figure
+from repro.experiments.render import RenderError, render_all, render_figure
 
 
 @pytest.fixture(scope="module")

@@ -19,7 +19,8 @@ import pytest
 from repro.measurement import Campaign, PingTool
 from repro.measurement.schedulers import poisson_pairs
 from repro.netsim import DRAWS_PER_PROBE, PathSampler, SECONDS_PER_DAY
-from repro.routing.dynamics import DynamicPathSampler, RouteFlapModel
+from repro.netsim.dynamics import DynamicPathSampler
+from repro.routing.dynamics import RouteFlapModel
 
 SEEDS = [0, 1, 2]
 

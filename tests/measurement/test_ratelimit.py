@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.datasets.dataset import Dataset, DatasetMeta
-from repro.datasets.records import TracerouteRecord
+from repro.measurement.records import TracerouteRecord
 from repro.measurement.ratelimit import (
     TokenBucket,
     detect_rate_limiters,

@@ -1,0 +1,42 @@
+"""Helpers for quality-engine tests: synthetic project trees."""
+
+from pathlib import Path
+
+import pytest
+
+
+def write_tree(root: Path, files: dict[str, str], manifest: str | None = None) -> Path:
+    """Materialize a synthetic project for whole-program analysis.
+
+    ``files`` maps paths relative to ``src/`` ("app/core/mod.py") to
+    source text.  Package ``__init__.py`` files are created implicitly.
+    ``manifest`` (TOML text) lands at docs/architecture.toml.
+    """
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "pyproject.toml").write_text("[project]\nname='x'\n")
+    for rel, body in files.items():
+        path = root / "src" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for parent in path.relative_to(root / "src").parents:
+            if str(parent) != ".":
+                init = root / "src" / parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+        path.write_text(body)
+    if manifest is not None:
+        docs = root / "docs"
+        docs.mkdir(exist_ok=True)
+        (docs / "architecture.toml").write_text(manifest)
+    return root
+
+
+@pytest.fixture
+def make_tree_factory(tmp_path):
+    """A factory writing numbered synthetic trees under tmp_path."""
+    counter = {"n": 0}
+
+    def factory(files: dict[str, str], manifest: str | None = None) -> Path:
+        counter["n"] += 1
+        return write_tree(tmp_path / f"tree{counter['n']}", files, manifest)
+
+    return factory

@@ -1,0 +1,95 @@
+"""Baseline and cache behavior when files move.
+
+Fingerprints include the file path, so renaming a file re-keys its
+findings: the old baseline entry goes stale (and expires on
+``--update-baseline``) while the finding at the new path gates as new.
+Crucially, moving the file *back* must not resurrect an expired entry —
+and the content-hash cache, which still holds the old path's result,
+must not change any of that.
+"""
+
+import json
+
+from repro.quality import run_check
+from repro.quality.cli import main as quality_main
+
+VIOLATION = "out = list({1, 2})\n"
+
+
+def make_tree(tmp_path):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(VIOLATION)
+    return tmp_path
+
+
+def baseline_paths(tree):
+    data = json.loads((tree / "quality-baseline.json").read_text())
+    return [entry["path"] for entry in data["entries"]]
+
+
+def test_rename_rekeys_finding_and_expires_old_entry(tmp_path):
+    tree = make_tree(tmp_path)
+    pkg = tree / "src" / "repro" / "core"
+
+    assert quality_main(["--root", str(tree), "--update-baseline"]) == 0
+    assert baseline_paths(tree) == ["src/repro/core/mod.py"]
+    assert quality_main(["--root", str(tree)]) == 0
+
+    # Rename: same content, new path -> new fingerprint.  The finding
+    # gates again and the old entry is stale.
+    (pkg / "mod.py").rename(pkg / "moved.py")
+    result = run_check(["src"], root=tree)
+    assert [f.path for f in result.new_findings] == ["src/repro/core/moved.py"]
+    assert [e.path for e in result.stale_baseline] == ["src/repro/core/mod.py"]
+    assert result.exit_code() == 1
+
+    # --update-baseline expires the stale entry and records the new path.
+    assert quality_main(["--root", str(tree), "--update-baseline"]) == 0
+    assert baseline_paths(tree) == ["src/repro/core/moved.py"]
+    assert quality_main(["--root", str(tree)]) == 0
+
+
+def test_moving_back_does_not_resurrect_expired_entry(tmp_path):
+    tree = make_tree(tmp_path)
+    pkg = tree / "src" / "repro" / "core"
+
+    quality_main(["--root", str(tree), "--update-baseline"])
+    (pkg / "mod.py").rename(pkg / "moved.py")
+    quality_main(["--root", str(tree), "--update-baseline"])
+    assert baseline_paths(tree) == ["src/repro/core/moved.py"]
+
+    # The original entry for mod.py expired above.  Moving the file back
+    # re-creates a finding with the *original* fingerprint — it must gate
+    # as new, not be quietly matched by history.
+    (pkg / "moved.py").rename(pkg / "mod.py")
+    result = run_check(["src"], root=tree)
+    assert [f.path for f in result.new_findings] == ["src/repro/core/mod.py"]
+    assert [e.path for e in result.stale_baseline] == ["src/repro/core/moved.py"]
+    assert result.exit_code() == 1
+
+
+def test_content_cache_does_not_follow_renames(tmp_path):
+    tree = make_tree(tmp_path)
+    pkg = tree / "src" / "repro" / "core"
+
+    first = run_check(["src"], root=tree)
+    assert (first.files_checked, first.cache_hits) == (1, 0)
+    warm = run_check(["src"], root=tree)
+    assert warm.cache_hits == 1
+
+    # A renamed file is a cache miss even with identical content: results
+    # are keyed per path, and the re-analysis reports the new path.
+    (pkg / "mod.py").rename(pkg / "moved.py")
+    moved = run_check(["src"], root=tree)
+    assert moved.cache_hits == 0
+    assert [f.path for f in moved.new_findings] == ["src/repro/core/moved.py"]
+
+    # Moving back hits the original entry again — and still yields the
+    # original path, never the stale one.
+    (pkg / "moved.py").rename(pkg / "mod.py")
+    back = run_check(["src"], root=tree)
+    assert back.cache_hits == 1
+    assert [f.path for f in back.new_findings] == ["src/repro/core/mod.py"]

@@ -1,0 +1,134 @@
+"""CLI behavior of the whole-program pass: --deep, --changed, caching."""
+
+import json
+import subprocess
+
+from repro.quality import find_root, run_check
+from repro.quality.cli import main as quality_main
+from tests.quality.conftest import write_tree
+
+MANIFEST = (
+    'package = "repro"\n'
+    "\n"
+    "[layers]\n"
+    "core = []\n"
+    'svc = ["core"]\n'
+)
+
+
+def test_deep_clean_tree_exits_zero(make_tree_factory, capsys):
+    tree = make_tree_factory(
+        {
+            "repro/core/x.py": "x = 1\n",
+            "repro/svc/s.py": "from repro.core import x\n",
+        },
+        MANIFEST,
+    )
+    rc = quality_main(["--root", str(tree), "--no-cache", "--deep"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deep pass ran" in out
+    assert "repro check: OK" in out
+
+
+def test_deep_violation_gates(make_tree_factory, capsys):
+    tree = make_tree_factory(
+        {
+            "repro/core/x.py": "from repro.svc import s\n",
+            "repro/svc/s.py": "s = 1\n",
+        },
+        MANIFEST,
+    )
+    rc = quality_main(["--root", str(tree), "--no-cache", "--deep"])
+    assert rc == 1
+    assert "ARCH002" in capsys.readouterr().out
+    # The same tree without --deep passes: the violation is invisible to
+    # per-file rules.
+    assert quality_main(["--root", str(tree), "--no-cache"]) == 0
+
+
+def test_deep_without_manifest_is_usage_error(make_tree_factory, capsys):
+    tree = make_tree_factory({"repro/core/x.py": "x = 1\n"})
+    rc = quality_main(["--root", str(tree), "--no-cache", "--deep"])
+    assert rc == 2
+    assert "manifest" in capsys.readouterr().err
+
+
+def test_deep_result_is_cached_by_project_digest(make_tree_factory):
+    tree = make_tree_factory(
+        {
+            "repro/core/x.py": "x = 1\n",
+            "repro/svc/s.py": "from repro.core import x\n",
+        },
+        MANIFEST,
+    )
+    first = run_check(["src"], root=tree, deep=True)
+    assert first.deep and not first.deep_cache_hit
+    second = run_check(["src"], root=tree, deep=True)
+    assert second.deep_cache_hit
+    # Any module edit invalidates the whole-program result.
+    (tree / "src" / "repro" / "core" / "x.py").write_text("x = 2\n")
+    third = run_check(["src"], root=tree, deep=True)
+    assert not third.deep_cache_hit
+
+
+def test_deep_on_this_repo_is_clean():
+    """Acceptance: the committed tree passes the whole-program pass."""
+    root = find_root()
+    rc = quality_main(
+        ["--root", str(root), "--no-cache", "--deep", "--strict", "src/repro"]
+    )
+    assert rc == 0
+
+
+def git_tree(tmp_path, files):
+    tree = write_tree(tmp_path, files)
+    run = lambda *args: subprocess.run(  # noqa: E731
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=tree,
+        check=True,
+        capture_output=True,
+    )
+    run("init", "-q")
+    run("add", "-A")
+    run("commit", "-q", "-m", "seed")
+    return tree
+
+
+def test_changed_scopes_to_dirty_and_untracked_files(tmp_path, capsys):
+    tree = git_tree(
+        tmp_path,
+        {
+            "repro/core/a.py": "a = sorted({1})\n",
+            "repro/core/b.py": "b = 1\n",
+        },
+    )
+    # Nothing changed yet.
+    assert quality_main(["--root", str(tree), "--no-cache", "--changed"]) == 0
+    assert "no changed python files" in capsys.readouterr().out
+    # One tracked file modified, one untracked added — both violating.
+    (tree / "src" / "repro" / "core" / "a.py").write_text("a = list({1, 2})\n")
+    (tree / "src" / "repro" / "core" / "new.py").write_text(
+        "import time\nt = time.time()\n"
+    )
+    rc = quality_main(
+        ["--root", str(tree), "--no-cache", "--changed", "--format", "json"]
+    )
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["files_checked"] == 2
+    assert {f["rule"] for f in report["findings"]} == {"ORD001", "TIME001"}
+
+
+def test_changed_with_explicit_paths_is_usage_error(tmp_path, capsys):
+    tree = git_tree(tmp_path, {"repro/core/a.py": "a = 1\n"})
+    rc = quality_main(["--root", str(tree), "--changed", "src"])
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_changed_outside_git_is_usage_error(make_tree_factory, capsys):
+    tree = make_tree_factory({"repro/core/a.py": "a = 1\n"})
+    rc = quality_main(["--root", str(tree), "--no-cache", "--changed"])
+    assert rc == 2
+    assert "git" in capsys.readouterr().err

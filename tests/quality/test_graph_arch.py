@@ -1,0 +1,147 @@
+"""ARCH rules: cycles, layering, manifest validation."""
+
+import pytest
+
+from repro.quality.graph import (
+    ManifestError,
+    analyze_project,
+    build_project_model,
+    load_manifest,
+)
+
+MANIFEST = (
+    'package = "app"\n'
+    "\n"
+    "[layers]\n"
+    "core = []\n"
+    "util = []\n"
+    'svc = ["core", "util"]\n'
+    "\n"
+    "[toplevel]\n"
+    'modules = ["cli"]\n'
+)
+
+
+def analyze(factory, files, manifest=MANIFEST):
+    root = factory(files, manifest)
+    return analyze_project(root, package="app")
+
+
+def test_arch001_flags_runtime_cycle(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {
+            "app/core/a.py": "from app.core import b\n",
+            "app/core/b.py": "from app.core import a\n",
+        },
+    )
+    assert [f.rule for f in findings] == ["ARCH001", "ARCH001"]
+    assert {f.path for f in findings} == {
+        "src/app/core/a.py",
+        "src/app/core/b.py",
+    }
+    assert all("cycle" in f.message for f in findings)
+    assert all(f.fingerprint for f in findings)
+
+
+def test_arch002_flags_upward_import(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {
+            "app/core/x.py": "from app.svc import y\n",
+            "app/svc/y.py": "",
+        },
+    )
+    (finding,) = findings
+    assert finding.rule == "ARCH002"
+    assert finding.path == "src/app/core/x.py"
+    assert "'svc'" in finding.message
+
+
+def test_arch002_flags_import_of_application_shell(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {
+            "app/cli.py": "",
+            "app/core/x.py": "import app.cli\n",
+        },
+    )
+    (finding,) = findings
+    assert finding.rule == "ARCH002"
+    assert "application shell" in finding.message
+
+
+def test_arch002_declared_edge_passes(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {
+            "app/svc/s.py": "from app.core import x\nfrom app.util import u\n",
+            "app/core/x.py": "",
+            "app/util/u.py": "",
+        },
+    )
+    assert findings == []
+
+
+def test_arch003_flags_undeclared_layer(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {"app/stray/z.py": "x = 1\n"},
+    )
+    assert all(f.rule == "ARCH003" for f in findings)
+    assert "src/app/stray/z.py" in {f.path for f in findings}
+
+
+def test_typing_only_imports_exempt(make_tree_factory):
+    findings = analyze(
+        make_tree_factory,
+        {
+            "app/core/x.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from app.svc import y\n"
+            ),
+            "app/svc/y.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from app.core import x\n"
+            ),
+        },
+    )
+    # Neither the upward edge nor the would-be cycle fires: both are
+    # erased at runtime.
+    assert findings == []
+
+
+def test_missing_manifest_raises(make_tree_factory):
+    root = make_tree_factory({"app/core/a.py": ""})
+    with pytest.raises(ManifestError, match="not found"):
+        analyze_project(root, package="app")
+
+
+def test_cyclic_manifest_raises(make_tree_factory):
+    root = make_tree_factory(
+        {"app/core/a.py": ""},
+        'package = "app"\n[layers]\ncore = ["svc"]\nsvc = ["core"]\n',
+    )
+    with pytest.raises(ManifestError, match="cyclic"):
+        load_manifest(root / "docs" / "architecture.toml")
+
+
+def test_manifest_undeclared_dependency_raises(make_tree_factory):
+    root = make_tree_factory(
+        {"app/core/a.py": ""},
+        'package = "app"\n[layers]\ncore = ["ghost"]\n',
+    )
+    with pytest.raises(ManifestError, match="undeclared"):
+        load_manifest(root / "docs" / "architecture.toml")
+
+
+def test_model_reuse_skips_rebuild(make_tree_factory):
+    root = make_tree_factory(
+        {"app/core/a.py": "from app.core import b\n", "app/core/b.py": ""},
+        MANIFEST,
+    )
+    model = build_project_model(root, package="app")
+    findings = analyze_project(root, package="app", model=model)
+    assert findings == []

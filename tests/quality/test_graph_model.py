@@ -1,0 +1,180 @@
+"""Project-model construction: imports, function summaries, markers."""
+
+from repro.quality.graph import build_project_model
+
+
+def build(factory, files):
+    root = factory(files)
+    return build_project_model(root, package="app")
+
+
+def edges(model, src):
+    return {(e.dst, e.typing_only) for e in model.modules[src].imports}
+
+
+def test_import_edges_absolute_and_from(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": "import app.core.b\nfrom app.core import c\n",
+            "app/core/b.py": "",
+            "app/core/c.py": "",
+        },
+    )
+    assert edges(model, "app.core.a") == {
+        ("app.core.b", False),
+        ("app.core.c", False),
+    }
+
+
+def test_from_import_of_name_lands_on_defining_module(make_tree_factory):
+    # ``from app.core.b import thing`` depends on app.core.b, not on a
+    # phantom module app.core.b.thing.
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": "from app.core.b import thing\n",
+            "app/core/b.py": "thing = 1\n",
+        },
+    )
+    assert edges(model, "app.core.a") == {("app.core.b", False)}
+
+
+def test_relative_imports_resolve(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": "from . import b\nfrom ..util import helpers\n",
+            "app/core/b.py": "",
+            "app/util/helpers.py": "",
+        },
+    )
+    assert edges(model, "app.core.a") == {
+        ("app.core.b", False),
+        ("app.util.helpers", False),
+    }
+
+
+def test_type_checking_imports_marked_typing_only(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    from app.core.b import Thing\n"
+            ),
+            "app/core/b.py": "class Thing: pass\n",
+        },
+    )
+    assert edges(model, "app.core.a") == {("app.core.b", True)}
+
+
+def test_function_level_import_is_still_runtime(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": (
+                "def f():\n"
+                "    from app.core import b\n"
+                "    return b\n"
+            ),
+            "app/core/b.py": "",
+        },
+    )
+    (edge,) = model.modules["app.core.a"].imports
+    assert edge.dst == "app.core.b"
+    assert edge.function_level and not edge.typing_only
+
+
+def test_function_summaries(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/a.py": (
+                "from app.core.b import Helper\n"
+                "_state = 0\n"
+                "def outer(x, y):\n"
+                "    global _state\n"
+                "    _state = x\n"
+                "    h = Helper()\n"
+                "    fn = lambda v: v\n"
+                "    def inner(z):\n"
+                "        return z\n"
+                "    h.work()\n"
+                "    return inner, fn\n"
+            ),
+            "app/core/b.py": (
+                "class Helper:\n"
+                "    def work(self):\n"
+                "        return 1\n"
+            ),
+        },
+    )
+    info = model.modules["app.core.a"]
+    outer = info.functions["outer"]
+    assert outer.params == ["x", "y"]
+    assert outer.global_writes == [("_state", 5)]
+    assert outer.local_types == {"h": "app.core.b.Helper"}
+    assert set(outer.local_defs) == {"fn", "inner"}
+    # The nested def is summarized but flagged nested.
+    assert model.function("app.core.b.Helper.work") is not None
+    # Method resolution through a typed local's class.
+    b_info = model.modules["app.core.b"]
+    assert b_info.methods["Helper.work"].qualname == "app.core.b:Helper.work"
+
+
+def test_hotpath_markers(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            # Padding keeps the per-function markers past the module-
+            # marker window (first MODULE_MARKER_LINES lines).
+            "app/core/k.py": (
+                "x0 = 0\n" * 10
+                + "# hotpath\n"
+                "def above():\n"
+                "    return 1\n"
+                "def plain():\n"
+                "    return 2\n"
+                "def trailing():  # hotpath\n"
+                "    return 3\n"
+            ),
+            "app/core/m.py": (
+                "# hotpath\n"
+                "def anything():\n"
+                "    return 1\n"
+                "def everything():\n"
+                "    return 2\n"
+            ),
+            "app/core/doc.py": (
+                '"""Mentions # hotpath in prose only."""\n'
+                "def not_marked():\n"
+                "    return 1\n"
+            ),
+        },
+    )
+    k = model.modules["app.core.k"].functions
+    assert k["above"].hotpath
+    assert not k["plain"].hotpath
+    assert k["trailing"].hotpath
+    # A leading comment marker within the first lines opts the module in.
+    m = model.modules["app.core.m"]
+    assert m.hotpath_module
+    assert m.functions["anything"].hotpath and m.functions["everything"].hotpath
+    # A docstring merely mentioning the marker does not.
+    doc = model.modules["app.core.doc"]
+    assert not doc.hotpath_module
+    assert not doc.functions["not_marked"].hotpath
+
+
+def test_unparseable_files_are_skipped(make_tree_factory):
+    model = build(
+        make_tree_factory,
+        {
+            "app/core/good.py": "x = 1\n",
+            "app/core/broken.py": "def oops(:\n",
+        },
+    )
+    assert "app.core.good" in model.modules
+    assert "app.core.broken" not in model.modules

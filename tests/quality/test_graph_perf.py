@@ -1,0 +1,162 @@
+"""PERF rules: hot-path purity, opt-in via the ``# hotpath`` marker."""
+
+from repro.quality.findings import Severity
+from repro.quality.graph import build_project_model
+from repro.quality.graph.perf import check_hot_paths
+
+NP = "import numpy as np\n"
+
+
+def perf_findings(factory, files):
+    model = build_project_model(factory(files), package="app")
+    return check_hot_paths(model)
+
+
+def test_perf001_per_element_loop(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                NP + "# hotpath\n"
+                "def total(n):\n"
+                "    arr = np.zeros(n)\n"
+                "    acc = 0.0\n"
+                "    for i in range(len(arr)):\n"
+                "        acc += arr[i]\n"
+                "    return acc\n"
+            ),
+        },
+    )
+    assert [f.rule for f in findings] == ["PERF001", "PERF001"]
+    assert "range(len(arr))" in findings[0].message
+    assert "element-by-element" in findings[1].message
+
+
+def test_perf001_needs_provable_array(make_tree_factory):
+    # Looping over a plain list the same way is legal: only names the
+    # model can prove numpy-backed are considered.
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                "# hotpath\n"
+                "def total(items):\n"
+                "    acc = 0.0\n"
+                "    for i in range(len(items)):\n"
+                "        acc += items[i]\n"
+                "    return acc\n"
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_perf001_annotated_param_counts_as_array(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                NP + "# hotpath\n"
+                "def total(arr: np.ndarray):\n"
+                "    acc = 0.0\n"
+                "    for i in range(len(arr)):\n"
+                "        acc += arr[i]\n"
+                "    return acc\n"
+            ),
+        },
+    )
+    assert {f.rule for f in findings} == {"PERF001"}
+
+
+def test_perf002_scalar_rng_draw(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                "# hotpath\n"
+                "def draws(rng, n):\n"
+                "    out = []\n"
+                "    for _ in range(n):\n"
+                "        out.append(rng.normal())\n"
+                "    return out\n"
+            ),
+        },
+    )
+    (finding,) = findings
+    assert finding.rule == "PERF002"
+    assert "size=" in finding.message
+
+
+def test_perf002_batched_draw_passes(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                "# hotpath\n"
+                "def draws(rng, chunks):\n"
+                "    out = []\n"
+                "    for n in chunks:\n"
+                "        out.append(rng.normal(size=n))\n"
+                "    return out\n"
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_perf003_allocation_in_loop_is_warning(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                NP + "# hotpath\n"
+                "def chunks(n):\n"
+                "    out = []\n"
+                "    for _ in range(n):\n"
+                "        out.append(np.zeros(4))\n"
+                "    return out\n"
+            ),
+        },
+    )
+    (finding,) = findings
+    assert finding.rule == "PERF003"
+    assert finding.severity is Severity.WARNING
+    assert "preallocate" in finding.message
+
+
+def test_unmarked_functions_are_not_checked(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                NP
+                + "def total(n):\n"
+                "    arr = np.zeros(n)\n"
+                "    acc = 0.0\n"
+                "    for i in range(len(arr)):\n"
+                "        acc += arr[i]\n"
+                "    return acc\n"
+            ),
+        },
+    )
+    assert findings == []
+
+
+def test_module_marker_checks_every_function(make_tree_factory):
+    findings = perf_findings(
+        make_tree_factory,
+        {
+            "app/core/kern.py": (
+                "# hotpath\n"
+                + NP
+                + "def a(n):\n"
+                "    arr = np.zeros(n)\n"
+                "    for i in range(len(arr)):\n"
+                "        pass\n"
+                "def b(rng, n):\n"
+                "    for _ in range(n):\n"
+                "        rng.random()\n"
+            ),
+        },
+    )
+    assert {f.rule for f in findings} == {"PERF001", "PERF002"}

@@ -32,7 +32,10 @@ def test_json_report_schema(tmp_path):
         "new_warnings",
         "baselined",
         "stale_baseline",
+        "deep",
+        "deep_cache_hit",
     }
+    assert report["summary"]["deep"] is False
     (finding,) = report["findings"]
     assert set(finding) == {
         "rule",

@@ -6,11 +6,8 @@ import numpy as np
 import pytest
 
 from repro.netsim import PathSampler
-from repro.routing.dynamics import (
-    DynamicPathSampler,
-    FLAP_WINDOW_S,
-    RouteFlapModel,
-)
+from repro.netsim.dynamics import DynamicPathSampler
+from repro.routing.dynamics import FLAP_WINDOW_S, RouteFlapModel
 
 
 @pytest.fixture(scope="module")
