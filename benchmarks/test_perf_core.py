@@ -120,3 +120,41 @@ def test_perf_direct_edge_rerun_path(benchmark):
 
     alternates = benchmark(search)
     assert len(alternates) == len(hosts) * (len(hosts) - 1)
+
+
+@pytest.fixture(scope="module")
+def scenario_env():
+    """A topology of its own (the timeline mutates AS structure)."""
+    from repro.scenario import ScenarioPlan
+
+    topo = generate_topology(TopologyConfig.for_era("1999", seed=41))
+    al = topo.as_links[0]
+    plan = ScenarioPlan.parse(f"link-down:{al.a}-{al.b}:at=300:for=300")
+    return topo, plan
+
+
+def _failure_cycle(topo, plan, mode):
+    """One scenario round: warm tables, fail the link, reconverge, heal."""
+    from repro.scenario import ScenarioTimeline
+
+    timeline = ScenarioTimeline(topo, plan, reconverge=mode)
+    BGPTable(topo).converge_all()
+    timeline.advance_to(300.0)
+    BGPTable(topo).converge_all()
+    n = sum(len(t) for t in topo.routing_cache("bgp")["gao-rexford"].values())
+    timeline.reset()
+    return n
+
+
+def test_perf_scenario_reconverge(benchmark, scenario_env):
+    """Selective reconvergence: unaffected destinations are salvaged."""
+    topo, plan = scenario_env
+    routes = benchmark(lambda: _failure_cycle(topo, plan, "affected"))
+    assert routes > 0
+
+
+def test_perf_scenario_reconverge_full(benchmark, scenario_env):
+    """Pre-optimization oracle: every destination reconverges."""
+    topo, plan = scenario_env
+    routes = benchmark(lambda: _failure_cycle(topo, plan, "full"))
+    assert routes > 0

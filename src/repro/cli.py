@@ -11,6 +11,7 @@ Subcommands::
     repro trace out.json --top 10                 # inspect a RunTrace
     repro check --strict                          # determinism static analysis
     repro bench --compare                         # perf vs BENCH_routing.json
+    repro whatif --scenario 'link-down:6-11:at=600:for=900' -o whatif.jsonl
 
 ``analyze`` works on any dataset written by ``build`` (or by
 :func:`repro.datasets.save_dataset`), prints the headline statistics, and
@@ -66,12 +67,17 @@ command surface:
                (--deep whole-program ARCH/PAR/PERF; --changed diff scope)
   bench        record/compare a perf baseline (BENCH_routing.json,
                BENCH_measurement.json)
+  whatif       run a failure/what-if scenario and the disjoint-path
+               availability analysis (--scenario SPEC | --scenario-file;
+               see docs/SCENARIOS.md)
 
 exit codes:
   0  success
   1  operation failed (build retries exhausted, nothing to analyze, ...)
-  2  bad usage (unknown dataset, unreadable file, malformed --fault-plan)
-  3  partial success (--keep-going finished with datasets missing)
+  2  bad usage (unknown dataset, unreadable file, malformed --fault-plan
+     or --scenario spec)
+  3  partial success (--keep-going finished with datasets missing, or a
+     scenario left N pairs permanently disconnected)
 """
 
 
@@ -382,6 +388,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.experiments.runner import _routing_jobs_env
+    from repro.obs import runtime as obs
+    from repro.scenario import (
+        ScenarioError,
+        ScenarioPlan,
+        ScenarioPlanError,
+        ScenarioRun,
+    )
+
+    if args.scenario is not None and args.scenario_file is not None:
+        print(
+            "give --scenario or --scenario-file, not both", file=sys.stderr
+        )
+        return EXIT_USAGE
+    spec = args.scenario
+    if args.scenario_file is not None:
+        try:
+            with open(args.scenario_file, encoding="utf-8") as fh:
+                spec = fh.read()
+        except OSError as exc:
+            print(f"unreadable scenario file: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    try:
+        plan = ScenarioPlan.parse(spec or "")
+        with _routing_jobs_env(args.routing_jobs):
+            capture_ctx = obs.capture() if args.trace else nullcontext()
+            with capture_ctx as cap:
+                run = ScenarioRun(plan, seed=args.seed, n_hosts=args.hosts)
+                dataset, report = run.execute()
+    except (ScenarioPlanError, ScenarioError) as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"bad usage: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.output:
+        from repro.datasets import save_dataset
+
+        save_dataset(dataset, args.output)
+        print(f"wrote {args.output}")
+    if args.trace:
+        from repro.obs.artifact import write_run_trace
+
+        meta = {
+            "command": "whatif",
+            "seed": args.seed,
+            "scenario": plan.to_spec(),
+        }
+        trace_path, metrics_path = write_run_trace(cap, meta, args.trace)
+        print(f"wrote trace {trace_path} and {metrics_path}")
+    print(report.render())
+    n_disconnected = len(report.permanently_disconnected)
+    if n_disconnected:
+        print(
+            f"scenario left {n_disconnected} pairs permanently disconnected",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
 def _add_robustness_args(p: argparse.ArgumentParser) -> None:
     """Fault-tolerance flags shared by ``suite`` and ``reproduce``."""
     p.add_argument(
@@ -592,6 +662,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     _configure_check_parser(p)
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "whatif",
+        help="run a network failure/what-if scenario "
+        "(see docs/SCENARIOS.md for the clause grammar)",
+    )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="scenario plan spec, e.g. 'link-down:6-11:at=600:for=900' "
+        "(clauses joined with ';'; empty = plain measurement run)",
+    )
+    p.add_argument(
+        "--scenario-file",
+        default=None,
+        metavar="PATH",
+        help="read the scenario spec from a file instead",
+    )
+    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument(
+        "--hosts", type=int, default=12, help="measurement host pool size"
+    )
+    p.add_argument(
+        "--routing-jobs",
+        type=int,
+        default=None,
+        help="BGP batch-convergence worker processes "
+        "(default: REPRO_ROUTING_JOBS or serial)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the scenario dataset here (jsonl)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a RunTrace JSON (plus metrics.json alongside); "
+        "inspect with `repro trace PATH`",
+    )
+    p.set_defaults(func=_cmd_whatif)
 
     p = sub.add_parser(
         "bench",

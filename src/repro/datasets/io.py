@@ -84,6 +84,7 @@ def _encode_header(dataset: Dataset) -> dict:
             "control_failures": dataset.stats.control_failures,
             "rate_limited_probes": dataset.stats.rate_limited_probes,
             "blacked_out": dataset.stats.blacked_out,
+            "unreachable": dataset.stats.unreachable,
         },
         "path_info": [
             {

@@ -21,7 +21,11 @@ to pool workers all use the same format)::
 
 Clause grammar: ``<kind>[:<key>][:times=N][:delay=S]``, clauses joined
 with ``;``.  A JSON array of ``{"kind", "key", "times", "delay_s"}``
-objects is also accepted (useful for generated plans).
+objects is also accepted (useful for generated plans).  The grammar is
+shared with the network-scenario plans of :mod:`repro.scenario.plan`
+through :func:`split_clause`; the canonical grammar description lives in
+``docs/ROBUSTNESS.md`` ("Fault plans"), with the scenario clause registry
+in ``docs/SCENARIOS.md``.
 
 The injection-point registry (which kinds fire at which site, and what
 each does) is documented in ``docs/ROBUSTNESS.md``.
@@ -65,6 +69,62 @@ DEFAULT_DELAY_S = 0.25
 
 class FaultPlanError(ValueError):
     """Raised for malformed fault-plan specs (CLI maps this to exit 2)."""
+
+
+def clause_context(clause: str, position: int) -> str:
+    """The error prefix identifying a clause: its 1-based position and text.
+
+    Every parse error names the offending clause this way so a bad clause
+    buried in a long plan string can be found without counting ``;`` by
+    hand.
+    """
+    return f"clause {position + 1} ({clause.strip()!r})"
+
+
+def split_clause(
+    clause: str,
+    position: int,
+    *,
+    known_options: tuple[str, ...],
+    error_cls: type[ValueError],
+) -> tuple[str, str | None, dict[str, str]]:
+    """Tokenize one ``<kind>[:<key>][:opt=val ...]`` clause.
+
+    The shared half of the clause grammar used by both :class:`FaultPlan`
+    and :class:`repro.scenario.plan.ScenarioPlan`: the first field is the
+    kind, an optional second bare field is the key, and every remaining
+    field must be a ``name=value`` option drawn from ``known_options``.
+
+    Returns:
+        ``(kind, key_or_None, options)`` with all fields stripped.
+
+    Raises:
+        error_cls: with the clause text and position on any malformed
+            field.
+    """
+    ctx = clause_context(clause, position)
+    fields = [f.strip() for f in clause.split(":")]
+    kind = fields[0]
+    key: str | None = None
+    options: dict[str, str] = {}
+    for i, part in enumerate(fields[1:]):
+        if "=" in part:
+            opt, _, value = part.partition("=")
+            opt = opt.strip()
+            if opt not in known_options:
+                raise error_cls(
+                    f"{ctx}: unknown option {opt!r} "
+                    f"(supported: {', '.join(known_options)})"
+                )
+            options[opt] = value.strip()
+        elif i == 0:
+            key = part
+        else:
+            raise error_cls(
+                f"{ctx}: unexpected field {part!r} "
+                "(options must be name=value)"
+            )
+    return kind, key, options
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,45 +183,37 @@ class FaultSpec:
         return ":".join(parts)
 
 
-def _parse_clause(clause: str) -> FaultSpec:
-    fields = [f.strip() for f in clause.split(":")]
-    kind = fields[0]
-    key = "*"
-    options: dict[str, str] = {}
-    for i, part in enumerate(fields[1:]):
-        if "=" in part:
-            opt, _, value = part.partition("=")
-            options[opt.strip()] = value.strip()
-        elif i == 0:
-            key = part
-        else:
-            raise FaultPlanError(
-                f"clause {clause!r}: unexpected field {part!r} "
-                "(options must be name=value)"
-            )
+def _parse_clause(clause: str, position: int = 0) -> FaultSpec:
+    ctx = clause_context(clause, position)
+    kind, key, options = split_clause(
+        clause, position, known_options=("times", "delay"),
+        error_cls=FaultPlanError,
+    )
     times = 1
     delay_s = DEFAULT_DELAY_S
-    for opt, value in options.items():
-        if opt == "times":
-            try:
-                times = int(value)
-            except ValueError:
-                raise FaultPlanError(
-                    f"clause {clause!r}: times must be an integer, got {value!r}"
-                ) from None
-        elif opt == "delay":
-            try:
-                delay_s = float(value)
-            except ValueError:
-                raise FaultPlanError(
-                    f"clause {clause!r}: delay must be a number, got {value!r}"
-                ) from None
-        else:
+    if "times" in options:
+        try:
+            times = int(options["times"])
+        except ValueError:
             raise FaultPlanError(
-                f"clause {clause!r}: unknown option {opt!r} "
-                "(supported: times, delay)"
-            )
-    return FaultSpec(kind=kind, key=key, times=times, delay_s=delay_s)
+                f"{ctx}: times must be an integer, got {options['times']!r}"
+            ) from None
+    if "delay" in options:
+        try:
+            delay_s = float(options["delay"])
+        except ValueError:
+            raise FaultPlanError(
+                f"{ctx}: delay must be a number, got {options['delay']!r}"
+            ) from None
+    try:
+        return FaultSpec(
+            kind=kind, key=key if key is not None else "*",
+            times=times, delay_s=delay_s,
+        )
+    except FaultPlanError as exc:
+        # FaultSpec validation knows kind/key but not where the clause sat
+        # in the plan string; re-raise with the full clause context.
+        raise FaultPlanError(f"{ctx}: {exc}") from None
 
 
 def _parse_json(text: str) -> tuple[FaultSpec, ...]:
@@ -215,8 +267,8 @@ class FaultPlan:
             return cls(specs=_parse_json(text))
         return cls(
             specs=tuple(
-                _parse_clause(clause)
-                for clause in text.split(";")
+                _parse_clause(clause, position)
+                for position, clause in enumerate(text.split(";"))
                 if clause.strip()
             )
         )

@@ -37,7 +37,7 @@ from repro.measurement.traceroute import INTER_PROBE_GAP_S
 from repro.netsim.conditions import NetworkConditions, PathSampler
 from repro.netsim.dynamics import DynamicPathSampler
 from repro.routing.dynamics import RouteFlapModel
-from repro.routing.forwarding import PathResolver
+from repro.routing.forwarding import ForwardingError, ForwardPath, PathResolver, RoundTripPath
 from repro.topology.network import Topology
 
 
@@ -65,6 +65,7 @@ class Campaign:
         control_failure_prob: float = 0.01,
         pair_blackout_prob: float = 0.0,
         flap_model: "RouteFlapModel | None" = None,
+        allow_unreachable: bool = False,
     ) -> None:
         """
         Args:
@@ -82,6 +83,12 @@ class Campaign:
             flap_model: Optional route-flap process; when given, probes
                 follow whichever of each pair's primary/secondary route
                 is active at probe time.
+            allow_unreachable: Tolerate pairs with no policy-compliant
+                route instead of raising.  A scenario outage
+                (:mod:`repro.scenario`) can legitimately partition the
+                AS graph; requests toward such pairs record fully-lost
+                traceroutes (or failed transfers) and are tallied in
+                :attr:`CollectionStats.unreachable`.
         """
         if len(host_names) < 2:
             raise CampaignError("a campaign needs at least two hosts")
@@ -108,15 +115,25 @@ class Campaign:
         # routing state instead of converging destinations one at a time.
         dest_asns = sorted({topo.host(name).asn for name in self._hosts})
         self._resolver.bgp.converge_all(dest_asns)
-        self._round_trips = [
-            self._resolver.resolve_round_trip(a, b) for a, b in pairs
-        ]
+        self._unreachable: set[int] = set()
+        round_trips: list[RoundTripPath] = []
+        for i, (a, b) in enumerate(pairs):
+            try:
+                round_trips.append(self._resolver.resolve_round_trip(a, b))
+            except ForwardingError:
+                if not allow_unreachable:
+                    raise
+                self._unreachable.add(i)
+                round_trips.append(self._placeholder_round_trip(a, b))
+        self._round_trips = round_trips
         if flap_model is None:
             self._sampler = PathSampler(conditions, self._round_trips)
         else:
             secondaries = [
-                self._resolver.resolve_round_trip_secondary(a, b)
-                for a, b in pairs
+                self._round_trips[i]
+                if i in self._unreachable
+                else self._resolver.resolve_round_trip_secondary(a, b)
+                for i, (a, b) in enumerate(pairs)
             ]
             self._sampler = DynamicPathSampler(
                 conditions, self._round_trips, secondaries, flap_model
@@ -128,15 +145,46 @@ class Campaign:
             if h.name in set(self._hosts) and h.rate_limits_icmp
         }
 
+    def _placeholder_round_trip(self, a: str, b: str) -> RoundTripPath:
+        """Inert stand-in path for an unreachable pair.
+
+        Keeps the samplers' index spaces aligned with the pair list; it is
+        never probed (unreachable requests are answered with losses before
+        any draw happens), so only structural validity matters — each
+        direction walks the endpoint's own access link and stops.
+        """
+        topo = self._topo
+
+        def stub(src: str, dst: str) -> ForwardPath:
+            host = topo.host(src)
+            return ForwardPath(
+                src=src,
+                dst=dst,
+                routers=(host.access_router,),
+                links=(host.access_link,),
+                as_path=(host.asn,),
+                prop_delay_ms=topo.links[host.access_link].prop_delay_ms,
+            )
+
+        return RoundTripPath(forward=stub(a, b), reverse=stub(b, a))
+
     @property
     def hosts(self) -> list[str]:
         """The campaign's host pool."""
         return list(self._hosts)
 
+    @property
+    def unreachable_pairs(self) -> list[tuple[str, str]]:
+        """Ordered pairs with no policy-compliant route, sorted."""
+        by_index = {i: pair for pair, i in self._pair_index.items()}
+        return sorted(by_index[i] for i in self._unreachable)
+
     def path_info(self) -> dict[tuple[str, str], PathInfo]:
-        """Static routing facts for every ordered pair in the pool."""
+        """Static routing facts for every *reachable* ordered pair."""
         out: dict[tuple[str, str], PathInfo] = {}
         for pair, idx in self._pair_index.items():
+            if idx in self._unreachable:
+                continue
             rt = self._round_trips[idx]
             out[pair] = PathInfo(
                 src=pair[0],
@@ -166,27 +214,40 @@ class Campaign:
 
     def _control_outcomes(
         self, idx: np.ndarray, rng: np.random.Generator, stats: CollectionStats
-    ) -> np.ndarray:
-        """Roll control failures for all requests; returns the executed mask.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Roll control failures for all requests.
 
         One uniform per request, in schedule order, whether or not the
         pair is blacked out — failure classification checks the control
-        roll first, exactly like the scalar reference.
+        roll first, then the blackout set, then route reachability,
+        exactly like the scalar reference.
+
+        Returns:
+            ``(executed, unreachable)`` masks: requests that measure, and
+            requests whose pair has no route (those consume no probe
+            draws but are recorded as total losses by the traceroute
+            path).
         """
         n = len(idx)
         stats.requested = n
         failed = rng.random(n) < self._control_failure_prob
-        if self._blocked:
-            blocked = np.fromiter(
-                (int(i) in self._blocked for i in idx), dtype=bool, count=n
+
+        def pair_mask(members: set[int]) -> np.ndarray:
+            if not members:
+                return np.zeros(n, dtype=bool)
+            return np.fromiter(
+                (int(i) in members for i in idx), dtype=bool, count=n
             )
-        else:
-            blocked = np.zeros(n, dtype=bool)
-        executed = ~failed & ~blocked
+
+        blocked = pair_mask(self._blocked)
+        unroutable = pair_mask(self._unreachable)
+        executed = ~failed & ~blocked & ~unroutable
+        unreachable = ~failed & ~blocked & unroutable
         stats.control_failures = int(failed.sum())
         stats.blacked_out = int((~failed & blocked).sum())
+        stats.unreachable = int(unreachable.sum())
         stats.completed = int(executed.sum())
-        return executed
+        return executed, unreachable
 
     def _apply_rate_limits(
         self, exec_requests: list[Request], samples: np.ndarray
@@ -252,12 +313,14 @@ class Campaign:
         like a genuine loss — downstream tooling cannot tell them apart.
 
         All probes of the batch are generated in one vectorized pass;
-        byte-identical to :meth:`run_traceroutes_scalar`.
+        byte-identical to :meth:`run_traceroutes_scalar`.  Requests whose
+        pair is unreachable (scenario outages) consume no probe draws and
+        are recorded with every probe lost.
         """
         stats = CollectionStats()
         rng = self._rng
         ordered, idx = self._prepare(requests)
-        executed = self._control_outcomes(idx, rng, stats)
+        executed, unreachable = self._control_outcomes(idx, rng, stats)
         exec_pos = np.flatnonzero(executed)
         exec_requests = [ordered[j] for j in exec_pos]
         ts = np.repeat(
@@ -270,7 +333,20 @@ class Campaign:
         stats.rate_limited_probes = self._apply_rate_limits(
             exec_requests, samples
         )
-        return self._traceroute_records(exec_requests, samples), stats
+        if not stats.unreachable:
+            return self._traceroute_records(exec_requests, samples), stats
+        # Scatter measured rows among all-NaN unreachable rows so records
+        # come out in schedule order, like the scalar reference.
+        rec_pos = np.flatnonzero(executed | unreachable)
+        all_samples = np.full(
+            (len(ordered), PROBES_PER_TRACEROUTE), np.nan
+        )
+        all_samples[exec_pos] = samples
+        rec_requests = [ordered[j] for j in rec_pos]
+        return (
+            self._traceroute_records(rec_requests, all_samples[rec_pos]),
+            stats,
+        )
 
     def run_traceroutes_scalar(
         self, requests: Iterable[Request]
@@ -295,6 +371,11 @@ class Campaign:
             if int(i) in self._blocked:
                 stats.blacked_out += 1
                 continue
+            if int(i) in self._unreachable:
+                stats.unreachable += 1
+                rows.append([float("nan")] * PROBES_PER_TRACEROUTE)
+                exec_requests.append(req)
+                continue
             view = self._sampler.bucket_view(req.t)
             rows.append(
                 [view.probe_pair(int(i), rng) for _ in range(PROBES_PER_TRACEROUTE)]
@@ -315,12 +396,14 @@ class Campaign:
         """Execute npd-style TCP transfer requests.
 
         All transfers are measured in one vectorized pass; byte-identical
-        to :meth:`run_transfers_scalar`.
+        to :meth:`run_transfers_scalar`.  Requests toward unreachable
+        pairs fail outright: no record (a TCP connection that never
+        establishes yields nothing to log), only a stats tally.
         """
         stats = CollectionStats()
         rng = self._rng
         ordered, idx = self._prepare(requests)
-        executed = self._control_outcomes(idx, rng, stats)
+        executed, _unreachable = self._control_outcomes(idx, rng, stats)
         exec_pos = np.flatnonzero(executed)
         exec_requests = [ordered[j] for j in exec_pos]
         exec_idx = idx[exec_pos]
@@ -356,6 +439,9 @@ class Campaign:
                 continue
             if int(i) in self._blocked:
                 stats.blacked_out += 1
+                continue
+            if int(i) in self._unreachable:
+                stats.unreachable += 1
                 continue
             view = self._sampler.bucket_view(req.t)
             result = self._tcp.measure(view, int(i), rng)

@@ -130,6 +130,12 @@ class CollectionStats:
             unmeasurable (the campaign's ``pair_blackout_prob``) — the
             Table 1 "percent of paths covered" shortfall, as opposed to
             the transient control failures above.
+        unreachable: Requests whose pair had no policy-compliant route at
+            resolution time (a scenario outage; see
+            :mod:`repro.scenario`).  Traceroute requests still produce a
+            record — every probe lost, exactly what the tool would see —
+            but are not counted as ``completed``; transfer requests simply
+            fail.
     """
 
     requested: int = 0
@@ -137,6 +143,7 @@ class CollectionStats:
     control_failures: int = 0
     rate_limited_probes: int = 0
     blacked_out: int = 0
+    unreachable: int = 0
     notes: list[str] = field(default_factory=list)
 
     @property

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.netsim.conditions import (
+    BUCKET_SECONDS,
     BucketProbeMixin,
     NetworkConditions,
     PathSampler,
@@ -36,9 +37,15 @@ class DynamicPathSampler(BucketProbeMixin):
     and consults the flap model per (pair, time).  The flap decisions are
     pure functions of (pair, window), so the per-window secondary masks
     and the flappy-pair set are computed once and cached; blended bucket
-    views come from the shared :class:`BucketProbeMixin` cache (flap
-    windows are whole multiples of the congestion bucket, so a bucket
-    never straddles a route change).
+    views come from the shared :class:`BucketProbeMixin` cache.
+
+    Correctness of both caches requires the flap window to be a whole
+    multiple of the congestion bucket — otherwise a bucket view straddles
+    a route change and probes silently sample the wrong route.  The
+    window length is read from the model's ``window_s`` attribute
+    (default :data:`FLAP_WINDOW_S`) and validated at construction; a
+    scenario whose ``for=`` durations imply a misaligned window is
+    rejected here with a clear error instead of mis-bucketing.
     """
 
     def __init__(
@@ -50,6 +57,14 @@ class DynamicPathSampler(BucketProbeMixin):
     ) -> None:
         if len(primaries) != len(secondaries):
             raise ValueError("primary/secondary path lists must align")
+        window_s = float(getattr(flap_model, "window_s", FLAP_WINDOW_S))
+        if window_s <= 0 or window_s % BUCKET_SECONDS != 0.0:
+            raise ValueError(
+                f"flap window ({window_s:g} s) must be a positive whole "
+                f"multiple of the congestion bucket ({BUCKET_SECONDS:g} s); "
+                "a bucket must never straddle a route change"
+            )
+        self._window_s = window_s
         self._primary = PathSampler(conditions, primaries)
         self._secondary = PathSampler(conditions, secondaries)
         self.flap_model = flap_model
@@ -60,7 +75,7 @@ class DynamicPathSampler(BucketProbeMixin):
         return len(self._primary)
 
     def _active_mask(self, t: float) -> np.ndarray:
-        window = int(t // FLAP_WINDOW_S)
+        window = int(t // self._window_s)
         mask = self._mask_cache.get(window)
         if mask is None:
             if self._flappy is None:
@@ -72,7 +87,7 @@ class DynamicPathSampler(BucketProbeMixin):
             if len(self._mask_cache) > 256:
                 self._mask_cache.clear()
             mask = np.zeros(len(self), dtype=bool)
-            window_t = window * FLAP_WINDOW_S
+            window_t = window * self._window_s
             for i in np.flatnonzero(self._flappy):
                 mask[i] = self.flap_model.on_secondary(int(i), window_t)
             self._mask_cache[window] = mask

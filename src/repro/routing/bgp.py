@@ -248,6 +248,22 @@ class BGPTable:
                 self._converge_parallel(missing, n_jobs)
         obs.count("routing.bgp.batch_convergences", len(missing))
 
+    def convergence_rounds(self, dest: int) -> int:
+        """Synchronous relaxation rounds until ``dest``'s routes stabilize.
+
+        Runs the fixpoint oracle regardless of the configured algorithm
+        (the staged solver is single-pass and has no notion of rounds) and
+        does not touch the shared route store.  The scenario layer uses
+        this as a deterministic proxy for BGP reconvergence time after a
+        failure: real BGP paces updates by the MRAI timer, so wall-clock
+        time-to-repair scales with the number of rounds.
+
+        Raises:
+            BGPError: if the destination is unknown or never converges.
+        """
+        _best, rounds = self._converge_rounds(dest)
+        return rounds
+
     def reachable_fraction(self) -> float:
         """Fraction of ordered AS pairs with a policy-compliant route.
 

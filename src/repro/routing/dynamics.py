@@ -54,6 +54,18 @@ class RouteFlapModel:
         if not 0.0 <= self.flap_probability <= 1.0:
             raise ValueError("flap_probability must be in [0, 1]")
 
+    @property
+    def window_s(self) -> float:
+        """Length of this model's flap-evaluation window, seconds.
+
+        Consumers that cache per-window state
+        (:class:`~repro.netsim.dynamics.DynamicPathSampler`) read the
+        window length from the model rather than assuming
+        :data:`FLAP_WINDOW_S`, so wrapper models (scenario flap storms)
+        can declare a finer granularity.
+        """
+        return FLAP_WINDOW_S
+
     def _hash01(self, *parts: int) -> float:
         rng = np.random.default_rng((self.seed, 0xF1A9, *parts))
         return float(rng.random())

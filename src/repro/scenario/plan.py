@@ -1,0 +1,304 @@
+"""Scenario plans: timed network events in the fault-plan clause grammar.
+
+A :class:`ScenarioPlan` is an ordered list of :class:`ScenarioEvent`
+clauses, each naming a network event ``kind``, the ``key`` it applies to,
+and *when* it happens.  Where :class:`repro.faults.plan.FaultPlan`
+counts *attempts* of pipeline operations, a scenario plan measures
+*simulation time*: every clause carries ``at=T`` (seconds from the
+simulated origin) and transient kinds add ``for=S`` (duration).  Plans
+travel as compact strings (the ``--scenario`` CLI flag)::
+
+    link-down:2-7:at=1800:for=900      # AS2-AS7 adjacency fails for 15 min
+    node-down:9:at=3600                # AS9 withdraws entirely (permanent)
+    region-outage:na-west:at=600:for=600
+    flap-storm:whatif-*->whatif-3:at=1200:for=1800
+    depeer:4-11:at=2400                # adjacency removed permanently
+    new-transit:1-13:at=2400           # AS1 becomes AS13's provider
+
+Clause grammar: ``<kind>:<key>:at=T[:for=S]``, clauses joined with ``;``
+— the same ``<kind>[:<key>][:opt=val]`` shape as fault plans, tokenized
+by the shared :func:`repro.faults.plan.split_clause`.  A JSON array of
+``{"kind", "key", "at_s", "for_s"}`` objects is also accepted.  The full
+clause registry (what each kind does, key formats, duration rules) is
+documented in ``docs/SCENARIOS.md``.
+
+Times must be whole multiples of the congestion bucket
+(:data:`repro.netsim.conditions.BUCKET_SECONDS`): the measurement
+pipeline freezes congestion state per bucket, so a route change inside a
+bucket would silently straddle cached views.  Misaligned clauses are
+rejected at parse time (CLI exit 2), not at collection time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.faults.plan import clause_context, split_clause
+from repro.netsim.conditions import BUCKET_SECONDS
+
+#: Network-event clause kinds (see docs/SCENARIOS.md for the registry).
+KIND_LINK_DOWN = "link-down"
+KIND_NODE_DOWN = "node-down"
+KIND_REGION_OUTAGE = "region-outage"
+KIND_FLAP_STORM = "flap-storm"
+KIND_DEPEER = "depeer"
+KIND_NEW_TRANSIT = "new-transit"
+
+SCENARIO_KINDS = (
+    KIND_LINK_DOWN,
+    KIND_NODE_DOWN,
+    KIND_REGION_OUTAGE,
+    KIND_FLAP_STORM,
+    KIND_DEPEER,
+    KIND_NEW_TRANSIT,
+)
+
+#: Kinds whose key names an AS adjacency as ``<asA>-<asB>``.
+_PAIR_KINDS = (KIND_LINK_DOWN, KIND_DEPEER, KIND_NEW_TRANSIT)
+
+#: Kinds that must carry a ``for=`` duration (transient by definition).
+_DURATION_REQUIRED = (KIND_REGION_OUTAGE, KIND_FLAP_STORM)
+
+#: Kinds that must NOT carry ``for=`` (their effect is permanent).
+_DURATION_FORBIDDEN = (KIND_NODE_DOWN, KIND_DEPEER, KIND_NEW_TRANSIT)
+
+
+class ScenarioPlanError(ValueError):
+    """Raised for malformed scenario specs (CLI maps this to exit 2)."""
+
+
+def _check_aligned(name: str, value: float) -> None:
+    if value % BUCKET_SECONDS != 0.0:
+        raise ScenarioPlanError(
+            f"{name}={value:g} is not a multiple of the congestion bucket "
+            f"({BUCKET_SECONDS:g} s); events must land on bucket boundaries"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioEvent:
+    """One network event: a kind, a key, and its place on the timeline.
+
+    Attributes:
+        kind: One of :data:`SCENARIO_KINDS`.
+        key: What the event applies to — an ``<asA>-<asB>`` adjacency for
+            ``link-down``/``depeer``/``new-transit``, a single ASN for
+            ``node-down``, a geographic region name for
+            ``region-outage``, or an fnmatch glob over ``src->dst`` pair
+            names for ``flap-storm``.
+        at_s: Event start, seconds of simulation time; must be a whole
+            multiple of :data:`~repro.netsim.conditions.BUCKET_SECONDS`.
+        for_s: Duration for transient events, same alignment rule; None
+            for permanent events.  Required for ``region-outage`` and
+            ``flap-storm``, forbidden for ``node-down``, ``depeer`` and
+            ``new-transit``, optional for ``link-down`` (a ``link-down``
+            without a duration never comes back up).
+    """
+
+    kind: str
+    key: str
+    at_s: float
+    for_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ScenarioPlanError(
+                f"unknown scenario kind {self.kind!r}; "
+                f"choose from {sorted(SCENARIO_KINDS)}"
+            )
+        if not self.key:
+            raise ScenarioPlanError(f"{self.kind}: empty key")
+        if self.at_s < 0:
+            raise ScenarioPlanError(
+                f"{self.kind}:{self.key}: at must be >= 0, got {self.at_s:g}"
+            )
+        _check_aligned("at", self.at_s)
+        if self.kind in _DURATION_REQUIRED and self.for_s is None:
+            raise ScenarioPlanError(
+                f"{self.kind}:{self.key}: a 'for=' duration is required"
+            )
+        if self.kind in _DURATION_FORBIDDEN and self.for_s is not None:
+            raise ScenarioPlanError(
+                f"{self.kind}:{self.key}: permanent event takes no 'for='"
+            )
+        if self.for_s is not None:
+            if self.for_s <= 0:
+                raise ScenarioPlanError(
+                    f"{self.kind}:{self.key}: for must be > 0, "
+                    f"got {self.for_s:g}"
+                )
+            _check_aligned("for", self.for_s)
+        if self.kind in _PAIR_KINDS:
+            self.endpoints  # validates the <asA>-<asB> format
+        if self.kind == KIND_NODE_DOWN:
+            self.asn  # validates the single-ASN format
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        """The ``(asA, asB)`` adjacency named by a pair-kind key.
+
+        Raises:
+            ScenarioPlanError: for non-pair kinds or malformed keys.
+        """
+        if self.kind not in _PAIR_KINDS:
+            raise ScenarioPlanError(f"{self.kind} has no AS-pair key")
+        a, sep, b = self.key.partition("-")
+        try:
+            if not sep:
+                raise ValueError
+            asn_a, asn_b = int(a), int(b)
+        except ValueError:
+            raise ScenarioPlanError(
+                f"{self.kind}: key must be '<asA>-<asB>' "
+                f"(two ASNs), got {self.key!r}"
+            ) from None
+        if asn_a == asn_b:
+            raise ScenarioPlanError(
+                f"{self.kind}:{self.key}: an AS cannot link to itself"
+            )
+        return asn_a, asn_b
+
+    @property
+    def asn(self) -> int:
+        """The ASN named by a ``node-down`` key.
+
+        Raises:
+            ScenarioPlanError: for other kinds or malformed keys.
+        """
+        if self.kind != KIND_NODE_DOWN:
+            raise ScenarioPlanError(f"{self.kind} has no single-ASN key")
+        try:
+            return int(self.key)
+        except ValueError:
+            raise ScenarioPlanError(
+                f"{self.kind}: key must be an ASN, got {self.key!r}"
+            ) from None
+
+    @property
+    def end_s(self) -> float | None:
+        """When a transient event reverts, or None for permanent ones."""
+        return None if self.for_s is None else self.at_s + self.for_s
+
+    def to_clause(self) -> str:
+        """The canonical spec-string clause for this event."""
+        parts = [self.kind, self.key, f"at={self.at_s:g}"]
+        if self.for_s is not None:
+            parts.append(f"for={self.for_s:g}")
+        return ":".join(parts)
+
+
+def _parse_clause(clause: str, position: int = 0) -> ScenarioEvent:
+    ctx = clause_context(clause, position)
+    kind, key, options = split_clause(
+        clause, position, known_options=("at", "for"),
+        error_cls=ScenarioPlanError,
+    )
+    if "at" not in options:
+        raise ScenarioPlanError(f"{ctx}: every scenario clause needs at=T")
+    try:
+        at_s = float(options["at"])
+    except ValueError:
+        raise ScenarioPlanError(
+            f"{ctx}: at must be a number, got {options['at']!r}"
+        ) from None
+    for_s: float | None = None
+    if "for" in options:
+        try:
+            for_s = float(options["for"])
+        except ValueError:
+            raise ScenarioPlanError(
+                f"{ctx}: for must be a number, got {options['for']!r}"
+            ) from None
+    try:
+        return ScenarioEvent(
+            kind=kind, key=key if key is not None else "",
+            at_s=at_s, for_s=for_s,
+        )
+    except ScenarioPlanError as exc:
+        # Event validation knows kind/key but not where the clause sat in
+        # the plan string; re-raise with the full clause context.
+        raise ScenarioPlanError(f"{ctx}: {exc}") from None
+
+
+def _parse_json(text: str) -> tuple[ScenarioEvent, ...]:
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioPlanError(f"bad JSON scenario plan: {exc}") from exc
+    if not isinstance(raw, list):
+        raise ScenarioPlanError("JSON scenario plan must be an array of objects")
+    events = []
+    for entry in raw:
+        if not isinstance(entry, dict) or "kind" not in entry:
+            raise ScenarioPlanError(
+                f"JSON scenario clause must be an object with a 'kind': {entry!r}"
+            )
+        unknown = set(entry) - {"kind", "key", "at_s", "for_s"}
+        if unknown:
+            raise ScenarioPlanError(
+                f"JSON scenario clause has unknown fields {sorted(unknown)}"
+            )
+        try:
+            events.append(ScenarioEvent(**entry))
+        except TypeError as exc:
+            raise ScenarioPlanError(
+                f"bad JSON scenario clause {entry!r}: {exc}"
+            ) from exc
+    return tuple(events)
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioPlan:
+    """An ordered collection of :class:`ScenarioEvent` clauses.
+
+    Order matters only for error reporting and serialization; the
+    timeline applies events strictly by ``(at_s, plan position)``.  An
+    empty plan (from ``ScenarioPlan.parse("")``) is a valid no-op
+    scenario.
+    """
+
+    events: tuple[ScenarioEvent, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "ScenarioPlan":
+        """Parse a spec string (compact clause or JSON-array format).
+
+        Raises:
+            ScenarioPlanError: on any malformed clause, naming the
+                offending clause text and its position.
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        if text.startswith("["):
+            return cls(events=_parse_json(text))
+        return cls(
+            events=tuple(
+                _parse_clause(clause, position)
+                for position, clause in enumerate(text.split(";"))
+                if clause.strip()
+            )
+        )
+
+    def to_spec(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        return ";".join(event.to_clause() for event in self.events)
+
+    @property
+    def last_transition_s(self) -> float:
+        """Latest event start or revert time; 0.0 for an empty plan."""
+        times = [e.at_s for e in self.events]
+        times += [e.end_s for e in self.events if e.end_s is not None]
+        return max(times, default=0.0)
+
+    def storms(self) -> tuple[ScenarioEvent, ...]:
+        """The flap-storm events, in plan order."""
+        return tuple(e for e in self.events if e.kind == KIND_FLAP_STORM)
+
+    def topology_events(self) -> tuple[ScenarioEvent, ...]:
+        """Events that mutate the AS graph (everything but flap storms)."""
+        return tuple(e for e in self.events if e.kind != KIND_FLAP_STORM)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

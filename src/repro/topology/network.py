@@ -231,6 +231,130 @@ class Topology:
             raise TopologyError("exchange link endpoints must be in different ASes")
         self._exchange_links[frozenset((asn_u, asn_v))].append(link.link_id)
 
+    # -- scenario mutation -------------------------------------------------
+    #
+    # The failure engine (repro.scenario) toggles AS-level structure —
+    # adjacencies and the exchange-link index — but never the router/link
+    # substrate: netsim keeps per-link state in flat arrays sized at
+    # construction, so link ids must stay dense and stable for the life of
+    # a run.  Each mutator returns exactly what its inverse needs, so a
+    # timeline can revert to a byte-identical pristine topology.
+
+    def _invalidate_as_graph(self) -> None:
+        """Drop state derived from the AS graph after an adjacency change.
+
+        Only the BGP bag of :meth:`routing_cache` is cleared: IGP tables
+        are intra-AS functions of the router/link substrate, which
+        adjacency mutations cannot touch, so they stay warm across
+        scenario segments.
+        """
+        self._rel_index = None
+        self._route_cache.pop("bgp", None)
+
+    def as_link_between(self, asn_a: int, asn_b: int) -> ASLink | None:
+        """The BGP adjacency connecting two ASes, or None."""
+        for as_link in self._as_adj.get(asn_a, []):
+            if as_link.other(asn_a) == asn_b:
+                return as_link
+        return None
+
+    def remove_as_link(self, as_link: ASLink) -> int:
+        """Remove a BGP adjacency; returns its index in :attr:`as_links`.
+
+        The exchange-link index entry for the pair is *not* touched (use
+        :meth:`detach_exchange_link`); pass the returned index to
+        :meth:`insert_as_link` to restore the adjacency exactly.
+
+        Raises:
+            TopologyError: if the adjacency is not registered.
+        """
+        try:
+            index = self.as_links.index(as_link)
+        except ValueError:
+            raise TopologyError(
+                f"AS link AS{as_link.a}-AS{as_link.b} is not registered"
+            ) from None
+        del self.as_links[index]
+        self._as_adj[as_link.a].remove(as_link)
+        self._as_adj[as_link.b].remove(as_link)
+        self._invalidate_as_graph()
+        return index
+
+    def insert_as_link(self, index: int, as_link: ASLink) -> ASLink:
+        """Re-insert a removed adjacency at its original position.
+
+        Exact inverse of :meth:`remove_as_link`: the adjacency lists are
+        restored to the order sequential :meth:`add_as_link` calls would
+        have produced, so solver iteration order round-trips.
+
+        Raises:
+            TopologyError: if the index is out of range or an ASN unknown.
+        """
+        for asn in (as_link.a, as_link.b):
+            if asn not in self.ases:
+                raise TopologyError(f"unknown ASN {asn} in AS link")
+        if not 0 <= index <= len(self.as_links):
+            raise TopologyError(f"AS link index {index} out of range")
+        self.as_links.insert(index, as_link)
+        for asn in (as_link.a, as_link.b):
+            pos = sum(
+                1 for other in self.as_links[:index] if asn in (other.a, other.b)
+            )
+            self._as_adj[asn].insert(pos, as_link)
+        self._invalidate_as_graph()
+        return as_link
+
+    def detach_exchange_link(self, link_id: int) -> int:
+        """Remove one router-level link from the exchange index.
+
+        The :class:`Link` itself stays in :attr:`links` (the netsim
+        substrate is fixed), so this only changes what
+        :meth:`exchange_links_between` reports.  Forwarding-level state
+        only: routing caches are untouched, but :class:`PathResolver`
+        instances built before the change hold stale egress rankings and
+        must be rebuilt.
+
+        Returns:
+            The link's position in its index entry, for
+            :meth:`reattach_exchange_link`.
+
+        Raises:
+            TopologyError: if the link is not in the exchange index.
+        """
+        link = self.links[link_id]
+        key = frozenset((self.routers[link.u].asn, self.routers[link.v].asn))
+        ids = self._exchange_links.get(key)
+        if not ids or link_id not in ids:
+            raise TopologyError(
+                f"link {link_id} is not in the exchange index"
+            )
+        position = ids.index(link_id)
+        ids.pop(position)
+        if not ids:
+            del self._exchange_links[key]
+        return position
+
+    def reattach_exchange_link(self, link_id: int, position: int) -> None:
+        """Exact inverse of :meth:`detach_exchange_link`.
+
+        Raises:
+            TopologyError: if the link is not an inter-AS exchange link or
+                the position is out of range.
+        """
+        link = self.links[link_id]
+        if link.kind is not LinkKind.EXCHANGE:
+            raise TopologyError("reattach_exchange_link requires an EXCHANGE link")
+        asn_u = self.routers[link.u].asn
+        asn_v = self.routers[link.v].asn
+        if asn_u == asn_v:
+            raise TopologyError("exchange link endpoints must be in different ASes")
+        ids = self._exchange_links[frozenset((asn_u, asn_v))]
+        if not 0 <= position <= len(ids):
+            raise TopologyError(
+                f"exchange index position {position} out of range"
+            )
+        ids.insert(position, link_id)
+
     def add_host(self, host: Host) -> Host:
         """Register a measurement host.
 

@@ -73,6 +73,17 @@ def test_malformed_specs_rejected(bad):
         FaultPlan.parse(bad)
 
 
+def test_errors_name_clause_text_and_position():
+    with pytest.raises(
+        FaultPlanError, match=r"clause 2 \('explode:uw3'\)"
+    ):
+        FaultPlan.parse("crash:uw3;explode:uw3")
+    with pytest.raises(
+        FaultPlanError, match=r"clause 1 \('slow:d2:delay=x'\)"
+    ):
+        FaultPlan.parse("slow:d2:delay=x;crash:uw3")
+
+
 def test_match_site_key_and_attempt():
     plan = FaultPlan.parse("fail:uw3:times=2")
     assert plan.match(SITE_BUILD, "uw3", 0) is not None

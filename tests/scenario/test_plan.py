@@ -1,0 +1,172 @@
+"""Scenario-plan grammar tests, plus the shared round-trip property.
+
+The round-trip property — ``parse(plan.to_spec()) == plan`` — is asserted
+for *both* plan grammars built on :func:`repro.faults.plan.split_clause`
+(fault plans and scenario plans), over hypothesis-generated plans, so the
+shared tokenizer cannot drift for one consumer without the other
+noticing.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.plan import FaultPlan, FaultSpec, KIND_SITES
+from repro.netsim.conditions import BUCKET_SECONDS
+from repro.scenario.plan import (
+    SCENARIO_KINDS,
+    ScenarioEvent,
+    ScenarioPlan,
+    ScenarioPlanError,
+)
+
+
+def test_parse_compact_clauses():
+    plan = ScenarioPlan.parse(
+        "link-down:2-7:at=1800:for=900;node-down:9:at=3600;"
+        "flap-storm:whatif-*->whatif-3:at=1200:for=1800"
+    )
+    assert [e.kind for e in plan.events] == [
+        "link-down", "node-down", "flap-storm",
+    ]
+    assert plan.events[0].endpoints == (2, 7)
+    assert plan.events[0].end_s == 2700.0
+    assert plan.events[1].asn == 9
+    assert plan.events[1].for_s is None
+    assert plan.events[2].key == "whatif-*->whatif-3"
+
+
+def test_parse_empty_is_noop_plan():
+    assert ScenarioPlan.parse("") == ScenarioPlan()
+    assert not ScenarioPlan.parse("  ")
+    assert ScenarioPlan.parse("").last_transition_s == 0.0
+
+
+def test_parse_json_array():
+    plan = ScenarioPlan.parse(
+        '[{"kind": "depeer", "key": "4-11", "at_s": 2400},'
+        ' {"kind": "region-outage", "key": "na-west", "at_s": 600,'
+        '  "for_s": 600}]'
+    )
+    assert plan.events[0] == ScenarioEvent(kind="depeer", key="4-11", at_s=2400)
+    assert plan.events[1].for_s == 600
+    assert ScenarioPlan.parse(plan.to_spec()) == plan
+
+
+def test_event_partition_helpers():
+    plan = ScenarioPlan.parse(
+        "flap-storm:a->b:at=0:for=300;link-down:1-2:at=300"
+    )
+    assert [e.kind for e in plan.storms()] == ["flap-storm"]
+    assert [e.kind for e in plan.topology_events()] == ["link-down"]
+    assert plan.last_transition_s == 300.0
+
+
+@pytest.mark.parametrize(
+    ("bad", "fragment"),
+    [
+        ("warp:1-2:at=300", "unknown scenario kind"),
+        ("link-down:1-2", "needs at=T"),
+        ("link-down:1-2:at=soon", "at must be a number"),
+        ("link-down:1-2:at=450", "not a multiple of the congestion bucket"),
+        ("link-down:1-2:at=300:for=100", "not a multiple"),
+        ("link-down:1-2:at=-300", "at must be >= 0"),
+        ("link-down:1-2:at=300:for=0", "for must be > 0"),
+        ("node-down:9:at=300:for=300", "permanent event takes no 'for='"),
+        ("depeer:4-11:at=0:for=300", "permanent event takes no 'for='"),
+        ("region-outage:na-west:at=0", "'for=' duration is required"),
+        ("flap-storm:a->b:at=0", "'for=' duration is required"),
+        ("link-down:7:at=300", "must be '<asA>-<asB>'"),
+        ("link-down:7-7:at=300", "cannot link to itself"),
+        ("node-down:east:at=300", "must be an ASN"),
+        ("link-down:1-2:at=300:wat=1", "unknown option 'wat'"),
+        ('["not-an-object"]', "must be an object"),
+        ('[{"kind": "depeer", "key": "1-2", "at_s": 0, "x": 1}]',
+         "unknown fields"),
+        ("[oops", "bad JSON scenario plan"),
+    ],
+)
+def test_parse_rejects_bad_clauses(bad, fragment):
+    with pytest.raises(ScenarioPlanError, match=fragment):
+        ScenarioPlan.parse(bad)
+
+
+def test_errors_name_clause_text_and_position():
+    with pytest.raises(
+        ScenarioPlanError,
+        match=r"clause 2 \('node-down:9:at=450'\)",
+    ):
+        ScenarioPlan.parse("link-down:1-2:at=300;node-down:9:at=450")
+
+
+# -- shared round-trip property ---------------------------------------------
+
+_aligned = st.integers(min_value=0, max_value=48).map(
+    lambda k: k * BUCKET_SECONDS
+)
+_aligned_pos = st.integers(min_value=1, max_value=48).map(
+    lambda k: k * BUCKET_SECONDS
+)
+_as_pair = st.tuples(
+    st.integers(min_value=1, max_value=400),
+    st.integers(min_value=1, max_value=400),
+).filter(lambda p: p[0] != p[1]).map(lambda p: f"{p[0]}-{p[1]}")
+_glob = st.text(
+    alphabet="abz0-*?>", min_size=1, max_size=12
+).filter(lambda s: ":" not in s and ";" not in s and "=" not in s)
+
+
+@st.composite
+def scenario_events(draw):
+    kind = draw(st.sampled_from(SCENARIO_KINDS))
+    at_s = draw(_aligned)
+    if kind in ("link-down", "depeer", "new-transit"):
+        key = draw(_as_pair)
+    elif kind == "node-down":
+        key = str(draw(st.integers(min_value=1, max_value=400)))
+    elif kind == "region-outage":
+        key = draw(st.sampled_from(["na-west", "na-east", "europe", "asia"]))
+    else:  # flap-storm
+        key = draw(_glob)
+    if kind in ("region-outage", "flap-storm"):
+        for_s = draw(_aligned_pos)
+    elif kind == "link-down":
+        for_s = draw(st.one_of(st.none(), _aligned_pos))
+    else:
+        for_s = None
+    return ScenarioEvent(kind=kind, key=key, at_s=at_s, for_s=for_s)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(scenario_events(), max_size=6).map(tuple))
+def test_scenario_plan_round_trips(events):
+    plan = ScenarioPlan(events=events)
+    assert ScenarioPlan.parse(plan.to_spec()) == plan
+
+
+@st.composite
+def fault_specs(draw):
+    kind = draw(st.sampled_from(sorted(KIND_SITES)))
+    key = draw(
+        st.one_of(
+            st.just("*"),
+            st.text(
+                alphabet="abcxyz0123-", min_size=1, max_size=8
+            ).filter(lambda s: s not in ("",)),
+        )
+    )
+    times = draw(st.integers(min_value=1, max_value=9))
+    # Only `slow` clauses serialize their delay; other kinds must keep
+    # the default for to_spec() to be lossless.
+    delay_s = (
+        draw(st.integers(min_value=1, max_value=40).map(lambda d: d / 4))
+        if kind == "slow"
+        else FaultSpec(kind=kind, key=key).delay_s
+    )
+    return FaultSpec(kind=kind, key=key, times=times, delay_s=delay_s)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(fault_specs(), max_size=6).map(tuple))
+def test_fault_plan_round_trips(specs):
+    plan = FaultPlan(specs=specs)
+    assert FaultPlan.parse(plan.to_spec()) == plan
