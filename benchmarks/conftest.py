@@ -23,9 +23,17 @@ from repro.experiments import provision_datasets
 #: Default benchmark scale (fraction of each dataset's full duration).
 DEFAULT_BENCH_SCALE = 0.35
 
+#: Default master seed (the paper's publication year, as everywhere else).
+DEFAULT_BENCH_SEED = 1999
+
 
 def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_BENCH_SCALE))
+
+
+def bench_seed() -> int:
+    """Master seed for the benchmark suite (``repro bench --seed`` sets it)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", DEFAULT_BENCH_SEED))
 
 
 def bench_min_samples() -> int:
@@ -44,7 +52,7 @@ def suite():
     """
     report = BuildReport()
     datasets = provision_datasets(
-        BuildConfig(seed=1999, scale=bench_scale()), report=report
+        BuildConfig(seed=bench_seed(), scale=bench_scale()), report=report
     )
     print(f"\n{report.summary()}")
     return datasets

@@ -46,22 +46,15 @@ __all__ = [
     "__version__",
     "analyze",
     "analyze_bandwidth",
-    "build_all",
 ]
 
 
 def __getattr__(name: str) -> object:
-    """Deprecated top-level aliases, kept importable with a warning."""
     if name == "build_all":
-        import warnings
-
-        from repro.datasets import build_all
-
-        warnings.warn(
-            "repro.build_all is deprecated; use "
-            "repro.ReproSession(...).build() or repro.datasets.build_all",
-            DeprecationWarning,
-            stacklevel=2,
+        # Removed deprecated alias: point old callers at the replacements
+        # instead of a bare AttributeError.
+        raise AttributeError(
+            "repro.build_all was deprecated and is no longer exported; "
+            "use repro.ReproSession(...).build() or repro.datasets.build_all"
         )
-        return build_all
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -190,6 +190,84 @@ class ReproSession:
         self._report = last_build_report()
         return artifacts
 
+    def whatif(self, plan: str = "", *, n_hosts: int = 12, **kwargs):
+        """Run a network-failure scenario; returns (dataset, report).
+
+        Args:
+            plan: A scenario spec string (clauses joined with ``;``, e.g.
+                ``"link-down:6-11:at=600:for=900"``) or an already-parsed
+                :class:`~repro.scenario.plan.ScenarioPlan`.  Empty = a
+                plain measurement run on a calm network.
+            n_hosts: Measurement host pool size.
+            **kwargs: Forwarded to
+                :class:`~repro.scenario.run.ScenarioRun`
+                (``mean_interval_s``, ``trailing_buckets``,
+                ``reconverge``).
+
+        Raises:
+            ScenarioPlanError: for a malformed spec string.
+        """
+        from repro.scenario import ScenarioPlan, ScenarioRun
+
+        parsed = ScenarioPlan.parse(plan) if isinstance(plan, str) else plan
+        with self._observed():
+            run = ScenarioRun(
+                parsed, seed=self.seed, n_hosts=n_hosts, **kwargs
+            )
+            return run.execute()
+
+    def serve(
+        self,
+        strategies: Sequence[str] | None = None,
+        *,
+        plan: str = "",
+        n_hosts: int = 12,
+        n_pairs: int = 6,
+        **kwargs,
+    ):
+        """Run the online Detour service; returns an EvaluationReport.
+
+        Every strategy replays the identical environment (topology,
+        scenario timeline, probe draws, request schedule), so the
+        resulting :class:`~repro.service.evaluate.EvaluationReport`
+        table compares them — and the paper's oracle alternates —
+        apples to apples.
+
+        Args:
+            strategies: Strategy names to evaluate in order (default:
+                every registered strategy; see
+                :func:`repro.service.strategy_names`).
+            plan: Scenario spec string or parsed
+                :class:`~repro.scenario.plan.ScenarioPlan` driving
+                failover events (empty = calm network).
+            n_hosts: Measurement host pool size.
+            n_pairs: Number of (src, dst) client pairs to serve.
+            **kwargs: Forwarded to
+                :class:`~repro.service.DetourService` (``duration_s``,
+                ``probe_interval_s``, ``relays_per_pair``, ...).
+
+        Raises:
+            ScenarioPlanError: for a malformed spec string.
+            StrategyError: for an unknown strategy name.
+            ServiceError: for invalid service parameters.
+        """
+        from repro.scenario import ScenarioPlan
+        from repro.service import DetourService, evaluate_strategies
+
+        parsed = ScenarioPlan.parse(plan) if isinstance(plan, str) else plan
+        with self._observed():
+            service = DetourService(
+                parsed,
+                seed=self.seed,
+                n_hosts=n_hosts,
+                n_pairs=n_pairs,
+                **kwargs,
+            )
+            return evaluate_strategies(
+                service,
+                tuple(strategies) if strategies is not None else None,
+            )
+
     # -- observability -----------------------------------------------------
 
     @property

@@ -47,7 +47,19 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_PARTIAL = 3
 
-_EXIT_CODE_EPILOG = """\
+#: The single authoritative statement of the exit-code contract; every
+#: subcommand's --help carries it via :func:`_exit_codes_epilog`.
+_EXIT_CODES_TEXT = """\
+exit codes:
+  0  success
+  1  operation failed (build retries exhausted, nothing to analyze, ...)
+  2  bad usage (unknown dataset or strategy, unreadable file, malformed
+     --fault-plan or --scenario spec)
+  3  partial success (--keep-going finished with datasets missing, or a
+     scenario left N pairs permanently disconnected)
+"""
+
+_COMMAND_SURFACE = """\
 command surface:
   traceroute   demo traceroute between two simulated hosts
   build        build one paper dataset and save it (--dataset, -o)
@@ -60,25 +72,94 @@ command surface:
                (--jobs, --routing-jobs, --no-cache, --trace out.json,
                robustness flags)
   reproduce    regenerate the paper's tables/figures
-               (--only, --markdown, --svg-dir, --trace out.json)
+               (--only, -o report.md, --svg-dir, --trace out.json)
   trace        inspect a RunTrace written by --trace
                (--trace-file PATH or positionally; --top N, --validate)
   check        determinism-and-invariant static analysis
                (--deep whole-program ARCH/PAR/PERF; --changed diff scope)
   bench        record/compare a perf baseline (BENCH_routing.json,
-               BENCH_measurement.json)
+               BENCH_measurement.json, BENCH_service.json)
   whatif       run a failure/what-if scenario and the disjoint-path
                availability analysis (--scenario SPEC | --scenario-file;
                see docs/SCENARIOS.md)
-
-exit codes:
-  0  success
-  1  operation failed (build retries exhausted, nothing to analyze, ...)
-  2  bad usage (unknown dataset, unreadable file, malformed --fault-plan
-     or --scenario spec)
-  3  partial success (--keep-going finished with datasets missing, or a
-     scenario left N pairs permanently disconnected)
+  serve        run the online Detour path-selection service and score
+               strategies against the oracle (--strategy, --duration,
+               --pairs; see docs/API.md)
 """
+
+
+def _exit_codes_epilog() -> str:
+    """The shared exit-code epilog attached to every subcommand parser."""
+    return _EXIT_CODES_TEXT
+
+
+def _add_seed_arg(p: argparse.ArgumentParser, default: int = 1999) -> None:
+    """The uniform ``--seed`` flag (identical help text everywhere)."""
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help=f"master seed; every derived random stream and artifact is "
+        f"deterministic in it (default {default})",
+    )
+
+
+def _add_routing_jobs_arg(p: argparse.ArgumentParser) -> None:
+    """The uniform ``--routing-jobs`` flag."""
+    p.add_argument(
+        "--routing-jobs",
+        type=int,
+        default=None,
+        help="BGP batch-convergence worker processes "
+        "(default: REPRO_ROUTING_JOBS or serial)",
+    )
+
+
+def _add_trace_arg(p: argparse.ArgumentParser) -> None:
+    """The uniform ``--trace PATH`` flag."""
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a RunTrace JSON (plus metrics.json alongside); "
+        "inspect with `repro trace PATH`",
+    )
+
+
+def _add_output_arg(
+    p: argparse.ArgumentParser,
+    what: str,
+    *,
+    default: str | None = None,
+    required: bool = False,
+) -> None:
+    """The uniform ``-o/--output PATH`` flag (per-command target text)."""
+    p.add_argument(
+        "-o",
+        "--output",
+        default=default,
+        required=required,
+        metavar="PATH",
+        help=what,
+    )
+
+
+#: Sentinel returned by :func:`_resolve_optional_alias` on conflicting
+#: values (both spellings given, different targets).
+_ALIAS_CONFLICT = object()
+
+
+def _resolve_optional_alias(
+    a: str | None, b: str | None, a_flag: str, b_flag: str
+):
+    """Merge two optional alias flags; :data:`_ALIAS_CONFLICT` on clash."""
+    if a is not None and b is not None and a != b:
+        print(
+            f"conflicting arguments: {a_flag} {a!r} vs {b_flag} {b!r}",
+            file=sys.stderr,
+        )
+        return _ALIAS_CONFLICT
+    return b if b is not None else a
 
 
 def _resolve_path_arg(
@@ -288,16 +369,22 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         }
         trace_path, metrics_path = write_run_trace(cap, meta, args.trace)
         print(f"wrote trace {trace_path} and {metrics_path}")
-    print(report.summary())
+    lines = [report.summary()]
     for name in table1_order():
         if name not in datasets:
-            print(f"  {name:<6} MISSING (build failed; see report above)")
+            lines.append(f"  {name:<6} MISSING (build failed; see report above)")
             continue
         row = datasets[name].table1_row()
-        print(
+        lines.append(
             f"  {name:<6} {row['hosts']:>3} hosts  "
             f"{row['measurements']:>8} measurements"
         )
+    summary = "\n".join(lines)
+    print(summary)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(summary + "\n")
+        print(f"wrote {args.output}")
     if len(datasets) < len(table1_order()):
         return EXIT_PARTIAL
     return EXIT_OK
@@ -335,13 +422,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import main as reproduce_main
 
+    markdown = _resolve_optional_alias(
+        args.markdown, args.output, "--markdown", "-o/--output"
+    )
+    if markdown is _ALIAS_CONFLICT:
+        return EXIT_USAGE
     forwarded = ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.jobs is not None:
         forwarded += ["--jobs", str(args.jobs)]
     if args.routing_jobs is not None:
         forwarded += ["--routing-jobs", str(args.routing_jobs)]
-    if args.markdown:
-        forwarded += ["--markdown", args.markdown]
+    if markdown:
+        forwarded += ["--markdown", markdown]
     if args.svg_dir:
         forwarded += ["--svg-dir", args.svg_dir]
     if args.only:
@@ -388,6 +480,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _read_scenario_spec(args: argparse.Namespace) -> str | None:
+    """The scenario spec from ``--scenario``/``--scenario-file``.
+
+    Returns the spec text ("" for none given); None means bad usage (the
+    error has been printed).
+    """
+    if args.scenario is not None and args.scenario_file is not None:
+        print(
+            "give --scenario or --scenario-file, not both", file=sys.stderr
+        )
+        return None
+    spec = args.scenario
+    if args.scenario_file is not None:
+        try:
+            with open(args.scenario_file, encoding="utf-8") as fh:
+                spec = fh.read()
+        except OSError as exc:
+            print(f"unreadable scenario file: {exc}", file=sys.stderr)
+            return None
+    return spec or ""
+
+
 def _cmd_whatif(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -400,21 +514,11 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         ScenarioRun,
     )
 
-    if args.scenario is not None and args.scenario_file is not None:
-        print(
-            "give --scenario or --scenario-file, not both", file=sys.stderr
-        )
+    spec = _read_scenario_spec(args)
+    if spec is None:
         return EXIT_USAGE
-    spec = args.scenario
-    if args.scenario_file is not None:
-        try:
-            with open(args.scenario_file, encoding="utf-8") as fh:
-                spec = fh.read()
-        except OSError as exc:
-            print(f"unreadable scenario file: {exc}", file=sys.stderr)
-            return EXIT_USAGE
     try:
-        plan = ScenarioPlan.parse(spec or "")
+        plan = ScenarioPlan.parse(spec)
         with _routing_jobs_env(args.routing_jobs):
             capture_ctx = obs.capture() if args.trace else nullcontext()
             with capture_ctx as cap:
@@ -446,6 +550,77 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     if n_disconnected:
         print(
             f"scenario left {n_disconnected} pairs permanently disconnected",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from repro.experiments.runner import _routing_jobs_env
+    from repro.obs import runtime as obs
+    from repro.scenario import ScenarioError, ScenarioPlan, ScenarioPlanError
+    from repro.service import (
+        DetourService,
+        ServiceError,
+        StrategyError,
+        evaluate_strategies,
+        strategy_names,
+    )
+
+    spec = _read_scenario_spec(args)
+    if spec is None:
+        return EXIT_USAGE
+    strategies = tuple(args.strategy) if args.strategy else strategy_names()
+    if any(s == "all" for s in strategies):
+        strategies = strategy_names()
+    try:
+        plan = ScenarioPlan.parse(spec)
+        with _routing_jobs_env(args.routing_jobs):
+            capture_ctx = obs.capture() if args.trace else nullcontext()
+            with capture_ctx as cap:
+                service = DetourService(
+                    plan,
+                    seed=args.seed,
+                    n_hosts=args.hosts,
+                    n_pairs=args.pairs,
+                    duration_s=args.duration,
+                    probe_interval_s=args.probe_interval,
+                    relays_per_pair=args.relays,
+                )
+                report = evaluate_strategies(service, strategies)
+    except (ScenarioPlanError, ScenarioError) as exc:
+        print(f"bad scenario: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except (StrategyError, ServiceError) as exc:
+        print(f"bad usage: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    table = report.render()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"wrote {args.output}")
+    if args.trace:
+        from repro.obs.artifact import write_run_trace
+
+        meta = {
+            "command": "serve",
+            "seed": args.seed,
+            "scenario": plan.to_spec(),
+            "strategies": list(strategies),
+        }
+        trace_path, metrics_path = write_run_trace(cap, meta, args.trace)
+        print(f"wrote trace {trace_path} and {metrics_path}")
+    print(table)
+    print()
+    print("throughput (wall clock, not part of the deterministic table):")
+    print("\n".join(report.timing_lines()))
+    if report.pairs_down_at_end:
+        print(
+            f"service ended with {len(report.pairs_down_at_end)} pairs "
+            "fully down (every candidate path unresolvable)",
             file=sys.stderr,
         )
         return EXIT_PARTIAL
@@ -488,13 +663,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'The End-to-End Effects of Internet "
         "Path Selection' (SIGCOMM 1999)",
-        epilog=_EXIT_CODE_EPILOG,
+        epilog=_COMMAND_SURFACE + "\n" + _exit_codes_epilog(),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("traceroute", help="run a demo traceroute")
-    p.add_argument("--seed", type=int, default=7)
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        """A subparser carrying the shared exit-code epilog."""
+        return sub.add_parser(
+            name,
+            epilog=_exit_codes_epilog(),
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+            **kwargs,
+        )
+
+    p = add_parser("traceroute", help="run a demo traceroute")
+    _add_seed_arg(p, default=7)
     p.add_argument("--era", choices=["1995", "1999"], default="1999")
     p.add_argument("--src", type=int, default=0, help="source host index")
     p.add_argument("--dst", type=int, default=1, help="destination host index")
@@ -502,14 +686,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hour", type=float, default=18.0, help="UTC hour")
     p.set_defaults(func=_cmd_traceroute)
 
-    p = sub.add_parser("build", help="build one paper dataset and save it")
+    p = add_parser("build", help="build one paper dataset and save it")
     p.add_argument("--dataset", default="UW3")
-    p.add_argument("--seed", type=int, default=1999)
+    _add_seed_arg(p)
     p.add_argument("--scale", type=float, default=0.1)
-    p.add_argument("-o", "--output", required=True)
+    _add_output_arg(p, "write the dataset here (jsonl)", required=True)
     p.set_defaults(func=_cmd_build)
 
-    p = sub.add_parser("analyze", help="alternate-path analysis of a dataset file")
+    p = add_parser("analyze", help="alternate-path analysis of a dataset file")
     p.add_argument(
         "dataset_file_pos",
         nargs="?",
@@ -537,14 +721,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_analyze)
 
-    p = sub.add_parser("map", help="render a topology to an SVG map")
+    p = add_parser("map", help="render a topology to an SVG map")
     p.add_argument("--era", choices=["1995", "1999"], default="1999")
-    p.add_argument("--seed", type=int, default=42)
+    _add_seed_arg(p, default=42)
     p.add_argument("--hosts", type=int, default=15)
-    p.add_argument("-o", "--output", default="topology.svg")
+    _add_output_arg(p, "write the SVG map here", default="topology.svg")
     p.set_defaults(func=_cmd_map)
 
-    p = sub.add_parser("summarize", help="diagnostic summary of a dataset file")
+    p = add_parser("summarize", help="diagnostic summary of a dataset file")
     p.add_argument(
         "dataset_file_pos",
         nargs="?",
@@ -560,11 +744,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_summarize)
 
-    p = sub.add_parser(
+    p = add_parser(
         "suite",
         help="build or load the full Table 1 dataset suite (parallel, cached)",
     )
-    p.add_argument("--seed", type=int, default=1999)
+    _add_seed_arg(p)
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument(
         "--jobs",
@@ -572,58 +756,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="build worker processes (default: REPRO_BUILD_JOBS or one per CPU)",
     )
-    p.add_argument(
-        "--routing-jobs",
-        type=int,
-        default=None,
-        help="BGP batch-convergence worker processes per build "
-        "(default: REPRO_ROUTING_JOBS or serial)",
-    )
+    _add_routing_jobs_arg(p)
     p.add_argument(
         "--no-cache",
         action="store_true",
         help="force a rebuild without reading or writing the cache",
     )
-    p.add_argument(
-        "--trace",
-        default=None,
-        metavar="PATH",
-        help="write a RunTrace JSON (plus metrics.json alongside); "
-        "inspect with `repro trace PATH`",
-    )
+    _add_trace_arg(p)
+    _add_output_arg(p, "also write the suite summary text here")
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_suite)
 
-    p = sub.add_parser("reproduce", help="regenerate the paper's tables/figures")
+    p = add_parser("reproduce", help="regenerate the paper's tables/figures")
     p.add_argument("--scale", type=float, default=1.0)
-    p.add_argument("--seed", type=int, default=1999)
+    _add_seed_arg(p)
     p.add_argument(
         "--jobs",
         type=int,
         default=None,
         help="dataset build worker processes (default: one per CPU)",
     )
+    _add_routing_jobs_arg(p)
     p.add_argument(
-        "--routing-jobs",
-        type=int,
-        default=None,
-        help="BGP batch-convergence worker processes per build "
-        "(default: REPRO_ROUTING_JOBS or serial)",
-    )
-    p.add_argument("--markdown", default=None)
-    p.add_argument("--svg-dir", default=None)
-    p.add_argument("--only", default=None)
-    p.add_argument(
-        "--trace",
+        "--markdown",
         default=None,
         metavar="PATH",
-        help="write a RunTrace JSON (plus metrics.json alongside); "
-        "inspect with `repro trace PATH`",
+        help="write the markdown report here (alias of -o/--output)",
     )
+    p.add_argument("--svg-dir", default=None)
+    p.add_argument("--only", default=None)
+    _add_trace_arg(p)
+    _add_output_arg(p, "write the markdown report here (same as --markdown)")
     _add_robustness_args(p)
     p.set_defaults(func=_cmd_reproduce)
 
-    p = sub.add_parser(
+    p = add_parser(
         "trace",
         help="inspect a RunTrace written by `suite --trace` or "
         "`reproduce --trace`",
@@ -654,7 +821,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser(
+    p = add_parser(
         "check",
         help="determinism-and-invariant static analysis (see docs/STATIC_ANALYSIS.md)",
     )
@@ -663,59 +830,98 @@ def build_parser() -> argparse.ArgumentParser:
     _configure_check_parser(p)
     p.set_defaults(func=_cmd_check)
 
-    p = sub.add_parser(
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario",
+            default=None,
+            metavar="SPEC",
+            help="scenario plan spec, e.g. 'link-down:6-11:at=600:for=900' "
+            "(clauses joined with ';'; empty = calm network)",
+        )
+        p.add_argument(
+            "--scenario-file",
+            default=None,
+            metavar="PATH",
+            help="read the scenario spec from a file instead",
+        )
+
+    p = add_parser(
         "whatif",
         help="run a network failure/what-if scenario "
         "(see docs/SCENARIOS.md for the clause grammar)",
     )
+    add_scenario_args(p)
+    _add_seed_arg(p)
     p.add_argument(
-        "--scenario",
-        default=None,
-        metavar="SPEC",
-        help="scenario plan spec, e.g. 'link-down:6-11:at=600:for=900' "
-        "(clauses joined with ';'; empty = plain measurement run)",
+        "--hosts", type=int, default=12, help="measurement host pool size"
+    )
+    _add_routing_jobs_arg(p)
+    _add_output_arg(p, "write the scenario dataset here (jsonl)")
+    _add_trace_arg(p)
+    p.set_defaults(func=_cmd_whatif)
+
+    p = add_parser(
+        "serve",
+        help="run the online Detour path-selection service and score "
+        "strategies against the oracle alternates",
     )
     p.add_argument(
-        "--scenario-file",
+        "--strategy",
+        action="append",
         default=None,
-        metavar="PATH",
-        help="read the scenario spec from a file instead",
+        metavar="NAME",
+        help="path-selection strategy to evaluate (repeatable; "
+        "'all' or omitted = every registered strategy)",
     )
-    p.add_argument("--seed", type=int, default=1999)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="simulated horizon (extended to cover the scenario's last "
+        "transition; default 1800)",
+    )
+    p.add_argument(
+        "--pairs",
+        type=int,
+        default=6,
+        help="number of (src, dst) client pairs to serve (default 6)",
+    )
     p.add_argument(
         "--hosts", type=int, default=12, help="measurement host pool size"
     )
     p.add_argument(
-        "--routing-jobs",
+        "--probe-interval",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="seconds between active probe rounds (default 300, one "
+        "congestion bucket)",
+    )
+    p.add_argument(
+        "--relays",
         type=int,
-        default=None,
-        help="BGP batch-convergence worker processes "
-        "(default: REPRO_ROUTING_JOBS or serial)",
+        default=2,
+        help="detour relays discovered per pair (default 2)",
     )
-    p.add_argument(
-        "-o",
-        "--output",
-        default=None,
-        metavar="PATH",
-        help="write the scenario dataset here (jsonl)",
-    )
-    p.add_argument(
-        "--trace",
-        default=None,
-        metavar="PATH",
-        help="write a RunTrace JSON (plus metrics.json alongside); "
-        "inspect with `repro trace PATH`",
-    )
-    p.set_defaults(func=_cmd_whatif)
+    add_scenario_args(p)
+    _add_seed_arg(p)
+    _add_routing_jobs_arg(p)
+    _add_output_arg(p, "write the strategy-vs-oracle table here")
+    _add_trace_arg(p)
+    p.set_defaults(func=_cmd_serve)
 
-    p = sub.add_parser(
+    p = add_parser(
         "bench",
         help="record or compare a perf baseline (BENCH_routing.json, "
-        "BENCH_measurement.json; see docs/PERFORMANCE.md)",
+        "BENCH_measurement.json, BENCH_service.json; see docs/PERFORMANCE.md)",
     )
     from repro.experiments.bench import configure_parser as _configure_bench_parser
 
     _configure_bench_parser(p)
+    _add_seed_arg(p)
+    _add_routing_jobs_arg(p)
+    _add_trace_arg(p)
     p.set_defaults(func=_cmd_bench)
     return parser
 

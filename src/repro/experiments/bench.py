@@ -87,12 +87,15 @@ def run_benchmarks(
     *,
     keyword: str | None = None,
     quick: bool = False,
+    env_overrides: dict[str, str] | None = None,
 ) -> dict[str, dict[str, float]]:
     """Run ``bench_file`` under pytest-benchmark; return stats per test.
 
     Returns a mapping ``test_name -> {"median_s": ..., "min_s": ...,
     "rounds": ...}``.  ``quick`` caps benchmarking at one round per test
     (CI smoke mode: detects order-of-magnitude regressions only).
+    ``env_overrides`` is merged into the subprocess environment (how the
+    unified ``--seed``/``--routing-jobs`` flags reach the benchmarks).
 
     Raises:
         BenchError: if pytest fails or exports no benchmark data.
@@ -118,7 +121,10 @@ def run_benchmarks(
             ]
         if keyword:
             cmd += ["-k", keyword]
-        proc = subprocess.run(cmd, env=_pytest_env(), capture_output=True, text=True)
+        env = _pytest_env()
+        if env_overrides:
+            env.update(env_overrides)
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
         if proc.returncode != 0:
             raise BenchError(
                 f"benchmark run failed (exit {proc.returncode}):\n"
@@ -147,10 +153,13 @@ def record_baseline(
     bench_file: str = CORE_BENCH_FILE,
     keyword: str | None = None,
     note: str = "",
+    env_overrides: dict[str, str] | None = None,
 ) -> dict:
     """Run the core benchmarks and write the baseline file; return it."""
     calibration = calibrate()
-    results = run_benchmarks(bench_file, keyword=keyword)
+    results = run_benchmarks(
+        bench_file, keyword=keyword, env_overrides=env_overrides
+    )
     baseline = {
         "version": SCHEMA_VERSION,
         "bench_file": bench_file,
@@ -198,6 +207,7 @@ def compare_to_baseline(
     bench_file: str | None = None,
     keyword: str | None = None,
     quick: bool = False,
+    env_overrides: dict[str, str] | None = None,
 ) -> list[tuple[str, float, float, float]]:
     """Re-run the benchmarks and compare against ``baseline``.
 
@@ -211,6 +221,7 @@ def compare_to_baseline(
         bench_file or baseline.get("bench_file", CORE_BENCH_FILE),
         keyword=keyword,
         quick=quick,
+        env_overrides=env_overrides,
     )
     rows: list[tuple[str, float, float, float]] = []
     for name, stats in sorted(results.items()):
@@ -240,6 +251,7 @@ def render_comparison(rows: list[tuple[str, float, float, float]]) -> str:
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach the bench options to ``parser`` (shared with ``repro bench``)."""
     parser.add_argument(
+        "-o",
         "--output",
         default=DEFAULT_BASELINE,
         help=f"baseline file to write or compare against (default {DEFAULT_BASELINE})",
@@ -281,45 +293,89 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _unified_env(args: argparse.Namespace) -> dict[str, str]:
+    """Subprocess env overrides from the unified CLI flags.
+
+    ``repro bench`` registers ``--seed``/``--routing-jobs`` with the same
+    spelling as the other subcommands; the standalone
+    ``benchmarks/record.py`` parser does not, so both are read with
+    ``getattr`` defaults.
+    """
+    overrides: dict[str, str] = {}
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        overrides["REPRO_BENCH_SEED"] = str(seed)
+    routing_jobs = getattr(args, "routing_jobs", None)
+    if routing_jobs is not None:
+        overrides["REPRO_ROUTING_JOBS"] = str(routing_jobs)
+    return overrides
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute a parsed bench invocation; returns a process exit code."""
+    from contextlib import nullcontext
+
+    from repro.obs import runtime as obs
+
+    trace = getattr(args, "trace", None)
+    env_overrides = _unified_env(args)
+    capture_ctx = obs.capture() if trace else nullcontext()
     try:
-        if args.compare:
-            baseline = load_baseline(args.output)
-            rows = compare_to_baseline(
-                baseline,
+        with capture_ctx as cap, obs.span("bench.run") as sp:
+            sp.set("bench_file", args.bench_file)
+            sp.set("compare", bool(args.compare))
+            if args.compare:
+                baseline = load_baseline(args.output)
+                rows = compare_to_baseline(
+                    baseline,
+                    bench_file=args.bench_file,
+                    keyword=args.keyword,
+                    quick=args.quick,
+                    env_overrides=env_overrides,
+                )
+                print(render_comparison(rows))
+                if args.fail_below is not None:
+                    slow = [r for r in rows if r[3] < args.fail_below]
+                    if slow:
+                        names = ", ".join(r[0] for r in slow)
+                        print(
+                            f"perf regression: {names} below "
+                            f"{args.fail_below}x of baseline",
+                            file=sys.stderr,
+                        )
+                        return 1
+                return 0
+            baseline = record_baseline(
+                args.output,
                 bench_file=args.bench_file,
                 keyword=args.keyword,
-                quick=args.quick,
+                note=args.note,
+                env_overrides=env_overrides,
             )
-            print(render_comparison(rows))
-            if args.fail_below is not None:
-                slow = [r for r in rows if r[3] < args.fail_below]
-                if slow:
-                    names = ", ".join(r[0] for r in slow)
-                    print(
-                        f"perf regression: {names} below "
-                        f"{args.fail_below}x of baseline",
-                        file=sys.stderr,
-                    )
-                    return 1
+            machine = baseline["machine"]
+            print(
+                f"wrote {args.output} "
+                f"({len(baseline['benchmarks'])} benchmarks, "
+                f"calibration {machine['calibration_s'] * 1e3:.1f} ms)"
+            )
             return 0
-        baseline = record_baseline(
-            args.output,
-            bench_file=args.bench_file,
-            keyword=args.keyword,
-            note=args.note,
-        )
-        machine = baseline["machine"]
-        print(
-            f"wrote {args.output} "
-            f"({len(baseline['benchmarks'])} benchmarks, "
-            f"calibration {machine['calibration_s'] * 1e3:.1f} ms)"
-        )
-        return 0
     except BenchError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace:
+            from repro.obs.artifact import write_run_trace
+
+            meta = {
+                "command": "bench",
+                "bench_file": args.bench_file,
+                "compare": bool(args.compare),
+            }
+            seed = getattr(args, "seed", None)
+            if seed is not None:
+                meta["seed"] = seed
+            trace_path, metrics_path = write_run_trace(cap, meta, trace)
+            print(f"wrote trace {trace_path} and {metrics_path}")
 
 
 def main(argv: list[str] | None = None) -> int:

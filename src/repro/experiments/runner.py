@@ -4,7 +4,8 @@ Building the full Table 1 suite takes tens of seconds, so built datasets
 are cached on disk (JSONL), one file per dataset, keyed by (seed, scale).
 Benchmarks and the figure/table reproductions all obtain their data
 through :func:`provision_datasets` (or the :class:`repro.api.ReproSession`
-facade; :func:`get_datasets` is the deprecated old spelling).
+facade; :func:`get_datasets` is the deprecated old spelling, removed
+in 2.0).
 
 Pipeline shape:
 
@@ -482,11 +483,13 @@ def get_datasets(
     """Deprecated old spelling of :func:`provision_datasets`.
 
     Prefer :func:`provision_datasets` or the
-    :class:`repro.api.ReproSession` facade.
+    :class:`repro.api.ReproSession` facade; this wrapper will be
+    removed in 2.0 and is no longer re-exported from
+    :mod:`repro.experiments`.
     """
     warnings.warn(
-        "get_datasets() is deprecated; use provision_datasets() or "
-        "repro.ReproSession(...).build()",
+        "get_datasets() is deprecated and will be removed in 2.0; "
+        "use provision_datasets() or repro.ReproSession(...).build()",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -675,9 +678,14 @@ def get_dataset(
     use_cache: bool = True,
     jobs: int | None = None,
 ) -> Dataset:
-    """Deprecated old spelling of :func:`provision_dataset`."""
+    """Deprecated old spelling of :func:`provision_dataset`.
+
+    Will be removed in 2.0; no longer re-exported from
+    :mod:`repro.experiments`.
+    """
     warnings.warn(
-        "get_dataset() is deprecated; use provision_dataset() or "
+        "get_dataset() is deprecated and will be removed in 2.0; "
+        "use provision_dataset() or "
         "repro.ReproSession(...).build(only=[name])",
         DeprecationWarning,
         stacklevel=2,
@@ -686,7 +694,7 @@ def get_dataset(
 
 
 def last_build_report() -> BuildReport | None:
-    """The report from the most recent :func:`get_datasets` call."""
+    """The report from the most recent :func:`provision_datasets` call."""
     return _last_report
 
 

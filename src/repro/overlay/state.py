@@ -87,6 +87,20 @@ class OverlayState:
                 est.rtt_ms = rtt_ms
         est.samples += 1
 
+    def reset_pair(self, pair: Pair) -> None:
+        """Forget a pair's estimate (fresh :class:`LinkEstimate`).
+
+        Used when the underlying path changes identity — e.g. a detour
+        leg heals after an outage — so estimates taken on the old path
+        cannot poison selection on the new one.
+
+        Raises:
+            KeyError: if the pair is not in the overlay.
+        """
+        if pair not in self._links:
+            raise KeyError(pair)
+        self._links[pair] = LinkEstimate()
+
     def estimate(self, pair: Pair) -> LinkEstimate:
         """Current estimate for an ordered pair.
 

@@ -1,0 +1,66 @@
+"""Online Detour path-selection service (ROADMAP item 1).
+
+An event-driven simulation where client pairs continuously request
+paths through a :class:`DetourService`; pluggable
+:class:`PathSelectionAlgorithm` strategies choose between the default
+BGP path and one-hop detours, a :class:`PathStore` keeps their view
+fresh via batched active probing, scenario timelines drive reactive
+failover, and :func:`evaluate_strategies` scores every strategy against
+the paper's oracle alternates.
+"""
+
+from repro.service.detour import (
+    DetourService,
+    RequestRecord,
+    ServiceError,
+    ServiceResult,
+)
+from repro.service.evaluate import (
+    EvaluationReport,
+    StrategyScore,
+    evaluate_strategies,
+    score_result,
+)
+from repro.service.store import (
+    CandidatePath,
+    CandidateView,
+    HealthTransition,
+    Pair,
+    PathStore,
+)
+from repro.service.strategy import (
+    LowestHopStrategy,
+    LowestLatencyStrategy,
+    PathSelectionAlgorithm,
+    RandomStrategy,
+    RoundRobinStrategy,
+    StrategyError,
+    create_strategy,
+    register_strategy,
+    strategy_names,
+)
+
+__all__ = [
+    "CandidatePath",
+    "CandidateView",
+    "DetourService",
+    "EvaluationReport",
+    "HealthTransition",
+    "LowestHopStrategy",
+    "LowestLatencyStrategy",
+    "Pair",
+    "PathSelectionAlgorithm",
+    "PathStore",
+    "RandomStrategy",
+    "RequestRecord",
+    "RoundRobinStrategy",
+    "ServiceError",
+    "ServiceResult",
+    "StrategyError",
+    "StrategyScore",
+    "create_strategy",
+    "evaluate_strategies",
+    "register_strategy",
+    "score_result",
+    "strategy_names",
+]

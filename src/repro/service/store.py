@@ -1,0 +1,276 @@
+"""The per-pair path store: candidates, estimates, and health state.
+
+For every served (src, dst) pair the store holds an ordered list of
+*candidate paths* — the default BGP path first, then the one-hop detour
+candidates discovered by :class:`~repro.core.altpath.AlternatePathFinder`
+— and tracks, per candidate:
+
+* **estimates** — EWMA RTT/loss composed from the candidate's overlay
+  *legs* (an :class:`~repro.overlay.state.OverlayState` holds one EWMA
+  per ordered leg, so probing the ``src -> relay`` leg once refreshes
+  every candidate that traverses it);
+* **health** — an up/down bit flipped by :meth:`PathStore.mark_path_down`
+  and :meth:`PathStore.mark_path_up`, the reactive-failover hooks the
+  :class:`~repro.service.detour.DetourService` drives from
+  :class:`~repro.scenario.timeline.ScenarioTimeline` transitions;
+* **facts** — router-level hop count and propagation RTT of the
+  candidate's currently resolved legs (refreshed per topology segment).
+
+Strategies never see the store directly; they receive immutable
+:class:`CandidateView` snapshots of the usable candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.overlay.state import OverlayState
+
+Pair = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class CandidatePath:
+    """One selectable path for an ordered pair (structure only).
+
+    Attributes:
+        pair: The served (src, dst) pair.
+        relay: The detour relay host, or None for the default BGP path.
+    """
+
+    pair: Pair
+    relay: str | None
+
+    @property
+    def legs(self) -> tuple[Pair, ...]:
+        """The ordered overlay legs the candidate traverses."""
+        src, dst = self.pair
+        if self.relay is None:
+            return ((src, dst),)
+        return ((src, self.relay), (self.relay, dst))
+
+    @property
+    def label(self) -> str:
+        """Human-readable route label (``direct`` or ``via <relay>``)."""
+        return "direct" if self.relay is None else f"via {self.relay}"
+
+
+@dataclass(slots=True)
+class _CandidateRecord:
+    """Mutable per-candidate state (health + per-segment path facts)."""
+
+    candidate: CandidatePath
+    up: bool = True
+    hop_count: int = 0
+    prop_rtt_ms: float = math.nan
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateView:
+    """Immutable snapshot of one candidate handed to strategies.
+
+    Attributes:
+        pair: The served (src, dst) pair.
+        relay: Detour relay host (None = default BGP path).
+        index: Stable position in the pair's candidate list (0 = default).
+        up: Health bit; views passed to strategies are usable candidates.
+        hop_count: Router-level hops of the currently resolved path.
+        prop_rtt_ms: Propagation-only RTT of the resolved path (ms).
+        est_rtt_ms: EWMA RTT estimate composed over legs (NaN until every
+            leg has a successful probe).
+        est_loss: EWMA loss estimate composed over legs, in [0, 1].
+    """
+
+    pair: Pair
+    relay: str | None
+    index: int
+    up: bool
+    hop_count: int
+    prop_rtt_ms: float
+    est_rtt_ms: float
+    est_loss: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable route label (``direct`` or ``via <relay>``)."""
+        return "direct" if self.relay is None else f"via {self.relay}"
+
+
+@dataclass(frozen=True, slots=True)
+class HealthTransition:
+    """One mark_path_down / mark_path_up state change (for diagnostics)."""
+
+    t: float
+    pair: Pair
+    relay: str | None
+    up: bool
+
+
+class PathStore:
+    """Candidate paths, EWMA estimates, and health for all served pairs."""
+
+    def __init__(
+        self,
+        hosts: list[str],
+        candidates: dict[Pair, tuple[CandidatePath, ...]],
+        *,
+        alpha: float = 0.3,
+        clip_factor: float | None = 3.0,
+    ) -> None:
+        """
+        Args:
+            hosts: Every host that appears in any candidate (endpoints
+                and relays).
+            candidates: Per-pair ordered candidate lists; by convention
+                the default BGP path (relay None) comes first.
+            alpha: EWMA weight of the newest probe sample.
+            clip_factor: Heavy-tail clip forwarded to the leg estimates
+                (see :class:`~repro.overlay.state.OverlayState`).
+        """
+        self._legs = OverlayState(hosts, alpha=alpha, clip_factor=clip_factor)
+        self._records: dict[Pair, list[_CandidateRecord]] = {}
+        for pair, cands in candidates.items():
+            if not cands:
+                raise ValueError(f"pair {pair} has no candidate paths")
+            self._records[pair] = [_CandidateRecord(candidate=c) for c in cands]
+        self.transitions: list[HealthTransition] = []
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def pairs(self) -> list[Pair]:
+        """Served pairs, in insertion (construction) order."""
+        return list(self._records)
+
+    def legs(self) -> list[Pair]:
+        """Every distinct ordered leg any candidate traverses, sorted."""
+        out: set[Pair] = set()
+        for records in self._records.values():
+            for rec in records:
+                out.update(rec.candidate.legs)
+        return sorted(out)
+
+    def candidates(self, pair: Pair) -> tuple[CandidatePath, ...]:
+        """The pair's candidate paths in stable store order.
+
+        Raises:
+            KeyError: if the pair is not served.
+        """
+        return tuple(rec.candidate for rec in self._records[pair])
+
+    # -- estimates -----------------------------------------------------------
+
+    def record_leg_probe(self, leg: Pair, rtt_ms: float) -> None:
+        """Fold one probe of an overlay leg in (NaN = lost probe)."""
+        self._legs.record_probe(leg, rtt_ms)
+
+    def reset_leg(self, leg: Pair) -> None:
+        """Drop a leg's estimate (used when its path changes or heals)."""
+        self._legs.reset_pair(leg)
+
+    def _compose(self, legs: tuple[Pair, ...]) -> tuple[float, float]:
+        """(EWMA RTT sum, composed EWMA loss) over a candidate's legs."""
+        rtt = 0.0
+        survive = 1.0
+        for leg in legs:
+            est = self._legs.estimate(leg)
+            if not est.usable:
+                rtt = math.nan
+            else:
+                rtt += est.rtt_ms
+            survive *= 1.0 - est.loss
+        return rtt, 1.0 - survive
+
+    # -- health --------------------------------------------------------------
+
+    def _find(self, pair: Pair, relay: str | None) -> _CandidateRecord:
+        for rec in self._records[pair]:
+            if rec.candidate.relay == relay:
+                return rec
+        raise KeyError(f"pair {pair} has no candidate via {relay!r}")
+
+    def mark_path_down(
+        self, pair: Pair, relay: str | None, *, t: float = 0.0
+    ) -> bool:
+        """Mark one candidate unusable; True when the bit actually flipped.
+
+        Raises:
+            KeyError: for an unserved pair or unknown candidate.
+        """
+        rec = self._find(pair, relay)
+        if not rec.up:
+            return False
+        rec.up = False
+        self.transitions.append(
+            HealthTransition(t=t, pair=pair, relay=relay, up=False)
+        )
+        return True
+
+    def mark_path_up(
+        self, pair: Pair, relay: str | None, *, t: float = 0.0
+    ) -> bool:
+        """Mark one candidate usable again; True when the bit flipped.
+
+        Raises:
+            KeyError: for an unserved pair or unknown candidate.
+        """
+        rec = self._find(pair, relay)
+        if rec.up:
+            return False
+        rec.up = True
+        self.transitions.append(
+            HealthTransition(t=t, pair=pair, relay=relay, up=True)
+        )
+        return True
+
+    def set_path_facts(
+        self, pair: Pair, relay: str | None, *, hop_count: int, prop_rtt_ms: float
+    ) -> None:
+        """Refresh one candidate's resolved-path facts (per segment)."""
+        rec = self._find(pair, relay)
+        rec.hop_count = hop_count
+        rec.prop_rtt_ms = prop_rtt_ms
+
+    # -- views ---------------------------------------------------------------
+
+    def _view(self, pair: Pair, index: int, rec: _CandidateRecord) -> CandidateView:
+        est_rtt, est_loss = self._compose(rec.candidate.legs)
+        return CandidateView(
+            pair=pair,
+            relay=rec.candidate.relay,
+            index=index,
+            up=rec.up,
+            hop_count=rec.hop_count,
+            prop_rtt_ms=rec.prop_rtt_ms,
+            est_rtt_ms=est_rtt,
+            est_loss=est_loss,
+        )
+
+    def snapshot(self, pair: Pair) -> list[CandidateView]:
+        """Views of every candidate (up or down), in store order.
+
+        Raises:
+            KeyError: if the pair is not served.
+        """
+        return [
+            self._view(pair, i, rec)
+            for i, rec in enumerate(self._records[pair])
+        ]
+
+    def usable(self, pair: Pair) -> list[CandidateView]:
+        """Views of the candidates a strategy may choose from.
+
+        The up candidates, in store order.  When *every* candidate is
+        down (the pair is cut off), the default path alone is returned:
+        a client must hand its packets to someone, and the default BGP
+        route is what the 1999 Internet would have tried.
+        """
+        views = [
+            self._view(pair, i, rec)
+            for i, rec in enumerate(self._records[pair])
+            if rec.up
+        ]
+        if views:
+            return views
+        return [self._view(pair, 0, self._records[pair][0])]

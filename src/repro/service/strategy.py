@@ -1,0 +1,211 @@
+"""The pluggable path-selection strategy API and its registry.
+
+A :class:`PathSelectionAlgorithm` chooses, per client request, among the
+candidate paths the :class:`~repro.service.store.PathStore` currently
+considers usable for an ordered host pair: the default BGP path plus the
+one-hop detour candidates discovered offline.  The axiomatic framing of
+Scherrer et al. ("An Axiomatic Perspective on the Performance Effects of
+End-Host Path Selection") motivates keeping the algorithm a first-class
+interface rather than a hardcoded policy: strategies differ in which
+path property they optimize (latency, hop count) and in how much load
+they concentrate (greedy vs. randomized vs. rotating), and the
+:mod:`repro.service.evaluate` harness scores them all against the same
+oracle.
+
+Registering a strategy makes it reachable from every surface at once —
+``repro serve --strategy NAME``, ``ReproSession.serve(strategy=NAME)``,
+and :func:`create_strategy`::
+
+    @register_strategy
+    class MyStrategy(PathSelectionAlgorithm):
+        name = "my-strategy"
+
+        def select(self, pair, candidates):
+            return candidates[0]
+
+Strategies may keep per-pair state (round-robin does) and may draw
+randomness, but only from their own seed-derived generator, so two
+services built with the same seed replay identical choices.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.service.store import CandidateView, Pair
+
+
+class StrategyError(ValueError):
+    """Raised for an unknown strategy name (CLI exit 2).
+
+    The message always lists the registered names so callers can correct
+    the spelling without consulting the docs.
+    """
+
+
+#: name -> strategy class; populated by :func:`register_strategy`.
+_REGISTRY: dict[str, type["PathSelectionAlgorithm"]] = {}
+
+
+def register_strategy(
+    cls: type["PathSelectionAlgorithm"],
+) -> type["PathSelectionAlgorithm"]:
+    """Class decorator adding a strategy to the registry under ``cls.name``.
+
+    Raises:
+        StrategyError: when the class has no usable ``name`` or the name
+            is already taken by a different class.
+    """
+    name = getattr(cls, "name", "")
+    if not name or not isinstance(name, str):
+        raise StrategyError(
+            f"strategy class {cls.__name__} must define a non-empty "
+            "string `name` class attribute"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise StrategyError(
+            f"strategy name {name!r} is already registered "
+            f"by {existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """All registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_strategy(name: str, *, seed: int = 0) -> "PathSelectionAlgorithm":
+    """Instantiate a registered strategy by name.
+
+    Args:
+        name: A name from :func:`strategy_names`.
+        seed: Master seed the strategy derives its private RNG from.
+
+    Raises:
+        StrategyError: for an unknown name; the message lists the
+            registered names.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        known = ", ".join(strategy_names())
+        raise StrategyError(
+            f"unknown path-selection strategy {name!r}; "
+            f"registered strategies: {known}"
+        )
+    return cls(seed=seed)
+
+
+class PathSelectionAlgorithm(ABC):
+    """Chooses one candidate path per request.
+
+    Subclasses set the class attribute ``name`` (the registry key) and
+    implement :meth:`select`.  The base class provides a seed-derived
+    generator at ``self.rng`` — the only randomness a strategy may use,
+    so a service replay with the same seed reproduces every choice.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+        # Stream tag folds in the strategy name so two strategies seeded
+        # identically still draw independent streams.
+        tag = sum(ord(c) for c in type(self).name) & 0xFFFF
+        self.rng = np.random.default_rng((seed, 0x5E1EC7, tag))
+
+    @abstractmethod
+    def select(
+        self, pair: "Pair", candidates: "Sequence[CandidateView]"
+    ) -> "CandidateView":
+        """Pick one of ``candidates`` for a request on ``pair``.
+
+        Args:
+            pair: The ordered (src, dst) host pair being served.
+            candidates: Usable candidates, in stable store order (the
+                default BGP path first, then detours); never empty.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"
+
+
+@register_strategy
+class LowestLatencyStrategy(PathSelectionAlgorithm):
+    """Greedy: the candidate with the lowest estimated RTT.
+
+    Candidates without a usable estimate yet rank after every estimated
+    one; ties break toward the earlier candidate (the default path
+    first), which damps oscillation between statistically identical
+    routes.
+    """
+
+    name = "lowest-latency"
+
+    def select(self, pair, candidates):
+        best = candidates[0]
+        best_rtt = best.est_rtt_ms
+        for cand in candidates[1:]:
+            rtt = cand.est_rtt_ms
+            if math.isnan(rtt):
+                continue
+            if math.isnan(best_rtt) or rtt < best_rtt:
+                best, best_rtt = cand, rtt
+        return best
+
+
+@register_strategy
+class LowestHopStrategy(PathSelectionAlgorithm):
+    """The candidate traversing the fewest router-level hops.
+
+    A latency-blind structural policy — the paper's Figure 9 observes
+    hop count is a poor predictor of round-trip time, and this strategy
+    exists to quantify exactly that gap online.
+    """
+
+    name = "lowest-hop"
+
+    def select(self, pair, candidates):
+        best = candidates[0]
+        for cand in candidates[1:]:
+            if cand.hop_count < best.hop_count:
+                best = cand
+        return best
+
+
+@register_strategy
+class RandomStrategy(PathSelectionAlgorithm):
+    """A uniformly random usable candidate (the no-information baseline)."""
+
+    name = "random"
+
+    def select(self, pair, candidates):
+        return candidates[int(self.rng.integers(len(candidates)))]
+
+
+@register_strategy
+class RoundRobinStrategy(PathSelectionAlgorithm):
+    """Rotates through the usable candidates, one per request per pair.
+
+    The classic load-spreading policy: every candidate carries an equal
+    share of the pair's requests regardless of its measured quality.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._cursor: dict["Pair", int] = {}
+
+    def select(self, pair, candidates):
+        turn = self._cursor.get(pair, 0)
+        self._cursor[pair] = turn + 1
+        return candidates[turn % len(candidates)]

@@ -1,0 +1,86 @@
+"""The `repro serve` CLI contract: output, exit codes, determinism."""
+
+import pytest
+
+from repro.cli import main as repro_main
+
+FAST = [
+    "--hosts", "8",
+    "--pairs", "2",
+    "--duration", "900",
+]
+
+
+def test_serve_prints_table_and_writes_output(tmp_path, capsys):
+    out = tmp_path / "table.txt"
+    rc = repro_main(
+        ["serve", "--strategy", "lowest-latency", "-o", str(out), *FAST]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "Strategy-vs-oracle comparison" in captured.out
+    assert "lowest-latency" in captured.out
+    assert "queries/s" in captured.out
+    text = out.read_text()
+    assert "Strategy-vs-oracle comparison" in text
+    assert "queries/s" not in text  # wall clock never enters the artifact
+
+
+def test_serve_strategy_all_expands_to_every_registered(capsys):
+    rc = repro_main(["serve", "--strategy", "all", *FAST])
+    captured = capsys.readouterr()
+    assert rc == 0
+    for name in ("lowest-hop", "lowest-latency", "random", "round-robin"):
+        assert name in captured.out
+
+
+def test_serve_unknown_strategy_exits_2(capsys):
+    rc = repro_main(["serve", "--strategy", "teleport", *FAST])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "registered strategies" in captured.err
+
+
+def test_serve_bad_scenario_exits_2(capsys):
+    rc = repro_main(["serve", "--scenario", "gibberish", *FAST])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "bad scenario" in captured.err
+
+
+def test_serve_bad_config_exits_2(capsys):
+    rc = repro_main(["serve", "--hosts", "6", "--pairs", "9999"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "n_pairs" in captured.err
+
+
+def test_serve_output_is_deterministic(tmp_path, capsys):
+    blobs = []
+    for i in range(2):
+        out = tmp_path / f"run{i}.txt"
+        rc = repro_main(
+            ["serve", "--strategy", "lowest-latency", "--seed", "7",
+             "-o", str(out), *FAST]
+        )
+        assert rc == 0
+        blobs.append(out.read_bytes())
+    capsys.readouterr()
+    assert blobs[0] == blobs[1]
+
+
+def test_serve_trace_artifact(tmp_path, capsys):
+    trace = tmp_path / "serve-trace.json"
+    rc = repro_main(
+        ["serve", "--strategy", "lowest-latency", "--trace", str(trace),
+         *FAST]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    assert trace.exists()
+    import json
+
+    payload = json.loads(trace.read_text())
+    names = {span["name"] for span in payload["spans"]}
+    assert "service.run" in names
+    assert payload["meta"]["command"] == "serve"

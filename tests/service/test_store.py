@@ -1,0 +1,103 @@
+"""PathStore: leg-composed estimates, health bits, failover fallback."""
+
+import math
+
+import pytest
+
+from repro.service.store import CandidatePath, PathStore
+
+HOSTS = ["a", "b", "r1", "r2"]
+PAIR = ("a", "b")
+
+
+def _store():
+    candidates = {
+        PAIR: (
+            CandidatePath(pair=PAIR, relay=None),
+            CandidatePath(pair=PAIR, relay="r1"),
+            CandidatePath(pair=PAIR, relay="r2"),
+        )
+    }
+    return PathStore(HOSTS, candidates)
+
+
+def test_legs_are_shared_between_candidates():
+    store = _store()
+    assert store.legs() == [
+        ("a", "b"),
+        ("a", "r1"),
+        ("a", "r2"),
+        ("r1", "b"),
+        ("r2", "b"),
+    ]
+    assert store.candidates(PAIR)[1].legs == (("a", "r1"), ("r1", "b"))
+    assert store.candidates(PAIR)[1].label == "via r1"
+
+
+def test_estimates_compose_over_legs():
+    store = _store()
+    store.record_leg_probe(("a", "r1"), 40.0)
+    store.record_leg_probe(("r1", "b"), 60.0)
+    views = {v.relay: v for v in store.snapshot(PAIR)}
+    assert views["r1"].est_rtt_ms == pytest.approx(100.0)
+    # The direct leg has no probes yet: its estimate is not usable.
+    assert math.isnan(views[None].est_rtt_ms)
+
+
+def test_lost_probes_raise_the_composed_loss():
+    store = _store()
+    for _ in range(3):
+        store.record_leg_probe(("a", "r1"), 40.0)
+        store.record_leg_probe(("r1", "b"), 60.0)
+    store.record_leg_probe(("a", "r1"), math.nan)  # lost probe
+    view = next(v for v in store.snapshot(PAIR) if v.relay == "r1")
+    assert view.est_loss > 0.0
+    assert not math.isnan(view.est_rtt_ms)
+
+
+def test_mark_down_removes_candidate_and_logs_transition():
+    store = _store()
+    assert store.mark_path_down(PAIR, "r1", t=600.0)
+    assert not store.mark_path_down(PAIR, "r1", t=601.0)  # already down
+    assert [v.relay for v in store.usable(PAIR)] == [None, "r2"]
+    assert store.mark_path_up(PAIR, "r1", t=1200.0)
+    assert [v.relay for v in store.usable(PAIR)] == [None, "r1", "r2"]
+    ups = [tr.up for tr in store.transitions]
+    times = [tr.t for tr in store.transitions]
+    assert ups == [False, True] and times == [600.0, 1200.0]
+
+
+def test_all_down_falls_back_to_the_default_path():
+    store = _store()
+    for relay in (None, "r1", "r2"):
+        store.mark_path_down(PAIR, relay)
+    fallback = store.usable(PAIR)
+    assert len(fallback) == 1
+    assert fallback[0].relay is None and not fallback[0].up
+
+
+def test_reroute_recovers_within_one_probe_round():
+    """After heal + reset, one probe round restores a usable estimate."""
+    store = _store()
+    store.record_leg_probe(("a", "r1"), 400.0)  # stale pre-outage sample
+    store.record_leg_probe(("r1", "b"), 400.0)
+    store.mark_path_down(PAIR, "r1", t=600.0)
+    store.mark_path_up(PAIR, "r1", t=1200.0)
+    store.reset_leg(("a", "r1"))
+    store.reset_leg(("r1", "b"))
+    view = next(v for v in store.snapshot(PAIR) if v.relay == "r1")
+    assert math.isnan(view.est_rtt_ms)  # stale estimate dropped
+    store.record_leg_probe(("a", "r1"), 40.0)
+    store.record_leg_probe(("r1", "b"), 60.0)
+    view = next(v for v in store.snapshot(PAIR) if v.relay == "r1")
+    assert view.est_rtt_ms == pytest.approx(100.0)
+
+
+def test_unknown_pair_and_candidate_raise():
+    store = _store()
+    with pytest.raises(KeyError):
+        store.candidates(("a", "z"))
+    with pytest.raises(KeyError):
+        store.mark_path_down(PAIR, "not-a-relay")
+    with pytest.raises(ValueError, match="no candidate paths"):
+        PathStore(HOSTS, {PAIR: ()})

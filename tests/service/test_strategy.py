@@ -1,0 +1,134 @@
+"""The strategy registry and the four built-in selection policies."""
+
+import math
+
+import pytest
+
+from repro.service.strategy import (
+    _REGISTRY,
+    LowestHopStrategy,
+    LowestLatencyStrategy,
+    PathSelectionAlgorithm,
+    RandomStrategy,
+    RoundRobinStrategy,
+    StrategyError,
+    create_strategy,
+    register_strategy,
+    strategy_names,
+)
+from repro.service.store import CandidateView
+
+PAIR = ("serve00", "serve01")
+
+
+def _view(relay, index, *, est_rtt=math.nan, hops=0):
+    return CandidateView(
+        pair=PAIR,
+        relay=relay,
+        index=index,
+        up=True,
+        hop_count=hops,
+        prop_rtt_ms=est_rtt,
+        est_rtt_ms=est_rtt,
+        est_loss=0.0,
+    )
+
+
+def test_builtin_strategies_are_registered():
+    assert strategy_names() == (
+        "lowest-hop",
+        "lowest-latency",
+        "random",
+        "round-robin",
+    )
+
+
+def test_unknown_strategy_error_lists_registered_names():
+    with pytest.raises(StrategyError) as exc:
+        create_strategy("no-such-policy")
+    message = str(exc.value)
+    assert "no-such-policy" in message
+    for name in strategy_names():
+        assert name in message
+
+
+def test_create_strategy_returns_the_registered_class():
+    assert isinstance(create_strategy("lowest-latency"), LowestLatencyStrategy)
+    assert isinstance(create_strategy("lowest-hop"), LowestHopStrategy)
+    assert isinstance(create_strategy("random"), RandomStrategy)
+    assert isinstance(create_strategy("round-robin"), RoundRobinStrategy)
+
+
+def test_register_rejects_missing_name_and_duplicates():
+    with pytest.raises(StrategyError, match="non-empty"):
+
+        @register_strategy
+        class Nameless(PathSelectionAlgorithm):
+            def select(self, pair, candidates):
+                return candidates[0]
+
+    with pytest.raises(StrategyError, match="already registered"):
+
+        @register_strategy
+        class Imposter(PathSelectionAlgorithm):
+            name = "lowest-latency"
+
+            def select(self, pair, candidates):
+                return candidates[0]
+
+    assert _REGISTRY["lowest-latency"] is LowestLatencyStrategy
+
+
+def test_custom_strategy_plugs_into_the_registry():
+    @register_strategy
+    class AlwaysDirect(PathSelectionAlgorithm):
+        name = "test-always-direct"
+
+        def select(self, pair, candidates):
+            return candidates[0]
+
+    try:
+        built = create_strategy("test-always-direct", seed=7)
+        assert isinstance(built, AlwaysDirect)
+        assert "test-always-direct" in strategy_names()
+    finally:
+        _REGISTRY.pop("test-always-direct")
+
+
+def test_lowest_latency_prefers_estimated_minimum():
+    strategy = create_strategy("lowest-latency")
+    direct = _view(None, 0, est_rtt=120.0)
+    fast = _view("serve02", 1, est_rtt=80.0)
+    unknown = _view("serve03", 2)  # NaN: no probe landed yet
+    assert strategy.select(PAIR, [direct, fast, unknown]) is fast
+    # All-NaN candidates fall back to the first (the default path).
+    assert strategy.select(PAIR, [_view(None, 0), unknown]).relay is None
+    # Ties break toward the earlier candidate.
+    tied = _view("serve04", 1, est_rtt=120.0)
+    assert strategy.select(PAIR, [direct, tied]) is direct
+
+
+def test_lowest_hop_ignores_latency():
+    strategy = create_strategy("lowest-hop")
+    direct = _view(None, 0, est_rtt=80.0, hops=12)
+    detour = _view("serve02", 1, est_rtt=200.0, hops=9)
+    assert strategy.select(PAIR, [direct, detour]) is detour
+
+
+def test_round_robin_rotates_per_pair():
+    strategy = create_strategy("round-robin")
+    candidates = [_view(None, 0), _view("serve02", 1), _view("serve03", 2)]
+    picks = [strategy.select(PAIR, candidates).index for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+    other = ("serve04", "serve05")
+    assert strategy.select(other, candidates).index == 0  # fresh cursor
+
+
+def test_random_is_seed_deterministic():
+    candidates = [_view(None, 0), _view("serve02", 1), _view("serve03", 2)]
+    a = create_strategy("random", seed=3)
+    b = create_strategy("random", seed=3)
+    seq_a = [a.select(PAIR, candidates).index for _ in range(20)]
+    seq_b = [b.select(PAIR, candidates).index for _ in range(20)]
+    assert seq_a == seq_b
+    assert len(set(seq_a)) > 1  # actually spreads over the candidates

@@ -1,7 +1,5 @@
 """The ReproSession facade and the deprecation surface behind it."""
 
-import warnings
-
 import pytest
 
 from repro import ReproSession
@@ -81,24 +79,23 @@ def test_deprecated_get_datasets_warns(tmp_path, monkeypatch):
     from repro.experiments.runner import get_dataset, get_datasets
 
     cfg = BuildConfig(seed=31, scale=0.02)
-    with pytest.warns(DeprecationWarning, match="provision_datasets"):
+    with pytest.warns(DeprecationWarning, match="removed in 2.0"):
         datasets = get_datasets(cfg, jobs=1)
     assert len(datasets) == 8
-    with pytest.warns(DeprecationWarning, match="provision_dataset"):
+    with pytest.warns(DeprecationWarning, match="removed in 2.0"):
         uw3 = get_dataset("UW3", cfg, jobs=1)
     assert uw3.meta.name == "UW3"
 
 
-def test_deprecated_build_all_alias_warns():
+def test_deprecated_names_not_reexported():
     import repro
-    from repro.datasets import build_all
+    import repro.experiments as experiments
 
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        alias = repro.build_all
-    assert alias is build_all
-    assert any(
-        issubclass(w.category, DeprecationWarning) for w in caught
-    )
+    with pytest.raises(AttributeError, match="ReproSession"):
+        repro.build_all
+    assert "get_datasets" not in experiments.__all__
+    assert "get_dataset" not in experiments.__all__
+    assert not hasattr(experiments, "get_datasets")
+    assert not hasattr(experiments, "get_dataset")
     with pytest.raises(AttributeError):
         repro.no_such_symbol
