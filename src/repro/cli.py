@@ -78,13 +78,14 @@ command surface:
   check        determinism-and-invariant static analysis
                (--deep whole-program ARCH/PAR/PERF; --changed diff scope)
   bench        record/compare a perf baseline (BENCH_routing.json,
-               BENCH_measurement.json, BENCH_service.json)
+               BENCH_measurement.json, BENCH_service.json,
+               BENCH_topology.json)
   whatif       run a failure/what-if scenario and the disjoint-path
                availability analysis (--scenario SPEC | --scenario-file;
-               see docs/SCENARIOS.md)
+               --scale PRESET; see docs/SCENARIOS.md)
   serve        run the online Detour path-selection service and score
                strategies against the oracle (--strategy, --duration,
-               --pairs; see docs/API.md)
+               --pairs, --scale PRESET; see docs/API.md)
 """
 
 
@@ -522,7 +523,9 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         with _routing_jobs_env(args.routing_jobs):
             capture_ctx = obs.capture() if args.trace else nullcontext()
             with capture_ctx as cap:
-                run = ScenarioRun(plan, seed=args.seed, n_hosts=args.hosts)
+                run = ScenarioRun(
+                    plan, seed=args.seed, n_hosts=args.hosts, scale=args.scale
+                )
                 dataset, report = run.execute()
     except (ScenarioPlanError, ScenarioError) as exc:
         print(f"bad scenario: {exc}", file=sys.stderr)
@@ -589,12 +592,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     duration_s=args.duration,
                     probe_interval_s=args.probe_interval,
                     relays_per_pair=args.relays,
+                    scale=args.scale,
                 )
                 report = evaluate_strategies(service, strategies)
     except (ScenarioPlanError, ScenarioError) as exc:
         print(f"bad scenario: {exc}", file=sys.stderr)
         return EXIT_USAGE
-    except (StrategyError, ServiceError) as exc:
+    except (StrategyError, ServiceError, ValueError) as exc:
+        # ValueError covers bad --scale presets (ScaleError) and the like.
         print(f"bad usage: {exc}", file=sys.stderr)
         return EXIT_USAGE
     table = report.render()
@@ -844,6 +849,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="read the scenario spec from a file instead",
         )
+        p.add_argument(
+            "--scale",
+            default=None,
+            metavar="PRESET",
+            help="topology scale preset (1k, 10k, 100k, paper-1995, "
+            "paper-1999; default: the 1999-era paper topology)",
+        )
 
     p = add_parser(
         "whatif",
@@ -914,7 +926,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = add_parser(
         "bench",
         help="record or compare a perf baseline (BENCH_routing.json, "
-        "BENCH_measurement.json, BENCH_service.json; see docs/PERFORMANCE.md)",
+        "BENCH_measurement.json, BENCH_service.json, BENCH_topology.json; "
+        "see docs/PERFORMANCE.md)",
     )
     from repro.experiments.bench import configure_parser as _configure_bench_parser
 

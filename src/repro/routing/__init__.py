@@ -1,6 +1,15 @@
 """Routing protocols: intra-AS IGP, inter-AS BGP, and path resolution."""
 
 from repro.routing.bgp import BGPError, BGPRoute, BGPTable
+from repro.routing.columnar import (
+    ColumnarRouteTable,
+    ColumnarUnsupported,
+    SolverIndex,
+    build_solver_index,
+    converge_all,
+    converge_block,
+    igp_matrix,
+)
 from repro.routing.dynamics import (
     FLAP_WINDOW_S,
     RouteFlapModel,
@@ -20,6 +29,8 @@ __all__ = [
     "BGPError",
     "BGPRoute",
     "BGPTable",
+    "ColumnarRouteTable",
+    "ColumnarUnsupported",
     "EgressPolicy",
     "FLAP_WINDOW_S",
     "ForwardPath",
@@ -32,6 +43,11 @@ __all__ = [
     "PathResolver",
     "RoundTripPath",
     "RouteFlapModel",
+    "SolverIndex",
+    "build_solver_index",
+    "converge_all",
+    "converge_block",
+    "igp_matrix",
     "link_metric",
     "resolve_secondary",
 ]

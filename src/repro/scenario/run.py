@@ -30,7 +30,12 @@ from repro.routing.forwarding import ForwardingError, PathResolver
 from repro.scenario.availability import AvailabilityReport, analyze_availability
 from repro.scenario.plan import ScenarioPlan
 from repro.scenario.timeline import ScenarioTimeline
-from repro.topology.generator import TopologyConfig, generate_topology, place_hosts
+from repro.topology.generator import (
+    TopologyConfig,
+    build_topology,
+    generate_topology,
+    place_hosts,
+)
 
 
 class StormFlapModel:
@@ -168,6 +173,7 @@ class ScenarioRun:
         mean_interval_s: float = 600.0,
         trailing_buckets: int = 2,
         reconverge: str = "affected",
+        scale: str | None = None,
     ) -> None:
         """
         Args:
@@ -175,6 +181,9 @@ class ScenarioRun:
                 measurement run).
             seed: Master seed; every stream below derives from it.
             n_hosts: Measurement host pool size.
+            scale: Topology scale preset name (see
+                :data:`repro.topology.scale.SCALE_PRESETS`); None keeps
+                the default 1999-era paper topology.
             mean_interval_s: Poisson mean between measurement episodes
                 (each episode requests every ordered pair, UW4-A style,
                 so the availability graph gets full pair coverage).
@@ -188,16 +197,20 @@ class ScenarioRun:
             raise ValueError("trailing_buckets must be >= 1")
         self.plan = plan
         self.seed = seed
-        topo_cfg = TopologyConfig.for_era("1999", seed=seed)
-        self.topo = generate_topology(topo_cfg)
+        if scale is None:
+            topo_cfg = TopologyConfig.for_era("1999", seed=seed)
+            self.topo = generate_topology(topo_cfg)
+            capacity_scale = topo_cfg.capacity_scale
+        else:
+            self.topo, capacity_scale = build_topology(scale, seed=seed)
         hosts = place_hosts(
             self.topo,
             n_hosts,
             seed=seed + 7,
-            north_america_only=True,
+            north_america_only=scale is None or scale.startswith("paper-"),
             rate_limit_fraction=0.0,
             name_prefix="whatif",
-            capacity_scale=topo_cfg.capacity_scale,
+            capacity_scale=capacity_scale,
         )
         self.hosts = [h.name for h in hosts]
         self.timeline = ScenarioTimeline(self.topo, plan, reconverge=reconverge)

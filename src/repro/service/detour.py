@@ -51,7 +51,12 @@ from repro.scenario.plan import ScenarioPlan
 from repro.scenario.timeline import ScenarioTimeline
 from repro.service.store import CandidatePath, Pair, PathStore
 from repro.service.strategy import PathSelectionAlgorithm, create_strategy
-from repro.topology.generator import TopologyConfig, generate_topology, place_hosts
+from repro.topology.generator import (
+    TopologyConfig,
+    build_topology,
+    generate_topology,
+    place_hosts,
+)
 
 #: Spacing between consecutive leg probes inside one probe round, in
 #: seconds.  Non-zero so a round is a genuinely mixed-time batch (the
@@ -176,6 +181,7 @@ class DetourService:
         relays_per_pair: int = 2,
         mean_request_interval_s: float = 60.0,
         reconverge: str = "affected",
+        scale: str | None = None,
     ) -> None:
         """
         Args:
@@ -183,6 +189,9 @@ class DetourService:
                 empty plan = calm network).
             seed: Master seed; every stream below derives from it.
             n_hosts: Measurement host pool size.
+            scale: Topology scale preset name (see
+                :data:`repro.topology.scale.SCALE_PRESETS`); None keeps
+                the default 1999-era paper topology.
             n_pairs: Number of (src, dst) client pairs to serve.
             duration_s: Minimum simulated horizon; extended to cover the
                 scenario's last transition plus one trailing bucket.
@@ -215,16 +224,20 @@ class DetourService:
             )
         self.plan = plan if plan is not None else ScenarioPlan.parse("")
         self.seed = seed
-        topo_cfg = TopologyConfig.for_era("1999", seed=seed)
-        self.topo = generate_topology(topo_cfg)
+        if scale is None:
+            topo_cfg = TopologyConfig.for_era("1999", seed=seed)
+            self.topo = generate_topology(topo_cfg)
+            capacity_scale = topo_cfg.capacity_scale
+        else:
+            self.topo, capacity_scale = build_topology(scale, seed=seed)
         placed = place_hosts(
             self.topo,
             n_hosts,
             seed=seed + 7,
-            north_america_only=True,
+            north_america_only=scale is None or scale.startswith("paper-"),
             rate_limit_fraction=0.0,
             name_prefix="serve",
-            capacity_scale=topo_cfg.capacity_scale,
+            capacity_scale=capacity_scale,
         )
         self.hosts = [h.name for h in placed]
         self.timeline = ScenarioTimeline(self.topo, self.plan, reconverge=reconverge)

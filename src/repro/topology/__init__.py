@@ -16,8 +16,15 @@ from repro.topology.asys import (
     LOCAL_PREF,
     Relationship,
 )
+from repro.topology.columnar import ColumnarError, TopologyArrays, from_topology
 from repro.topology.export import TopologyStats, as_graph, router_graph, topology_stats
-from repro.topology.generator import TopologyConfig, generate_topology, place_hosts
+from repro.topology.generator import (
+    TopologyConfig,
+    build_topology,
+    generate_topology,
+    generate_topology_at_scale,
+    place_hosts,
+)
 from repro.topology.geography import (
     CITIES,
     City,
@@ -33,6 +40,7 @@ from repro.topology.geography import (
 from repro.topology.links import Link, LinkKind
 from repro.topology.network import Topology, TopologyError
 from repro.topology.router import Host, Router, RouterRole
+from repro.topology.scale import SCALE_PRESETS, ScaleConfig, ScaleError, resolve_preset
 
 __all__ = [
     "ASLink",
@@ -42,6 +50,7 @@ __all__ = [
     "AutonomousSystem",
     "CITIES",
     "City",
+    "ColumnarError",
     "Host",
     "IGPStyle",
     "LOCAL_PREF",
@@ -51,20 +60,28 @@ __all__ = [
     "Router",
     "RouterAddress",
     "RouterRole",
+    "SCALE_PRESETS",
+    "ScaleConfig",
+    "ScaleError",
     "Topology",
+    "TopologyArrays",
     "TopologyConfig",
     "TopologyError",
     "TopologyStats",
     "UnknownCityError",
     "as_graph",
+    "build_topology",
     "cities_in_region",
+    "from_topology",
     "generate_topology",
+    "generate_topology_at_scale",
     "get_city",
     "great_circle_km",
     "mean_pairwise_distance_km",
     "north_american_cities",
     "place_hosts",
     "propagation_delay_ms",
+    "resolve_preset",
     "router_graph",
     "topology_stats",
     "world_cities",

@@ -1,0 +1,583 @@
+"""Columnar topology backend: the whole internetwork as flat arrays.
+
+The object :class:`~repro.topology.network.Topology` keeps one Python
+object per AS, router, link, and host.  That representation is ideal for
+the paper-scale topologies (a few hundred ASes) but collapses two to
+three orders of magnitude earlier than the hardware does: at 100k ASes
+the object graph alone costs gigabytes and every traversal pays pointer-
+chasing and dict-hashing overhead.
+
+:class:`TopologyArrays` stores the same information column-wise:
+
+* one numpy array per attribute (ASN, tier code, link delay, ...),
+  indexed by the same dense ids the object model uses;
+* ragged per-entity lists (an AS's cities, an AS link's exchange
+  cities) in CSR form (``indptr`` + flat index array);
+* the AS graph, the per-relationship Gao-Rexford adjacency, and the
+  intra-AS router graph as CSR adjacency (see
+  :mod:`repro.routing.columnar` for the solvers that consume them).
+
+The two representations convert losslessly in both directions:
+:func:`from_topology` reads an object topology into arrays, and
+:meth:`TopologyArrays.to_topology` replays the arrays through the object
+construction API so the result is *byte-identical* under :mod:`pickle`
+to the original (same derived-index ordering, same object sharing).
+The object path stays authoritative at paper scale — differential tests
+hold the columnar backend to it route-for-route.
+
+Enum attributes are stored as small integer codes; the ``*_CODES`` /
+``*_FROM_CODE`` tables below define the mapping and are part of the
+on-disk/shared-memory contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import runtime as obs
+
+from repro.topology.asys import ASLink, ASTier, AutonomousSystem, IGPStyle, Relationship
+from repro.topology.geography import City
+from repro.topology.links import Link, LinkKind
+from repro.topology.network import Topology
+from repro.topology.router import Host, Router, RouterRole
+
+#: Stable enum -> int8 code tables (part of the columnar contract).
+TIER_FROM_CODE: tuple[ASTier, ...] = (ASTier.TIER1, ASTier.TRANSIT, ASTier.STUB)
+IGP_FROM_CODE: tuple[IGPStyle, ...] = (IGPStyle.HOP_COUNT, IGPStyle.DELAY_METRIC)
+ROLE_FROM_CODE: tuple[RouterRole, ...] = (
+    RouterRole.CORE,
+    RouterRole.BORDER,
+    RouterRole.ACCESS,
+)
+KIND_FROM_CODE: tuple[LinkKind, ...] = (
+    LinkKind.BACKBONE,
+    LinkKind.METRO,
+    LinkKind.EXCHANGE,
+    LinkKind.ACCESS,
+)
+REL_FROM_CODE: tuple[Relationship, ...] = (
+    Relationship.CUSTOMER,
+    Relationship.PROVIDER,
+    Relationship.PEER,
+    Relationship.SIBLING,
+)
+
+TIER_CODES = {member: i for i, member in enumerate(TIER_FROM_CODE)}
+IGP_CODES = {member: i for i, member in enumerate(IGP_FROM_CODE)}
+ROLE_CODES = {member: i for i, member in enumerate(ROLE_FROM_CODE)}
+KIND_CODES = {member: i for i, member in enumerate(KIND_FROM_CODE)}
+REL_CODES = {member: i for i, member in enumerate(REL_FROM_CODE)}
+
+
+class ColumnarError(RuntimeError):
+    """Raised on invalid columnar topology operations."""
+
+
+@dataclass(frozen=True, slots=True)
+class RelationshipArrays:
+    """The Gao-Rexford relationship index as typed arrays.
+
+    The columnar analog of
+    :class:`~repro.topology.network.ASRelationshipIndex`: per-AS
+    customer/provider/peer neighbor lists in CSR form (all indices are
+    dense AS *indices*, not ASNs), plus the customers-first topological
+    levels of the provider hierarchy that the vectorized solver
+    schedules by.
+
+    Attributes:
+        customers_indptr / customers: CSR of each AS's customers,
+            neighbor lists sorted by neighbor ASN.
+        providers_indptr / providers: CSR of each AS's providers.
+        peers_indptr / peers: CSR of each AS's peers.
+        has_siblings: Whether any SIBLING adjacency exists (columnar
+            solving is refused; the object fixpoint is the fallback).
+        levels: ``levels[i]`` is the customer-DAG depth of AS ``i`` (0
+            for ASes without customers), or -1 everywhere when the
+            customer/provider graph has a cycle (no valid hierarchy).
+        down_levels: provider-DAG depth (0 for ASes without providers),
+            the stage-3 schedule; -1 everywhere on a cycle.
+    """
+
+    customers_indptr: np.ndarray
+    customers: np.ndarray
+    providers_indptr: np.ndarray
+    providers: np.ndarray
+    peers_indptr: np.ndarray
+    peers: np.ndarray
+    has_siblings: bool
+    levels: np.ndarray
+    down_levels: np.ndarray
+
+    @property
+    def acyclic(self) -> bool:
+        """Whether the customer->provider hierarchy is a DAG."""
+        return bool(self.levels.size == 0 or self.levels[0] != -1 or self.levels.max() >= 0)
+
+
+def _csr_from_lists(lists: list[list[int]], dtype=np.int32) -> tuple[np.ndarray, np.ndarray]:
+    indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+    for i, row in enumerate(lists):
+        indptr[i + 1] = indptr[i] + len(row)
+    flat = np.empty(int(indptr[-1]), dtype=dtype)
+    for i, row in enumerate(lists):
+        flat[indptr[i]: indptr[i + 1]] = row
+    return indptr, flat
+
+
+@dataclass
+class TopologyArrays:
+    """A complete internetwork in columnar (struct-of-arrays) form.
+
+    Row ``i`` of the AS table is the AS registered ``i``-th; router and
+    link rows are indexed by the same dense ``router_id`` / ``link_id``
+    the object model uses.  City rows are unique cities in order of
+    first appearance.  See the module docstring for the conversion
+    contract.
+    """
+
+    # -- city table --------------------------------------------------------
+    city_names: list[str] = field(default_factory=list)
+    city_lat: np.ndarray = field(default_factory=lambda: np.empty(0))
+    city_lon: np.ndarray = field(default_factory=lambda: np.empty(0))
+    city_regions: list[str] = field(default_factory=list)
+    city_weight: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    # -- AS table ----------------------------------------------------------
+    as_asn: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    as_names: list[str] = field(default_factory=list)
+    as_tier: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+    as_igp: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+    as_early_exit: np.ndarray = field(default_factory=lambda: np.empty(0, np.bool_))
+    as_city_indptr: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    as_city_idx: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+
+    # -- router table (row = router_id) ------------------------------------
+    router_asn: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    router_city: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    router_role: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+
+    # -- link table (row = link_id) ----------------------------------------
+    link_u: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    link_v: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    link_kind: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+    link_prop_ms: np.ndarray = field(default_factory=lambda: np.empty(0))
+    link_capacity: np.ndarray = field(default_factory=lambda: np.empty(0))
+    link_util: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    # -- AS-link table (row = registration order) --------------------------
+    aslink_a: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    aslink_b: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    aslink_rel: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
+    aslink_city_indptr: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    aslink_city_idx: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+
+    # -- exchange-link index (pair rows in key-insertion order) ------------
+    exch_pair_a: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    exch_pair_b: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    exch_indptr: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    exch_link_ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+
+    # -- host table (row = host_id) ----------------------------------------
+    host_names: list[str] = field(default_factory=list)
+    host_city: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    host_asn: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    host_access_router: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    host_access_link: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    host_rate_limit: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    # -- derived (lazily built, never pickled as part of the contract) -----
+    _asn_index: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _rel_arrays: RelationshipArrays | None = field(default=None, repr=False, compare=False)
+    _as_routers: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- sizes -------------------------------------------------------------
+
+    @property
+    def n_as(self) -> int:
+        """Number of autonomous systems."""
+        return len(self.as_asn)
+
+    @property
+    def n_routers(self) -> int:
+        """Number of routers."""
+        return len(self.router_asn)
+
+    @property
+    def n_links(self) -> int:
+        """Number of router-level links."""
+        return len(self.link_u)
+
+    @property
+    def n_hosts(self) -> int:
+        """Number of measurement hosts."""
+        return len(self.host_names)
+
+    def summary(self) -> dict[str, int]:
+        """Size counters matching :meth:`Topology.summary`."""
+        return {
+            "ases": self.n_as,
+            "as_links": len(self.aslink_a),
+            "routers": self.n_routers,
+            "links": self.n_links,
+            "hosts": self.n_hosts,
+        }
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_asn_index"] = None
+        state["_rel_arrays"] = None
+        state["_as_routers"] = None
+        return state
+
+    # -- lookups -----------------------------------------------------------
+
+    def asn_index(self) -> np.ndarray:
+        """Dense ASN -> AS-index lookup array (-1 for unknown ASNs)."""
+        if self._asn_index is None:
+            size = int(self.as_asn.max()) + 1 if self.n_as else 1
+            index = np.full(size, -1, dtype=np.int64)
+            index[self.as_asn] = np.arange(self.n_as, dtype=np.int64)
+            self._asn_index = index
+        return self._asn_index
+
+    def as_cities(self, as_idx: int) -> np.ndarray:
+        """City indices of one AS, in its cities-list order."""
+        return self.as_city_idx[
+            self.as_city_indptr[as_idx]: self.as_city_indptr[as_idx + 1]
+        ]
+
+    def routers_by_as(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR of router ids grouped by AS index (ids ascending per AS)."""
+        if self._as_routers is None:
+            owner = self.asn_index()[self.router_asn]
+            order = np.argsort(owner, kind="stable")
+            counts = np.bincount(owner, minlength=self.n_as)
+            indptr = np.zeros(self.n_as + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            self._as_routers = (indptr, order.astype(np.int32))
+        return self._as_routers
+
+    def relationship_arrays(self) -> RelationshipArrays:
+        """The typed-array Gao-Rexford index (cached)."""
+        if self._rel_arrays is None:
+            self._rel_arrays = _build_relationship_arrays(self)
+        return self._rel_arrays
+
+    # -- conversion --------------------------------------------------------
+
+    def to_topology(self) -> Topology:
+        """Rebuild the object :class:`Topology` by replaying construction.
+
+        Every ``add_*`` call is replayed in the original registration
+        order, so derived indices (adjacency lists, core-router map,
+        exchange index) come out in the same iteration order and the
+        result pickles byte-identically to the topology the arrays were
+        built from.
+        """
+        with obs.span("topology.columnar.to_topology") as sp:
+            sp.set("ases", self.n_as)
+            topo = Topology()
+            cities = [
+                City(
+                    name=self.city_names[i],
+                    lat=float(self.city_lat[i]),
+                    lon=float(self.city_lon[i]),
+                    region=self.city_regions[i],
+                    population_weight=float(self.city_weight[i]),
+                )
+                for i in range(len(self.city_names))
+            ]
+            as_city_idx = self.as_city_idx.tolist()
+            as_city_indptr = self.as_city_indptr.tolist()
+            for i in range(self.n_as):
+                topo.add_as(
+                    AutonomousSystem(
+                        asn=int(self.as_asn[i]),
+                        name=self.as_names[i],
+                        tier=TIER_FROM_CODE[self.as_tier[i]],
+                        cities=[
+                            cities[c]
+                            for c in as_city_idx[as_city_indptr[i]: as_city_indptr[i + 1]]
+                        ],
+                        igp_style=IGP_FROM_CODE[self.as_igp[i]],
+                        early_exit=bool(self.as_early_exit[i]),
+                    )
+                )
+            # Routers and links replay through the raw containers (the
+            # construction helpers recompute defaults we already store);
+            # derived adjacency is maintained exactly as add_router /
+            # add_link would.
+            router_asn = self.router_asn.tolist()
+            router_city = self.router_city.tolist()
+            router_role = self.router_role.tolist()
+            for rid in range(self.n_routers):
+                asn = router_asn[rid]
+                router = Router(
+                    router_id=rid,
+                    asn=asn,
+                    city=cities[router_city[rid]],
+                    role=ROLE_FROM_CODE[router_role[rid]],
+                )
+                topo.routers.append(router)
+                topo._as_routers[asn].append(rid)
+                if router.role is RouterRole.CORE:
+                    topo._core_router[(asn, router.city.name)] = rid
+            link_u = self.link_u.tolist()
+            link_v = self.link_v.tolist()
+            link_kind = self.link_kind.tolist()
+            link_prop = self.link_prop_ms.tolist()
+            link_cap = self.link_capacity.tolist()
+            link_util = self.link_util.tolist()
+            for lid in range(self.n_links):
+                link = Link(
+                    link_id=lid,
+                    u=link_u[lid],
+                    v=link_v[lid],
+                    kind=KIND_FROM_CODE[link_kind[lid]],
+                    prop_delay_ms=link_prop[lid],
+                    capacity_mbps=link_cap[lid],
+                    base_utilization=link_util[lid],
+                )
+                topo.links.append(link)
+                topo._router_adj[link.u].append(link)
+                topo._router_adj[link.v].append(link)
+            aslink_city_idx = self.aslink_city_idx.tolist()
+            aslink_city_indptr = self.aslink_city_indptr.tolist()
+            for i in range(len(self.aslink_a)):
+                lo, hi = aslink_city_indptr[i], aslink_city_indptr[i + 1]
+                topo.add_as_link(
+                    ASLink(
+                        a=int(self.aslink_a[i]),
+                        b=int(self.aslink_b[i]),
+                        rel_ab=REL_FROM_CODE[self.aslink_rel[i]],
+                        exchange_cities=tuple(
+                            cities[c].name for c in aslink_city_idx[lo:hi]
+                        ),
+                    )
+                )
+            exch_indptr = self.exch_indptr.tolist()
+            exch_link_ids = self.exch_link_ids.tolist()
+            for i in range(len(self.exch_pair_a)):
+                key = frozenset((int(self.exch_pair_a[i]), int(self.exch_pair_b[i])))
+                topo._exchange_links[key] = exch_link_ids[
+                    exch_indptr[i]: exch_indptr[i + 1]
+                ]
+            for h in range(self.n_hosts):
+                topo.add_host(
+                    Host(
+                        host_id=h,
+                        name=self.host_names[h],
+                        city=cities[self.host_city[h]],
+                        asn=int(self.host_asn[h]),
+                        access_router=int(self.host_access_router[h]),
+                        access_link=int(self.host_access_link[h]),
+                        icmp_rate_limit_per_min=float(self.host_rate_limit[h]),
+                    )
+                )
+            # Construction replay dirties the route cache repeatedly;
+            # leave the rebuilt topology exactly as a fresh build: empty
+            # caches, no relationship index.
+            topo._route_cache.clear()
+            topo._rel_index = None
+        obs.count("topology.columnar.to_topology")
+        return topo
+
+
+def from_topology(topo: Topology) -> TopologyArrays:
+    """Read an object :class:`Topology` into :class:`TopologyArrays`.
+
+    The inverse of :meth:`TopologyArrays.to_topology`; see the module
+    docstring for the round-trip contract.
+    """
+    with obs.span("topology.columnar.from_topology") as sp:
+        sp.set("ases", len(topo.ases))
+        arrays = TopologyArrays()
+        city_index: dict[str, int] = {}
+
+        def city_id(city: City) -> int:
+            idx = city_index.get(city.name)
+            if idx is None:
+                idx = len(arrays.city_names)
+                city_index[city.name] = idx
+                arrays.city_names.append(city.name)
+                arrays.city_regions.append(city.region)
+                _city_lat.append(city.lat)
+                _city_lon.append(city.lon)
+                _city_weight.append(city.population_weight)
+            return idx
+
+        _city_lat: list[float] = []
+        _city_lon: list[float] = []
+        _city_weight: list[float] = []
+
+        ases = list(topo.ases.values())
+        as_city_lists = [[city_id(c) for c in a.cities] for a in ases]
+        arrays.as_asn = np.array([a.asn for a in ases], dtype=np.int64)
+        arrays.as_names = [a.name for a in ases]
+        arrays.as_tier = np.array([TIER_CODES[a.tier] for a in ases], dtype=np.int8)
+        arrays.as_igp = np.array([IGP_CODES[a.igp_style] for a in ases], dtype=np.int8)
+        arrays.as_early_exit = np.array([a.early_exit for a in ases], dtype=np.bool_)
+        arrays.as_city_indptr, arrays.as_city_idx = _csr_from_lists(as_city_lists)
+
+        arrays.router_asn = np.array(
+            [r.asn for r in topo.routers], dtype=np.int32
+        ).reshape(-1)
+        arrays.router_city = np.array(
+            [city_id(r.city) for r in topo.routers], dtype=np.int32
+        ).reshape(-1)
+        arrays.router_role = np.array(
+            [ROLE_CODES[r.role] for r in topo.routers], dtype=np.int8
+        ).reshape(-1)
+
+        arrays.link_u = np.array([k.u for k in topo.links], dtype=np.int32).reshape(-1)
+        arrays.link_v = np.array([k.v for k in topo.links], dtype=np.int32).reshape(-1)
+        arrays.link_kind = np.array(
+            [KIND_CODES[k.kind] for k in topo.links], dtype=np.int8
+        ).reshape(-1)
+        arrays.link_prop_ms = np.array([k.prop_delay_ms for k in topo.links])
+        arrays.link_capacity = np.array([k.capacity_mbps for k in topo.links])
+        arrays.link_util = np.array([k.base_utilization for k in topo.links])
+
+        arrays.aslink_a = np.array([al.a for al in topo.as_links], dtype=np.int64)
+        arrays.aslink_b = np.array([al.b for al in topo.as_links], dtype=np.int64)
+        arrays.aslink_rel = np.array(
+            [REL_CODES[al.rel_ab] for al in topo.as_links], dtype=np.int8
+        )
+        arrays.aslink_city_indptr, arrays.aslink_city_idx = _csr_from_lists(
+            [[city_index[name] for name in al.exchange_cities] for al in topo.as_links]
+        )
+
+        pairs = list(topo._exchange_links.items())
+        pair_lists = []
+        pair_a: list[int] = []
+        pair_b: list[int] = []
+        for key, link_ids in pairs:
+            a, b = sorted(key)
+            pair_a.append(a)
+            pair_b.append(b)
+            pair_lists.append(list(link_ids))
+        arrays.exch_pair_a = np.array(pair_a, dtype=np.int64)
+        arrays.exch_pair_b = np.array(pair_b, dtype=np.int64)
+        arrays.exch_indptr, arrays.exch_link_ids = _csr_from_lists(pair_lists)
+
+        arrays.host_names = [h.name for h in topo.hosts]
+        arrays.host_city = np.array(
+            [city_id(h.city) for h in topo.hosts], dtype=np.int32
+        ).reshape(-1)
+        arrays.host_asn = np.array([h.asn for h in topo.hosts], dtype=np.int32).reshape(-1)
+        arrays.host_access_router = np.array(
+            [h.access_router for h in topo.hosts], dtype=np.int32
+        ).reshape(-1)
+        arrays.host_access_link = np.array(
+            [h.access_link for h in topo.hosts], dtype=np.int32
+        ).reshape(-1)
+        arrays.host_rate_limit = np.array(
+            [h.icmp_rate_limit_per_min for h in topo.hosts]
+        )
+
+        arrays.city_lat = np.array(_city_lat)
+        arrays.city_lon = np.array(_city_lon)
+        arrays.city_weight = np.array(_city_weight)
+    obs.count("topology.columnar.from_topology")
+    return arrays
+
+
+def _build_relationship_arrays(arrays: TopologyArrays) -> RelationshipArrays:
+    """Classify AS adjacency by relationship and level the hierarchy."""
+    n = arrays.n_as
+    asn_index = arrays.asn_index()
+    a_idx = asn_index[arrays.aslink_a] if len(arrays.aslink_a) else np.empty(0, np.int64)
+    b_idx = asn_index[arrays.aslink_b] if len(arrays.aslink_b) else np.empty(0, np.int64)
+    rel = arrays.aslink_rel
+    has_siblings = bool((rel == REL_CODES[Relationship.SIBLING]).any())
+
+    # Edge direction convention: rel_ab is b's relationship from a's
+    # viewpoint, so rel_ab == CUSTOMER means b is a's customer.
+    cust_code = REL_CODES[Relationship.CUSTOMER]
+    prov_code = REL_CODES[Relationship.PROVIDER]
+    peer_code = REL_CODES[Relationship.PEER]
+    is_cust = rel == cust_code
+    is_prov = rel == prov_code
+    is_peer = rel == peer_code
+    # (owner, neighbor) pairs for each classified list.
+    cust_owner = np.concatenate([a_idx[is_cust], b_idx[is_prov]])
+    cust_nbr = np.concatenate([b_idx[is_cust], a_idx[is_prov]])
+    prov_owner = np.concatenate([a_idx[is_prov], b_idx[is_cust]])
+    prov_nbr = np.concatenate([b_idx[is_prov], a_idx[is_cust]])
+    peer_owner = np.concatenate([a_idx[is_peer], b_idx[is_peer]])
+    peer_nbr = np.concatenate([b_idx[is_peer], a_idx[is_peer]])
+
+    def csr(owner: np.ndarray, nbr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # Sort by (owner, neighbor ASN) so per-owner lists match the
+        # object index's sorted-tuple convention.
+        nbr_asn = arrays.as_asn[nbr] if len(nbr) else nbr
+        order = np.lexsort((nbr_asn, owner))
+        owner = owner[order]
+        nbr = nbr[order]
+        counts = np.bincount(owner, minlength=n) if len(owner) else np.zeros(n, np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, nbr.astype(np.int32)
+
+    customers_indptr, customers = csr(cust_owner, cust_nbr)
+    providers_indptr, providers = csr(prov_owner, prov_nbr)
+    peers_indptr, peers = csr(peer_owner, peer_nbr)
+
+    # Customer-DAG levels by Kahn over customer->provider edges
+    # (edge c -> p for every "c is p's customer" pair).
+    levels = np.zeros(n, dtype=np.int32)
+    indegree = np.diff(customers_indptr).astype(np.int64)
+    edge_src = customers  # provider row -> its customers
+    # Build provider list per customer for propagation: reuse the
+    # providers CSR (for each AS, who are its providers).
+    ready = list(np.nonzero(indegree == 0)[0])
+    seen = 0
+    head = 0
+    ready_arr = ready
+    remaining = indegree.copy()
+    while head < len(ready_arr):
+        x = ready_arr[head]
+        head += 1
+        seen += 1
+        for p in providers[providers_indptr[x]: providers_indptr[x + 1]]:
+            p = int(p)
+            if levels[p] < levels[x] + 1:
+                levels[p] = levels[x] + 1
+            remaining[p] -= 1
+            if remaining[p] == 0:
+                ready_arr.append(p)
+    del edge_src
+    if seen != n:
+        levels = np.full(n, -1, dtype=np.int32)
+        down_levels = np.full(n, -1, dtype=np.int32)
+    else:
+        down_levels = np.zeros(n, dtype=np.int32)
+        remaining = np.diff(providers_indptr).astype(np.int64)
+        ready_arr = list(np.nonzero(remaining == 0)[0])
+        head = 0
+        while head < len(ready_arr):
+            x = ready_arr[head]
+            head += 1
+            for c in customers[customers_indptr[x]: customers_indptr[x + 1]]:
+                c = int(c)
+                if down_levels[c] < down_levels[x] + 1:
+                    down_levels[c] = down_levels[x] + 1
+                remaining[c] -= 1
+                if remaining[c] == 0:
+                    ready_arr.append(c)
+    return RelationshipArrays(
+        customers_indptr=customers_indptr,
+        customers=customers,
+        providers_indptr=providers_indptr,
+        providers=providers,
+        peers_indptr=peers_indptr,
+        peers=peers,
+        has_siblings=has_siblings,
+        levels=levels,
+        down_levels=down_levels,
+    )

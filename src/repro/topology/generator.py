@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs import runtime as obs
 
@@ -43,6 +44,9 @@ from repro.topology.geography import (
 from repro.topology.links import BASELINE_UTILIZATION, DEFAULT_CAPACITY_MBPS, LinkKind
 from repro.topology.network import Topology, TopologyError
 from repro.topology.router import Host, RouterRole
+
+if TYPE_CHECKING:
+    from repro.topology.columnar import TopologyArrays
 
 
 @dataclass(slots=True)
@@ -141,15 +145,39 @@ class _GenState:
     tier1_asns: list[int] = field(default_factory=list)
     transit_asns: list[int] = field(default_factory=list)
     stub_asns: list[int] = field(default_factory=list)
+    # Memoized geometry, maintained incrementally so the interconnect
+    # phases stay O(1) per lookup instead of rescanning city lists:
+    # per-AS city-name sets (for common-city intersection) and per-
+    # provider {home city name -> min POP distance km}.  Both are
+    # invalidated/updated by _ensure_pop, the only place city lists
+    # mutate after AS creation.
+    city_name_sets: dict[int, set[str]] = field(default_factory=dict)
+    provider_dist: dict[int, dict[str, tuple[City, float]]] = field(default_factory=dict)
 
 
-def generate_topology(config: TopologyConfig | None = None) -> Topology:
+def generate_topology(
+    config: TopologyConfig | None = None,
+    *,
+    scale: str | None = None,
+    seed: int | None = None,
+) -> Topology | TopologyArrays:
     """Generate a complete topology from ``config`` (defaults to 1999 era).
 
     The returned topology has ASes, AS links, routers, and router-level
     links, and has passed :meth:`Topology.validate`.  Hosts are *not*
     placed; use :func:`place_hosts`.
+
+    With ``scale=`` (a preset name from
+    :data:`repro.topology.scale.SCALE_PRESETS`, e.g. ``"100k"``) the
+    vectorized columnar fast path runs instead and the result is a
+    :class:`~repro.topology.columnar.TopologyArrays` — call
+    ``.to_topology()`` for the object form at small scales.  ``config``
+    and ``scale`` are mutually exclusive.
     """
+    if scale is not None:
+        if config is not None:
+            raise ValueError("pass either config or scale, not both")
+        return generate_topology_at_scale(scale, seed=seed)
     cfg = config or TopologyConfig()
     with obs.span("topology.generate") as sp:
         sp.set("seed", cfg.seed)
@@ -165,6 +193,43 @@ def generate_topology(config: TopologyConfig | None = None) -> Topology:
         sp.set("ases", len(state.topo.ases))
         obs.count("topology.generated")
     return state.topo
+
+
+def generate_topology_at_scale(scale: str, *, seed: int | None = None) -> TopologyArrays:
+    """Generate a preset-named topology in columnar form.
+
+    The ``paper-*`` presets run the object generator and convert; the
+    numeric presets run the vectorized fast path directly.  Returns a
+    :class:`~repro.topology.columnar.TopologyArrays`.
+    """
+    from repro.topology.columnar import from_topology
+    from repro.topology.scale import generate_topology_arrays, resolve_preset
+
+    preset = resolve_preset(scale, seed)
+    if isinstance(preset, str):
+        # Era preset: paper-scale, object generator is authoritative.
+        cfg = TopologyConfig.for_era(preset, seed=seed if seed is not None else 1999)
+        return from_topology(generate_topology(cfg))
+    return generate_topology_arrays(preset)
+
+
+def build_topology(scale: str, *, seed: int | None = None) -> tuple[Topology, float]:
+    """Build an object :class:`~repro.topology.network.Topology` for a preset.
+
+    The seam for object-world consumers (``repro serve``/``repro
+    whatif``): paper presets build natively, numeric presets generate
+    columnar and convert.  Returns ``(topology, capacity_scale)`` so
+    callers can thread capacity into host placement.
+    """
+    from repro.topology.scale import generate_topology_arrays, resolve_preset
+
+    preset = resolve_preset(scale, seed)
+    if isinstance(preset, str):
+        cfg = TopologyConfig.for_era(preset, seed=seed if seed is not None else 1999)
+        return generate_topology(cfg), cfg.capacity_scale
+    topo = generate_topology_arrays(preset).to_topology()
+    topo.validate()
+    return topo, preset.capacity_scale
 
 
 # ---------------------------------------------------------------------------
@@ -415,9 +480,18 @@ def _link_ring_with_chords(
 # Inter-AS adjacencies.
 # ---------------------------------------------------------------------------
 
-def _common_cities(topo: Topology, a: int, b: int) -> list[str]:
-    names_a = {c.name for c in topo.ases[a].cities}
-    return [c.name for c in topo.ases[b].cities if c.name in names_a]
+def _city_name_set(state: _GenState, asn: int) -> set[str]:
+    """The AS's POP city names, built once and updated by `_ensure_pop`."""
+    names = state.city_name_sets.get(asn)
+    if names is None:
+        names = {c.name for c in state.topo.ases[asn].cities}
+        state.city_name_sets[asn] = names
+    return names
+
+
+def _common_cities(state: _GenState, a: int, b: int) -> list[str]:
+    names_a = _city_name_set(state, a)
+    return [c.name for c in state.topo.ases[b].cities if c.name in names_a]
 
 
 def _ensure_pop(state: _GenState, asn: int, city: City) -> None:
@@ -426,6 +500,15 @@ def _ensure_pop(state: _GenState, asn: int, city: City) -> None:
     asys = topo.ases[asn]
     if topo.has_core_router(asn, city.name):
         return
+    # The AS's POP geometry is about to change: its memoized city-name
+    # set gains a member and cached home->POP minima may shrink.  The
+    # incremental min keeps every cached value bit-equal to a fresh scan
+    # of the extended city list.
+    state.city_name_sets.setdefault(asn, {c.name for c in asys.cities}).add(city.name)
+    cached = state.provider_dist.get(asn)
+    if cached is not None:
+        for home_name, (home, d) in cached.items():
+            cached[home_name] = (home, min(d, great_circle_km(home, city)))
     new_router = topo.add_router(asn, city, RouterRole.CORE)
     if asys.cities:
         nearest = min(asys.cities, key=lambda c: great_circle_km(c, city))
@@ -457,7 +540,7 @@ def _interconnect(
     """
     topo = state.topo
     rng = state.rng
-    common = _common_cities(topo, a, b)
+    common = _common_cities(state, a, b)
     if not common:
         cities_b = topo.ases[b].cities
         target = rng.choice(cities_b)
@@ -530,7 +613,7 @@ def _connect_transits(state: _GenState) -> None:
             region1 = topo.ases[t1].name.rsplit("-", 1)[-1]
             region2 = topo.ases[t2].name.rsplit("-", 1)[-1]
             if region1 == region2 and rng.random() < cfg.transit_peering_prob:
-                if _common_cities(topo, t1, t2):
+                if _common_cities(state, t1, t2):
                     _interconnect(state, t1, t2, Relationship.PEER, 1)
 
 
@@ -544,7 +627,16 @@ def _connect_stubs(state: _GenState) -> None:
         home = topo.ases[stub_asn].cities[0]
 
         def dist(p: int) -> float:
-            return min(great_circle_km(home, c) for c in topo.ases[p].cities)
+            # Memoized per (provider, home city); when a provider gains
+            # a POP, _ensure_pop folds the new city into every cached
+            # minimum, so hits always equal a fresh scan.
+            cache = state.provider_dist.setdefault(p, {})
+            entry = cache.get(home.name)
+            if entry is None:
+                d = min(great_circle_km(home, c) for c in topo.ases[p].cities)
+                cache[home.name] = (home, d)
+                return d
+            return entry[1]
 
         ranked = sorted(pool, key=dist)
         # Randomize lightly among the closest few so stubs in one city do

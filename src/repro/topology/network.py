@@ -212,8 +212,9 @@ class Topology:
         self.as_links.append(as_link)
         self._as_adj[as_link.a].append(as_link)
         self._as_adj[as_link.b].append(as_link)
-        self._rel_index = None
-        self._route_cache.clear()
+        # AS-level only: IGP state is a function of the router/link
+        # substrate and stays warm (see _invalidate_as_graph).
+        self._invalidate_as_graph()
         return as_link
 
     def add_exchange_link(self, link: Link) -> None:
